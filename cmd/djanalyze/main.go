@@ -1,0 +1,90 @@
+// Command djanalyze computes the analyzer's data probe for a dataset:
+// dimension summaries, ASCII histograms and box plots, and verb–noun
+// diversity — the terminal rendering of the paper's interactive
+// visualizations (Sec. 4.2).
+//
+// Usage:
+//
+//	djanalyze -input data.jsonl [-dims text_len,num_words] [-hist] [-box] [-top 15]
+//	djanalyze -input "hub:cft-en?docs=500" -diversity
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/format"
+)
+
+func main() {
+	var (
+		input     = flag.String("input", "", "dataset spec (file, directory, or hub:<name>)")
+		dims      = flag.String("dims", "", "comma-separated dimensions to visualize (default: all in the summary, none plotted)")
+		hist      = flag.Bool("hist", false, "render histograms for the selected dimensions")
+		box       = flag.Bool("box", false, "render box plots for the selected dimensions")
+		diversity = flag.Bool("diversity", false, "render the verb-noun diversity view")
+		top       = flag.Int("top", 15, "top-K rows in the diversity view")
+		np        = flag.Int("np", 0, "worker count (0 = all cores)")
+		jsonOut   = flag.String("json", "", "also write the probe summaries as JSON to this path")
+	)
+	flag.Parse()
+	if *input == "" {
+		fmt.Fprintln(os.Stderr, "djanalyze: -input is required")
+		os.Exit(1)
+	}
+	data, err := format.Load(*input)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "djanalyze:", err)
+		os.Exit(1)
+	}
+	probe := analysis.Analyze(data, *np)
+	fmt.Printf("data probe: %d samples, unique-word ratio %.3f\n\n", probe.N, probe.UniqueWordRatio)
+	fmt.Print(probe.RenderSummaryTable())
+
+	var selected []string
+	if *dims != "" {
+		for _, d := range strings.Split(*dims, ",") {
+			selected = append(selected, strings.TrimSpace(d))
+		}
+	}
+	for _, dim := range selected {
+		values := probe.Values(dim)
+		if values == nil {
+			fmt.Fprintf(os.Stderr, "djanalyze: unknown dimension %q (have %v)\n", dim, probe.DimNames())
+			os.Exit(1)
+		}
+		fmt.Println()
+		if *hist {
+			fmt.Print(analysis.RenderHistogram(dim, values, 12, 40))
+		}
+		if *box {
+			fmt.Print(analysis.RenderBoxPlot(dim, values, 60))
+		}
+	}
+	if *diversity {
+		fmt.Println()
+		fmt.Print(probe.RenderDiversity(*top))
+	}
+	if *jsonOut != "" {
+		payload := map[string]any{
+			"n":                 probe.N,
+			"unique_word_ratio": probe.UniqueWordRatio,
+			"dims":              probe.Dims,
+			"diversity":         probe.Diversity,
+		}
+		raw, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "djanalyze:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, raw, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "djanalyze:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote probe JSON to %s\n", *jsonOut)
+	}
+}

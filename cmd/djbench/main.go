@@ -1,0 +1,128 @@
+// Command djbench regenerates the paper's tables and figures on the
+// synthetic substrate (see DESIGN.md for the per-experiment index).
+//
+// Usage:
+//
+//	djbench all                 # every experiment, quick scale
+//	djbench -full fig7 table2   # selected experiments, report scale
+//
+// Experiments: fig3 fig7 fig8 fig9 fig10 table2 table3 table4 table5
+// table7 table8 table9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at report scale (slower)")
+	flag.Parse()
+	scale := experiments.Quick()
+	if *full {
+		scale = experiments.Full()
+	}
+	targets := flag.Args()
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "djbench: name experiments or 'all' (fig3 fig7 fig8 fig9 fig10 table1..table9)")
+		os.Exit(2)
+	}
+	if len(targets) == 1 && targets[0] == "all" {
+		targets = []string{"table1", "table6", "table7", "table8", "table5", "table4", "fig7", "table2", "table9", "table3", "fig3", "fig8", "fig9", "fig10"}
+	}
+
+	var t2 *experiments.Table2Result
+	var t5 *experiments.Table5Result
+	for _, name := range targets {
+		var render string
+		var err error
+		switch name {
+		case "table1":
+			render = experiments.Table1()
+		case "table6":
+			render = experiments.Table6()
+		case "fig3":
+			var r *experiments.Fig3Result
+			r, err = experiments.Fig3HPO(scale)
+			if err == nil {
+				render = r.Render
+			}
+		case "fig7":
+			var r *experiments.Fig7Result
+			r, err = experiments.Fig7(scale)
+			if err == nil {
+				render = r.Render
+			}
+		case "fig8":
+			var r *experiments.Fig8Result
+			r, err = experiments.Fig8(scale, nil)
+			if err == nil {
+				render = r.Render
+			}
+		case "fig9":
+			var r *experiments.Fig9Result
+			r, err = experiments.Fig9(scale, 0)
+			if err == nil {
+				render = r.Render
+			}
+		case "fig10":
+			var r *experiments.Fig10Result
+			r, err = experiments.Fig10(scale)
+			if err == nil {
+				render = r.Render
+			}
+		case "table2":
+			t2, err = experiments.Table2(scale)
+			if err == nil {
+				render = t2.Render
+			}
+		case "table3":
+			var r *experiments.Table3Result
+			r, err = experiments.Table3(scale)
+			if err == nil {
+				render = r.Render
+			}
+		case "table4":
+			var r *experiments.Table4Result
+			r, err = experiments.Table4(scale, t5)
+			if err == nil {
+				render = r.Render
+			}
+		case "table5":
+			t5, err = experiments.Table5(scale)
+			if err == nil {
+				render = t5.Render
+			}
+		case "table7":
+			var r *experiments.Table7Result
+			r, err = experiments.Table7(scale)
+			if err == nil {
+				render = r.Render
+			}
+		case "table8":
+			var r *experiments.Table8Result
+			r, err = experiments.Table8(scale)
+			if err == nil {
+				render = r.Render
+			}
+		case "table9":
+			if t2 == nil {
+				t2, err = experiments.Table2(scale)
+			}
+			if err == nil {
+				render = experiments.Table9(t2)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "djbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "djbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(render)
+	}
+}

@@ -1,0 +1,149 @@
+// Command djprocess runs a data recipe end-to-end: load → process →
+// export, with optional plan display, tracing and probe analysis.
+//
+// Usage:
+//
+//	djprocess -recipe recipe.yaml [-input PATH] [-output PATH] [-np N]
+//	djprocess -builtin pretrain-web-en -input "hub:web-en?docs=500&seed=1" -output out.jsonl
+//	djprocess -list-ops | -list-recipes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/format"
+	_ "repro/internal/ops/all"
+
+	"repro/internal/ops"
+)
+
+func main() {
+	var (
+		recipePath  = flag.String("recipe", "", "path to a recipe .yaml/.json file")
+		builtin     = flag.String("builtin", "", "name of a built-in recipe (see -list-recipes)")
+		input       = flag.String("input", "", "dataset spec (file, directory, or hub:<name>); overrides the recipe's dataset_path")
+		output      = flag.String("output", "", "export path (.jsonl/.json/.txt); overrides the recipe's export_path")
+		np          = flag.Int("np", 0, "worker count (0 = all cores)")
+		showPlan    = flag.Bool("plan", false, "print the fused execution plan before running")
+		probe       = flag.Bool("probe", false, "print before/after data probes (analyzer)")
+		space       = flag.Bool("space", false, "print the Appendix A.2 peak-disk-space analysis")
+		listOps     = flag.Bool("list-ops", false, "list the registered operators and exit")
+		listRecipes = flag.Bool("list-recipes", false, "list the built-in recipes and exit")
+	)
+	flag.Parse()
+
+	if *listOps {
+		for _, info := range ops.List() {
+			fmt.Printf("%-48s %-13s %s\n", info.Name, info.Category, info.Usage)
+		}
+		return
+	}
+	if *listRecipes {
+		for _, name := range config.BuiltinRecipeNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	recipe, err := loadRecipe(*recipePath, *builtin)
+	if err != nil {
+		fatal(err)
+	}
+	if *input != "" {
+		recipe.DatasetPath = *input
+	}
+	if *output != "" {
+		recipe.ExportPath = *output
+	}
+	if *np != 0 {
+		recipe.NP = *np
+	}
+	if recipe.DatasetPath == "" {
+		fatal(fmt.Errorf("no dataset: set dataset_path in the recipe or pass -input"))
+	}
+
+	exec, err := core.NewExecutor(recipe)
+	if err != nil {
+		fatal(err)
+	}
+	if *showPlan {
+		fmt.Println("execution plan:")
+		fmt.Print(core.DescribePlan(exec.Plan()))
+	}
+
+	data, err := format.Load(recipe.DatasetPath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %d samples (%d bytes of text) from %s\n",
+		data.Len(), data.TotalBytes(), recipe.DatasetPath)
+
+	if *space {
+		a, err := cache.AnalyzeSpace(recipe)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(a.Render(data.TotalBytes()))
+	}
+
+	var before *analysis.Probe
+	if *probe {
+		before = analysis.Analyze(data, recipe.NP)
+	}
+
+	out, report, err := exec.Run(data)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("processed: %d -> %d samples in %s (%d planned ops)\n",
+		report.OpStats[0].InCount, out.Len(), report.Total.Round(1e6), report.PlanSize)
+	for _, st := range report.OpStats {
+		marker := ""
+		if st.CacheHit {
+			marker = " [cache]"
+		}
+		fmt.Printf("  %-44s %7d -> %-7d %10s%s\n", st.Name, st.InCount, st.OutCount,
+			st.Duration.Round(1e5), marker)
+	}
+	if tr := exec.Tracer(); tr != nil {
+		fmt.Print(tr.Summary())
+	}
+
+	if *probe {
+		after := analysis.Analyze(out, recipe.NP)
+		fmt.Println("\nbefore/after probe (Figure 4c view):")
+		fmt.Print(analysis.RenderCompare(analysis.Compare(before, after)))
+		fmt.Println("\ndiversity of the refined data:")
+		fmt.Print(after.RenderDiversity(10))
+	}
+
+	if recipe.ExportPath != "" {
+		if err := format.Export(out, recipe.ExportPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("exported to %s\n", recipe.ExportPath)
+	}
+}
+
+func loadRecipe(path, builtin string) (*config.Recipe, error) {
+	switch {
+	case path != "" && builtin != "":
+		return nil, fmt.Errorf("pass either -recipe or -builtin, not both")
+	case path != "":
+		return config.Load(path)
+	case builtin != "":
+		return config.BuiltinRecipe(builtin)
+	}
+	return nil, fmt.Errorf("a recipe is required: -recipe FILE or -builtin NAME")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "djprocess:", err)
+	os.Exit(1)
+}

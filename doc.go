@@ -1,0 +1,7 @@
+// Package repro is a from-scratch Go reproduction of "Data-Juicer: A
+// One-Stop Data Processing System for Large Language Models" (SIGMOD
+// 2024). See README.md for the tour, DESIGN.md for the system inventory
+// and substitution notes, and EXPERIMENTS.md for paper-vs-measured
+// results. The implementation lives under internal/; runnable entry
+// points are cmd/djprocess, cmd/djanalyze, cmd/djbench and examples/.
+package repro

@@ -1,0 +1,70 @@
+// Distributed: the Figure 10 flow — run the same recipe over dataset
+// shards under the Ray-like and Beam-like runners across cluster sizes,
+// and watch the architectural difference: parallel loading scales,
+// serialized loading does not.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/corpus"
+	"repro/internal/dist"
+	_ "repro/internal/ops/all"
+)
+
+const recipeYAML = `
+project_name: distributed-example
+use_cache: false
+process:
+  - clean_html_mapper:
+  - whitespace_normalization_mapper:
+  - word_num_filter:
+      min_num: 10
+  - stopwords_filter:
+      min_ratio: 0.05
+  - document_deduplicator:
+`
+
+func main() {
+	recipe, err := config.ParseRecipe(recipeYAML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := corpus.StackExchange(corpus.Options{Docs: 1500, Seed: 3})
+	shards, err := dist.EncodeShards(dist.Partition(data, 16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d docs in %d shards\n", data.Len(), len(shards))
+
+	// Measure shard costs once (real loading + processing), then compose
+	// each engine/cluster from the same measurements.
+	costs, err := dist.Measure(shards, recipe)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-8s %8s %14s %14s\n", "engine", "nodes", "total", "of which load")
+	for _, engine := range []dist.Engine{dist.EngineLocal, dist.EngineRay, dist.EngineBeam} {
+		nodeCounts := []int{1, 2, 4, 8, 16}
+		if engine == dist.EngineLocal {
+			nodeCounts = []int{1}
+		}
+		for _, nodes := range nodeCounts {
+			res, err := dist.Compose(engine, costs, dist.Config{Nodes: nodes, CoresPerNode: 64})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8s %8d %14s %14s\n", engine, nodes,
+				res.Total.Round(10*time.Microsecond), res.LoadTime.Round(10*time.Microsecond))
+		}
+	}
+	fmt.Println("\n=> the ray-like runner's time falls near-linearly with nodes;")
+	fmt.Println("   the beam-like runner stays flat because one loader feeds the")
+	fmt.Println("   whole cluster — the Figure 10 bottleneck.")
+}

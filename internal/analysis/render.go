@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderHistogram draws an ASCII histogram of values, the terminal
+// equivalent of the analyzer's per-dimension histograms.
+func RenderHistogram(name string, values []float64, bins, width int) string {
+	if bins <= 0 {
+		bins = 10
+	}
+	if width <= 0 {
+		width = 40
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", name, len(values))
+	if len(values) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	counts := binCounts(sorted, bins)
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	binWidth := (hi - lo) / float64(bins)
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range counts {
+		barLen := 0
+		if maxCount > 0 {
+			barLen = c * width / maxCount
+		}
+		fmt.Fprintf(&b, "  [%10.3f, %10.3f) %-*s %d\n",
+			lo+float64(i)*binWidth, lo+float64(i+1)*binWidth,
+			width, strings.Repeat("#", barLen), c)
+	}
+	return b.String()
+}
+
+// RenderBoxPlot draws an ASCII box plot (min, quartiles, max) of values.
+func RenderBoxPlot(name string, values []float64, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	s := Summarize(name, values)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: min=%.3f p25=%.3f median=%.3f p75=%.3f max=%.3f\n",
+		name, s.Min, s.P25, s.P50, s.P75, s.Max)
+	if s.Count == 0 || s.Max == s.Min {
+		return b.String()
+	}
+	pos := func(v float64) int {
+		p := int((v - s.Min) / (s.Max - s.Min) * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	row := make([]byte, width)
+	for i := range row {
+		row[i] = ' '
+	}
+	for i := pos(s.Min); i <= pos(s.Max); i++ {
+		row[i] = '-'
+	}
+	for i := pos(s.P25); i <= pos(s.P75); i++ {
+		row[i] = '='
+	}
+	row[pos(s.Min)] = '['
+	row[pos(s.Max)] = ']'
+	row[pos(s.P50)] = '|'
+	b.WriteString("  " + string(row) + "\n")
+	return b.String()
+}
+
+// RenderSummaryTable renders every probe dimension as a table row.
+func (p *Probe) RenderSummaryTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %8s %10s %10s %10s %10s %10s %8s\n",
+		"dimension", "count", "mean", "std", "min", "median", "max", "entropy")
+	for _, name := range p.DimNames() {
+		s := p.Dims[name]
+		fmt.Fprintf(&b, "%-26s %8d %10.3f %10.3f %10.3f %10.3f %10.3f %8.3f\n",
+			s.Name, s.Count, s.Mean, s.Std, s.Min, s.P50, s.Max, s.Entropy)
+	}
+	return b.String()
+}
+
+// RenderDiversity renders the top verb–noun pairs (the text version of the
+// Figure 5 pie plots).
+func (p *Probe) RenderDiversity(topK int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "verb-noun diversity: %d distinct pairs, unique-word ratio %.3f\n",
+		len(p.Diversity), p.UniqueWordRatio)
+	total := 0
+	for _, pc := range p.Diversity {
+		total += pc.Count
+	}
+	for i, pc := range p.Diversity {
+		if i >= topK {
+			break
+		}
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(pc.Count) / float64(total)
+		}
+		fmt.Fprintf(&b, "  %-14s -> %-14s %6d (%5.1f%%)\n", pc.Verb, pc.Noun, pc.Count, share)
+	}
+	return b.String()
+}
+
+// DimDelta compares one dimension across two probes.
+type DimDelta struct {
+	Name                  string
+	MeanBefore, MeanAfter float64
+	P50Before, P50After   float64
+}
+
+// Compare diffs two probes dimension by dimension — the before/after view
+// of Figure 4(c). Only dimensions present in both probes are reported.
+func Compare(before, after *Probe) []DimDelta {
+	var out []DimDelta
+	for _, name := range before.DimNames() {
+		b := before.Dims[name]
+		a, ok := after.Dims[name]
+		if !ok {
+			continue
+		}
+		out = append(out, DimDelta{
+			Name:       name,
+			MeanBefore: b.Mean, MeanAfter: a.Mean,
+			P50Before: b.P50, P50After: a.P50,
+		})
+	}
+	return out
+}
+
+// RenderCompare renders a probe diff as a table.
+func RenderCompare(deltas []DimDelta) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %12s %12s %10s\n", "dimension", "mean before", "mean after", "Δmean")
+	for _, d := range deltas {
+		fmt.Fprintf(&b, "%-26s %12.3f %12.3f %+10.3f\n", d.Name, d.MeanBefore, d.MeanAfter, d.MeanAfter-d.MeanBefore)
+	}
+	return b.String()
+}

@@ -1,0 +1,346 @@
+// Package baseline reimplements the two end-to-end comparison systems of
+// Sec. 7.2.1 at the level of architecture that drives their costs:
+//
+//   - RedPajama-like: the whole corpus lives in memory as generic
+//     map[string]any rows; every operator is an independent full pass that
+//     copies rows, re-splits words, and dumps an intermediate JSON file —
+//     the per-dataset script structure of the RedPajama repo.
+//   - Dolma-like: a three-stage tag → filter → mix workflow over
+//     pre-sharded inputs, with attribute files written to and re-read from
+//     disk between stages.
+//
+// Both apply the same logical operators as the Data-Juicer comparison
+// recipe, so Figure 8 compares equal work under different architectures.
+package baseline
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/text"
+)
+
+// Row is the generic "plain dict" record both baselines operate on.
+type Row map[string]any
+
+// pipelineOps is the shared logical operator list (mirroring the Fig. 8
+// comparison recipe): cleaning mappers, standard filters, exact dedup.
+type opFunc struct {
+	name string
+	// mapper transforms text (nil for filters).
+	mapper func(string) string
+	// filter decides survival (nil for mappers).
+	filter func(string) bool
+}
+
+func sharedOps() []opFunc {
+	stop := text.Stopwords("en")
+	flagged := text.FlaggedWords("en")
+	return []opFunc{
+		{name: "clean_links", mapper: func(s string) string {
+			words := strings.Fields(s)
+			out := words[:0]
+			for _, w := range words {
+				lw := strings.ToLower(w)
+				if strings.Contains(lw, "http://") || strings.Contains(lw, "https://") || strings.HasPrefix(lw, "www.") {
+					continue
+				}
+				out = append(out, w)
+			}
+			return strings.Join(out, " ")
+		}},
+		{name: "whitespace_normalization", mapper: text.NormalizeWhitespace},
+		{name: "text_length", filter: func(s string) bool {
+			n := len([]rune(s))
+			return n >= 50 && n <= 1_000_000
+		}},
+		{name: "special_characters", filter: func(s string) bool {
+			return text.SpecialCharRatio(s) <= 0.25
+		}},
+		{name: "word_num", filter: func(s string) bool {
+			return len(text.WordsLower(s)) >= 10
+		}},
+		{name: "stopwords", filter: func(s string) bool {
+			words := text.WordsLower(s)
+			if len(words) == 0 {
+				return false
+			}
+			hits := 0
+			for _, w := range words {
+				if _, ok := stop[w]; ok {
+					hits++
+				}
+			}
+			return float64(hits)/float64(len(words)) >= 0.08
+		}},
+		{name: "flagged_words", filter: func(s string) bool {
+			words := text.WordsLower(s)
+			if len(words) == 0 {
+				return true
+			}
+			hits := 0
+			for _, w := range words {
+				if _, ok := flagged[w]; ok {
+					hits++
+				}
+			}
+			return float64(hits)/float64(len(words)) <= 0.01
+		}},
+		{name: "word_repetition", filter: func(s string) bool {
+			grams := text.WordNGrams(text.WordsLower(s), 5)
+			return text.RepetitionRatio(grams) <= 0.4
+		}},
+	}
+}
+
+// parallelRows applies fn over rows with np workers.
+func parallelRows(np, n int, fn func(i int)) {
+	if np <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + np - 1) / np
+	for w := 0; w < np; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// RedPajamaRun executes the pipeline the RedPajama-script way: all rows
+// in memory at once, one independent pass per operator with full row
+// copies, and an intermediate JSON dump per operator.
+func RedPajamaRun(texts []string, workDir string, np int) ([]string, error) {
+	if err := os.MkdirAll(workDir, 0o755); err != nil {
+		return nil, err
+	}
+	// Load everything upfront (the memory behaviour Fig. 8 observes).
+	rows := make([]Row, len(texts))
+	for i, t := range texts {
+		rows[i] = Row{"text": t, "meta": map[string]any{"idx": i}}
+	}
+	for step, op := range sharedOps() {
+		if op.mapper != nil {
+			next := make([]Row, len(rows))
+			parallelRows(np, len(rows), func(i int) {
+				// Copy the row (script-style value semantics).
+				cp := Row{}
+				for k, v := range rows[i] {
+					cp[k] = v
+				}
+				cp["text"] = op.mapper(cp["text"].(string))
+				next[i] = cp
+			})
+			rows = next
+		} else {
+			verdicts := make([]bool, len(rows))
+			parallelRows(np, len(rows), func(i int) {
+				verdicts[i] = op.filter(rows[i]["text"].(string))
+			})
+			kept := make([]Row, 0, len(rows))
+			for i, ok := range verdicts {
+				if ok {
+					kept = append(kept, rows[i])
+				}
+			}
+			rows = kept
+		}
+		// Intermediate dump after each step.
+		if err := dumpJSON(filepath.Join(workDir, fmt.Sprintf("step-%02d-%s.json", step, op.name)), rows); err != nil {
+			return nil, err
+		}
+	}
+	// Final exact dedup pass.
+	seen := map[string]struct{}{}
+	var out []string
+	for _, r := range rows {
+		t := r["text"].(string)
+		key := strings.ToLower(t)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func dumpJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// DolmaRun executes the pipeline the Dolma-toolkit way: the input must be
+// sharded first; a tagging pass writes per-shard attribute files; a
+// filtering pass re-reads them and drops rows; a mixing pass merges and
+// deduplicates. Every stage round-trips through disk.
+func DolmaRun(texts []string, workDir string, shards, np int) ([]string, error) {
+	if shards <= 0 {
+		shards = 1
+	}
+	if err := os.MkdirAll(workDir, 0o755); err != nil {
+		return nil, err
+	}
+	// Stage 0: shard the input to disk (a Dolma prerequisite).
+	shardSize := (len(texts) + shards - 1) / shards
+	var shardFiles []string
+	for s := 0; s < shards; s++ {
+		lo := s * shardSize
+		if lo >= len(texts) {
+			break
+		}
+		hi := lo + shardSize
+		if hi > len(texts) {
+			hi = len(texts)
+		}
+		path := filepath.Join(workDir, fmt.Sprintf("shard-%03d.json", s))
+		if err := dumpJSON(path, texts[lo:hi]); err != nil {
+			return nil, err
+		}
+		shardFiles = append(shardFiles, path)
+	}
+
+	ops := sharedOps()
+	// Stage 1: tagging — compute every attribute for every doc and write
+	// attribute files (no dropping yet).
+	type attrs struct {
+		Text string          `json:"text"`
+		Tags map[string]bool `json:"tags"`
+	}
+	for _, shardFile := range shardFiles {
+		var docs []string
+		if err := readJSON(shardFile, &docs); err != nil {
+			return nil, err
+		}
+		tagged := make([]attrs, len(docs))
+		parallelRows(np, len(docs), func(i int) {
+			t := docs[i]
+			// Mappers run inline during tagging (Dolma taggers may rewrite).
+			for _, op := range ops {
+				if op.mapper != nil {
+					t = op.mapper(t)
+				}
+			}
+			tags := map[string]bool{}
+			for _, op := range ops {
+				if op.filter != nil {
+					tags[op.name] = op.filter(t)
+				}
+			}
+			tagged[i] = attrs{Text: t, Tags: tags}
+		})
+		if err := dumpJSON(shardFile+".attrs", tagged); err != nil {
+			return nil, err
+		}
+	}
+
+	// Stage 2: filtering — re-read attribute files and drop rows whose
+	// tags fail.
+	var filteredFiles []string
+	for _, shardFile := range shardFiles {
+		var tagged []attrs
+		if err := readJSON(shardFile+".attrs", &tagged); err != nil {
+			return nil, err
+		}
+		var kept []string
+		for _, d := range tagged {
+			ok := true
+			for _, v := range d.Tags {
+				if !v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, d.Text)
+			}
+		}
+		out := shardFile + ".filtered"
+		if err := dumpJSON(out, kept); err != nil {
+			return nil, err
+		}
+		filteredFiles = append(filteredFiles, out)
+	}
+
+	// Stage 3: mixing — merge shards and deduplicate.
+	seen := map[string]struct{}{}
+	var out []string
+	for _, f := range filteredFiles {
+		var docs []string
+		if err := readJSON(f, &docs); err != nil {
+			return nil, err
+		}
+		for _, t := range docs {
+			key := strings.ToLower(t)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+func readJSON(path string, v any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, v)
+}
+
+// ComparisonRecipeYAML is the Data-Juicer recipe applying the same
+// logical operators as the baselines, for the Figure 8 comparison.
+const ComparisonRecipeYAML = `
+project_name: fig8-comparison
+use_cache: false
+op_fusion: true
+process:
+  - clean_links_mapper:
+  - whitespace_normalization_mapper:
+  - text_length_filter:
+      min_len: 50
+      max_len: 1000000
+  - special_characters_filter:
+      max_ratio: 0.25
+  - word_num_filter:
+      min_num: 10
+  - stopwords_filter:
+      min_ratio: 0.08
+  - flagged_words_filter:
+      max_ratio: 0.01
+  - word_repetition_filter:
+      rep_len: 5
+      max_ratio: 0.4
+  - document_deduplicator:
+      ignore_non_character: false
+`

@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+	_ "repro/internal/ops/all"
+)
+
+func inputTexts(n int, seed int64) []string {
+	d := corpus.C4(corpus.Options{Docs: n, Seed: seed})
+	out := make([]string, d.Len())
+	for i, s := range d.Samples {
+		out[i] = s.Text
+	}
+	return out
+}
+
+func TestRedPajamaRunFiltersAndDedups(t *testing.T) {
+	texts := inputTexts(150, 1)
+	texts = append(texts, texts[0]) // guaranteed duplicate
+	out, err := RedPajamaRun(texts, t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 || len(out) >= len(texts) {
+		t.Fatalf("survivors = %d of %d", len(out), len(texts))
+	}
+}
+
+func TestDolmaRunFiltersAndDedups(t *testing.T) {
+	texts := inputTexts(150, 2)
+	texts = append(texts, texts[1])
+	out, err := DolmaRun(texts, t.TempDir(), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 || len(out) >= len(texts) {
+		t.Fatalf("survivors = %d of %d", len(out), len(texts))
+	}
+}
+
+// TestBaselinesAgreeWithEachOther checks both baselines implement the
+// same logical pipeline: identical inputs produce identical survivor
+// sets.
+func TestBaselinesAgreeWithEachOther(t *testing.T) {
+	texts := inputTexts(200, 3)
+	rp, err := RedPajamaRun(texts, t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dol, err := DolmaRun(texts, t.TempDir(), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(rp)
+	sort.Strings(dol)
+	if len(rp) != len(dol) {
+		t.Fatalf("survivor counts differ: rp=%d dolma=%d", len(rp), len(dol))
+	}
+	for i := range rp {
+		if rp[i] != dol[i] {
+			t.Fatalf("survivor %d differs", i)
+		}
+	}
+}
+
+// TestBaselinesAgreeWithDataJuicer checks the comparison recipe applies
+// equivalent logic: survivor counts should be close (exact text equality
+// is not required because Data-Juicer's regex link cleaner is slightly
+// more thorough than the baselines' token-level one).
+func TestBaselinesAgreeWithDataJuicer(t *testing.T) {
+	texts := inputTexts(200, 4)
+	rp, err := RedPajamaRun(texts, t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := config.ParseRecipe(ComparisonRecipeYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.WorkDir = t.TempDir()
+	exec, err := core.NewExecutor(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := exec.Run(dataset.FromTexts(texts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := len(rp) - out.Len()
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > len(texts)/10 {
+		t.Fatalf("survivor counts too far apart: baseline=%d dj=%d", len(rp), out.Len())
+	}
+}
+
+func TestTrackMemoryObservesAllocation(t *testing.T) {
+	var hold [][]byte
+	sample := TrackMemory(time.Millisecond, func() {
+		for i := 0; i < 50; i++ {
+			hold = append(hold, make([]byte, 1<<20))
+			time.Sleep(time.Millisecond / 2)
+		}
+	})
+	_ = hold
+	if sample.PeakHeap < 20<<20 {
+		t.Fatalf("peak heap = %d, expected to observe ≥ 20MB", sample.PeakHeap)
+	}
+	if sample.Samples == 0 || sample.AvgHeap == 0 {
+		t.Fatalf("sample = %+v", sample)
+	}
+}
+
+func TestDolmaShardCountEdgeCases(t *testing.T) {
+	texts := inputTexts(10, 5)
+	if _, err := DolmaRun(texts, t.TempDir(), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DolmaRun(texts, t.TempDir(), 50, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package baseline
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// MemSample reports heap usage observed while a function ran.
+type MemSample struct {
+	// PeakHeap is the maximum HeapAlloc observed (bytes).
+	PeakHeap uint64
+	// AvgHeap is the mean HeapAlloc over the samples (bytes).
+	AvgHeap uint64
+	// Samples is the number of observations taken.
+	Samples int
+}
+
+// TrackMemory runs fn while sampling heap usage on an interval, the
+// equivalent of the paper's psutil-based monitor (Appendix B.3.3). GC is
+// forced before starting so the baseline heap is comparable across calls.
+func TrackMemory(interval time.Duration, fn func()) MemSample {
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	runtime.GC()
+	var stop atomic.Bool
+	done := make(chan MemSample, 1)
+	go func() {
+		var ms runtime.MemStats
+		var peak, sum uint64
+		n := 0
+		for !stop.Load() {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+			sum += ms.HeapAlloc
+			n++
+			time.Sleep(interval)
+		}
+		avg := uint64(0)
+		if n > 0 {
+			avg = sum / uint64(n)
+		}
+		done <- MemSample{PeakHeap: peak, AvgHeap: avg, Samples: n}
+	}()
+	fn()
+	// One final observation so even very fast fn gets sampled.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	stop.Store(true)
+	out := <-done
+	if ms.HeapAlloc > out.PeakHeap {
+		out.PeakHeap = ms.HeapAlloc
+	}
+	if out.Samples == 0 {
+		out.AvgHeap = ms.HeapAlloc
+		out.Samples = 1
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package cache
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/ops"
+)
+
+// SpaceAnalysis is the theoretical peak-disk-usage model of Appendix A.2:
+// cache mode stores one dataset-sized file per operator (plus one for the
+// original dataset and one extra for the first Filter's stats column);
+// checkpoint mode keeps at most three dataset-sized states at any moment
+// thanks to the write-then-delete cleanup order.
+type SpaceAnalysis struct {
+	Mappers       int
+	Filters       int
+	Deduplicators int
+	// CacheModeMultiple is peak disk usage in multiples of the input size
+	// S: (1 + M + F + 1{F>0} + D).
+	CacheModeMultiple int
+	// CheckpointModeMultiple is the checkpoint-mode peak: 3.
+	CheckpointModeMultiple int
+}
+
+// AnalyzeSpace derives the Appendix A.2 space model from a recipe.
+func AnalyzeSpace(r *config.Recipe) (SpaceAnalysis, error) {
+	var a SpaceAnalysis
+	for i, spec := range r.Process {
+		info, ok := ops.InfoFor(spec.Name)
+		if !ok {
+			return a, fmt.Errorf("cache: process[%d]: unknown operator %q", i, spec.Name)
+		}
+		switch info.Category {
+		case ops.CategoryMapper:
+			a.Mappers++
+		case ops.CategoryFilter:
+			a.Filters++
+		case ops.CategoryDeduplicator:
+			a.Deduplicators++
+		}
+	}
+	a.CacheModeMultiple = 1 + a.Mappers + a.Filters + a.Deduplicators
+	if a.Filters > 0 {
+		a.CacheModeMultiple++
+	}
+	a.CheckpointModeMultiple = 3
+	return a, nil
+}
+
+// Render formats the analysis for the CLI, with S the input dataset size.
+func (a SpaceAnalysis) Render(inputBytes int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "space analysis (Appendix A.2 model, S = %d bytes):\n", inputBytes)
+	fmt.Fprintf(&b, "  operators: %d mappers, %d filters, %d deduplicators\n",
+		a.Mappers, a.Filters, a.Deduplicators)
+	fmt.Fprintf(&b, "  cache mode peak:      %d x S = %d bytes\n",
+		a.CacheModeMultiple, int64(a.CacheModeMultiple)*inputBytes)
+	fmt.Fprintf(&b, "  checkpoint mode peak: %d x S = %d bytes\n",
+		a.CheckpointModeMultiple, int64(a.CheckpointModeMultiple)*inputBytes)
+	return b.String()
+}

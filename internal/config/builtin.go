@@ -1,0 +1,374 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+)
+
+// builtinRecipes holds the ready-to-use data recipes shipped with the
+// system (Sec. 5.1). Dataset paths use the "hub:" scheme resolved by the
+// format package to the built-in synthetic corpora, so every recipe runs
+// out of the box; point dataset_path at a file to use real data.
+var builtinRecipes = map[string]string{
+	// --- pre-training refinement, per source (RedPajama/Pile-style) ---
+	"pretrain-web-en": `
+project_name: pretrain-web-en
+dataset_path: "hub:web-en"
+np: 0
+process:
+  - fix_unicode_mapper:
+  - clean_html_mapper:
+  - clean_links_mapper:
+  - clean_email_mapper:
+  - whitespace_normalization_mapper:
+  - language_id_score_filter:
+      lang: en
+      min_score: 0.2
+  - alphanumeric_filter:
+      min_ratio: 0.55
+  - special_characters_filter:
+      max_ratio: 0.25
+  - word_num_filter:
+      min_num: 20
+      max_num: 50000
+  - character_repetition_filter:
+      rep_len: 10
+      max_ratio: 0.4
+  - word_repetition_filter:
+      rep_len: 10
+      max_ratio: 0.3
+  - stopwords_filter:
+      lang: en
+      min_ratio: 0.1
+  - flagged_words_filter:
+      lang: en
+      max_ratio: 0.01
+  - perplexity_filter:
+      max_ppl: 6000
+  - document_deduplicator:
+  - document_minhash_deduplicator:
+      jaccard_threshold: 0.7
+`,
+	"pretrain-books": `
+project_name: pretrain-books
+dataset_path: "hub:books"
+process:
+  - fix_unicode_mapper:
+  - whitespace_normalization_mapper:
+  - word_num_filter:
+      min_num: 100
+  - word_repetition_filter:
+      rep_len: 10
+      max_ratio: 0.3
+  - flagged_words_filter:
+      lang: en
+      max_ratio: 0.02
+  - document_deduplicator:
+`,
+	"pretrain-arxiv": `
+project_name: pretrain-arxiv
+dataset_path: "hub:arxiv"
+process:
+  - remove_comments_mapper:
+  - expand_macro_mapper:
+  - remove_bibliography_mapper:
+  - remove_header_mapper:
+  - remove_table_text_mapper:
+  - whitespace_normalization_mapper:
+  - text_length_filter:
+      min_len: 200
+  - alphanumeric_filter:
+      min_ratio: 0.5
+  - document_deduplicator:
+`,
+	"pretrain-code": `
+project_name: pretrain-code
+dataset_path: "hub:code"
+process:
+  - clean_copyright_mapper:
+  - clean_email_mapper:
+  - remove_non_printing_mapper:
+  - maximum_line_length_filter:
+      min_len: 1
+      max_len: 1000
+  - average_line_length_filter:
+      min_len: 5
+      max_len: 200
+  - alphanumeric_filter:
+      min_ratio: 0.4
+  - text_length_filter:
+      min_len: 50
+  - document_deduplicator:
+      lowercase: false
+      ignore_non_character: false
+`,
+	"pretrain-wiki": `
+project_name: pretrain-wiki
+dataset_path: "hub:wiki"
+process:
+  - fix_unicode_mapper:
+  - whitespace_normalization_mapper:
+  - word_num_filter:
+      min_num: 30
+  - special_characters_filter:
+      max_ratio: 0.2
+  - document_deduplicator:
+`,
+	"pretrain-stackexchange": `
+project_name: pretrain-stackexchange
+dataset_path: "hub:stackexchange"
+process:
+  - clean_html_mapper:
+  - clean_links_mapper:
+  - whitespace_normalization_mapper:
+  - word_num_filter:
+      min_num: 15
+  - stopwords_filter:
+      lang: en
+      min_ratio: 0.08
+  - document_deduplicator:
+`,
+	"pretrain-c4": `
+project_name: pretrain-c4
+dataset_path: "hub:c4"
+process:
+  - fix_unicode_mapper:
+  - clean_links_mapper:
+  - whitespace_normalization_mapper:
+  - language_id_score_filter:
+      lang: en
+      min_score: 0.2
+  - word_num_filter:
+      min_num: 20
+  - character_repetition_filter:
+      max_ratio: 0.4
+  - flagged_words_filter:
+      lang: en
+      max_ratio: 0.01
+  - document_minhash_deduplicator:
+`,
+	"pretrain-zh": `
+project_name: pretrain-zh
+dataset_path: "hub:web-zh"
+process:
+  - fix_unicode_mapper:
+  - punctuation_normalization_mapper:
+  - whitespace_normalization_mapper:
+  - language_id_score_filter:
+      lang: zh
+      min_score: 0.5
+  - text_length_filter:
+      min_len: 20
+  - flagged_words_filter:
+      lang: zh
+      max_ratio: 0.01
+  - document_deduplicator:
+`,
+	// --- fine-tuning recipes (Alpaca-CoT-style) ---
+	"finetune-ift-en": `
+project_name: finetune-ift-en
+dataset_path: "hub:ift-en"
+process:
+  - whitespace_normalization_mapper:
+  - specified_field_filter:
+      field: meta.usage
+      target_value: [IFT]
+  - specified_field_filter:
+      field: meta.lang_tag
+      target_value: [EN]
+  - word_num_filter:
+      min_num: 5
+      max_num: 2000
+  - text_action_filter:
+      min_action_num: 1
+  - document_deduplicator:
+`,
+	"finetune-cft-en": `
+project_name: finetune-cft-en
+dataset_path: "hub:cft-en"
+process:
+  - whitespace_normalization_mapper:
+  - specified_field_filter:
+      field: meta.usage
+      target_value: [CFT]
+  - specified_field_filter:
+      field: meta.lang_tag
+      target_value: [EN]
+  - word_num_filter:
+      min_num: 5
+      max_num: 4000
+  - text_action_filter:
+      min_action_num: 1
+  - text_entity_dependency_filter:
+      min_dependency_num: 1
+  - flagged_words_filter:
+      lang: en
+      max_ratio: 0.005
+  - document_deduplicator:
+`,
+	"finetune-cft-zh": `
+project_name: finetune-cft-zh
+dataset_path: "hub:cft-zh"
+process:
+  - whitespace_normalization_mapper:
+  - punctuation_normalization_mapper:
+  - specified_field_filter:
+      field: meta.usage
+      target_value: [CFT]
+  - specified_field_filter:
+      field: meta.lang_tag
+      target_value: [ZH]
+  - text_length_filter:
+      min_len: 10
+      max_len: 8000
+  - flagged_words_filter:
+      lang: zh
+      max_ratio: 0.005
+  - document_deduplicator:
+`,
+	"finetune-diversity-en": `
+project_name: finetune-diversity-en
+dataset_path: "hub:cft-en"
+process:
+  - whitespace_normalization_mapper:
+  - text_action_filter:
+      min_action_num: 1
+  - text_entity_dependency_filter:
+      min_dependency_num: 1
+  - text_augment_mapper:
+      seed: 7
+      swap_rate: 0.02
+  - document_deduplicator:
+`,
+	// --- general-purpose utility recipes ---
+	"minimal-clean": `
+project_name: minimal-clean
+process:
+  - fix_unicode_mapper:
+  - whitespace_normalization_mapper:
+  - text_length_filter:
+      min_len: 1
+`,
+	"aggressive-clean": `
+project_name: aggressive-clean
+process:
+  - fix_unicode_mapper:
+  - clean_html_mapper:
+  - clean_links_mapper:
+  - clean_email_mapper:
+  - clean_ip_mapper:
+  - remove_non_printing_mapper:
+  - remove_long_words_mapper:
+      max_len: 50
+  - whitespace_normalization_mapper:
+  - alphanumeric_filter:
+      min_ratio: 0.6
+  - special_characters_filter:
+      max_ratio: 0.2
+  - word_num_filter:
+      min_num: 10
+  - stopwords_filter:
+      min_ratio: 0.12
+  - flagged_words_filter:
+      max_ratio: 0.005
+  - perplexity_filter:
+      max_ppl: 4000
+  - document_deduplicator:
+  - document_minhash_deduplicator:
+  - document_simhash_deduplicator:
+`,
+	"dedup-only": `
+project_name: dedup-only
+process:
+  - document_deduplicator:
+  - document_minhash_deduplicator:
+      jaccard_threshold: 0.7
+`,
+	"probe-stats": `
+project_name: probe-stats
+process:
+  - alphanumeric_filter:
+      min_ratio: 0
+  - special_characters_filter:
+      max_ratio: 1
+  - word_num_filter:
+      min_num: 0
+  - character_repetition_filter:
+      max_ratio: 1
+  - word_repetition_filter:
+      max_ratio: 1
+  - stopwords_filter:
+      min_ratio: 0
+  - flagged_words_filter:
+      max_ratio: 1
+  - perplexity_filter:
+      max_ppl: 1000000000
+  - quality_score_filter:
+      min_score: 0
+  - language_id_score_filter:
+      lang: en
+      min_score: 0
+`,
+	// --- financial / reading-assistance / role-play domain recipes
+	// (the real-world product needs of Sec. 7.3) ---
+	"domain-financial": `
+project_name: domain-financial
+process:
+  - fix_unicode_mapper:
+  - whitespace_normalization_mapper:
+  - digit_ratio_filter:
+      min_ratio: 0.01
+      max_ratio: 0.6
+  - word_num_filter:
+      min_num: 10
+  - flagged_words_filter:
+      max_ratio: 0.002
+  - document_deduplicator:
+`,
+	"domain-reading": `
+project_name: domain-reading
+process:
+  - fix_unicode_mapper:
+  - whitespace_normalization_mapper:
+  - text_length_filter:
+      min_len: 2000
+  - word_repetition_filter:
+      max_ratio: 0.2
+  - stopwords_filter:
+      min_ratio: 0.15
+  - document_deduplicator:
+`,
+	"domain-roleplay": `
+project_name: domain-roleplay
+dataset_path: "hub:cft-en"
+process:
+  - whitespace_normalization_mapper:
+  - text_action_filter:
+      min_action_num: 1
+  - word_num_filter:
+      min_num: 5
+      max_num: 1000
+  - flagged_words_filter:
+      max_ratio: 0.001
+  - document_deduplicator:
+`,
+}
+
+// BuiltinRecipeNames lists the shipped recipes, sorted.
+func BuiltinRecipeNames() []string {
+	names := make([]string, 0, len(builtinRecipes))
+	for n := range builtinRecipes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BuiltinRecipe parses and returns a shipped recipe by name.
+func BuiltinRecipe(name string) (*Recipe, error) {
+	src, ok := builtinRecipes[name]
+	if !ok {
+		return nil, fmt.Errorf("config: unknown built-in recipe %q (have %v)", name, BuiltinRecipeNames())
+	}
+	return ParseRecipe(src)
+}

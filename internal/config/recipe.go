@@ -1,0 +1,299 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/ops"
+)
+
+// OpSpec names one operator and its parameters within a recipe's process
+// list.
+type OpSpec struct {
+	Name   string
+	Params ops.Params
+}
+
+// Recipe is the all-in-one configuration for one processing run,
+// mirroring the paper's config files: environment parameters, the ordered
+// OP list, and cache/checkpoint policy.
+type Recipe struct {
+	ProjectName string
+	DatasetPath string
+	ExportPath  string
+	// NP is the number of parallel workers (0 = GOMAXPROCS).
+	NP int
+	// TextKey is the default text field OPs process.
+	TextKey string
+	// UseCache enables the per-OP dataset cache.
+	UseCache bool
+	// UseCheckpoint enables crash-recovery checkpoints.
+	UseCheckpoint bool
+	// CacheCompression selects the cache codec: "", "gzip", "flate", "lzj".
+	CacheCompression string
+	// OpFusion enables context-sharing fusion and reordering (Sec. 6).
+	OpFusion bool
+	// EnableTrace records per-OP lineage for the tracer.
+	EnableTrace bool
+	// WorkDir holds caches, checkpoints and trace output.
+	WorkDir string
+	// Process is the ordered operator list.
+	Process []OpSpec
+}
+
+// Default returns a recipe with the documented defaults.
+func Default() *Recipe {
+	return &Recipe{
+		ProjectName: "data-juicer",
+		TextKey:     "text",
+		UseCache:    true,
+		OpFusion:    true,
+		EnableTrace: false,
+		WorkDir:     ".data-juicer",
+	}
+}
+
+// FromMap builds a recipe from a parsed YAML/JSON document, layered over
+// the defaults.
+func FromMap(m map[string]any) (*Recipe, error) {
+	r := Default()
+	for key, v := range m {
+		switch key {
+		case "project_name":
+			r.ProjectName = asString(v)
+		case "dataset_path":
+			r.DatasetPath = asString(v)
+		case "export_path":
+			r.ExportPath = asString(v)
+		case "np":
+			r.NP = asInt(v)
+		case "text_key":
+			r.TextKey = asString(v)
+		case "use_cache":
+			r.UseCache = asBool(v)
+		case "use_checkpoint":
+			r.UseCheckpoint = asBool(v)
+		case "cache_compression":
+			r.CacheCompression = asString(v)
+		case "op_fusion":
+			r.OpFusion = asBool(v)
+		case "trace":
+			r.EnableTrace = asBool(v)
+		case "work_dir":
+			r.WorkDir = asString(v)
+		case "process":
+			specs, err := parseProcess(v)
+			if err != nil {
+				return nil, err
+			}
+			r.Process = specs
+		default:
+			return nil, fmt.Errorf("config: unknown recipe key %q", key)
+		}
+	}
+	return r, nil
+}
+
+func parseProcess(v any) ([]OpSpec, error) {
+	list, ok := v.([]any)
+	if !ok {
+		if v == nil {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("config: process must be a list, got %T", v)
+	}
+	specs := make([]OpSpec, 0, len(list))
+	for i, item := range list {
+		switch e := item.(type) {
+		case string:
+			specs = append(specs, OpSpec{Name: e})
+		case map[string]any:
+			if len(e) != 1 {
+				return nil, fmt.Errorf("config: process[%d]: each entry must hold exactly one operator, got %d keys", i, len(e))
+			}
+			for name, params := range e {
+				p := ops.Params{}
+				switch pm := params.(type) {
+				case nil:
+				case map[string]any:
+					for k, pv := range pm {
+						p[k] = pv
+					}
+				default:
+					return nil, fmt.Errorf("config: process[%d] %s: params must be a mapping, got %T", i, name, params)
+				}
+				specs = append(specs, OpSpec{Name: name, Params: p})
+			}
+		default:
+			return nil, fmt.Errorf("config: process[%d]: unsupported entry type %T", i, item)
+		}
+	}
+	return specs, nil
+}
+
+// Load reads a recipe from a .yaml or .json file, then applies DJ_*
+// environment overrides.
+func Load(path string) (*Recipe, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".json":
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil, fmt.Errorf("config: %s: %w", path, err)
+		}
+	default:
+		m, err = ParseYAML(raw)
+		if err != nil {
+			return nil, fmt.Errorf("config: %s: %w", path, err)
+		}
+	}
+	r, err := FromMap(m)
+	if err != nil {
+		return nil, err
+	}
+	r.ApplyEnv(os.Getenv)
+	return r, nil
+}
+
+// ParseRecipe parses YAML source directly (for embedded built-in recipes).
+func ParseRecipe(src string) (*Recipe, error) {
+	m, err := ParseYAML([]byte(src))
+	if err != nil {
+		return nil, err
+	}
+	return FromMap(m)
+}
+
+// ApplyEnv overlays scalar settings from environment variables using the
+// DJ_ prefix (e.g. DJ_NP=8, DJ_USE_CACHE=false, DJ_EXPORT_PATH=out.jsonl).
+// getenv is injected for testability.
+func (r *Recipe) ApplyEnv(getenv func(string) string) {
+	if v := getenv("DJ_NP"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			r.NP = n
+		}
+	}
+	if v := getenv("DJ_USE_CACHE"); v != "" {
+		r.UseCache = v == "true" || v == "1"
+	}
+	if v := getenv("DJ_USE_CHECKPOINT"); v != "" {
+		r.UseCheckpoint = v == "true" || v == "1"
+	}
+	if v := getenv("DJ_OP_FUSION"); v != "" {
+		r.OpFusion = v == "true" || v == "1"
+	}
+	if v := getenv("DJ_EXPORT_PATH"); v != "" {
+		r.ExportPath = v
+	}
+	if v := getenv("DJ_DATASET_PATH"); v != "" {
+		r.DatasetPath = v
+	}
+	if v := getenv("DJ_WORK_DIR"); v != "" {
+		r.WorkDir = v
+	}
+	if v := getenv("DJ_CACHE_COMPRESSION"); v != "" {
+		r.CacheCompression = v
+	}
+}
+
+// Validate checks the recipe for structural problems: unknown operators
+// and empty process lists are reported before any data is touched.
+func (r *Recipe) Validate() error {
+	if len(r.Process) == 0 {
+		return fmt.Errorf("config: recipe has an empty process list")
+	}
+	for i, spec := range r.Process {
+		if _, ok := ops.InfoFor(spec.Name); !ok {
+			return fmt.Errorf("config: process[%d]: unknown operator %q", i, spec.Name)
+		}
+	}
+	return nil
+}
+
+// BuildOps instantiates the recipe's operator list. The recipe-level
+// TextKey is injected into every OP that does not set its own.
+func (r *Recipe) BuildOps() ([]ops.OP, error) {
+	built := make([]ops.OP, 0, len(r.Process))
+	for i, spec := range r.Process {
+		p := ops.Params{}
+		for k, v := range spec.Params {
+			p[k] = v
+		}
+		if _, ok := p["text_key"]; !ok && r.TextKey != "" && r.TextKey != "text" {
+			p["text_key"] = r.TextKey
+		}
+		op, err := ops.Build(spec.Name, p)
+		if err != nil {
+			return nil, fmt.Errorf("config: process[%d]: %w", i, err)
+		}
+		built = append(built, op)
+	}
+	return built, nil
+}
+
+// Remove deletes the named operators from the process list ("subtraction"
+// customization, Sec. 5.1) and reports how many entries were removed.
+func (r *Recipe) Remove(names ...string) int {
+	drop := make(map[string]bool, len(names))
+	for _, n := range names {
+		drop[n] = true
+	}
+	kept := r.Process[:0]
+	removed := 0
+	for _, s := range r.Process {
+		if drop[s.Name] {
+			removed++
+			continue
+		}
+		kept = append(kept, s)
+	}
+	r.Process = kept
+	return removed
+}
+
+// Add appends operators to the process list ("addition" customization).
+func (r *Recipe) Add(specs ...OpSpec) { r.Process = append(r.Process, specs...) }
+
+// SetParam overrides one parameter of the first operator with the given
+// name, returning false if the operator is absent.
+func (r *Recipe) SetParam(opName, key string, value any) bool {
+	for i := range r.Process {
+		if r.Process[i].Name == opName {
+			if r.Process[i].Params == nil {
+				r.Process[i].Params = ops.Params{}
+			}
+			r.Process[i].Params[key] = value
+			return true
+		}
+	}
+	return false
+}
+
+func asString(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+func asInt(v any) int {
+	switch x := v.(type) {
+	case int:
+		return x
+	case float64:
+		return int(x)
+	}
+	return 0
+}
+
+func asBool(v any) bool {
+	b, _ := v.(bool)
+	return b
+}

@@ -1,0 +1,338 @@
+// Package config implements the end-to-end recipe configuration layer of
+// Sec. 5.1: a YAML-subset parser (the stdlib has none), JSON support,
+// layered overrides from environment variables, and the recipe model that
+// the executor consumes. Recipes are "all-in-one": dataset paths, worker
+// counts, cache/checkpoint policy and the ordered OP list all live in one
+// document, which keeps processing reproducible and traceable.
+package config
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseYAML parses a YAML subset sufficient for data recipes: nested maps
+// by indentation, "- " lists (of scalars or maps), scalars (string, int,
+// float, bool, null), quoted strings, inline [a, b] lists, and # comments.
+// Tabs are rejected, as in YAML proper.
+func ParseYAML(src []byte) (map[string]any, error) {
+	lines, err := splitLines(string(src))
+	if err != nil {
+		return nil, err
+	}
+	v, next, err := parseBlock(lines, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	if next < len(lines) {
+		return nil, fmt.Errorf("yaml: line %d: unexpected dedent/content %q", lines[next].no, lines[next].text)
+	}
+	if v == nil {
+		return map[string]any{}, nil
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("yaml: top-level document must be a mapping")
+	}
+	return m, nil
+}
+
+type line struct {
+	no     int    // 1-based source line
+	indent int    // leading spaces
+	text   string // content without indentation or trailing comment
+}
+
+func splitLines(src string) ([]line, error) {
+	var out []line
+	for i, raw := range strings.Split(src, "\n") {
+		no := i + 1
+		trimmedR := strings.TrimRight(raw, " \r")
+		content := trimmedR
+		indent := 0
+		for indent < len(content) && content[indent] == ' ' {
+			indent++
+		}
+		content = content[indent:]
+		if strings.HasPrefix(content, "\t") || strings.Contains(trimmedR[:indent], "\t") {
+			return nil, fmt.Errorf("yaml: line %d: tabs are not allowed for indentation", no)
+		}
+		content = stripComment(content)
+		if strings.TrimSpace(content) == "" {
+			continue
+		}
+		out = append(out, line{no: no, indent: indent, text: content})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing # comment, respecting quotes.
+func stripComment(s string) string {
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '#':
+			if !inS && !inD && (i == 0 || s[i-1] == ' ') {
+				return strings.TrimRight(s[:i], " ")
+			}
+		}
+	}
+	return s
+}
+
+// parseBlock parses the block starting at lines[start] whose members are
+// indented exactly at the first member's indent (which must be >= minIndent).
+func parseBlock(lines []line, start, minIndent int) (any, int, error) {
+	if start >= len(lines) || lines[start].indent < minIndent {
+		return nil, start, nil
+	}
+	indent := lines[start].indent
+	if strings.HasPrefix(lines[start].text, "- ") || lines[start].text == "-" {
+		return parseList(lines, start, indent)
+	}
+	return parseMap(lines, start, indent)
+}
+
+func parseMap(lines []line, start, indent int) (any, int, error) {
+	m := map[string]any{}
+	i := start
+	for i < len(lines) {
+		l := lines[i]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, i, fmt.Errorf("yaml: line %d: unexpected indent", l.no)
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, i, fmt.Errorf("yaml: line %d: list item inside mapping", l.no)
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, i, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, i, fmt.Errorf("yaml: line %d: duplicate key %q", l.no, key)
+		}
+		if rest != "" {
+			m[key] = parseScalar(rest)
+			i++
+			continue
+		}
+		// Value is the nested block (or null when nothing is nested).
+		child, next, err := parseBlock(lines, i+1, indent+1)
+		if err != nil {
+			return nil, next, err
+		}
+		m[key] = child
+		i = next
+	}
+	return m, i, nil
+}
+
+func parseList(lines []line, start, indent int) (any, int, error) {
+	var list []any
+	i := start
+	for i < len(lines) {
+		l := lines[i]
+		if l.indent != indent || (!strings.HasPrefix(l.text, "- ") && l.text != "-") {
+			if l.indent >= indent && !strings.HasPrefix(l.text, "- ") {
+				break
+			}
+			if l.indent < indent {
+				break
+			}
+		}
+		item := strings.TrimPrefix(l.text, "-")
+		item = strings.TrimPrefix(item, " ")
+		if item == "" {
+			// "-" alone: nested block is the element.
+			child, next, err := parseBlock(lines, i+1, indent+1)
+			if err != nil {
+				return nil, next, err
+			}
+			list = append(list, child)
+			i = next
+			continue
+		}
+		// The element content starts at column indent+2. If it is a
+		// "key:"-style line, the element is a map that may continue on
+		// following deeper-indented lines.
+		if key, rest, err := trySplitKey(item); err == nil {
+			elem := map[string]any{}
+			if rest != "" {
+				elem[key] = parseScalar(rest)
+				i++
+			} else {
+				child, next, perr := parseBlock(lines, i+1, indent+1)
+				if perr != nil {
+					return nil, next, perr
+				}
+				elem[key] = child
+				i = next
+			}
+			// Additional keys of the same element appear at indent+2.
+			for i < len(lines) && lines[i].indent == indent+2 &&
+				!strings.HasPrefix(lines[i].text, "- ") {
+				k2, r2, err2 := splitKey(lines[i])
+				if err2 != nil {
+					return nil, i, err2
+				}
+				if r2 != "" {
+					elem[k2] = parseScalar(r2)
+					i++
+					continue
+				}
+				child, next, perr := parseBlock(lines, i+1, indent+3)
+				if perr != nil {
+					return nil, next, perr
+				}
+				elem[k2] = child
+				i = next
+			}
+			list = append(list, elem)
+			continue
+		}
+		list = append(list, parseScalar(item))
+		i++
+	}
+	return list, i, nil
+}
+
+func splitKey(l line) (key, rest string, err error) {
+	key, rest, err = trySplitKey(l.text)
+	if err != nil {
+		return "", "", fmt.Errorf("yaml: line %d: expected \"key: value\", got %q", l.no, l.text)
+	}
+	return key, rest, nil
+}
+
+var errNotKey = fmt.Errorf("not a key: value line")
+
+func trySplitKey(s string) (key, rest string, err error) {
+	// Find the first ':' outside quotes followed by space or EOL.
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case ':':
+			if inS || inD {
+				continue
+			}
+			if i+1 == len(s) || s[i+1] == ' ' {
+				key = strings.TrimSpace(s[:i])
+				rest = strings.TrimSpace(s[i+1:])
+				if key == "" {
+					return "", "", errNotKey
+				}
+				return unquote(key), rest, nil
+			}
+		}
+	}
+	return "", "", errNotKey
+}
+
+// parseScalar interprets a YAML scalar or inline list.
+func parseScalar(s string) any {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]") {
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}
+		}
+		parts := splitInline(inner)
+		out := make([]any, len(parts))
+		for i, p := range parts {
+			out[i] = parseScalar(p)
+		}
+		return out
+	}
+	switch s {
+	case "null", "~", "":
+		return nil
+	case "true", "True":
+		return true
+	case "false", "False":
+		return false
+	}
+	if (strings.HasPrefix(s, "'") && strings.HasSuffix(s, "'") && len(s) >= 2) ||
+		(strings.HasPrefix(s, `"`) && strings.HasSuffix(s, `"`) && len(s) >= 2) {
+		return unquote(s)
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		return n
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
+
+// splitInline splits "a, b, c" respecting quotes.
+func splitInline(s string) []string {
+	var parts []string
+	depth := 0
+	inS, inD := false, false
+	last := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '[':
+			if !inS && !inD {
+				depth++
+			}
+		case ']':
+			if !inS && !inD {
+				depth--
+			}
+		case ',':
+			if !inS && !inD && depth == 0 {
+				parts = append(parts, strings.TrimSpace(s[last:i]))
+				last = i + 1
+			}
+		}
+	}
+	parts = append(parts, strings.TrimSpace(s[last:]))
+	return parts
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '\'' && s[len(s)-1] == '\'') || (s[0] == '"' && s[len(s)-1] == '"') {
+			body := s[1 : len(s)-1]
+			if s[0] == '"' {
+				body = strings.ReplaceAll(body, `\"`, `"`)
+				body = strings.ReplaceAll(body, `\n`, "\n")
+				body = strings.ReplaceAll(body, `\t`, "\t")
+				body = strings.ReplaceAll(body, `\\`, `\`)
+			} else {
+				body = strings.ReplaceAll(body, "''", "'")
+			}
+			return body
+		}
+	}
+	return s
+}

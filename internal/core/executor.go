@@ -1,0 +1,349 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/dataset"
+	"repro/internal/ops"
+	"repro/internal/sample"
+	"repro/internal/trace"
+)
+
+// OpStat reports one executed operator.
+type OpStat struct {
+	Name     string
+	InCount  int
+	OutCount int
+	Duration time.Duration
+	CacheHit bool
+	Resumed  bool
+}
+
+// Report summarizes one pipeline run.
+type Report struct {
+	OpStats  []OpStat
+	Total    time.Duration
+	Resumed  bool
+	PlanSize int
+}
+
+// Executor runs a recipe over datasets.
+type Executor struct {
+	recipe *config.Recipe
+	plan   []ops.OP
+	specs  []config.OpSpec // aligned with the *unfused* recipe order
+	ids    map[ops.OP]string
+	tracer *trace.Tracer
+	store  *cache.Store
+	ckpt   *cache.CheckpointManager
+}
+
+// NewExecutor validates the recipe, instantiates its operators, and builds
+// the (optionally fused) execution plan.
+func NewExecutor(r *config.Recipe) (*Executor, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	built, err := r.BuildOps()
+	if err != nil {
+		return nil, err
+	}
+	// Stable per-operator identities (name + params) for cache keys: the
+	// chain key of op i depends only on the dataset content and the ops up
+	// to i, so editing the recipe tail reuses every cached prefix.
+	ids := make(map[ops.OP]string, len(built))
+	for i, op := range built {
+		ids[op] = cache.Key("", r.Process[i].Name, r.Process[i].Params)
+	}
+	e := &Executor{
+		recipe: r,
+		plan:   BuildPlan(built, r.OpFusion),
+		specs:  r.Process,
+		ids:    ids,
+	}
+	if r.EnableTrace {
+		e.tracer = trace.New(0)
+	}
+	if r.UseCache {
+		store, err := cache.NewStore(filepath.Join(r.WorkDir, "cache"), r.CacheCompression)
+		if err != nil {
+			return nil, err
+		}
+		e.store = store
+	}
+	if r.UseCheckpoint {
+		ckpt, err := cache.NewCheckpointManager(filepath.Join(r.WorkDir, "checkpoint"), r.CacheCompression)
+		if err != nil {
+			return nil, err
+		}
+		e.ckpt = ckpt
+	}
+	return e, nil
+}
+
+// Plan returns the execution plan after fusion and reordering.
+func (e *Executor) Plan() []ops.OP { return e.plan }
+
+// Tracer returns the lineage tracer (nil unless the recipe enables it).
+func (e *Executor) Tracer() *trace.Tracer { return e.tracer }
+
+// recipeFingerprint identifies this recipe + input dataset combination for
+// checkpoint compatibility checks.
+func (e *Executor) recipeFingerprint(d *dataset.Dataset) string {
+	h := fnv.New64a()
+	fmt.Fprint(h, d.Fingerprint(), "\x00")
+	for _, s := range e.specs {
+		fmt.Fprint(h, s.Name, "\x00")
+		fmt.Fprint(h, cache.Key("", s.Name, s.Params), "\x00")
+	}
+	fmt.Fprintf(h, "fusion=%v", e.recipe.OpFusion)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Run executes the plan over d and returns the processed dataset. The
+// input dataset is modified in place by Mappers (clone first if the
+// original must survive).
+func (e *Executor) Run(d *dataset.Dataset) (*dataset.Dataset, *Report, error) {
+	start := time.Now()
+	report := &Report{PlanSize: len(e.plan)}
+	np := e.recipe.NP
+
+	recipeFP := ""
+	startIdx := 0
+	if e.ckpt != nil || e.store != nil {
+		recipeFP = e.recipeFingerprint(d)
+	}
+	if e.ckpt != nil {
+		if idx, saved, ok, err := e.ckpt.Resume(recipeFP); err != nil {
+			return nil, nil, err
+		} else if ok {
+			d = saved
+			startIdx = idx
+			report.Resumed = true
+		}
+	}
+
+	// Chain cache keys: key_i = H(key_{i-1}, op_i identity). key_0 derives
+	// from the dataset content alone, so editing the recipe tail reuses the
+	// whole cached prefix.
+	chainKey := ""
+	if e.store != nil {
+		chainKey = cache.Key(d.Fingerprint(), "dataset", nil)
+		for i := 0; i < startIdx && i < len(e.plan); i++ {
+			chainKey = e.opCacheKey(chainKey, e.plan[i])
+		}
+	}
+
+	for i := startIdx; i < len(e.plan); i++ {
+		op := e.plan[i]
+		opStart := time.Now()
+		inCount := d.Len()
+
+		var key string
+		if e.store != nil {
+			key = e.opCacheKey(chainKey, op)
+			if cached, ok, err := e.store.Get(key); err != nil {
+				return nil, nil, err
+			} else if ok {
+				d = cached
+				chainKey = key
+				stat := OpStat{Name: op.Name(), InCount: inCount, OutCount: d.Len(),
+					Duration: time.Since(opStart), CacheHit: true}
+				report.OpStats = append(report.OpStats, stat)
+				e.traceCacheHit(op, inCount, d.Len(), stat.Duration)
+				continue
+			}
+		}
+
+		out, err := e.applyOp(op, d, np)
+		if err != nil {
+			// Preserve a recovery point before surfacing the failure, as
+			// described in Sec. 4.1.1 (states are saved when errors occur).
+			if e.ckpt != nil {
+				_ = e.ckpt.Save(recipeFP, i, d)
+			}
+			return nil, nil, fmt.Errorf("core: op %d (%s): %w", i, op.Name(), err)
+		}
+		d = out
+
+		if e.store != nil {
+			if err := e.store.Put(key, d); err != nil {
+				return nil, nil, err
+			}
+			chainKey = key
+		}
+		if e.ckpt != nil {
+			if err := e.ckpt.Save(recipeFP, i+1, d); err != nil {
+				return nil, nil, err
+			}
+		}
+		report.OpStats = append(report.OpStats, OpStat{
+			Name: op.Name(), InCount: inCount, OutCount: d.Len(),
+			Duration: time.Since(opStart),
+		})
+	}
+
+	if e.ckpt != nil {
+		_ = e.ckpt.Clear()
+	}
+	report.Total = time.Since(start)
+	return d, report, nil
+}
+
+// opCacheKey folds one planned operator's identity into the chain key.
+// Fused OPs compose the identities of their members, so the same fused
+// pipeline state maps to the same key across runs.
+func (e *Executor) opCacheKey(prev string, op ops.OP) string {
+	return cache.Key(prev, e.opIdentity(op), nil)
+}
+
+func (e *Executor) opIdentity(op ops.OP) string {
+	if id, ok := e.ids[op]; ok {
+		return id
+	}
+	if fused, ok := op.(*FusedFilter); ok {
+		parts := make([]string, 0, len(fused.Members()))
+		for _, m := range fused.Members() {
+			parts = append(parts, e.opIdentity(m))
+		}
+		return "fused(" + strings.Join(parts, ",") + ")"
+	}
+	return op.Name()
+}
+
+// applyOp dispatches one planned operator over the dataset.
+func (e *Executor) applyOp(op ops.OP, d *dataset.Dataset, np int) (*dataset.Dataset, error) {
+	switch typed := op.(type) {
+	case ops.Mapper:
+		return e.applyMapper(typed, d, np)
+	case ops.Filter:
+		return e.applyFilter(typed, d, np)
+	case ops.Deduplicator:
+		return e.applyDedup(typed, d, np)
+	}
+	return nil, fmt.Errorf("unsupported operator type %T", op)
+}
+
+func (e *Executor) applyMapper(m ops.Mapper, d *dataset.Dataset, np int) (*dataset.Dataset, error) {
+	var edits []trace.Edit
+	collect := e.tracer != nil
+	editCap := 0
+	if collect {
+		editCap = e.tracer.MaxPerOp()
+	}
+	var before []string
+	if collect {
+		before = make([]string, d.Len())
+		for i, s := range d.Samples {
+			before[i] = s.Text
+		}
+	}
+	start := time.Now()
+	err := d.Map(np, func(s *sample.Sample) error {
+		defer s.ClearContext()
+		return m.Process(s)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if collect {
+		for i, s := range d.Samples {
+			if len(edits) >= editCap {
+				break
+			}
+			if s.Text != before[i] {
+				edits = append(edits, trace.Edit{Before: before[i], After: s.Text})
+			}
+		}
+		e.tracer.Record(trace.Event{
+			OpName: m.Name(), Kind: "mapper",
+			InCount: d.Len(), OutCount: d.Len(),
+			Duration: time.Since(start), Edits: edits,
+		})
+	}
+	return d, nil
+}
+
+// applyFilter runs the two decoupled phases: parallel stat computation
+// (with per-sample context cleared afterwards, bounding fusion memory),
+// then the boolean split.
+func (e *Executor) applyFilter(f ops.Filter, d *dataset.Dataset, np int) (*dataset.Dataset, error) {
+	start := time.Now()
+	if err := d.Map(np, func(s *sample.Sample) error {
+		defer s.ClearContext()
+		return f.ComputeStats(s)
+	}); err != nil {
+		return nil, err
+	}
+	kept, dropped := d.Filter(np, f.Keep)
+	if e.tracer != nil {
+		var discards []trace.Discard
+		for i, s := range dropped {
+			if i >= e.tracer.MaxPerOp() {
+				break
+			}
+			stats := map[string]float64{}
+			for _, k := range f.StatKeys() {
+				if v, ok := s.Stat(k); ok {
+					stats[k] = v
+				}
+			}
+			discards = append(discards, trace.Discard{Text: s.Text, Stats: stats})
+		}
+		e.tracer.Record(trace.Event{
+			OpName: f.Name(), Kind: "filter",
+			InCount: d.Len(), OutCount: kept.Len(),
+			Duration: time.Since(start), Discards: discards,
+		})
+	}
+	return kept, nil
+}
+
+func (e *Executor) applyDedup(dd ops.Deduplicator, d *dataset.Dataset, np int) (*dataset.Dataset, error) {
+	start := time.Now()
+	kept, pairs, err := dd.Dedup(d, np)
+	if err != nil {
+		return nil, err
+	}
+	if e.tracer != nil {
+		var dp []trace.DupPair
+		for i, p := range pairs {
+			if i >= e.tracer.MaxPerOp() {
+				break
+			}
+			dp = append(dp, trace.DupPair{
+				Kept:    d.Samples[p.Kept].Text,
+				Dropped: d.Samples[p.Dropped].Text,
+			})
+		}
+		e.tracer.Record(trace.Event{
+			OpName: dd.Name(), Kind: "deduplicator",
+			InCount: d.Len(), OutCount: kept.Len(),
+			Duration: time.Since(start), DupPairs: dp,
+		})
+	}
+	return kept, nil
+}
+
+func (e *Executor) traceCacheHit(op ops.OP, in, out int, dur time.Duration) {
+	if e.tracer == nil {
+		return
+	}
+	kind := "mapper"
+	switch op.(type) {
+	case ops.Filter:
+		kind = "filter"
+	case ops.Deduplicator:
+		kind = "deduplicator"
+	}
+	e.tracer.Record(trace.Event{
+		OpName: op.Name(), Kind: kind, InCount: in, OutCount: out,
+		Duration: dur, CacheHit: true,
+	})
+}

@@ -1,0 +1,255 @@
+// Package core implements the pipeline executor of Data-Juicer: it runs a
+// recipe's operator list over a dataset with parallel workers, applying
+// the system optimizations of Sec. 6 — shared-context management, operator
+// fusion and reordering (Figure 6) — plus the cache and checkpoint
+// machinery of Sec. 4.1.1 and the lineage tracer of Sec. 4.2.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ops"
+	"repro/internal/sample"
+)
+
+// FusedFilter executes several context-sharing filters as one operator:
+// the shared intermediates (segmented words, split lines) are computed
+// once per sample and reused by every member, then the context is cleared.
+type FusedFilter struct {
+	members []ops.Filter
+}
+
+// NewFusedFilter fuses the given filters. It panics on fewer than two
+// members: fusing one filter is meaningless and indicates a planner bug.
+func NewFusedFilter(members []ops.Filter) *FusedFilter {
+	if len(members) < 2 {
+		panic("core: fused filter needs at least two members")
+	}
+	return &FusedFilter{members: members}
+}
+
+// Name lists the fused member names.
+func (f *FusedFilter) Name() string {
+	names := make([]string, len(f.members))
+	for i, m := range f.members {
+		names[i] = m.Name()
+	}
+	return "fused(" + strings.Join(names, ",") + ")"
+}
+
+// Members returns the fused filters in execution order.
+func (f *FusedFilter) Members() []ops.Filter { return f.members }
+
+// StatKeys is the union of member stat keys.
+func (f *FusedFilter) StatKeys() []string {
+	var keys []string
+	seen := map[string]bool{}
+	for _, m := range f.members {
+		for _, k := range m.StatKeys() {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	return keys
+}
+
+// ContextKeys is the union of member context keys.
+func (f *FusedFilter) ContextKeys() []string {
+	var keys []string
+	seen := map[string]bool{}
+	for _, m := range f.members {
+		for _, k := range ops.ContextKeysOf(m) {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	return keys
+}
+
+// CostHint is the sum of member costs: a fused OP is scheduled late within
+// its commutative group.
+func (f *FusedFilter) CostHint() float64 {
+	var c float64
+	for _, m := range f.members {
+		c += ops.CostOf(m)
+	}
+	return c
+}
+
+// ComputeStats runs every member's stat computation over the shared
+// context.
+func (f *FusedFilter) ComputeStats(s *sample.Sample) error {
+	for _, m := range f.members {
+		if err := m.ComputeStats(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Keep is the conjunction of member verdicts.
+func (f *FusedFilter) Keep(s *sample.Sample) bool {
+	for _, m := range f.members {
+		if !m.Keep(s) {
+			return false
+		}
+	}
+	return true
+}
+
+var _ ops.Filter = (*FusedFilter)(nil)
+
+// BuildPlan applies the OP-fusion procedure of Figure 6 to an operator
+// list:
+//
+//  1. split the list into groups of consecutive Filters (Filters commute
+//     with each other; Mappers and Deduplicators are barriers),
+//  2. inside each group, find the fusible filters — those declaring
+//     shared-context usage, clustered by overlapping context keys,
+//  3. fuse clusters of two or more into a single FusedFilter,
+//  4. reorder each group by ascending cost so cheap filters shrink the
+//     dataset before expensive (and fused) ones run.
+//
+// With fuse=false the input order is returned unchanged.
+func BuildPlan(list []ops.OP, fuse bool) []ops.OP {
+	if !fuse {
+		out := make([]ops.OP, len(list))
+		copy(out, list)
+		return out
+	}
+	var plan []ops.OP
+	i := 0
+	for i < len(list) {
+		f, ok := list[i].(ops.Filter)
+		if !ok {
+			plan = append(plan, list[i])
+			i++
+			continue
+		}
+		// Collect the maximal run of consecutive filters.
+		group := []ops.Filter{f}
+		j := i + 1
+		for j < len(list) {
+			nf, ok := list[j].(ops.Filter)
+			if !ok {
+				break
+			}
+			group = append(group, nf)
+			j++
+		}
+		plan = append(plan, fuseGroup(group)...)
+		i = j
+	}
+	return plan
+}
+
+// fuseGroup fuses and reorders one commutative filter group.
+func fuseGroup(group []ops.Filter) []ops.OP {
+	// Cluster fusible filters by overlapping context keys (union-find over
+	// shared keys).
+	keyOwner := map[string]int{} // context key -> cluster id
+	cluster := make([]int, len(group))
+	for i := range cluster {
+		cluster[i] = -1
+	}
+	nextCluster := 0
+	clusterMembers := map[int][]int{}
+	for i, flt := range group {
+		keys := ops.ContextKeysOf(flt)
+		if len(keys) == 0 {
+			continue
+		}
+		id := -1
+		for _, k := range keys {
+			if owner, ok := keyOwner[k]; ok {
+				id = owner
+				break
+			}
+		}
+		if id == -1 {
+			id = nextCluster
+			nextCluster++
+		}
+		for _, k := range keys {
+			if prev, ok := keyOwner[k]; ok && prev != id {
+				// Merge cluster prev into id.
+				for _, m := range clusterMembers[prev] {
+					cluster[m] = id
+				}
+				clusterMembers[id] = append(clusterMembers[id], clusterMembers[prev]...)
+				delete(clusterMembers, prev)
+				for kk, own := range keyOwner {
+					if own == prev {
+						keyOwner[kk] = id
+					}
+				}
+			}
+			keyOwner[k] = id
+		}
+		cluster[i] = id
+		clusterMembers[id] = append(clusterMembers[id], i)
+	}
+
+	// Emit: non-fusible filters individually; clusters of >=2 as one fused
+	// OP; singleton clusters individually.
+	type entry struct {
+		op   ops.OP
+		cost float64
+		pos  int // original position, for a stable sort
+	}
+	var entries []entry
+	emitted := map[int]bool{}
+	for i, flt := range group {
+		id := cluster[i]
+		if id == -1 {
+			entries = append(entries, entry{op: flt, cost: ops.CostOf(flt), pos: i})
+			continue
+		}
+		if emitted[id] {
+			continue
+		}
+		emitted[id] = true
+		members := clusterMembers[id]
+		sort.Ints(members)
+		if len(members) == 1 {
+			m := group[members[0]]
+			entries = append(entries, entry{op: m, cost: ops.CostOf(m), pos: members[0]})
+			continue
+		}
+		fl := make([]ops.Filter, len(members))
+		for k, idx := range members {
+			fl[k] = group[idx]
+		}
+		fused := NewFusedFilter(fl)
+		entries = append(entries, entry{op: fused, cost: fused.CostHint(), pos: members[0]})
+	}
+
+	// Reorder: cheap first, expensive (typically the fused OP) last.
+	sort.SliceStable(entries, func(a, b int) bool {
+		if entries[a].cost != entries[b].cost {
+			return entries[a].cost < entries[b].cost
+		}
+		return entries[a].pos < entries[b].pos
+	})
+	out := make([]ops.OP, len(entries))
+	for i, e := range entries {
+		out[i] = e.op
+	}
+	return out
+}
+
+// DescribePlan renders a one-line-per-op view of a plan, used by the CLI
+// to show the effect of fusion.
+func DescribePlan(plan []ops.OP) string {
+	var b strings.Builder
+	for i, op := range plan {
+		fmt.Fprintf(&b, "%2d. %s (cost %.0f)\n", i+1, op.Name(), ops.CostOf(op))
+	}
+	return b.String()
+}

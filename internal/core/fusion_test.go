@@ -1,0 +1,209 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ops"
+	_ "repro/internal/ops/all"
+	"repro/internal/sample"
+)
+
+func mustBuild(t *testing.T, name string, p ops.Params) ops.OP {
+	t.Helper()
+	op, err := ops.Build(name, p)
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	return op
+}
+
+// figure9Recipe mirrors the Figure 9 experiment recipe: 5 Mappers,
+// 8 Filters, 1 Deduplicator, with 5 of the filters fusible (word/line
+// context users).
+func figure9Recipe(t *testing.T) []ops.OP {
+	t.Helper()
+	return []ops.OP{
+		mustBuild(t, "fix_unicode_mapper", nil),
+		mustBuild(t, "clean_email_mapper", nil),
+		mustBuild(t, "clean_links_mapper", nil),
+		mustBuild(t, "remove_long_words_mapper", nil),
+		mustBuild(t, "whitespace_normalization_mapper", nil),
+		mustBuild(t, "alphanumeric_filter", nil),       // char, not fusible
+		mustBuild(t, "special_characters_filter", nil), // char, not fusible
+		mustBuild(t, "text_length_filter", nil),        // char, not fusible
+		mustBuild(t, "word_num_filter", nil),           // words ctx
+		mustBuild(t, "word_repetition_filter", nil),    // words ctx
+		mustBuild(t, "stopwords_filter", nil),          // words ctx
+		mustBuild(t, "flagged_words_filter", nil),      // words ctx
+		mustBuild(t, "perplexity_filter", nil),         // words ctx
+		mustBuild(t, "document_deduplicator", nil),
+	}
+}
+
+func TestBuildPlanNoFusionPreservesOrder(t *testing.T) {
+	list := figure9Recipe(t)
+	plan := BuildPlan(list, false)
+	if len(plan) != len(list) {
+		t.Fatalf("plan size %d", len(plan))
+	}
+	for i := range list {
+		if plan[i].Name() != list[i].Name() {
+			t.Fatalf("order changed at %d: %s", i, plan[i].Name())
+		}
+	}
+}
+
+func TestBuildPlanFusesWordFilters(t *testing.T) {
+	plan := BuildPlan(figure9Recipe(t), true)
+	// 5 mappers + (8 filters -> 3 char filters + 1 fused of 5) + 1 dedup = 10.
+	if len(plan) != 10 {
+		t.Fatalf("plan size = %d\n%s", len(plan), DescribePlan(plan))
+	}
+	var fused *FusedFilter
+	fusedIdx := -1
+	for i, op := range plan {
+		if f, ok := op.(*FusedFilter); ok {
+			if fused != nil {
+				t.Fatal("more than one fused op")
+			}
+			fused = f
+			fusedIdx = i
+		}
+	}
+	if fused == nil {
+		t.Fatalf("no fused op in plan:\n%s", DescribePlan(plan))
+	}
+	if len(fused.Members()) != 5 {
+		t.Fatalf("fused %d members, want 5: %s", len(fused.Members()), fused.Name())
+	}
+	// Reordering: the fused (expensive) op must come after the cheap char
+	// filters within its group, i.e. last before the deduplicator.
+	if fusedIdx != len(plan)-2 {
+		t.Fatalf("fused op at %d, want %d:\n%s", fusedIdx, len(plan)-2, DescribePlan(plan))
+	}
+	if _, ok := plan[len(plan)-1].(ops.Deduplicator); !ok {
+		t.Fatal("deduplicator must stay the barrier at the end")
+	}
+}
+
+func TestBuildPlanMapperBarriers(t *testing.T) {
+	// Filters separated by a mapper must not fuse across the barrier.
+	list := []ops.OP{
+		mustBuild(t, "word_num_filter", nil),
+		mustBuild(t, "whitespace_normalization_mapper", nil),
+		mustBuild(t, "stopwords_filter", nil),
+	}
+	plan := BuildPlan(list, true)
+	if len(plan) != 3 {
+		t.Fatalf("barrier crossed:\n%s", DescribePlan(plan))
+	}
+	for _, op := range plan {
+		if _, ok := op.(*FusedFilter); ok {
+			t.Fatal("fused across a mapper barrier")
+		}
+	}
+}
+
+func TestBuildPlanSingleFusibleReordered(t *testing.T) {
+	// One fusible filter in a group: not fused, but still reordered after
+	// cheaper filters ("reorder the only fusible OP" branch in Fig. 6).
+	list := []ops.OP{
+		mustBuild(t, "word_repetition_filter", nil), // cost 3, fusible
+		mustBuild(t, "text_length_filter", nil),     // cost 1
+	}
+	plan := BuildPlan(list, true)
+	if len(plan) != 2 {
+		t.Fatalf("plan = %v", DescribePlan(plan))
+	}
+	if plan[0].Name() != "text_length_filter" || plan[1].Name() != "word_repetition_filter" {
+		t.Fatalf("reorder failed:\n%s", DescribePlan(plan))
+	}
+}
+
+func TestBuildPlanDisjointContextsFuseSeparately(t *testing.T) {
+	// Word-context and line-context filters form separate fused clusters.
+	list := []ops.OP{
+		mustBuild(t, "word_num_filter", nil),
+		mustBuild(t, "average_line_length_filter", nil),
+		mustBuild(t, "stopwords_filter", nil),
+		mustBuild(t, "maximum_line_length_filter", nil),
+	}
+	plan := BuildPlan(list, true)
+	if len(plan) != 2 {
+		t.Fatalf("want 2 fused clusters:\n%s", DescribePlan(plan))
+	}
+	for _, op := range plan {
+		f, ok := op.(*FusedFilter)
+		if !ok {
+			t.Fatalf("non-fused op %s", op.Name())
+		}
+		if len(f.Members()) != 2 {
+			t.Fatalf("cluster size = %d", len(f.Members()))
+		}
+	}
+}
+
+func TestFusedFilterSemantics(t *testing.T) {
+	members := []ops.Filter{
+		mustBuild(t, "word_num_filter", ops.Params{"min_num": 3}).(ops.Filter),
+		mustBuild(t, "stopwords_filter", ops.Params{"min_ratio": 0.2}).(ops.Filter),
+	}
+	fused := NewFusedFilter(members)
+	if !strings.HasPrefix(fused.Name(), "fused(") {
+		t.Fatalf("name = %s", fused.Name())
+	}
+	if got := fused.StatKeys(); len(got) != 2 {
+		t.Fatalf("stat keys = %v", got)
+	}
+	s := sample.New("the cat and the dog sat on the mat")
+	if err := fused.ComputeStats(s); err != nil {
+		t.Fatal(err)
+	}
+	if !fused.Keep(s) {
+		t.Fatal("good sample rejected")
+	}
+	// Only one shared context entry despite two members.
+	if s.ContextLen() != 1 {
+		t.Fatalf("context entries = %d", s.ContextLen())
+	}
+	bad := sample.New("too short")
+	fused.ComputeStats(bad)
+	if fused.Keep(bad) {
+		t.Fatal("short sample kept (AND semantics broken)")
+	}
+}
+
+func TestFusedFilterEquivalentToSequential(t *testing.T) {
+	// Fusion must not change verdicts: fused(A,B).Keep == A.Keep && B.Keep.
+	texts := []string{
+		"the cat and the dog sat on the mat with a hat",
+		"short",
+		"buy widgets buy widgets buy widgets buy widgets buy widgets",
+		"a reasonable sentence about the weather and the news of the day",
+		"",
+	}
+	a := mustBuild(t, "word_num_filter", ops.Params{"min_num": 5}).(ops.Filter)
+	b := mustBuild(t, "stopwords_filter", ops.Params{"min_ratio": 0.2}).(ops.Filter)
+	fused := NewFusedFilter([]ops.Filter{a, b})
+	for _, txt := range texts {
+		s1 := sample.New(txt)
+		a.ComputeStats(s1)
+		b.ComputeStats(s1)
+		want := a.Keep(s1) && b.Keep(s1)
+		s2 := sample.New(txt)
+		fused.ComputeStats(s2)
+		if got := fused.Keep(s2); got != want {
+			t.Fatalf("verdict mismatch on %q: fused=%v sequential=%v", txt, got, want)
+		}
+	}
+}
+
+func TestNewFusedFilterPanicsOnSingle(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("single-member fusion must panic")
+		}
+	}()
+	NewFusedFilter([]ops.Filter{mustBuild(t, "word_num_filter", nil).(ops.Filter)})
+}

@@ -1,0 +1,209 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/text"
+)
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range HubNames() {
+		a, err := Hub(name, 30, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, _ := Hub(name, 30, 7)
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Errorf("%s not deterministic", name)
+		}
+		c, _ := Hub(name, 30, 8)
+		if a.Fingerprint() == c.Fingerprint() {
+			t.Errorf("%s ignores seed", name)
+		}
+	}
+}
+
+func TestHubUnknown(t *testing.T) {
+	if _, err := Hub("no-such-corpus", 1, 1); err == nil {
+		t.Fatal("unknown hub name must error")
+	}
+}
+
+func TestHubDefaults(t *testing.T) {
+	d, err := Hub("wiki", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 200 {
+		t.Fatalf("default docs = %d", d.Len())
+	}
+}
+
+func TestWebHasNoiseAndDuplicates(t *testing.T) {
+	d := Web(Options{Docs: 300, Seed: 42})
+	var dups, nears, spam, urls int
+	for _, s := range d.Samples {
+		if _, ok := s.GetString("meta.dup_of"); ok {
+			dups++
+		}
+		if _, ok := s.GetString("meta.near_dup_of"); ok {
+			nears++
+		}
+		low := strings.ToLower(s.Text)
+		if strings.Contains(low, "casino") || strings.Contains(low, "jackpot") {
+			spam++
+		}
+		if strings.Contains(low, "http://") {
+			urls++
+		}
+	}
+	if dups < 5 {
+		t.Errorf("exact duplicates = %d, want >= 5", dups)
+	}
+	if nears < 5 {
+		t.Errorf("near duplicates = %d, want >= 5", nears)
+	}
+	if spam < 10 {
+		t.Errorf("spam docs = %d, want >= 10", spam)
+	}
+	if urls < 20 {
+		t.Errorf("url-bearing docs = %d, want >= 20", urls)
+	}
+}
+
+func TestWikiIsCleanerThanWeb(t *testing.T) {
+	wiki := Wiki(Options{Docs: 100, Seed: 1})
+	web := Web(Options{Docs: 100, Seed: 1})
+	var wikiSpecial, webSpecial float64
+	for _, s := range wiki.Samples {
+		wikiSpecial += text.SpecialCharRatio(s.Text)
+	}
+	for _, s := range web.Samples {
+		webSpecial += text.SpecialCharRatio(s.Text)
+	}
+	if wikiSpecial/100 >= webSpecial/100 {
+		t.Fatalf("wiki should be cleaner: wiki=%v web=%v", wikiSpecial/100, webSpecial/100)
+	}
+}
+
+func TestBooksAreLong(t *testing.T) {
+	d := Books(Options{Docs: 20, Seed: 3})
+	for i, s := range d.Samples {
+		if len(s.Text) < 1500 {
+			t.Fatalf("book %d too short: %d chars", i, len(s.Text))
+		}
+	}
+}
+
+func TestArXivHasLaTeXStructure(t *testing.T) {
+	d := ArXiv(Options{Docs: 10, Seed: 5})
+	for i, s := range d.Samples {
+		for _, marker := range []string{"\\documentclass", "\\section", "\\bibliography", "%"} {
+			if !strings.Contains(s.Text, marker) {
+				t.Fatalf("doc %d missing %q", i, marker)
+			}
+		}
+	}
+}
+
+func TestCodeHasMetaAndHeaders(t *testing.T) {
+	d := Code(Options{Docs: 50, Seed: 9})
+	headers := 0
+	for i, s := range d.Samples {
+		suffix, ok := s.GetString("meta.suffix")
+		if !ok || !strings.HasPrefix(suffix, ".") {
+			t.Fatalf("doc %d missing suffix: %q", i, suffix)
+		}
+		if _, ok := s.GetFloat("meta.stars"); !ok {
+			t.Fatalf("doc %d missing stars", i)
+		}
+		if strings.Contains(s.Text, "Copyright") {
+			headers++
+		}
+	}
+	if headers < 20 {
+		t.Fatalf("license headers = %d, want >= 20", headers)
+	}
+}
+
+func TestStackExchangeHasHTML(t *testing.T) {
+	d := StackExchange(Options{Docs: 20, Seed: 2})
+	for i, s := range d.Samples {
+		if !strings.Contains(s.Text, "<p>") {
+			t.Fatalf("doc %d has no markup", i)
+		}
+	}
+}
+
+func TestWebZHIsChinese(t *testing.T) {
+	d := WebZH(Options{Docs: 50, Seed: 4})
+	for i, s := range d.Samples {
+		if text.CJKRatio(s.Text) < 0.5 {
+			t.Fatalf("doc %d not Chinese enough: %q", i, s.Text)
+		}
+	}
+}
+
+func TestIFTStructure(t *testing.T) {
+	d := IFT(Options{Docs: 60, Seed: 6})
+	for i, s := range d.Samples {
+		if v, _ := s.GetString("meta.usage"); v != "IFT" {
+			t.Fatalf("doc %d usage = %q", i, v)
+		}
+		inst, ok := s.GetString("text.instruction")
+		if !ok || inst == "" {
+			t.Fatalf("doc %d missing instruction", i)
+		}
+		if _, ok := s.GetString("text.response"); !ok {
+			t.Fatalf("doc %d missing response", i)
+		}
+	}
+}
+
+func TestCFTTiersAndLanguages(t *testing.T) {
+	en := CFT(Options{Docs: 90, Seed: 8}, "EN")
+	tiers := map[float64]int{}
+	for _, s := range en.Samples {
+		v, ok := s.GetFloat("meta.tier")
+		if !ok {
+			t.Fatal("missing tier")
+		}
+		tiers[v]++
+	}
+	if len(tiers) != 3 {
+		t.Fatalf("tiers = %v", tiers)
+	}
+	zh := CFT(Options{Docs: 30, Seed: 8}, "ZH")
+	for i, s := range zh.Samples {
+		if text.CJKRatio(s.Text) < 0.4 {
+			t.Fatalf("zh doc %d not Chinese: %q", i, s.Text)
+		}
+	}
+}
+
+func TestVerbNounDiversityPresent(t *testing.T) {
+	d := IFT(Options{Docs: 200, Seed: 11})
+	pairs := map[[2]string]int{}
+	for _, s := range d.Samples {
+		words := text.WordsLower(s.Text)
+		for _, p := range text.VerbNounPairs(words) {
+			pairs[p]++
+		}
+	}
+	if len(pairs) < 30 {
+		t.Fatalf("verb-noun pair diversity too low: %d distinct pairs", len(pairs))
+	}
+}
+
+func TestTopicsVaryAcrossDocs(t *testing.T) {
+	d := Wiki(Options{Docs: 100, Seed: 12})
+	seen := map[string]bool{}
+	for _, s := range d.Samples {
+		topic, _ := s.GetString("meta.topic")
+		seen[topic] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("topics = %d, want >= 8", len(seen))
+	}
+}

@@ -1,0 +1,220 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/sample"
+)
+
+// Gen is a deterministic text generator. All corpus builders derive their
+// randomness from one seeded source, so (kind, n, seed) fully determines a
+// corpus.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// NewGen returns a generator seeded with seed.
+func NewGen(seed int64) *Gen { return &Gen{rng: rand.New(rand.NewSource(seed))} }
+
+func (g *Gen) pick(pool []string) string { return pool[g.rng.Intn(len(pool))] }
+
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// sentence builds one grammatical English sentence flavoured by topic.
+func (g *Gen) sentence(topic []string) string {
+	var b strings.Builder
+	b.WriteString(capitalize(g.pick(determiners)))
+	b.WriteByte(' ')
+	if g.rng.Float64() < 0.5 {
+		b.WriteString(g.pick(modifiers))
+		b.WriteByte(' ')
+	}
+	b.WriteString(g.pick(subjects))
+	b.WriteByte(' ')
+	b.WriteString(g.pick(verbs))
+	b.WriteByte(' ')
+	b.WriteString(g.pick(determiners))
+	b.WriteByte(' ')
+	if g.rng.Float64() < 0.6 {
+		b.WriteString(g.pick(modifiers))
+		b.WriteByte(' ')
+	}
+	b.WriteString(g.pick(objects))
+	if g.rng.Float64() < 0.7 {
+		b.WriteString(" about the ")
+		b.WriteString(g.pick(topic))
+	}
+	if g.rng.Float64() < 0.4 {
+		b.WriteString(" in the ")
+		b.WriteString(g.pick(places))
+	}
+	if g.rng.Float64() < 0.3 {
+		b.WriteByte(' ')
+		b.WriteString(g.pick(timeRefs))
+	}
+	if g.rng.Float64() < 0.25 {
+		b.WriteByte(' ')
+		b.WriteString(g.pick(connectives))
+		b.WriteString(" the ")
+		b.WriteString(g.pick(topic))
+		b.WriteString(" of the ")
+		b.WriteString(g.pick(subjects))
+		b.WriteString(" was ")
+		b.WriteString(g.pick(modifiers))
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// paragraph builds nSentences sentences on one topic.
+func (g *Gen) paragraph(topic []string, nSentences int) string {
+	parts := make([]string, nSentences)
+	for i := range parts {
+		parts[i] = g.sentence(topic)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Prose builds a clean multi-paragraph document and reports its topic id.
+func (g *Gen) Prose(minParas, maxParas int) (string, int) {
+	topicID := g.rng.Intn(len(topics))
+	topic := topics[topicID]
+	n := minParas
+	if maxParas > minParas {
+		n += g.rng.Intn(maxParas - minParas + 1)
+	}
+	paras := make([]string, n)
+	for i := range paras {
+		paras[i] = g.paragraph(topic, 2+g.rng.Intn(4))
+	}
+	return strings.Join(paras, "\n\n"), topicID
+}
+
+// noiseWord emits an implausible token (tracker IDs, base64-ish junk).
+func (g *Gen) noiseWord() string {
+	const junk = "qxzjvkw0123456789"
+	n := 4 + g.rng.Intn(14)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(junk[g.rng.Intn(len(junk))])
+	}
+	return b.String()
+}
+
+// Noisify degrades clean text according to level in [0,1]: boilerplate
+// insertion, junk tokens, URLs/emails, symbol runs, broken unicode and
+// occasional spam fragments.
+func (g *Gen) Noisify(text string, level float64) string {
+	if level <= 0 {
+		return text
+	}
+	lines := strings.Split(text, "\n")
+	var out []string
+	for _, l := range lines {
+		if g.rng.Float64() < level*0.5 {
+			out = append(out, boilerplate[g.rng.Intn(len(boilerplate))])
+		}
+		if g.rng.Float64() < level*0.15 {
+			out = append(out, spamFragments[g.rng.Intn(len(spamFragments))])
+		}
+		words := strings.Fields(l)
+		for i := range words {
+			r := g.rng.Float64()
+			switch {
+			case r < level*0.05:
+				words[i] = g.noiseWord()
+			case r < level*0.08:
+				words[i] = fmt.Sprintf("http://track%d.example.com/?id=%d", g.rng.Intn(99), g.rng.Intn(1e6))
+			case r < level*0.10:
+				words[i] = fmt.Sprintf("user%d@mail%d.com", g.rng.Intn(999), g.rng.Intn(99))
+			case r < level*0.13:
+				words[i] = words[i] + strings.Repeat("!", 1+g.rng.Intn(4))
+			}
+		}
+		l = strings.Join(words, " ")
+		if g.rng.Float64() < level*0.1 {
+			l += " " + strings.Repeat("#$%", 1+g.rng.Intn(6))
+		}
+		out = append(out, l)
+	}
+	if g.rng.Float64() < level*0.3 {
+		// Mojibake: corrupt a fragment the fix_unicode_mapper can repair.
+		out = append(out, "The cafÃ© menu featured crÃ¨me brÃ»lÃ©e yesterday")
+	}
+	return strings.Join(out, "\n")
+}
+
+// Options configures a generated corpus.
+type Options struct {
+	// Docs is the number of documents.
+	Docs int
+	// Seed makes the corpus deterministic.
+	Seed int64
+	// Noise in [0,1] controls the degradation level.
+	Noise float64
+	// DupExact is the probability a document is an exact copy of an
+	// earlier one; DupNear the probability of a lightly-edited copy.
+	DupExact, DupNear float64
+	// Source labels meta.source.
+	Source string
+}
+
+func (o Options) withDefaults(source string) Options {
+	if o.Docs <= 0 {
+		o.Docs = 100
+	}
+	if o.Source == "" {
+		o.Source = source
+	}
+	return o
+}
+
+// buildDocs assembles a dataset from a per-document generator, applying
+// the duplication knobs.
+func buildDocs(o Options, gen func(g *Gen, i int) *sample.Sample) *dataset.Dataset {
+	g := NewGen(o.Seed)
+	samples := make([]*sample.Sample, 0, o.Docs)
+	for i := 0; i < o.Docs; i++ {
+		r := g.rng.Float64()
+		if len(samples) > 4 && r < o.DupExact {
+			src := samples[g.rng.Intn(len(samples))]
+			dup := src.Clone()
+			dup.SetString("meta.id", fmt.Sprintf("%s-%06d", o.Source, i))
+			dup.SetString("meta.dup_of", mustGet(src, "meta.id"))
+			samples = append(samples, dup)
+			continue
+		}
+		if len(samples) > 4 && r < o.DupExact+o.DupNear {
+			src := samples[g.rng.Intn(len(samples))]
+			dup := src.Clone()
+			dup.Text = nearEdit(g, dup.Text)
+			dup.SetString("meta.id", fmt.Sprintf("%s-%06d", o.Source, i))
+			dup.SetString("meta.near_dup_of", mustGet(src, "meta.id"))
+			samples = append(samples, dup)
+			continue
+		}
+		s := gen(g, i)
+		s.SetString("meta.id", fmt.Sprintf("%s-%06d", o.Source, i))
+		s.SetString("meta.source", o.Source)
+		samples = append(samples, s)
+	}
+	return dataset.New(samples)
+}
+
+func mustGet(s *sample.Sample, path string) string {
+	v, _ := s.GetString(path)
+	return v
+}
+
+// nearEdit makes a light edit: append a sentence-like tail.
+func nearEdit(g *Gen, text string) string {
+	return text + " " + g.sentence(topics[g.rng.Intn(len(topics))])
+}

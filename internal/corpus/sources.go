@@ -1,0 +1,367 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/sample"
+)
+
+// Web generates a noisy CommonCrawl-like corpus: boilerplate, junk tokens,
+// spam fragments, mojibake, plus exact and near duplicates. This is the
+// lowest-quality tier.
+func Web(o Options) *dataset.Dataset {
+	o = o.withDefaults("web-en")
+	if o.Noise == 0 {
+		o.Noise = 0.8
+	}
+	if o.DupExact == 0 {
+		o.DupExact = 0.08
+	}
+	if o.DupNear == 0 {
+		o.DupNear = 0.07
+	}
+	return buildDocs(o, func(g *Gen, i int) *sample.Sample {
+		// Most crawled pages are junk — navigation shells, listings, ads,
+		// spam — not prose (GPT-3's quality classifier keeps ~1.3% of
+		// CommonCrawl). A bit over half our pages are junk; the rest is
+		// prose degraded by inline noise.
+		if g.rng.Float64() < 0.55 {
+			s := sample.New(g.junkPage())
+			s.SetString("meta.topic", "junk")
+			return s
+		}
+		text, topic := g.Prose(1, 4)
+		if g.rng.Float64() < 0.1 {
+			text = spamFragments[g.rng.Intn(len(spamFragments))] + "\n" + text
+		}
+		s := sample.New(g.Noisify(text, o.Noise))
+		s.SetString("meta.topic", fmt.Sprintf("t%02d", topic))
+		return s
+	})
+}
+
+// junkPage assembles a navigation/listing/spam page with almost no prose.
+func (g *Gen) junkPage() string {
+	n := 4 + g.rng.Intn(10)
+	lines := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		switch g.rng.Intn(4) {
+		case 0:
+			lines = append(lines, boilerplate[g.rng.Intn(len(boilerplate))])
+		case 1:
+			lines = append(lines, spamFragments[g.rng.Intn(len(spamFragments))])
+		case 2:
+			lines = append(lines, fmt.Sprintf("%s $%d.%02d Buy Now | SKU %s | In Stock: %d",
+				capitalize(g.pick(objects)), 1+g.rng.Intn(99), g.rng.Intn(100), g.noiseWord(), g.rng.Intn(50)))
+		default:
+			lines = append(lines, fmt.Sprintf("%s %s http://shop%d.example.com/?ref=%s",
+				g.noiseWord(), g.noiseWord(), g.rng.Intn(99), g.noiseWord()))
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// C4 generates a medium-quality filtered-web corpus: mild noise, fewer
+// duplicates.
+func C4(o Options) *dataset.Dataset {
+	o = o.withDefaults("c4")
+	if o.Noise == 0 {
+		o.Noise = 0.35
+	}
+	if o.DupExact == 0 {
+		o.DupExact = 0.03
+	}
+	if o.DupNear == 0 {
+		o.DupNear = 0.03
+	}
+	return buildDocs(o, func(g *Gen, i int) *sample.Sample {
+		text, topic := g.Prose(1, 5)
+		s := sample.New(g.Noisify(text, o.Noise))
+		s.SetString("meta.topic", fmt.Sprintf("t%02d", topic))
+		return s
+	})
+}
+
+// Wiki generates clean encyclopedic documents.
+func Wiki(o Options) *dataset.Dataset {
+	o = o.withDefaults("wiki")
+	return buildDocs(o, func(g *Gen, i int) *sample.Sample {
+		text, topic := g.Prose(2, 6)
+		title := capitalize(g.pick(topics[topic])) + " (" + g.pick(places) + ")"
+		s := sample.New(title + "\n\n" + text)
+		s.SetString("meta.topic", fmt.Sprintf("t%02d", topic))
+		return s
+	})
+}
+
+// Books generates long-form clean narrative documents.
+func Books(o Options) *dataset.Dataset {
+	o = o.withDefaults("books")
+	return buildDocs(o, func(g *Gen, i int) *sample.Sample {
+		text, topic := g.Prose(8, 16)
+		s := sample.New("Chapter " + fmt.Sprint(1+g.rng.Intn(30)) + "\n\n" + text)
+		s.SetString("meta.topic", fmt.Sprintf("t%02d", topic))
+		return s
+	})
+}
+
+// ArXiv generates LaTeX source documents with preamble, macros, comments,
+// sections, tables and bibliographies — exercising the LaTeX mappers.
+func ArXiv(o Options) *dataset.Dataset {
+	o = o.withDefaults("arxiv")
+	return buildDocs(o, func(g *Gen, i int) *sample.Sample {
+		topicID := g.rng.Intn(len(topics))
+		topic := topics[topicID]
+		var b strings.Builder
+		b.WriteString("\\documentclass{article}\n")
+		b.WriteString("\\usepackage{amsmath}\n")
+		b.WriteString(fmt.Sprintf("\\newcommand{\\sys}{%s-System}\n", capitalize(g.pick(topic))))
+		b.WriteString("% internal note: draft version\n")
+		b.WriteString("\\begin{document}\n")
+		b.WriteString(fmt.Sprintf("\\title{On the %s of %s}\n\\maketitle\n",
+			capitalize(g.pick(modifiers)), g.pick(topic)))
+		for sec := 0; sec < 2+g.rng.Intn(3); sec++ {
+			b.WriteString(fmt.Sprintf("\\section{%s}\n", capitalize(g.pick(objects))))
+			b.WriteString(g.paragraph(topic, 3+g.rng.Intn(3)))
+			b.WriteString("\n% TODO: polish this paragraph\n")
+			b.WriteString("We study \\sys in detail. ")
+			b.WriteString(g.paragraph(topic, 2))
+			b.WriteString("\n")
+			if g.rng.Float64() < 0.5 {
+				b.WriteString("\\begin{table}\n\\begin{tabular}{cc}\na & b \\\\\n1 & 2\n\\end{tabular}\n\\end{table}\n")
+			}
+		}
+		b.WriteString("\\bibliography{refs}\n\\end{document}\n")
+		s := sample.New(b.String())
+		s.SetString("meta.topic", fmt.Sprintf("t%02d", topicID))
+		return s
+	})
+}
+
+// Code generates source-code documents with license headers, imports and
+// functions; meta carries suffix and a star count (TheStack-style).
+func Code(o Options) *dataset.Dataset {
+	o = o.withDefaults("code")
+	langs := []struct {
+		suffix, comment string
+	}{
+		{".py", "#"}, {".go", "//"}, {".js", "//"}, {".java", "//"}, {".cpp", "//"},
+	}
+	return buildDocs(o, func(g *Gen, i int) *sample.Sample {
+		lang := langs[g.rng.Intn(len(langs))]
+		var b strings.Builder
+		if g.rng.Float64() < 0.7 {
+			fmt.Fprintf(&b, "%s Copyright %d Example Corp. All rights reserved.\n", lang.comment, 2015+g.rng.Intn(9))
+			fmt.Fprintf(&b, "%s Licensed under the Apache License, Version 2.0\n\n", lang.comment)
+		}
+		nFuncs := 2 + g.rng.Intn(6)
+		for f := 0; f < nFuncs; f++ {
+			name := g.pick(verbs) + "_" + g.pick(objects)
+			fmt.Fprintf(&b, "def %s(x, y):\n", strings.ReplaceAll(name, " ", "_"))
+			fmt.Fprintf(&b, "    %s %s\n", lang.comment, g.sentence(topics[4]))
+			fmt.Fprintf(&b, "    result = x * %d + y\n    return result\n\n", g.rng.Intn(100))
+		}
+		s := sample.New(b.String())
+		s.SetString("meta.suffix", lang.suffix)
+		s.Meta = s.Meta.Set("stars", float64(g.rng.Intn(3000)))
+		return s
+	})
+}
+
+// StackExchange generates Q&A threads with light HTML markup.
+func StackExchange(o Options) *dataset.Dataset {
+	o = o.withDefaults("stackexchange")
+	if o.DupExact == 0 {
+		o.DupExact = 0.02
+	}
+	return buildDocs(o, func(g *Gen, i int) *sample.Sample {
+		topicID := g.rng.Intn(len(topics))
+		topic := topics[topicID]
+		var b strings.Builder
+		fmt.Fprintf(&b, "<p>Q: How should the %s handle the %s of the %s?</p>\n",
+			g.pick(subjects), g.pick(objects), g.pick(topic))
+		b.WriteString("<p>" + g.paragraph(topic, 2) + "</p>\n")
+		for a := 0; a < 1+g.rng.Intn(3); a++ {
+			fmt.Fprintf(&b, "<p>A%d: %s</p>\n", a+1, g.paragraph(topic, 2+g.rng.Intn(2)))
+		}
+		s := sample.New(b.String())
+		s.SetString("meta.topic", fmt.Sprintf("t%02d", topicID))
+		s.Meta = s.Meta.Set("score", float64(g.rng.Intn(50)))
+		return s
+	})
+}
+
+// zhSentence builds one Chinese sentence.
+func zhSentence(g *Gen) string {
+	s := g.pick(zhSubjects) + g.pick(zhVerbs) + g.pick(zhObjects)
+	if g.rng.Float64() < 0.6 {
+		s += "，" + g.pick(zhTails)
+	}
+	return s + "。"
+}
+
+// WebZH generates a Chinese web corpus with a noise tier.
+func WebZH(o Options) *dataset.Dataset {
+	o = o.withDefaults("web-zh")
+	if o.Noise == 0 {
+		o.Noise = 0.5
+	}
+	if o.DupExact == 0 {
+		o.DupExact = 0.05
+	}
+	return buildDocs(o, func(g *Gen, i int) *sample.Sample {
+		n := 3 + g.rng.Intn(8)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = zhSentence(g)
+		}
+		text := strings.Join(parts, "")
+		if g.rng.Float64() < o.Noise*0.3 {
+			text += "赌博彩票发票诈骗广告"
+		}
+		if g.rng.Float64() < o.Noise*0.3 {
+			text += " http://spam.example.cn/?id=" + fmt.Sprint(g.rng.Intn(1e6))
+		}
+		s := sample.New(text)
+		s.SetString("meta.lang_tag", "ZH")
+		return s
+	})
+}
+
+// instruction templates pair verbs with objects from the shared lexicons,
+// so diversity analysis over verb-noun pairs has real structure.
+var iftVerbs = split(`write describe explain summarize translate list create
+	generate identify classify compare analyze compute design rewrite`)
+
+// IFT generates instruction-fine-tuning samples (task-style instructions
+// adapted from NLP benchmarks, as in the Alpaca-CoT IFT tag).
+func IFT(o Options) *dataset.Dataset {
+	o = o.withDefaults("ift-en")
+	return buildDocs(o, func(g *Gen, i int) *sample.Sample {
+		verb := g.pick(iftVerbs)
+		obj := g.pick(objects)
+		topic := topics[g.rng.Intn(len(topics))]
+		inst := fmt.Sprintf("%s a %s about the %s.", capitalize(verb), obj, g.pick(topic))
+		resp := g.paragraph(topic, 1+g.rng.Intn(3))
+		s := sample.New(inst + "\n" + resp)
+		s.SetString("text.instruction", inst)
+		s.SetString("text.response", resp)
+		s.SetString("meta.usage", "IFT")
+		s.SetString("meta.lang_tag", "EN")
+		s.SetString("meta.task", g.pick([]string{"multi-task", "task-specific"}))
+		s.SetString("meta.gen_method", g.pick([]string{"human-generated", "self-instruct", "mixed"}))
+		s.SetString("meta.verb", verb)
+		s.SetString("meta.noun", obj)
+		return s
+	})
+}
+
+// CFT generates chat-fine-tuning dialog samples. lang selects "EN" or
+// "ZH"; quality varies across a low/medium/high tier recorded in meta.
+func CFT(o Options, lang string) *dataset.Dataset {
+	src := "cft-en"
+	if lang == "ZH" {
+		src = "cft-zh"
+	}
+	o = o.withDefaults(src)
+	return buildDocs(o, func(g *Gen, i int) *sample.Sample {
+		tier := g.rng.Intn(3) // 0 low, 1 medium, 2 high
+		var inst, resp, verb, obj string
+		if lang == "ZH" {
+			verb = g.pick([]string{"写", "描述", "解释", "总结", "翻译", "列出"})
+			obj = g.pick(zhObjects)
+			inst = "请" + verb + obj + "。"
+			n := []int{1, 2, 4}[tier]
+			parts := make([]string, n)
+			for j := range parts {
+				parts[j] = zhSentence(g)
+			}
+			resp = strings.Join(parts, "")
+		} else {
+			verb = g.pick(iftVerbs)
+			obj = g.pick(objects)
+			topic := topics[g.rng.Intn(len(topics))]
+			inst = fmt.Sprintf("%s a %s %s about the %s, please.", capitalize(verb), g.pick(modifiers), obj, g.pick(topic))
+			resp = g.paragraph(topic, 1+tier*2)
+			if tier == 0 && g.rng.Float64() < 0.4 {
+				resp = "ok. " + g.pick(objects) // low-effort response
+			}
+		}
+		s := sample.New(inst + "\n" + resp)
+		s.SetString("text.instruction", inst)
+		s.SetString("text.response", resp)
+		s.SetString("meta.usage", "CFT")
+		s.SetString("meta.lang_tag", lang)
+		s.Meta = s.Meta.Set("tier", float64(tier))
+		if verb != "" {
+			s.SetString("meta.verb", verb)
+			s.SetString("meta.noun", obj)
+		}
+		s.SetString("meta.dialog", g.pick([]string{"single-round", "multi-round", "preference"}))
+		return s
+	})
+}
+
+// Hub resolves a named built-in corpus ("hub:" scheme of the formatters).
+// Supported names: web-en, c4, wiki, books, arxiv, code, stackexchange,
+// web-zh, ift-en, cft-en, cft-zh. The count and seed default to 200 docs /
+// seed 1 when zero.
+func Hub(name string, docs int, seed int64) (*dataset.Dataset, error) {
+	o := Options{Docs: docs, Seed: seed}
+	if o.Docs <= 0 {
+		o.Docs = 200
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	switch name {
+	case "web-en":
+		return Web(o), nil
+	case "c4":
+		return C4(o), nil
+	case "wiki":
+		return Wiki(o), nil
+	case "books":
+		return Books(o), nil
+	case "arxiv":
+		return ArXiv(o), nil
+	case "code":
+		return Code(o), nil
+	case "stackexchange":
+		return StackExchange(o), nil
+	case "web-zh":
+		return WebZH(o), nil
+	case "ift-en":
+		return IFT(o), nil
+	case "cft-en":
+		return CFT(o, "EN"), nil
+	case "cft-zh":
+		return CFT(o, "ZH"), nil
+	}
+	return nil, fmt.Errorf("corpus: unknown hub dataset %q (have %v)", name, HubNames())
+}
+
+// HubNames lists the built-in corpus names, sorted.
+func HubNames() []string {
+	names := []string{
+		"web-en", "c4", "wiki", "books", "arxiv", "code",
+		"stackexchange", "web-zh", "ift-en", "cft-en", "cft-zh",
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NoisifyDataset returns a deep copy of d with every document degraded at
+// the given noise level (deterministic in seed). Experiments use it to
+// build mixed-quality collections from clean generators.
+func NoisifyDataset(d *dataset.Dataset, level float64, seed int64) *dataset.Dataset {
+	g := NewGen(seed)
+	out := d.Clone()
+	for _, s := range out.Samples {
+		s.Text = g.Noisify(s.Text, level)
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+// Package corpus generates the deterministic synthetic corpora that stand
+// in for the paper's real datasets (CommonCrawl, RedPajama, the Pile,
+// Alpaca-CoT, TheStack, Wudao). Each generator exposes the knobs the
+// experiments need — noise level, duplication rate, language mix, quality
+// tiers — and is fully seeded, so every experiment is reproducible.
+package corpus
+
+import "strings"
+
+func split(s string) []string { return strings.Fields(s) }
+
+// Word pools for the sentence grammar. Overlap with the stopword and
+// verb/noun lexicons in internal/text is intentional: generated prose must
+// look like prose to the filters.
+var (
+	determiners = split(`the a this that every some the the one our their its`)
+	subjects    = split(`committee report researcher student teacher engineer company
+		government city river mountain library museum garden doctor artist
+		farmer writer scientist community village market school system model
+		dataset program project team family author reader child professor`)
+	verbs = split(`published described explained announced developed created
+		discovered built designed analyzed reviewed improved completed
+		presented examined measured compared collected studied tested
+		discussed summarized translated evaluated recorded organized`)
+	objects = split(`report article study method result plan idea story question
+		answer document theory approach structure history language culture
+		economy policy design experiment survey review collection map
+		picture song poem letter essay summary table chart program model`)
+	modifiers = split(`new detailed important interesting recent careful thorough
+		remarkable simple complex useful practical modern early late
+		regional national local annual public private formal quiet`)
+	connectives = split(`and then while because although after before since
+		therefore however moreover meanwhile furthermore`)
+	places = split(`city valley region country library university laboratory
+		office village district museum harbor station garden forest`)
+	timeRefs = split(`yesterday today recently eventually gradually annually
+		often rarely sometimes usually finally initially`)
+)
+
+// topics give each document a lexical flavour so documents differ enough
+// for dedup not to fire spuriously.
+var topics = [][]string{
+	split(`history ancient empire dynasty archive manuscript heritage kingdom ruins century`),
+	split(`science physics energy particle experiment hypothesis laboratory measurement theory quantum`),
+	split(`economy market trade finance investment budget inflation growth industry export`),
+	split(`nature forest wildlife climate ecosystem species habitat conservation river biodiversity`),
+	split(`technology software computer network algorithm database hardware internet protocol compiler`),
+	split(`medicine patient treatment therapy vaccine diagnosis hospital clinical symptom recovery`),
+	split(`art painting sculpture gallery exhibition portrait canvas artist composition museum`),
+	split(`music melody rhythm orchestra concert harmony composer instrument symphony chorus`),
+	split(`sports tournament championship athlete training stadium competition league record season`),
+	split(`education curriculum classroom student learning assessment literacy teaching scholarship lecture`),
+	split(`law court justice statute contract verdict evidence attorney legislation appeal`),
+	split(`food cuisine recipe ingredient flavor harvest kitchen restaurant tradition spice`),
+}
+
+// Boilerplate fragments injected into noisy web documents.
+var boilerplate = []string{
+	"Home | About | Contact | Privacy Policy | Terms of Service",
+	"Subscribe to our newsletter for the latest updates and exclusive offers",
+	"Copyright 2023 All rights reserved Powered by WebBuilder Pro",
+	"Click here to read more Share on social media Leave a comment below",
+	"Accept cookies to continue browsing this site Manage cookie preferences",
+	"Related articles you might also like Sponsored content Advertisement",
+	"Sign in Register Forgot password Free shipping on orders over $50",
+}
+
+// spamFragments carry flagged words and ad noise for the lowest tier.
+var spamFragments = []string{
+	"BUY NOW!!! casino jackpot lottery winners claim your FREE prize today",
+	"hot singles viagra discount porn xxx click here damn cheap deals",
+	"$$$ make money fast scam-free guaranteed miracle-cure free-money $$$",
+	"WINNER WINNER jackpot gambling bonus code casino casino casino",
+}
+
+// Chinese sentence fragments (subject + predicate pools).
+var (
+	zhSubjects = []string{
+		"委员会", "研究人员", "学生", "工程师", "公司", "政府", "学校", "医生",
+		"作家", "科学家", "社区", "市场", "团队", "家庭", "读者", "教授",
+	}
+	zhVerbs = []string{
+		"发布了", "描述了", "解释了", "宣布了", "开发了", "创建了", "发现了",
+		"建立了", "分析了", "审查了", "改进了", "完成了", "展示了", "研究了",
+	}
+	zhObjects = []string{
+		"一份详细的报告", "一篇重要的文章", "一项新的研究", "一种有效的方法",
+		"一个有趣的结果", "一项完整的计划", "一个复杂的系统", "一个现代的模型",
+		"一套实用的方案", "一部地方的历史", "一项年度的调查", "一张清晰的图表",
+	}
+	zhTails = []string{
+		"这对社区非常重要", "人们对此表示欢迎", "专家认为影响深远",
+		"未来还需要更多工作", "结果令人满意", "过程经过仔细验证",
+	}
+)

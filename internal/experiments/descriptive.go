@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ops"
+	"repro/internal/quality"
+)
+
+// Table1 renders the operator-pool overview of the paper's Table 1 from
+// the live registry: per-category counts and the registered operators with
+// their usage tags. Unlike the other experiments this is descriptive — it
+// documents what the system ships rather than measuring behaviour.
+func Table1() string {
+	infos := ops.List()
+	byCat := map[ops.Category][]ops.Info{}
+	for _, info := range infos {
+		byCat[info.Category] = append(byCat[info.Category], info)
+	}
+	catOrder := []ops.Category{ops.CategoryMapper, ops.CategoryFilter, ops.CategoryDeduplicator}
+	catFunc := map[ops.Category]string{
+		ops.CategoryMapper:       "In-place text editing",
+		ops.CategoryFilter:       "Conditional text removing",
+		ops.CategoryDeduplicator: "Duplication removing",
+	}
+	var rows [][]string
+	rows = append(rows, []string{"formatter", "Data format unifying",
+		"jsonl, json, txt, md, csv, tsv, html, code files, hub:<name>, directories"})
+	for _, cat := range catOrder {
+		members := byCat[cat]
+		sort.Slice(members, func(i, j int) bool { return members[i].Name < members[j].Name })
+		names := make([]string, len(members))
+		for i, m := range members {
+			names[i] = m.Name
+		}
+		rows = append(rows, []string{
+			string(cat) + fmt.Sprintf(" (%d)", len(members)),
+			catFunc[cat],
+			joinWrapped(names, 3),
+		})
+	}
+	return "Table 1 — the operator pool (from the live registry)\n" +
+		table([]string{"category", "function", "operators"}, rows)
+}
+
+func joinWrapped(names []string, perLine int) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			if i%perLine == 0 {
+				out += ",\n"
+			} else {
+				out += ", "
+			}
+		}
+		out += n
+	}
+	return out
+}
+
+// Table6 renders the quality-classifier training configuration, matching
+// the layout of the paper's Table 6 with this repo's substitutions.
+func Table6() string {
+	rows := [][]string{
+		{string(quality.KindGPT3), "word tokenizer", "pareto",
+			"wiki + books (synthetic)", "web-en (synthetic CommonCrawl)"},
+		{string(quality.KindChinese), "char tokenizer", "label",
+			"clean web-zh", "noisy web-zh"},
+		{string(quality.KindCode), "identifier tokenizer", "label",
+			"code with stars >= 1372", "remaining code (label noise!)"},
+	}
+	return "Table 6 — quality classifier training configuration\n" +
+		table([]string{"classifier", "tokenizer", "keep method", "positive data", "negative data"}, rows)
+}

@@ -1,0 +1,144 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. 7) on the synthetic substrate. Each experiment returns
+// both structured results and a rendered table whose rows mirror the
+// paper's. Absolute numbers differ (the substrate is a simulator at
+// laptop scale); the experiments reproduce the paper's *shape*: who wins,
+// by roughly what factor, and where crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+
+	// The experiments execute recipes, so the full operator pool must be
+	// registered.
+	_ "repro/internal/ops/all"
+)
+
+// Scale sizes the experiments. Quick() is used by unit tests and CI;
+// Full() by the reporting benchmarks.
+type Scale struct {
+	// SourceDocs is the per-source document count for pre-training mixes.
+	SourceDocs int
+	// TokenUnit is the word-token budget standing in for "1B tokens" in
+	// the paper's axes.
+	TokenUnit int
+	// FinetunePool is the CFT candidate pool size.
+	FinetunePool int
+	// FinetunePick is the tuning-set size drawn from the pool.
+	FinetunePick int
+	// JudgePrompts is the pairwise-eval prompt count.
+	JudgePrompts int
+	// PerfDocs sizes the Figure 8/9 datasets (small, medium, large).
+	PerfDocs [3]int
+	// DistDocs sizes the Figure 10 datasets.
+	DistDocs int
+	// Seed is the master experiment seed.
+	Seed int64
+}
+
+// Quick returns the CI-sized scale.
+func Quick() Scale {
+	return Scale{
+		SourceDocs:   150,
+		TokenUnit:    400,
+		FinetunePool: 800,
+		FinetunePick: 300,
+		JudgePrompts: 160,
+		PerfDocs:     [3]int{60, 200, 600},
+		DistDocs:     600,
+		Seed:         20240611,
+	}
+}
+
+// Full returns the report-sized scale.
+func Full() Scale {
+	return Scale{
+		SourceDocs:   400,
+		TokenUnit:    1000,
+		FinetunePool: 2000,
+		FinetunePick: 500,
+		JudgePrompts: 240,
+		PerfDocs:     [3]int{150, 600, 2000},
+		DistDocs:     2000,
+		Seed:         20240611,
+	}
+}
+
+// rawSource generates one unprocessed corpus component.
+func rawSource(name string, docs int, seed int64) *dataset.Dataset {
+	d, err := corpus.Hub(name, docs, seed)
+	if err != nil {
+		panic(err) // names are compile-time constants below
+	}
+	return d
+}
+
+// refineSource runs a source through its built-in per-source recipe.
+func refineSource(recipeName, hubName string, docs int, seed int64, workDir string) (*dataset.Dataset, error) {
+	r, err := config.BuiltinRecipe(recipeName)
+	if err != nil {
+		return nil, err
+	}
+	r.UseCache = false
+	r.EnableTrace = false
+	r.WorkDir = workDir
+	exec, err := core.NewExecutor(r)
+	if err != nil {
+		return nil, err
+	}
+	out, _, err := exec.Run(rawSource(hubName, docs, seed))
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// table renders rows with a header; columns are padded to the widest cell.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+	"repro/internal/llm"
+	"repro/internal/sampler"
+)
+
+// PretrainMixes builds the three Figure 7 data recipes:
+//
+//   - "RedPajama": the raw web-heavy mix (web, c4, books),
+//   - "RedPajama+Pile": the raw mix extended with Pile-style sources
+//     (wiki, stackexchange, arxiv),
+//   - "Data-Juicer (RedPajama+Pile)": every source refined through its
+//     built-in per-source recipe before mixing.
+type PretrainMixes struct {
+	RedPajama *dataset.Dataset
+	WithPile  *dataset.Dataset
+	Refined   *dataset.Dataset
+}
+
+// BuildPretrainMixes assembles the three mixes at the given scale.
+func BuildPretrainMixes(s Scale) (*PretrainMixes, error) {
+	seed := s.Seed
+	n := s.SourceDocs
+	// Document counts are chosen so the TOKEN shares match the paper's
+	// Table 7: CommonCrawl + C4 carry roughly two thirds of the raw token
+	// mass (books documents are ~15x longer than web pages, hence the
+	// small doc counts). Raw mixes therefore spend most of their budget on
+	// noisy crawl text, exactly as RedPajama and the Pile do.
+	rp := dataset.Concat(
+		rawSource("web-en", n*12, seed+1),
+		rawSource("c4", n, seed+2),
+		rawSource("books", max(1, n/16), seed+3),
+	)
+	pile := dataset.Concat(
+		rp,
+		rawSource("wiki", n/4, seed+4),
+		rawSource("stackexchange", n/5, seed+5),
+		rawSource("arxiv", n/8, seed+6),
+	)
+
+	workDir, err := os.MkdirTemp("", "dj-pretrain-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(workDir)
+	type src struct {
+		recipe, hub string
+		docs        int
+		seed        int64
+	}
+	sources := []src{
+		{"pretrain-web-en", "web-en", n * 12, seed + 1},
+		{"pretrain-c4", "c4", n, seed + 2},
+		{"pretrain-books", "books", max(1, n/16), seed + 3},
+		{"pretrain-wiki", "wiki", n / 4, seed + 4},
+		{"pretrain-stackexchange", "stackexchange", n / 5, seed + 5},
+		{"pretrain-arxiv", "arxiv", n / 8, seed + 6},
+	}
+	var refined []*dataset.Dataset
+	byHub := map[string]*dataset.Dataset{}
+	for _, sc := range sources {
+		out, err := refineSource(sc.recipe, sc.hub, sc.docs, sc.seed, workDir)
+		if err != nil {
+			return nil, fmt.Errorf("refine %s: %w", sc.hub, err)
+		}
+		refined = append(refined, out)
+		byHub[sc.hub] = out
+	}
+	// Epoch up-weighting of high-quality corpora, exactly as the paper's
+	// recipe (Table 7): Books at 2 epochs, Wikipedia at 2.5.
+	refined = append(refined, byHub["books"]) // 2nd books epoch
+	wiki := byHub["wiki"]
+	refined = append(refined, wiki)                                     // 2nd wiki epoch
+	refined = append(refined, dataset.New(wiki.Samples[:wiki.Len()/2])) // half epoch
+	return &PretrainMixes{
+		RedPajama: rp,
+		WithPile:  pile,
+		Refined:   dataset.Concat(refined...),
+	}, nil
+}
+
+// Fig7Point is one (recipe, token-budget) evaluation.
+type Fig7Point struct {
+	Recipe string
+	Budget int // in TokenUnit multiples (the "B tokens" axis)
+	Score  float64
+}
+
+// Fig7Result holds the full pre-training quality curve.
+type Fig7Result struct {
+	Points []Fig7Point
+	Render string
+}
+
+// Fig7 reproduces Figure 7: average 16-task score vs pre-training token
+// budget for the three recipes. Expected shape: every curve rises with
+// tokens; the refined recipe dominates at every budget.
+func Fig7(s Scale) (*Fig7Result, error) {
+	mixes, err := BuildPretrainMixes(s)
+	if err != nil {
+		return nil, err
+	}
+	budgets := []int{50, 100, 150}
+	recipes := []struct {
+		name string
+		data *dataset.Dataset
+	}{
+		{"RedPajama", mixes.RedPajama},
+		{"RedPajama+Pile", mixes.WithPile},
+		{"RedPajama+Pile (Data-Juicer)", mixes.Refined},
+	}
+
+	suite := llm.NewSuite(s.Seed + 990_001)
+	anchor := llm.Pretrain("anchor", "RedPajama", mixes.RedPajama.Clone(),
+		llm.TrainConfig{TokenBudget: budgets[0] * s.TokenUnit, Seed: s.Seed})
+	suite.Calibrate(anchor)
+
+	res := &Fig7Result{}
+	rows := make(map[string][]string)
+	for _, rec := range recipes {
+		for _, b := range budgets {
+			m := llm.Pretrain(fmt.Sprintf("%s-%dB", rec.name, b), rec.name, rec.data.Clone(),
+				llm.TrainConfig{TokenBudget: b * s.TokenUnit, Seed: s.Seed})
+			sc, err := suite.Evaluate(m)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, Fig7Point{Recipe: rec.name, Budget: b, Score: sc.Average})
+			rows[rec.name] = append(rows[rec.name], fmt.Sprintf("%.2f", sc.Average))
+		}
+	}
+	var tableRows [][]string
+	for _, rec := range recipes {
+		tableRows = append(tableRows, append([]string{rec.name}, rows[rec.name]...))
+	}
+	res.Render = "Figure 7 — average score on 16 tasks vs pre-training tokens\n" +
+		table([]string{"recipe", "50 units", "100 units", "150 units"}, tableRows)
+	return res, nil
+}
+
+// Table2Row is one pre-trained model comparison row.
+type Table2Row struct {
+	Model  string
+	Data   string
+	Tokens string
+	Score  float64
+}
+
+// Table2Result reproduces Table 2 (and retains the evaluated score sets
+// for Table 9).
+type Table2Result struct {
+	Rows   []Table2Row
+	Render string
+	// Scores per model, for the per-task breakdown of Table 9.
+	AllScores []llm.Scores
+	TaskNames []string
+}
+
+// Table2 reproduces Table 2: baseline models trained on more raw tokens
+// vs the refined recipe at half the budget, plus IFT continuations.
+// Expected shape: Data-Juicer@150 beats Falcon@350 and Pythia@300; IFT
+// continuation helps; the refined IFT beats the raw IFT with ~1/3 data.
+func Table2(s Scale) (*Table2Result, error) {
+	mixes, err := BuildPretrainMixes(s)
+	if err != nil {
+		return nil, err
+	}
+	u := s.TokenUnit
+
+	// Baselines: Falcon-like (filtered web only, 350 units) and
+	// Pythia-like (raw Pile mix, 300 units).
+	refinedWeb := rawSource("c4", s.SourceDocs*2, s.Seed+41)
+	falcon := llm.Pretrain("Falcon-1.3B", "RefinedWeb", refinedWeb,
+		llm.TrainConfig{TokenBudget: 350 * u, Seed: s.Seed})
+	pythia := llm.Pretrain("Pythia-1.4B", "Pile", mixes.WithPile.Clone(),
+		llm.TrainConfig{TokenBudget: 300 * u, Seed: s.Seed})
+	dj := llm.Pretrain("LLaMA-1.3B (Data-Juicer)", "Data-Juicer (RedPajama+Pile)", mixes.Refined.Clone(),
+		llm.TrainConfig{TokenBudget: 150 * u, Seed: s.Seed})
+
+	// IFT continuations. The Alpaca-CoT collection is heterogeneous: only
+	// part of it is clean instruction data, the rest carries web-grade
+	// noise. The raw continuation spends its budget on the whole mix; the
+	// refined continuation (the Data-Juicer IFT recipe) filters to the
+	// clean subset and diversity-samples it, using ~1/3 the token volume
+	// (the paper's 15B vs 4.7B).
+	cleanIFT := rawSource("ift-en", s.FinetunePool/3, s.Seed+42)
+	noisyIFT := corpus.NoisifyDataset(
+		rawSource("ift-en", s.FinetunePool*2/3, s.Seed+46), 1.4, s.Seed+47)
+	iftRaw := dataset.Concat(cleanIFT, noisyIFT)
+	djIFT := llm.Pretrain("+ Alpaca-CoT-IFT", "Data-Juicer (RedPajama+Pile)", mixes.Refined.Clone(),
+		llm.TrainConfig{TokenBudget: 150 * u, Seed: s.Seed})
+	djIFT.ContinueTraining(iftRaw, 15*u, s.Seed+43)
+
+	iftRefined := sampler.Diversity(cleanIFT, cleanIFT.Len(), s.Seed+44)
+	djIFTRefined := llm.Pretrain("+ Our Refined IFT", "Data-Juicer (RedPajama+Pile)", mixes.Refined.Clone(),
+		llm.TrainConfig{TokenBudget: 150 * u, Seed: s.Seed})
+	djIFTRefined.ContinueTraining(iftRefined, 5*u, s.Seed+45)
+
+	suite := llm.NewSuite(s.Seed + 990_002)
+	suite.Calibrate(pythia)
+
+	models := []*llm.ReferenceModel{falcon, pythia, dj, djIFT, djIFTRefined}
+	tokensCol := []string{
+		fmt.Sprintf("%d units", 350),
+		fmt.Sprintf("%d units", 300),
+		fmt.Sprintf("%d units", 150),
+		fmt.Sprintf("150 + 15 units"),
+		fmt.Sprintf("150 + 5 units"),
+	}
+	res := &Table2Result{TaskNames: suite.TaskNames()}
+	var rows [][]string
+	for i, m := range models {
+		sc, err := suite.Evaluate(m)
+		if err != nil {
+			return nil, err
+		}
+		res.AllScores = append(res.AllScores, sc)
+		res.Rows = append(res.Rows, Table2Row{Model: m.Name, Data: m.DataNote, Tokens: tokensCol[i], Score: sc.Average})
+		rows = append(rows, []string{m.Name, m.DataNote, tokensCol[i], fmt.Sprintf("%.2f", sc.Average)})
+	}
+	res.Render = "Table 2 — average score of pre-trained models on the 16-task suite\n" +
+		table([]string{"model", "training data", "#tokens", "score"}, rows)
+	return res, nil
+}
+
+// Table9 renders the per-task breakdown of the Table 2 models.
+func Table9(t2 *Table2Result) string {
+	return "Table 9 — per-task scores of the Table 2 models\n" +
+		llm.RenderScores(t2.TaskNames, t2.AllScores)
+}

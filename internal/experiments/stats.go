@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/tokenizer"
+)
+
+// Table7Row is one pre-training component with its token statistics.
+type Table7Row struct {
+	Component  string
+	Tokens     int
+	Proportion float64
+}
+
+// Table7Result reproduces the pre-training recipe statistics.
+type Table7Result struct {
+	Rows   []Table7Row
+	Render string
+}
+
+// Table7 reproduces Table 7: per-component subword token counts of the
+// refined pre-training mix and their sampling proportions, with Books at
+// 2 epochs and Wikipedia at 2.5 (the paper's up-weighting of high-quality
+// corpora). Tokens are counted with the trained BPE tokenizer, standing
+// in for the SentencePiece tokenizer of GPT-NeoX.
+func Table7(s Scale) (*Table7Result, error) {
+	components := []struct {
+		name, hub string
+		docs      int
+		epochs    float64
+	}{
+		{"CommonCrawl", "web-en", s.SourceDocs * 2, 1},
+		{"C4", "c4", s.SourceDocs, 1},
+		{"GitHub", "code", s.SourceDocs / 2, 1},
+		{"Books", "books", s.SourceDocs / 4, 2},
+		{"Wikipedia", "wiki", s.SourceDocs / 2, 2.5},
+		{"arXiv", "arxiv", s.SourceDocs / 4, 1},
+		{"StackExchange", "stackexchange", s.SourceDocs / 2, 1},
+	}
+
+	// Train the tokenizer on a slice of the mix.
+	var trainTexts []string
+	for _, c := range components {
+		d := rawSource(c.hub, min(40, c.docs), s.Seed+int64(100))
+		for _, smp := range d.Samples {
+			trainTexts = append(trainTexts, smp.Text)
+		}
+	}
+	bpe := tokenizer.Train(trainTexts, 400)
+
+	res := &Table7Result{}
+	var weighted float64
+	for _, c := range components {
+		d := rawSource(c.hub, c.docs, s.Seed+101)
+		tokens := 0
+		for _, smp := range d.Samples {
+			tokens += bpe.CountTokens(smp.Text)
+		}
+		res.Rows = append(res.Rows, Table7Row{Component: c.name, Tokens: tokens})
+		weighted += float64(tokens) * c.epochs
+	}
+	for i, c := range components {
+		res.Rows[i].Proportion = float64(res.Rows[i].Tokens) * c.epochs / weighted
+	}
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Tokens > res.Rows[j].Tokens })
+
+	var rows [][]string
+	for _, r := range res.Rows {
+		rows = append(rows, []string{
+			r.Component, fmt.Sprint(r.Tokens), fmt.Sprintf("%.2f%%", r.Proportion*100),
+		})
+	}
+	res.Render = "Table 7 — pre-training data statistics (BPE tokens)\n" +
+		table([]string{"component", "#tokens", "sampling prop."}, rows)
+	return res, nil
+}
+
+// Table8Result reproduces the fine-tuning collection census.
+type Table8Result struct {
+	Counts map[string]map[string]int
+	Render string
+}
+
+// Table8 reproduces Table 8: the tag census over a synthetic Alpaca-CoT
+// style collection of 39 datasets, each carrying language / usage / task /
+// generation-method tags (with usage being the tag set Data-Juicer adds).
+func Table8(s Scale) (*Table8Result, error) {
+	rng := rand.New(rand.NewSource(s.Seed + 111))
+	type ds struct {
+		lang, usage, task, gen string
+	}
+	langs := []string{"English", "Chinese", "Multilingual"}
+	langW := []float64{0.62, 0.31, 0.07}
+	usages := []string{"Instruct Fine-Tuning (IFT)", "CFT: Single-Round Dialog", "CFT: Multi-Round Dialog", "CFT: Preference"}
+	usageW := []float64{0.36, 0.49, 0.05, 0.10}
+	tasks := []string{"Multi-Task", "Task-Specific"}
+	taskW := []float64{0.67, 0.33}
+	gens := []string{"Human-Generated", "Self-Instruct", "Mixed", "Collection of Datasets"}
+	genW := []float64{0.08, 0.31, 0.13, 0.48}
+	weightedPick := func(opts []string, w []float64) string {
+		r := rng.Float64()
+		acc := 0.0
+		for i, p := range w {
+			acc += p
+			if r <= acc {
+				return opts[i]
+			}
+		}
+		return opts[len(opts)-1]
+	}
+	const nDatasets = 39
+	var all []ds
+	for i := 0; i < nDatasets; i++ {
+		all = append(all, ds{
+			lang:  weightedPick(langs, langW),
+			usage: weightedPick(usages, usageW),
+			task:  weightedPick(tasks, taskW),
+			gen:   weightedPick(gens, genW),
+		})
+	}
+	counts := map[string]map[string]int{
+		"Language": {}, "Usage": {}, "Task Type": {}, "Generation Method": {},
+	}
+	for _, d := range all {
+		counts["Language"][d.lang]++
+		counts["Usage"][d.usage]++
+		counts["Task Type"][d.task]++
+		counts["Generation Method"][d.gen]++
+	}
+	var rows [][]string
+	for _, cat := range []string{"Language", "Usage", "Task Type", "Generation Method"} {
+		subs := make([]string, 0, len(counts[cat]))
+		for sub := range counts[cat] {
+			subs = append(subs, sub)
+		}
+		sort.Slice(subs, func(i, j int) bool { return counts[cat][subs[i]] > counts[cat][subs[j]] })
+		for _, sub := range subs {
+			rows = append(rows, []string{cat, sub, fmt.Sprint(counts[cat][sub])})
+		}
+	}
+	return &Table8Result{
+		Counts: counts,
+		Render: fmt.Sprintf("Table 8 — fine-tuning collection census (%d datasets)\n", nDatasets) +
+			table([]string{"category", "sub-category", "#datasets"}, rows),
+	}, nil
+}

@@ -1,0 +1,362 @@
+// Package format implements the Formatter layer of Table 1: loading and
+// unifying heterogeneous inputs — JSONL, JSON, txt, csv/tsv, markdown,
+// HTML, source code files, directories of any of those, and the "hub:"
+// scheme resolving to the built-in synthetic corpora — into the unified
+// sample representation, plus dataset export.
+package format
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+	"repro/internal/sample"
+	"repro/internal/text"
+)
+
+// codeSuffixes are loaded as code documents with meta.suffix set.
+var codeSuffixes = map[string]bool{
+	".py": true, ".go": true, ".js": true, ".java": true, ".cpp": true,
+	".c": true, ".h": true, ".rs": true, ".rb": true, ".ts": true,
+}
+
+// Load resolves a dataset spec:
+//
+//   - "hub:<name>" or "hub:<name>?docs=N&seed=S" → built-in synthetic
+//     corpus (see corpus.HubNames)
+//   - a file path → loaded according to its extension
+//   - a directory → every supported file inside, merged in sorted order
+func Load(spec string) (*dataset.Dataset, error) {
+	if rest, ok := strings.CutPrefix(spec, "hub:"); ok {
+		return loadHub(rest)
+	}
+	info, err := os.Stat(spec)
+	if err != nil {
+		return nil, fmt.Errorf("format: %w", err)
+	}
+	if info.IsDir() {
+		return loadDir(spec)
+	}
+	return loadFile(spec)
+}
+
+func loadHub(rest string) (*dataset.Dataset, error) {
+	name := rest
+	docs, seed := 0, int64(0)
+	if i := strings.IndexByte(rest, '?'); i >= 0 {
+		name = rest[:i]
+		q, err := url.ParseQuery(rest[i+1:])
+		if err != nil {
+			return nil, fmt.Errorf("format: hub query: %w", err)
+		}
+		if v := q.Get("docs"); v != "" {
+			docs, err = strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("format: hub docs: %w", err)
+			}
+		}
+		if v := q.Get("seed"); v != "" {
+			s, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("format: hub seed: %w", err)
+			}
+			seed = s
+		}
+	}
+	return corpus.Hub(name, docs, seed)
+}
+
+func loadDir(dir string) (*dataset.Dataset, error) {
+	var files []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		if supported(strings.ToLower(filepath.Ext(path))) {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	var parts []*dataset.Dataset
+	for _, f := range files {
+		d, err := loadFile(f)
+		if err != nil {
+			return nil, fmt.Errorf("format: %s: %w", f, err)
+		}
+		parts = append(parts, d)
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("format: no supported files under %s", dir)
+	}
+	return dataset.Concat(parts...), nil
+}
+
+func supported(ext string) bool {
+	switch ext {
+	case ".jsonl", ".json", ".txt", ".md", ".csv", ".tsv", ".html", ".htm":
+		return true
+	}
+	return codeSuffixes[ext]
+}
+
+func loadFile(path string) (*dataset.Dataset, error) {
+	ext := strings.ToLower(filepath.Ext(path))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	switch ext {
+	case ".jsonl":
+		return loadJSONL(raw)
+	case ".json":
+		return loadJSON(raw)
+	case ".csv":
+		return loadCSV(raw, ',')
+	case ".tsv":
+		return loadCSV(raw, '\t')
+	case ".html", ".htm":
+		s := sample.New(text.StripHTML(string(raw)))
+		s.SetString("meta.file", filepath.Base(path))
+		return dataset.New([]*sample.Sample{s}), nil
+	case ".txt", ".md":
+		s := sample.New(string(raw))
+		s.SetString("meta.file", filepath.Base(path))
+		return dataset.New([]*sample.Sample{s}), nil
+	}
+	if codeSuffixes[ext] {
+		s := sample.New(string(raw))
+		s.SetString("meta.file", filepath.Base(path))
+		s.SetString("meta.suffix", ext)
+		return dataset.New([]*sample.Sample{s}), nil
+	}
+	return nil, fmt.Errorf("format: unsupported file type %q", ext)
+}
+
+// loadJSONL accepts both native sample objects and foreign JSONL: any
+// object with a "text" (or "content") field; remaining top-level fields
+// are folded into meta.
+func loadJSONL(raw []byte) (*dataset.Dataset, error) {
+	var samples []*sample.Sample
+	lineNo := 0
+	for _, line := range strings.Split(string(raw), "\n") {
+		lineNo++
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		s, err := sampleFromJSONObject([]byte(line))
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples = append(samples, s)
+	}
+	return dataset.New(samples), nil
+}
+
+func loadJSON(raw []byte) (*dataset.Dataset, error) {
+	trimmed := strings.TrimSpace(string(raw))
+	if strings.HasPrefix(trimmed, "[") {
+		var items []json.RawMessage
+		if err := json.Unmarshal(raw, &items); err != nil {
+			return nil, err
+		}
+		samples := make([]*sample.Sample, 0, len(items))
+		for i, item := range items {
+			s, err := sampleFromJSONObject(item)
+			if err != nil {
+				return nil, fmt.Errorf("item %d: %w", i, err)
+			}
+			samples = append(samples, s)
+		}
+		return dataset.New(samples), nil
+	}
+	s, err := sampleFromJSONObject(raw)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.New([]*sample.Sample{s}), nil
+}
+
+// sampleFromJSONObject unifies one JSON object into a sample.
+func sampleFromJSONObject(raw []byte) (*sample.Sample, error) {
+	var obj map[string]any
+	if err := json.Unmarshal(raw, &obj); err != nil {
+		return nil, err
+	}
+	s := &sample.Sample{}
+	for key, v := range obj {
+		switch key {
+		case "text", "content":
+			switch tv := v.(type) {
+			case string:
+				s.Text = tv
+			case map[string]any:
+				// Nested text parts: {"text": {"body": ..., "abstract": ...}}
+				for part, pv := range tv {
+					str, _ := pv.(string)
+					if part == "body" || part == "main" {
+						s.Text = str
+						continue
+					}
+					if s.Parts == nil {
+						s.Parts = map[string]string{}
+					}
+					s.Parts[part] = str
+				}
+			}
+		case "parts":
+			if m, ok := v.(map[string]any); ok {
+				for part, pv := range m {
+					if str, ok := pv.(string); ok {
+						if s.Parts == nil {
+							s.Parts = map[string]string{}
+						}
+						s.Parts[part] = str
+					}
+				}
+			}
+		case "meta":
+			if m, ok := v.(map[string]any); ok {
+				for k, mv := range m {
+					s.Meta = s.Meta.Set(k, mv)
+				}
+			}
+		case "stats":
+			if m, ok := v.(map[string]any); ok {
+				for k, sv := range m {
+					s.Stats = s.Stats.Set(k, sv)
+				}
+			}
+		default:
+			// Foreign fields become metadata.
+			s.Meta = s.Meta.Set(key, v)
+		}
+	}
+	return s, nil
+}
+
+// loadCSV maps a header row to sample fields: the "text" (or first)
+// column becomes the text, others become meta.
+func loadCSV(raw []byte, sep rune) (*dataset.Dataset, error) {
+	r := csv.NewReader(strings.NewReader(string(raw)))
+	r.Comma = sep
+	r.FieldsPerRecord = -1
+	rows, err := r.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return dataset.New(nil), nil
+	}
+	header := rows[0]
+	textCol := 0
+	for i, h := range header {
+		if strings.EqualFold(strings.TrimSpace(h), "text") {
+			textCol = i
+			break
+		}
+	}
+	samples := make([]*sample.Sample, 0, len(rows)-1)
+	for _, row := range rows[1:] {
+		s := &sample.Sample{}
+		for i, cell := range row {
+			if i >= len(header) {
+				break
+			}
+			if i == textCol {
+				s.Text = cell
+				continue
+			}
+			s.Meta = s.Meta.Set(strings.TrimSpace(header[i]), cell)
+		}
+		samples = append(samples, s)
+	}
+	return dataset.New(samples), nil
+}
+
+// Export writes the dataset to path according to its extension: .jsonl
+// (native, lossless), .json (array), or .txt (text only, blank-line
+// separated).
+func Export(d *dataset.Dataset, path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".jsonl":
+		return d.SaveJSONL(path)
+	case ".json":
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(d.Samples)
+	case ".txt":
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		for i, s := range d.Samples {
+			if i > 0 {
+				if _, err := f.WriteString("\n\n"); err != nil {
+					return err
+				}
+			}
+			if _, err := f.WriteString(s.Text); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("format: unsupported export type for %q", path)
+}
+
+// ExportSharded writes the dataset as numbered JSONL shard files
+// (path-00000-of-NNNNN.jsonl), each holding at most shardSize samples —
+// the multi-file delivery format large processed corpora ship in. It
+// returns the written file paths.
+func ExportSharded(d *dataset.Dataset, pathPrefix string, shardSize int) ([]string, error) {
+	if shardSize <= 0 {
+		return nil, fmt.Errorf("format: shard size must be positive")
+	}
+	if err := os.MkdirAll(filepath.Dir(pathPrefix), 0o755); err != nil {
+		return nil, err
+	}
+	nShards := (d.Len() + shardSize - 1) / shardSize
+	if nShards == 0 {
+		nShards = 1
+	}
+	var paths []string
+	for i := 0; i < nShards; i++ {
+		lo := i * shardSize
+		hi := lo + shardSize
+		if hi > d.Len() {
+			hi = d.Len()
+		}
+		shard := dataset.New(d.Samples[lo:hi])
+		path := fmt.Sprintf("%s-%05d-of-%05d.jsonl", pathPrefix, i, nShards)
+		if err := shard.SaveJSONL(path); err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

@@ -1,0 +1,248 @@
+package llm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/text"
+)
+
+// Task is one benchmark in the HELM-16 stand-in suite. Its eval set is
+// held-out synthetic text; a model's score is a monotone map of its
+// cross-entropy on that text into the task's plausible score range.
+type Task struct {
+	// Name matches the paper's Table 9 task names.
+	Name string
+	// Floor and Ceil bound the reported score range.
+	Floor, Ceil float64
+	// Instructional tasks use instruction-formatted eval text, so models
+	// whose training mixed in IFT data score higher on them (the Table 9
+	// IFT-continuation effect).
+	Instructional bool
+	// Width shapes the cross-entropy → score sigmoid (bits per unit).
+	Width float64
+
+	evalWords [][]string
+	// ceMid is the sigmoid midpoint, set by Suite.Calibrate.
+	ceMid float64
+}
+
+// Suite is the 16-task evaluation suite.
+type Suite struct {
+	Tasks      []*Task
+	calibrated bool
+}
+
+// taskSpec defines the suite layout: names and score ranges follow the
+// shape of the paper's Table 9.
+var taskSpecs = []struct {
+	name          string
+	floor, ceil   float64
+	instructional bool
+	topicBias     int // dominant topic index for the task's eval set
+}{
+	{"MMLU", 22, 30, false, 1},
+	{"BoolQ", 40, 62, true, 9},
+	{"NarrativeQA", 25, 52, true, 6},
+	{"NaturalQuestions (closed-book)", 7, 14, false, 0},
+	{"NaturalQuestions (open-book)", 38, 57, true, 0},
+	{"QuAC", 17, 29, false, 9},
+	{"HellaSwag", 42, 62, false, 3},
+	{"OpenbookQA", 28, 46, false, 1},
+	{"TruthfulQA", 22, 36, false, 10},
+	{"MS MARCO (regular)", 7, 16, false, 4},
+	{"MS MARCO (TREC)", 18, 31, false, 4},
+	{"IMDB", 55, 87, false, 7},
+	{"XSUM", 3, 8, false, 2},
+	{"CNN/DailyMail", 3, 12, true, 2},
+	{"CivilComments", 44, 52, false, 11},
+	{"RAFT", 38, 51, true, 5},
+}
+
+// NewSuite builds the suite with held-out eval sets derived from seed.
+// Use a seed disjoint from every training corpus seed.
+func NewSuite(seed int64) *Suite {
+	s := &Suite{}
+	for i, spec := range taskSpecs {
+		t := &Task{
+			Name:          spec.name,
+			Floor:         spec.floor,
+			Ceil:          spec.ceil,
+			Instructional: spec.instructional,
+			Width:         0.6,
+		}
+		t.evalWords = buildEvalSet(seed+int64(i)*101, spec.instructional)
+		s.Tasks = append(s.Tasks, t)
+	}
+	return s
+}
+
+// buildEvalSet generates clean held-out eval documents; instructional
+// tasks draw from the instruction-formatted corpus.
+func buildEvalSet(seed int64, instructional bool) [][]string {
+	var texts []string
+	if instructional {
+		d := corpus.IFT(corpus.Options{Docs: 30, Seed: seed})
+		for _, smp := range d.Samples {
+			texts = append(texts, smp.Text)
+		}
+	} else {
+		d := corpus.Wiki(corpus.Options{Docs: 20, Seed: seed})
+		for _, smp := range d.Samples {
+			texts = append(texts, smp.Text)
+		}
+		b := corpus.Books(corpus.Options{Docs: 5, Seed: seed + 7})
+		for _, smp := range b.Samples {
+			texts = append(texts, smp.Text)
+		}
+	}
+	out := make([][]string, 0, len(texts))
+	for _, t := range texts {
+		words := text.WordsLower(t)
+		if len(words) > 400 {
+			words = words[:400]
+		}
+		out = append(out, words)
+	}
+	return out
+}
+
+// crossEntropy averages the model's bits-per-token over the task's eval
+// documents.
+func (t *Task) crossEntropy(m *ReferenceModel) float64 {
+	var total float64
+	n := 0
+	for _, words := range t.evalWords {
+		ce := m.LM.CrossEntropyWords(words)
+		if math.IsInf(ce, 1) {
+			ce = 30 // untrained model: bottom of the scale
+		}
+		total += ce
+		n++
+	}
+	if n == 0 {
+		return 30
+	}
+	return total / float64(n)
+}
+
+// Calibrate anchors every task's score midpoint to a reference model
+// (typically the weakest baseline): the anchor lands slightly below the
+// middle of each score range, and better models rise above it. Without
+// calibration absolute cross-entropies would depend on corpus scale.
+func (s *Suite) Calibrate(anchor *ReferenceModel) {
+	for _, t := range s.Tasks {
+		t.ceMid = t.crossEntropy(anchor) - 0.05
+	}
+	s.calibrated = true
+}
+
+// Scores holds per-task scores and their average — one leaderboard row.
+type Scores struct {
+	Model   string
+	PerTask map[string]float64
+	Average float64
+}
+
+// Evaluate scores a model on every task. Calibrate must be called first.
+func (s *Suite) Evaluate(m *ReferenceModel) (Scores, error) {
+	if !s.calibrated {
+		return Scores{}, fmt.Errorf("llm: suite not calibrated; call Calibrate first")
+	}
+	out := Scores{Model: m.Name, PerTask: make(map[string]float64, len(s.Tasks))}
+	var sum float64
+	for _, t := range s.Tasks {
+		ce := t.crossEntropy(m)
+		skill := sigmoid((t.ceMid - ce) / t.Width)
+		score := t.Floor + (t.Ceil-t.Floor)*skill
+		score = math.Round(score*10) / 10
+		out.PerTask[t.Name] = score
+		sum += score
+	}
+	out.Average = math.Round(sum/float64(len(s.Tasks))*100) / 100
+	return out, nil
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// TaskNames lists the suite's tasks in definition order.
+func (s *Suite) TaskNames() []string {
+	names := make([]string, len(s.Tasks))
+	for i, t := range s.Tasks {
+		names[i] = t.Name
+	}
+	return names
+}
+
+// RenderScores renders a per-task comparison table (Table 9 layout) for
+// several models.
+func RenderScores(taskNames []string, all []Scores) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s", "Task")
+	for _, sc := range all {
+		fmt.Fprintf(&b, " %16s", clipName(sc.Model, 16))
+	}
+	b.WriteByte('\n')
+	for _, task := range taskNames {
+		fmt.Fprintf(&b, "%-34s", task)
+		for _, sc := range all {
+			fmt.Fprintf(&b, " %16.1f", sc.PerTask[task])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-34s", "Average")
+	for _, sc := range all {
+		fmt.Fprintf(&b, " %16.2f", sc.Average)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func clipName(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// RankAverage computes leaderboard-style rank averaging across models:
+// for each task, models are ranked (1 = best); the returned map holds the
+// mean rank per model (lower is better). This is one of the consolidation
+// strategies of Sec. 4.3.
+func RankAverage(all []Scores) map[string]float64 {
+	if len(all) == 0 {
+		return nil
+	}
+	ranksum := make(map[string]float64, len(all))
+	var tasks []string
+	for t := range all[0].PerTask {
+		tasks = append(tasks, t)
+	}
+	sort.Strings(tasks)
+	for _, task := range tasks {
+		type ms struct {
+			model string
+			score float64
+		}
+		row := make([]ms, 0, len(all))
+		for _, sc := range all {
+			row = append(row, ms{sc.Model, sc.PerTask[task]})
+		}
+		sort.Slice(row, func(i, j int) bool {
+			if row[i].score != row[j].score {
+				return row[i].score > row[j].score
+			}
+			return row[i].model < row[j].model
+		})
+		for rank, r := range row {
+			ranksum[r.model] += float64(rank + 1)
+		}
+	}
+	for m := range ranksum {
+		ranksum[m] /= float64(len(tasks))
+	}
+	return ranksum
+}

@@ -1,0 +1,196 @@
+package llm
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+)
+
+// corpusIFT indirection keeps judge.go free of a direct corpus import
+// knot and centralizes the held-out prompt source.
+func corpusIFT(n int, seed int64) *dataset.Dataset {
+	return corpus.IFT(corpus.Options{Docs: n, Seed: seed})
+}
+
+// Entry is one leaderboard row: a model, its data provenance, and its
+// evaluation results.
+type Entry struct {
+	Model       string  `json:"model"`
+	Data        string  `json:"data"`
+	TrainTokens int     `json:"train_tokens"`
+	Average     float64 `json:"average"`
+	// PerTask holds the individual task scores.
+	PerTask map[string]float64 `json:"per_task"`
+}
+
+// Leaderboard consolidates evaluation results (Sec. 4.3): entries are
+// ranked by average score, with rank-averaging available as an
+// alternative strategy.
+type Leaderboard struct {
+	entries []Entry
+}
+
+// Add records an entry.
+func (l *Leaderboard) Add(e Entry) { l.entries = append(l.entries, e) }
+
+// AddScores records a model's Scores with provenance.
+func (l *Leaderboard) AddScores(sc Scores, dataNote string, tokens int) {
+	l.Add(Entry{
+		Model: sc.Model, Data: dataNote, TrainTokens: tokens,
+		Average: sc.Average, PerTask: sc.PerTask,
+	})
+}
+
+// Entries returns rows sorted by average score, best first.
+func (l *Leaderboard) Entries() []Entry {
+	out := append([]Entry(nil), l.entries...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Average != out[j].Average {
+			return out[i].Average > out[j].Average
+		}
+		return out[i].Model < out[j].Model
+	})
+	return out
+}
+
+// Render draws the leaderboard as a table.
+func (l *Leaderboard) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-28s %-34s %12s %8s\n", "#", "model", "training data", "#tokens", "score")
+	for i, e := range l.Entries() {
+		fmt.Fprintf(&b, "%-4d %-28s %-34s %12d %8.2f\n", i+1, e.Model, e.Data, e.TrainTokens, e.Average)
+	}
+	return b.String()
+}
+
+// Registry persists reference models' provenance and results on disk —
+// the paper's reference-model store binding checkpoints to traceable
+// training data and evaluation results.
+type Registry struct {
+	dir string
+}
+
+// NewRegistry opens (creating if needed) a registry directory.
+func NewRegistry(dir string) (*Registry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Registry{dir: dir}, nil
+}
+
+// Register stores an entry under its model name.
+func (r *Registry) Register(e Entry) error {
+	raw, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	name := strings.Map(func(c rune) rune {
+		if c == '/' || c == ' ' {
+			return '_'
+		}
+		return c
+	}, e.Model)
+	return os.WriteFile(filepath.Join(r.dir, name+".json"), raw, 0o644)
+}
+
+// Lookup loads an entry by model name.
+func (r *Registry) Lookup(model string) (Entry, bool, error) {
+	name := strings.Map(func(c rune) rune {
+		if c == '/' || c == ' ' {
+			return '_'
+		}
+		return c
+	}, model)
+	raw, err := os.ReadFile(filepath.Join(r.dir, name+".json"))
+	if os.IsNotExist(err) {
+		return Entry{}, false, nil
+	}
+	if err != nil {
+		return Entry{}, false, err
+	}
+	var e Entry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return Entry{}, false, err
+	}
+	return e, true, nil
+}
+
+// List returns all registered entries sorted by average, best first.
+func (r *Registry) List() ([]Entry, error) {
+	files, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for _, f := range files {
+		if !strings.HasSuffix(f.Name(), ".json") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(r.dir, f.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var e Entry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Average > out[j].Average })
+	return out, nil
+}
+
+// NormalizedAverage consolidates scores by per-task min-max normalization
+// before averaging — the "score-normalized averaging" strategy of
+// Sec. 4.3, which keeps wide-range tasks (e.g. IMDB) from dominating the
+// plain mean. Returns a normalized score in [0, 1] per model.
+func NormalizedAverage(all []Scores) map[string]float64 {
+	if len(all) == 0 {
+		return nil
+	}
+	mins := map[string]float64{}
+	maxs := map[string]float64{}
+	for task := range all[0].PerTask {
+		mins[task] = all[0].PerTask[task]
+		maxs[task] = all[0].PerTask[task]
+	}
+	for _, sc := range all[1:] {
+		for task, v := range sc.PerTask {
+			if v < mins[task] {
+				mins[task] = v
+			}
+			if v > maxs[task] {
+				maxs[task] = v
+			}
+		}
+	}
+	out := make(map[string]float64, len(all))
+	for _, sc := range all {
+		var sum float64
+		n := 0
+		for task, v := range sc.PerTask {
+			span := maxs[task] - mins[task]
+			if span > 0 {
+				sum += (v - mins[task]) / span
+			} else {
+				sum += 0.5
+			}
+			n++
+		}
+		if n > 0 {
+			out[sc.Model] = sum / float64(n)
+		}
+	}
+	return out
+}
+
+// corpusCFTZH is the held-out Chinese prompt source for the judge.
+func corpusCFTZH(n int, seed int64) *dataset.Dataset {
+	return corpus.CFT(corpus.Options{Docs: n, Seed: seed}, "ZH")
+}

@@ -1,0 +1,118 @@
+// Package llm is the LLM-ecosystem stand-in of Sec. 4.3: "pre-training"
+// trains an n-gram reference model on a recipe's token stream,
+// "evaluation" scores it on a 16-task held-out suite (the HELM-16
+// substitute), a pairwise judge replaces GPT-4 scoring for fine-tuned
+// models, and a leaderboard plus reference-model registry closes the
+// feedback loop.
+//
+// The substitution preserves the property the experiments rely on:
+// cleaner, more diverse training data genuinely lowers held-out
+// cross-entropy of the reference model on clean eval sets, so recipe
+// quality orderings emerge from the mechanism rather than being wired in.
+package llm
+
+import (
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/lm"
+	"repro/internal/text"
+)
+
+// ReferenceModel is a trained reference model bound to its traceable
+// training provenance, as in the paper's reference-model concept.
+type ReferenceModel struct {
+	// Name identifies the model on the leaderboard.
+	Name string
+	// LM is the underlying n-gram model.
+	LM *lm.Model
+	// TrainTokens is the number of word tokens consumed in training.
+	TrainTokens int
+	// DataNote describes the recipe/data provenance.
+	DataNote string
+	// Epochs is how many passes over the data the budget implied.
+	Epochs float64
+}
+
+// TrainConfig controls reference-model pre-training.
+type TrainConfig struct {
+	// TokenBudget is the number of word tokens to consume; documents are
+	// revisited in additional epochs if the dataset is smaller than the
+	// budget (the paper's epoch-weighting for high-quality corpora).
+	TokenBudget int
+	// Order is the n-gram order (default 3).
+	Order int
+	// Seed drives document shuffling between epochs.
+	Seed int64
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Order == 0 {
+		c.Order = 3
+	}
+	if c.TokenBudget == 0 {
+		c.TokenBudget = 100_000
+	}
+	return c
+}
+
+// Pretrain trains a reference model on the dataset under a token budget.
+func Pretrain(name, dataNote string, d *dataset.Dataset, cfg TrainConfig) *ReferenceModel {
+	cfg = cfg.withDefaults()
+	m := &ReferenceModel{
+		Name:     name,
+		LM:       lm.NewModel(cfg.Order),
+		DataNote: dataNote,
+	}
+	m.continueTraining(d, cfg.TokenBudget, cfg.Seed)
+	return m
+}
+
+// ContinueTraining extends a model's training with more data (the paper's
+// continuous training with IFT data folded into pre-training, Table 2).
+func (m *ReferenceModel) ContinueTraining(d *dataset.Dataset, extraBudget int, seed int64) {
+	m.continueTraining(d, extraBudget, seed)
+}
+
+func (m *ReferenceModel) continueTraining(d *dataset.Dataset, budget int, seed int64) {
+	if d.Len() == 0 || budget <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(d.Len())
+	consumed := 0
+	epochs := 0.0
+	for consumed < budget {
+		for _, idx := range order {
+			if consumed >= budget {
+				break
+			}
+			words := text.WordsLower(d.Samples[idx].Text)
+			if len(words) == 0 {
+				continue
+			}
+			if remaining := budget - consumed; len(words) > remaining {
+				words = words[:remaining]
+			}
+			m.LM.TrainWords(words)
+			consumed += len(words)
+		}
+		epochs++
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		// A dataset with no trainable words at all would spin forever.
+		if consumed == 0 {
+			break
+		}
+	}
+	m.TrainTokens += consumed
+	m.Epochs += epochs
+}
+
+// TotalWordTokens counts word tokens in a dataset (used to size budgets).
+func TotalWordTokens(d *dataset.Dataset) int {
+	total := 0
+	for _, s := range d.Samples {
+		total += len(text.Words(s.Text))
+	}
+	return total
+}

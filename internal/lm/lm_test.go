@@ -1,0 +1,163 @@
+package lm
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/text"
+)
+
+var trainDocs = []string{
+	"the committee published a detailed report about the new research program",
+	"the researcher described a careful study about the local economy",
+	"the teacher explained the important lesson about the national history",
+	"the engineer designed a modern system for the regional market",
+	"the writer created an interesting story about the quiet village",
+	"the scientist analyzed the recent experiment about the forest climate",
+	"the student reviewed the annual survey about the public library",
+	"the company announced a practical plan for the private museum",
+}
+
+func trainedModel(order int) *Model {
+	m := NewModel(order)
+	for _, d := range trainDocs {
+		m.TrainWords(text.WordsLower(d))
+	}
+	return m
+}
+
+func TestTrainingAccumulates(t *testing.T) {
+	m := trainedModel(3)
+	if m.TokensSeen() == 0 || m.VocabSize() == 0 {
+		t.Fatalf("tokens=%d vocab=%d", m.TokensSeen(), m.VocabSize())
+	}
+	if m.Order() != 3 {
+		t.Fatalf("order = %d", m.Order())
+	}
+}
+
+func TestPerplexityInDomainVsOut(t *testing.T) {
+	m := trainedModel(3)
+	inDomain := text.WordsLower("the committee published a detailed report about the local economy")
+	outDomain := text.WordsLower("zqx vbn wpk jjr qqq lmn zzz kkw pqr xyz nnm ghj")
+	pplIn := m.PerplexityWords(inDomain)
+	pplOut := m.PerplexityWords(outDomain)
+	if !(pplIn < pplOut) {
+		t.Fatalf("in-domain ppl %v must be < out-of-domain %v", pplIn, pplOut)
+	}
+	if pplIn <= 1 {
+		t.Fatalf("in-domain ppl suspiciously low: %v", pplIn)
+	}
+}
+
+func TestPerplexitySeenSequenceLowest(t *testing.T) {
+	m := trainedModel(3)
+	seen := text.WordsLower(trainDocs[0])
+	shuffled := append([]string{}, seen...)
+	for i, j := 0, len(shuffled)-1; i < j; i, j = i+1, j-1 {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	if m.PerplexityWords(seen) >= m.PerplexityWords(shuffled) {
+		t.Fatal("verbatim training sequence should score better than its reversal")
+	}
+}
+
+func TestPerplexityEdgeCases(t *testing.T) {
+	m := NewModel(3)
+	if got := m.PerplexityWords([]string{"a"}); !math.IsInf(got, 1) {
+		t.Fatalf("untrained model ppl = %v, want +Inf", got)
+	}
+	m = trainedModel(3)
+	if got := m.PerplexityWords(nil); got != 0 {
+		t.Fatalf("empty input ppl = %v, want 0", got)
+	}
+}
+
+func TestHigherOrderFitsBetter(t *testing.T) {
+	uni := trainedModel(1)
+	tri := trainedModel(3)
+	probe := text.WordsLower(trainDocs[1])
+	if tri.PerplexityWords(probe) >= uni.PerplexityWords(probe) {
+		t.Fatal("trigram model should fit training text better than unigram")
+	}
+}
+
+func TestCrossEntropyConsistentWithPerplexity(t *testing.T) {
+	m := trainedModel(3)
+	probe := text.WordsLower(trainDocs[2])
+	h := m.CrossEntropyWords(probe)
+	ppl := m.PerplexityWords(probe)
+	if math.Abs(math.Pow(2, h)-ppl) > 1e-9*ppl {
+		t.Fatalf("2^H = %v != ppl %v", math.Pow(2, h), ppl)
+	}
+}
+
+func TestMoreCleanTrainingDataLowersEvalPerplexity(t *testing.T) {
+	// The mechanism behind the Figure 7 experiment: a model trained on
+	// more clean text scores clean held-out text better than a model
+	// whose budget is partly noise.
+	eval := text.WordsLower("the committee described a detailed plan about the public library in the city")
+
+	clean := NewModel(3)
+	for _, d := range trainDocs {
+		clean.TrainWords(text.WordsLower(d))
+		clean.TrainWords(text.WordsLower(d + " and the community welcomed the result"))
+	}
+
+	noisy := NewModel(3)
+	for i, d := range trainDocs {
+		noisy.TrainWords(text.WordsLower(d))
+		noisy.TrainWords([]string{"zx9k", "qqpw", "kkj3", "wnm2", "pp0r", "zzt7", "jh5d", "qq11", strings.Repeat("x", 9), "b4n9", "vv2z", "mm8k"})
+		_ = i
+	}
+
+	if clean.PerplexityWords(eval) >= noisy.PerplexityWords(eval) {
+		t.Fatalf("clean-trained ppl %v should beat noisy-trained %v",
+			clean.PerplexityWords(eval), noisy.PerplexityWords(eval))
+	}
+}
+
+func TestOrderClamp(t *testing.T) {
+	m := NewModel(0)
+	if m.Order() != 1 {
+		t.Fatalf("order = %d, want clamp to 1", m.Order())
+	}
+	m.TrainWords([]string{"a", "b"})
+	if ppl := m.PerplexityWords([]string{"a"}); ppl <= 0 || math.IsInf(ppl, 1) {
+		t.Fatalf("unigram ppl = %v", ppl)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := trainedModel(3)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Order() != m.Order() || got.TokensSeen() != m.TokensSeen() || got.VocabSize() != m.VocabSize() {
+		t.Fatalf("metadata lost: %d/%d/%d", got.Order(), got.TokensSeen(), got.VocabSize())
+	}
+	probe := text.WordsLower(trainDocs[3])
+	if a, b := m.PerplexityWords(probe), got.PerplexityWords(probe); a != b {
+		t.Fatalf("ppl changed after round trip: %v vs %v", a, b)
+	}
+}
+
+func TestLoadCorruptModel(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	os.WriteFile(path, []byte(`{"order":3,"counts":[{}]}`), 0o644)
+	if _, err := Load(path); err == nil {
+		t.Fatal("corrupt model accepted")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

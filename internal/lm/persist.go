@@ -1,0 +1,73 @@
+package lm
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// persisted is the on-disk form of a model. Counts are stored directly;
+// vocabulary is reconstructed from the unigram table.
+type persisted struct {
+	Order  int              `json:"order"`
+	Alpha  float64          `json:"alpha"`
+	Tokens int              `json:"tokens"`
+	Counts []map[string]int `json:"counts"`
+	Ctx    []map[string]int `json:"ctx"`
+}
+
+// Save writes the model to path, making reference models durable
+// artifacts (the paper's checkpoints bound to traceable training data).
+func (m *Model) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	err = json.NewEncoder(w).Encode(persisted{
+		Order: m.order, Alpha: m.alpha, Tokens: m.tokens,
+		Counts: m.counts, Ctx: m.ctx,
+	})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a model written by Save.
+func Load(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(bufio.NewReaderSize(f, 1<<16))
+}
+
+// Read parses a persisted model from r.
+func Read(r io.Reader) (*Model, error) {
+	var p persisted
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("lm: %w", err)
+	}
+	if p.Order < 1 || len(p.Counts) != p.Order || len(p.Ctx) != p.Order {
+		return nil, fmt.Errorf("lm: corrupt model: order %d with %d/%d tables",
+			p.Order, len(p.Counts), len(p.Ctx))
+	}
+	m := &Model{
+		order: p.Order, alpha: p.Alpha, tokens: p.Tokens,
+		counts: p.Counts, ctx: p.Ctx,
+		vocab: make(map[string]struct{}, len(p.Counts[0])),
+	}
+	for w := range p.Counts[0] {
+		m.vocab[w] = struct{}{}
+	}
+	return m, nil
+}

@@ -1,0 +1,11 @@
+// Package all registers the complete built-in operator pool. Import it
+// for side effects wherever recipes are executed:
+//
+//	import _ "repro/internal/ops/all"
+package all
+
+import (
+	_ "repro/internal/ops/dedup"
+	_ "repro/internal/ops/filter"
+	_ "repro/internal/ops/mapper"
+)

@@ -1,0 +1,38 @@
+package ops
+
+import (
+	"repro/internal/sample"
+	"repro/internal/text"
+)
+
+// Shared context keys. Operators that consume the same key are fusible:
+// the first computes the intermediate, the rest reuse it from the sample's
+// context cache.
+const (
+	CtxWords      = "words"
+	CtxWordsLower = "words_lower"
+	CtxLines      = "lines"
+	CtxSentences  = "sentences"
+)
+
+// WordsOf returns (and caches) the word segmentation of the sample's text.
+func WordsOf(s *sample.Sample) []string {
+	return s.Context(CtxWords, func() any { return text.Words(s.Text) }).([]string)
+}
+
+// WordsLowerOf returns (and caches) the lower-cased word segmentation.
+func WordsLowerOf(s *sample.Sample) []string {
+	return s.Context(CtxWordsLower, func() any {
+		return text.WordsLower(s.Text)
+	}).([]string)
+}
+
+// LinesOf returns (and caches) the line split of the sample's text.
+func LinesOf(s *sample.Sample) []string {
+	return s.Context(CtxLines, func() any { return text.Lines(s.Text) }).([]string)
+}
+
+// SentencesOf returns (and caches) the sentence split of the sample's text.
+func SentencesOf(s *sample.Sample) []string {
+	return s.Context(CtxSentences, func() any { return text.Sentences(s.Text) }).([]string)
+}

@@ -1,0 +1,143 @@
+// Package dedup implements the Deduplicator operators: exact hashing,
+// MinHash-LSH and SimHash near-duplicate detection, and a hashed TF-vector
+// cosine deduplicator — the "hash-based and vector-based" methods named in
+// Table 1. All deduplicators keep the first occurrence of each duplicate
+// cluster and report the removed (dropped, kept) pairs for the tracer.
+package dedup
+
+import (
+	"hash/fnv"
+	"math/bits"
+	"strings"
+	"unicode"
+
+	"repro/internal/dataset"
+	"repro/internal/ops"
+	"repro/internal/sample"
+	"repro/internal/text"
+)
+
+// unionFind is a standard disjoint-set with path compression, used to
+// cluster duplicate candidates.
+type unionFind struct {
+	parent []int
+}
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	// Keep the smaller index as root so "first occurrence wins".
+	if ra > rb {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+}
+
+// collapse builds the deduplicated dataset from a union-find over sample
+// indexes: the lowest index of each cluster is kept.
+func collapse(d *dataset.Dataset, uf *unionFind) (*dataset.Dataset, []ops.DupPair) {
+	kept := make([]*sample.Sample, 0, d.Len())
+	var pairs []ops.DupPair
+	for i, s := range d.Samples {
+		root := uf.find(i)
+		if root == i {
+			kept = append(kept, s)
+			continue
+		}
+		pairs = append(pairs, ops.DupPair{Dropped: i, Kept: root})
+	}
+	return dataset.New(kept), pairs
+}
+
+// splitmix64 is the standard avalanche mixer; it derives the independent
+// hash families for MinHash from a single base hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func normalizeForHash(t string, lowercase, ignorePunct bool) string {
+	if lowercase {
+		t = strings.ToLower(t)
+	}
+	if ignorePunct {
+		t = strings.Map(func(r rune) rune {
+			if unicode.IsLetter(r) || unicode.IsDigit(r) || unicode.IsSpace(r) {
+				return r
+			}
+			return -1
+		}, t)
+	}
+	return strings.Join(strings.Fields(t), " ")
+}
+
+// wordShingles returns the hashed word n-gram shingle set of t.
+func wordShingles(t string, n int) []uint64 {
+	words := text.WordsLower(t)
+	if len(words) < n {
+		if len(words) == 0 {
+			return nil
+		}
+		return []uint64{hash64(strings.Join(words, " "))}
+	}
+	out := make([]uint64, 0, len(words)-n+1)
+	for i := 0; i+n <= len(words); i++ {
+		out = append(out, hash64(strings.Join(words[i:i+n], " ")))
+	}
+	return out
+}
+
+// jaccard computes the Jaccard similarity of two shingle sets.
+func jaccard(a, b []uint64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	set := make(map[uint64]struct{}, len(a))
+	for _, x := range a {
+		set[x] = struct{}{}
+	}
+	inter := 0
+	bset := make(map[uint64]struct{}, len(b))
+	for _, x := range b {
+		if _, dup := bset[x]; dup {
+			continue
+		}
+		bset[x] = struct{}{}
+		if _, ok := set[x]; ok {
+			inter++
+		}
+	}
+	union := len(set) + len(bset) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func hamming(a, b uint64) int { return bits.OnesCount64(a ^ b) }

@@ -1,0 +1,305 @@
+package dedup
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/ops"
+)
+
+func build(t *testing.T, name string, p ops.Params) ops.Deduplicator {
+	t.Helper()
+	op, err := ops.Build(name, p)
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	d, ok := op.(ops.Deduplicator)
+	if !ok {
+		t.Fatalf("%s is not a Deduplicator", name)
+	}
+	return d
+}
+
+func distinctTexts(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("completely unique document number %d talking about topic %d with extra detail %d", i, i*7, i*13)
+	}
+	return out
+}
+
+func TestDocumentDedupExact(t *testing.T) {
+	d := build(t, "document_deduplicator", nil)
+	ds := dataset.FromTexts([]string{"hello world", "HELLO, world!", "different text entirely", "hello world"})
+	kept, pairs, err := d.Dedup(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalization (lowercase + punctuation removal) makes 0, 1, 3 dups.
+	if kept.Len() != 2 {
+		t.Fatalf("kept %d, want 2", kept.Len())
+	}
+	if kept.Samples[0].Text != "hello world" || kept.Samples[1].Text != "different text entirely" {
+		t.Fatalf("wrong survivors: %v", kept.Samples)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	for _, p := range pairs {
+		if p.Kept != 0 {
+			t.Fatalf("representative should be sample 0, got %d", p.Kept)
+		}
+	}
+}
+
+func TestDocumentDedupCaseSensitive(t *testing.T) {
+	d := build(t, "document_deduplicator", ops.Params{"lowercase": false, "ignore_non_character": false})
+	ds := dataset.FromTexts([]string{"Hello", "hello"})
+	kept, _, err := d.Dedup(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept.Len() != 2 {
+		t.Fatalf("case-sensitive dedup merged distinct texts")
+	}
+}
+
+func TestMinhashNearDuplicates(t *testing.T) {
+	base := "the data processing system cleans large language model training corpora with many composable operators and tools for analysis"
+	near := base + " extra"
+	texts := append(distinctTexts(20), base, near)
+	d := build(t, "document_minhash_deduplicator", ops.Params{"jaccard_threshold": 0.6})
+	kept, pairs, err := d.Dedup(dataset.FromTexts(texts), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept.Len() != 21 {
+		t.Fatalf("kept %d, want 21 (one near-dup removed)", kept.Len())
+	}
+	if len(pairs) != 1 || pairs[0].Dropped != 21 || pairs[0].Kept != 20 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+}
+
+func TestMinhashKeepsDistinct(t *testing.T) {
+	d := build(t, "document_minhash_deduplicator", nil)
+	ds := dataset.FromTexts(distinctTexts(50))
+	kept, pairs, err := d.Dedup(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept.Len() != 50 || len(pairs) != 0 {
+		t.Fatalf("distinct texts merged: kept=%d pairs=%v", kept.Len(), pairs)
+	}
+}
+
+func TestMinhashBadParams(t *testing.T) {
+	if _, err := ops.Build("document_minhash_deduplicator", ops.Params{"bands": 0}); err == nil {
+		t.Fatal("bands=0 must error")
+	}
+}
+
+func TestSimhashNearDuplicates(t *testing.T) {
+	base := strings.Repeat("the system processes training data with composable operators for cleaning filtering and deduplication across many heterogeneous sources ", 3)
+	near := strings.Replace(base, "heterogeneous", "varied", 1)
+	texts := append(distinctTexts(20), base, near)
+	d := build(t, "document_simhash_deduplicator", ops.Params{"max_distance": 8})
+	kept, pairs, err := d.Dedup(dataset.FromTexts(texts), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept.Len() != 21 || len(pairs) != 1 {
+		t.Fatalf("kept=%d pairs=%v", kept.Len(), pairs)
+	}
+}
+
+func TestSimhashExactDuplicates(t *testing.T) {
+	d := build(t, "document_simhash_deduplicator", nil)
+	ds := dataset.FromTexts([]string{"aaa bbb ccc ddd eee", "unrelated text about gardens", "aaa bbb ccc ddd eee"})
+	kept, pairs, err := d.Dedup(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept.Len() != 2 || len(pairs) != 1 || pairs[0].Dropped != 2 {
+		t.Fatalf("kept=%d pairs=%v", kept.Len(), pairs)
+	}
+}
+
+func TestVectorDedup(t *testing.T) {
+	base := "apples oranges bananas grapes melons berries peaches plums apricots cherries"
+	shuffled := "cherries apricots plums peaches berries melons grapes bananas oranges apples"
+	texts := append(distinctTexts(15), base, shuffled)
+	d := build(t, "vector_deduplicator", ops.Params{"cosine_threshold": 0.95})
+	kept, pairs, err := d.Dedup(dataset.FromTexts(texts), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bag-of-words vectors ignore order: the shuffle is a perfect duplicate.
+	if kept.Len() != 16 || len(pairs) != 1 {
+		t.Fatalf("kept=%d pairs=%v", kept.Len(), pairs)
+	}
+}
+
+func TestVectorDedupKeepsDifferent(t *testing.T) {
+	d := build(t, "vector_deduplicator", nil)
+	ds := dataset.FromTexts(distinctTexts(30))
+	kept, _, err := d.Dedup(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept.Len() != 30 {
+		t.Fatalf("distinct docs merged: %d", kept.Len())
+	}
+}
+
+func TestEmptyDatasets(t *testing.T) {
+	for _, name := range []string{
+		"document_deduplicator", "document_minhash_deduplicator",
+		"document_simhash_deduplicator", "vector_deduplicator",
+	} {
+		d := build(t, name, nil)
+		kept, pairs, err := d.Dedup(dataset.New(nil), 2)
+		if err != nil {
+			t.Fatalf("%s on empty: %v", name, err)
+		}
+		if kept.Len() != 0 || len(pairs) != 0 {
+			t.Fatalf("%s on empty: kept=%d", name, kept.Len())
+		}
+	}
+}
+
+func TestEmptyTextSamples(t *testing.T) {
+	// Empty documents must not all collapse into one for near-dup methods,
+	// and must not crash any method.
+	ds := dataset.FromTexts([]string{"", "real content here about things", ""})
+	for _, name := range []string{"document_minhash_deduplicator", "document_simhash_deduplicator", "vector_deduplicator"} {
+		d := build(t, name, nil)
+		kept, _, err := d.Dedup(ds, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if kept.Len() != 3 {
+			t.Fatalf("%s merged empty docs: kept=%d", name, kept.Len())
+		}
+	}
+	// Exact dedup does merge identical empties.
+	d := build(t, "document_deduplicator", nil)
+	kept, _, err := d.Dedup(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept.Len() != 2 {
+		t.Fatalf("exact dedup should merge empties: kept=%d", kept.Len())
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(6)
+	uf.union(1, 3)
+	uf.union(3, 5)
+	uf.union(4, 2)
+	if uf.find(5) != 1 || uf.find(3) != 1 {
+		t.Fatalf("cluster root should be the smallest index: find(5)=%d", uf.find(5))
+	}
+	if uf.find(2) != 2 || uf.find(4) != 2 {
+		t.Fatalf("second cluster wrong: find(4)=%d", uf.find(4))
+	}
+	if uf.find(0) != 0 {
+		t.Fatal("singleton moved")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := []uint64{1, 2, 3, 4}
+	b := []uint64{3, 4, 5, 6}
+	if j := jaccard(a, b); j != 2.0/6.0 {
+		t.Fatalf("jaccard = %v", j)
+	}
+	if j := jaccard(a, a); j != 1 {
+		t.Fatalf("self jaccard = %v", j)
+	}
+	if j := jaccard(nil, a); j != 0 {
+		t.Fatalf("empty jaccard = %v", j)
+	}
+	// Duplicated elements in the multiset must not skew the set semantics.
+	if j := jaccard([]uint64{1, 1, 2}, []uint64{1, 2, 2}); j != 1 {
+		t.Fatalf("multiset jaccard = %v", j)
+	}
+}
+
+func TestNormalizeForHash(t *testing.T) {
+	a := normalizeForHash("Hello,   World!", true, true)
+	b := normalizeForHash("hello world", true, true)
+	if a != b {
+		t.Fatalf("%q != %q", a, b)
+	}
+	c := normalizeForHash("Hello", false, false)
+	if c != "Hello" {
+		t.Fatalf("no-op normalization changed text: %q", c)
+	}
+}
+
+// Property: dedup never loses non-duplicate mass — kept + pairs == total.
+func TestPropertyDedupConservation(t *testing.T) {
+	f := func(raw []string) bool {
+		ds := dataset.FromTexts(raw)
+		d, err := ops.Build("document_deduplicator", nil)
+		if err != nil {
+			return false
+		}
+		kept, pairs, err := d.(ops.Deduplicator).Dedup(ds, 2)
+		if err != nil {
+			return false
+		}
+		return kept.Len()+len(pairs) == len(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dedup is idempotent — running twice changes nothing.
+func TestPropertyDedupIdempotent(t *testing.T) {
+	f := func(raw []string) bool {
+		ds := dataset.FromTexts(raw)
+		op, _ := ops.Build("document_deduplicator", nil)
+		d := op.(ops.Deduplicator)
+		once, _, err := d.Dedup(ds, 2)
+		if err != nil {
+			return false
+		}
+		twice, pairs, err := d.Dedup(once, 2)
+		if err != nil {
+			return false
+		}
+		return twice.Len() == once.Len() && len(pairs) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: exact duplicates never survive the MinHash deduplicator
+// (identical shingle sets collide in every band and have Jaccard 1).
+func TestPropertyMinhashCatchesExactDuplicates(t *testing.T) {
+	base := distinctTexts(12)
+	f := func(pick uint8) bool {
+		texts := append([]string{}, base...)
+		texts = append(texts, base[int(pick)%len(base)])
+		op, err := ops.Build("document_minhash_deduplicator", nil)
+		if err != nil {
+			return false
+		}
+		kept, pairs, err := op.(ops.Deduplicator).Dedup(dataset.FromTexts(texts), 2)
+		if err != nil {
+			return false
+		}
+		return kept.Len() == len(base) && len(pairs) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package dedup
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/ops"
+	"repro/internal/sample"
+)
+
+func init() {
+	ops.Register("document_deduplicator", ops.CategoryDeduplicator, "general",
+		func(p ops.Params) (ops.OP, error) {
+			return &documentDedup{
+				textKey:     p.String("text_key", "text"),
+				lowercase:   p.Bool("lowercase", true),
+				ignorePunct: p.Bool("ignore_non_character", true),
+			}, nil
+		})
+}
+
+// documentDedup removes exact duplicates by hashing the (normalized)
+// document text.
+type documentDedup struct {
+	textKey     string
+	lowercase   bool
+	ignorePunct bool
+}
+
+func (d *documentDedup) Name() string { return "document_deduplicator" }
+
+func (d *documentDedup) Dedup(ds *dataset.Dataset, np int) (*dataset.Dataset, []ops.DupPair, error) {
+	hashes := make([]uint64, ds.Len())
+	err := ds.MapIndexed(np, func(i int, s *sample.Sample) error {
+		t, _ := s.GetString(d.textKey)
+		hashes[i] = hash64(normalizeForHash(t, d.lowercase, d.ignorePunct))
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	uf := newUnionFind(ds.Len())
+	first := make(map[uint64]int, ds.Len())
+	for i, h := range hashes {
+		if j, ok := first[h]; ok {
+			uf.union(j, i)
+			continue
+		}
+		first[h] = i
+	}
+	kept, pairs := collapse(ds, uf)
+	return kept, pairs, nil
+}

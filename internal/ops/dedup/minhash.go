@@ -1,0 +1,114 @@
+package dedup
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/ops"
+	"repro/internal/sample"
+)
+
+func init() {
+	ops.Register("document_minhash_deduplicator", ops.CategoryDeduplicator, "general,web",
+		func(p ops.Params) (ops.OP, error) {
+			bands := p.Int("bands", 16)
+			rows := p.Int("rows_per_band", 8)
+			if bands <= 0 || rows <= 0 {
+				return nil, fmt.Errorf("bands and rows_per_band must be positive")
+			}
+			return &minhashDedup{
+				textKey:   p.String("text_key", "text"),
+				shingle:   p.Int("shingle_size", 5),
+				bands:     bands,
+				rows:      rows,
+				threshold: p.Float("jaccard_threshold", 0.7),
+			}, nil
+		})
+}
+
+// minhashDedup detects near-duplicates with MinHash signatures and LSH
+// banding (Broder's scheme, cited as [8] in the paper). Candidate pairs
+// that collide in any band are verified against the true Jaccard
+// similarity of their shingle sets before being merged.
+type minhashDedup struct {
+	textKey   string
+	shingle   int
+	bands     int
+	rows      int
+	threshold float64
+}
+
+func (d *minhashDedup) Name() string { return "document_minhash_deduplicator" }
+
+func (d *minhashDedup) signatureSize() int { return d.bands * d.rows }
+
+// signature computes the MinHash signature of a shingle set using k hash
+// families derived from splitmix64.
+func (d *minhashDedup) signature(shingles []uint64) []uint64 {
+	k := d.signatureSize()
+	sig := make([]uint64, k)
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for _, sh := range shingles {
+		x := sh
+		for i := 0; i < k; i++ {
+			x = splitmix64(x + uint64(i)*0x9e3779b97f4a7c15)
+			if x < sig[i] {
+				sig[i] = x
+			}
+		}
+	}
+	return sig
+}
+
+func (d *minhashDedup) Dedup(ds *dataset.Dataset, np int) (*dataset.Dataset, []ops.DupPair, error) {
+	n := ds.Len()
+	shingleSets := make([][]uint64, n)
+	signatures := make([][]uint64, n)
+	err := ds.MapIndexed(np, func(i int, s *sample.Sample) error {
+		t, _ := s.GetString(d.textKey)
+		shingleSets[i] = wordShingles(t, d.shingle)
+		signatures[i] = d.signature(shingleSets[i])
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	uf := newUnionFind(n)
+	checked := make(map[[2]int]struct{})
+	for b := 0; b < d.bands; b++ {
+		buckets := make(map[uint64][]int)
+		for i := 0; i < n; i++ {
+			if len(shingleSets[i]) == 0 {
+				continue
+			}
+			h := uint64(b) * 0x9e3779b97f4a7c15
+			for r := 0; r < d.rows; r++ {
+				h = splitmix64(h ^ signatures[i][b*d.rows+r])
+			}
+			buckets[h] = append(buckets[h], i)
+		}
+		for _, members := range buckets {
+			if len(members) < 2 {
+				continue
+			}
+			for x := 0; x < len(members); x++ {
+				for y := x + 1; y < len(members); y++ {
+					i, j := members[x], members[y]
+					key := [2]int{i, j}
+					if _, done := checked[key]; done {
+						continue
+					}
+					checked[key] = struct{}{}
+					if jaccard(shingleSets[i], shingleSets[j]) >= d.threshold {
+						uf.union(i, j)
+					}
+				}
+			}
+		}
+	}
+	kept, pairs := collapse(ds, uf)
+	return kept, pairs, nil
+}

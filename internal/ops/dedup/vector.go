@@ -1,0 +1,151 @@
+package dedup
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/ops"
+	"repro/internal/sample"
+	"repro/internal/text"
+)
+
+func init() {
+	ops.Register("vector_deduplicator", ops.CategoryDeduplicator, "general",
+		func(p ops.Params) (ops.OP, error) {
+			return &vectorDedup{
+				textKey:   p.String("text_key", "text"),
+				dim:       p.Int("dim", 256),
+				threshold: p.Float("cosine_threshold", 0.9),
+				planes:    p.Int("planes", 16),
+			}, nil
+		})
+}
+
+// vectorDedup is the "vector-based" comparison method of Table 1: each
+// document becomes a hashed term-frequency vector; random-hyperplane
+// signatures generate candidates; candidates are verified by exact cosine
+// similarity.
+type vectorDedup struct {
+	textKey   string
+	dim       int
+	threshold float64
+	planes    int
+}
+
+func (d *vectorDedup) Name() string { return "vector_deduplicator" }
+
+// vectorize builds the L2-normalized hashed TF vector of t.
+func (d *vectorDedup) vectorize(t string) []float64 {
+	v := make([]float64, d.dim)
+	words := text.WordsLower(t)
+	if len(words) == 0 {
+		return v
+	}
+	for _, w := range words {
+		v[int(hash64(w)%uint64(d.dim))]++
+	}
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	norm = math.Sqrt(norm)
+	if norm > 0 {
+		for i := range v {
+			v[i] /= norm
+		}
+	}
+	return v
+}
+
+// planeSignature computes the random-hyperplane bit signature of v. The
+// hyperplanes are pseudo-random unit-ish vectors derived from splitmix64,
+// fixed across the dataset.
+func (d *vectorDedup) planeSignature(v []float64) uint32 {
+	var sig uint32
+	for p := 0; p < d.planes; p++ {
+		var dot float64
+		for i, x := range v {
+			if x == 0 {
+				continue
+			}
+			h := splitmix64(uint64(p)*0x9e3779b97f4a7c15 + uint64(i))
+			// Map the hash to a pseudo-random coefficient in [-1, 1).
+			coef := float64(int64(h))/math.MaxInt64 - 0
+			dot += x * coef
+		}
+		if dot >= 0 {
+			sig |= 1 << uint(p)
+		}
+	}
+	return sig
+}
+
+func cosineVec(a, b []float64) float64 {
+	var dot float64
+	for i := range a {
+		dot += a[i] * b[i]
+	}
+	return dot
+}
+
+func (d *vectorDedup) Dedup(ds *dataset.Dataset, np int) (*dataset.Dataset, []ops.DupPair, error) {
+	n := ds.Len()
+	vecs := make([][]float64, n)
+	sigs := make([]uint32, n)
+	empty := make([]bool, n)
+	err := ds.MapIndexed(np, func(i int, s *sample.Sample) error {
+		t, _ := s.GetString(d.textKey)
+		vecs[i] = d.vectorize(t)
+		sigs[i] = d.planeSignature(vecs[i])
+		empty[i] = len(text.WordsLower(t)) == 0
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	uf := newUnionFind(n)
+	checked := make(map[[2]int]struct{})
+	// Candidates: identical signatures, plus signatures differing by one
+	// bit (near-misses across a single hyperplane).
+	buckets := make(map[uint32][]int, n)
+	for i := 0; i < n; i++ {
+		if empty[i] {
+			continue
+		}
+		buckets[sigs[i]] = append(buckets[sigs[i]], i)
+	}
+	verify := func(i, j int) {
+		key := [2]int{i, j}
+		if i > j {
+			key = [2]int{j, i}
+		}
+		if _, done := checked[key]; done {
+			return
+		}
+		checked[key] = struct{}{}
+		if cosineVec(vecs[i], vecs[j]) >= d.threshold {
+			uf.union(i, j)
+		}
+	}
+	for sig, members := range buckets {
+		for x := 0; x < len(members); x++ {
+			for y := x + 1; y < len(members); y++ {
+				verify(members[x], members[y])
+			}
+		}
+		for p := 0; p < d.planes; p++ {
+			if others, ok := buckets[sig^(1<<uint(p))]; ok {
+				for _, i := range members {
+					for _, j := range others {
+						if i < j {
+							verify(i, j)
+						}
+					}
+				}
+			}
+		}
+	}
+	kept, pairs := collapse(ds, uf)
+	return kept, pairs, nil
+}

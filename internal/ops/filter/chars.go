@@ -1,0 +1,153 @@
+package filter
+
+import (
+	"repro/internal/ops"
+	"repro/internal/sample"
+	"repro/internal/text"
+)
+
+// Character-level filters: cheap statistics computed from the raw rune
+// stream, no shared context needed.
+
+func init() {
+	ops.Register("alphanumeric_filter", ops.CategoryFilter, "general",
+		func(p ops.Params) (ops.OP, error) {
+			return &alnumFilter{
+				base:      newBase("alphanumeric_filter", p),
+				rangeKeep: newRange(p, "min_ratio", 0.25, "max_ratio", 1.0),
+			}, nil
+		})
+	ops.Register("special_characters_filter", ops.CategoryFilter, "general",
+		func(p ops.Params) (ops.OP, error) {
+			return &specialCharsFilter{
+				base:      newBase("special_characters_filter", p),
+				rangeKeep: newRange(p, "min_ratio", 0.0, "max_ratio", 0.25),
+			}, nil
+		})
+	ops.Register("digit_ratio_filter", ops.CategoryFilter, "general,financial",
+		func(p ops.Params) (ops.OP, error) {
+			return &digitRatioFilter{
+				base:      newBase("digit_ratio_filter", p),
+				rangeKeep: newRange(p, "min_ratio", 0.0, "max_ratio", 0.5),
+			}, nil
+		})
+	ops.Register("text_length_filter", ops.CategoryFilter, "general",
+		func(p ops.Params) (ops.OP, error) {
+			return &textLengthFilter{
+				base:      newBase("text_length_filter", p),
+				rangeKeep: newRange(p, "min_len", 10, "max_len", 1e9),
+			}, nil
+		})
+	ops.Register("character_repetition_filter", ops.CategoryFilter, "general",
+		func(p ops.Params) (ops.OP, error) {
+			return &charRepetitionFilter{
+				base:      newBase("character_repetition_filter", p),
+				repLen:    p.Int("rep_len", 10),
+				rangeKeep: newRange(p, "min_ratio", 0.0, "max_ratio", 0.5),
+			}, nil
+		})
+}
+
+type alnumFilter struct {
+	base
+	rangeKeep
+}
+
+func (f *alnumFilter) StatKeys() []string { return []string{"alnum_ratio"} }
+
+func (f *alnumFilter) ComputeStats(s *sample.Sample) error {
+	if _, ok := s.Stat("alnum_ratio"); ok {
+		return nil
+	}
+	s.SetStat("alnum_ratio", text.AlnumRatio(f.text(s)))
+	return nil
+}
+
+func (f *alnumFilter) Keep(s *sample.Sample) bool {
+	v, _ := s.Stat("alnum_ratio")
+	return f.within(v)
+}
+
+type specialCharsFilter struct {
+	base
+	rangeKeep
+}
+
+func (f *specialCharsFilter) StatKeys() []string { return []string{"special_char_ratio"} }
+
+func (f *specialCharsFilter) ComputeStats(s *sample.Sample) error {
+	if _, ok := s.Stat("special_char_ratio"); ok {
+		return nil
+	}
+	s.SetStat("special_char_ratio", text.SpecialCharRatio(f.text(s)))
+	return nil
+}
+
+func (f *specialCharsFilter) Keep(s *sample.Sample) bool {
+	v, _ := s.Stat("special_char_ratio")
+	return f.within(v)
+}
+
+type digitRatioFilter struct {
+	base
+	rangeKeep
+}
+
+func (f *digitRatioFilter) StatKeys() []string { return []string{"digit_ratio"} }
+
+func (f *digitRatioFilter) ComputeStats(s *sample.Sample) error {
+	if _, ok := s.Stat("digit_ratio"); ok {
+		return nil
+	}
+	s.SetStat("digit_ratio", text.DigitRatio(f.text(s)))
+	return nil
+}
+
+func (f *digitRatioFilter) Keep(s *sample.Sample) bool {
+	v, _ := s.Stat("digit_ratio")
+	return f.within(v)
+}
+
+type textLengthFilter struct {
+	base
+	rangeKeep
+}
+
+func (f *textLengthFilter) StatKeys() []string { return []string{"text_len"} }
+
+func (f *textLengthFilter) ComputeStats(s *sample.Sample) error {
+	if _, ok := s.Stat("text_len"); ok {
+		return nil
+	}
+	s.SetStat("text_len", float64(len([]rune(f.text(s)))))
+	return nil
+}
+
+func (f *textLengthFilter) Keep(s *sample.Sample) bool {
+	v, _ := s.Stat("text_len")
+	return f.within(v)
+}
+
+type charRepetitionFilter struct {
+	base
+	repLen int
+	rangeKeep
+}
+
+func (f *charRepetitionFilter) StatKeys() []string { return []string{"char_rep_ratio"} }
+
+func (f *charRepetitionFilter) CostHint() float64 { return 2 }
+
+func (f *charRepetitionFilter) ComputeStats(s *sample.Sample) error {
+	if _, ok := s.Stat("char_rep_ratio"); ok {
+		return nil
+	}
+	grams := text.CharNGrams(f.text(s), f.repLen)
+	s.SetStat("char_rep_ratio", text.RepetitionRatio(grams))
+	return nil
+}
+
+func (f *charRepetitionFilter) Keep(s *sample.Sample) bool {
+	v, _ := s.Stat("char_rep_ratio")
+	return f.within(v)
+}

@@ -1,0 +1,122 @@
+package filter
+
+import (
+	"repro/internal/ops"
+	"repro/internal/sample"
+)
+
+// Additional filters rounding out the pool: sentence counts, average word
+// length, and lexical-variety ratio.
+
+func init() {
+	ops.Register("sentence_num_filter", ops.CategoryFilter, "general",
+		func(p ops.Params) (ops.OP, error) {
+			return &sentenceNumFilter{
+				base:      newBase("sentence_num_filter", p),
+				rangeKeep: newRange(p, "min_num", 1, "max_num", 1e9),
+			}, nil
+		})
+	ops.Register("average_word_length_filter", ops.CategoryFilter, "general",
+		func(p ops.Params) (ops.OP, error) {
+			return &avgWordLengthFilter{
+				base:      newBase("average_word_length_filter", p),
+				rangeKeep: newRange(p, "min_len", 2.5, "max_len", 12),
+			}, nil
+		})
+	ops.Register("unique_words_ratio_filter", ops.CategoryFilter, "general",
+		func(p ops.Params) (ops.OP, error) {
+			return &uniqueWordsFilter{
+				base:      newBase("unique_words_ratio_filter", p),
+				rangeKeep: newRange(p, "min_ratio", 0.1, "max_ratio", 1.0),
+			}, nil
+		})
+}
+
+type sentenceNumFilter struct {
+	base
+	rangeKeep
+}
+
+func (f *sentenceNumFilter) StatKeys() []string    { return []string{"num_sentences"} }
+func (f *sentenceNumFilter) ContextKeys() []string { return []string{ops.CtxSentences} }
+func (f *sentenceNumFilter) CostHint() float64     { return 2 }
+
+func (f *sentenceNumFilter) ComputeStats(s *sample.Sample) error {
+	if _, ok := s.Stat("num_sentences"); ok {
+		return nil
+	}
+	s.SetStat("num_sentences", float64(len(ops.SentencesOf(s))))
+	return nil
+}
+
+func (f *sentenceNumFilter) Keep(s *sample.Sample) bool {
+	v, _ := s.Stat("num_sentences")
+	return f.within(v)
+}
+
+// avgWordLengthFilter rejects texts whose mean word length is implausible
+// for natural language: too short means symbol debris, too long means
+// concatenated junk or base64.
+type avgWordLengthFilter struct {
+	base
+	rangeKeep
+}
+
+func (f *avgWordLengthFilter) StatKeys() []string    { return []string{"avg_word_length"} }
+func (f *avgWordLengthFilter) ContextKeys() []string { return []string{ops.CtxWordsLower} }
+func (f *avgWordLengthFilter) CostHint() float64     { return 2 }
+
+func (f *avgWordLengthFilter) ComputeStats(s *sample.Sample) error {
+	if _, ok := s.Stat("avg_word_length"); ok {
+		return nil
+	}
+	words := ops.WordsLowerOf(s)
+	if len(words) == 0 {
+		s.SetStat("avg_word_length", 0)
+		return nil
+	}
+	total := 0
+	for _, w := range words {
+		total += len([]rune(w))
+	}
+	s.SetStat("avg_word_length", float64(total)/float64(len(words)))
+	return nil
+}
+
+func (f *avgWordLengthFilter) Keep(s *sample.Sample) bool {
+	v, _ := s.Stat("avg_word_length")
+	return f.within(v)
+}
+
+// uniqueWordsFilter measures lexical variety (distinct/total words);
+// degenerate repetitive documents score near zero.
+type uniqueWordsFilter struct {
+	base
+	rangeKeep
+}
+
+func (f *uniqueWordsFilter) StatKeys() []string    { return []string{"unique_words_ratio"} }
+func (f *uniqueWordsFilter) ContextKeys() []string { return []string{ops.CtxWordsLower} }
+func (f *uniqueWordsFilter) CostHint() float64     { return 2 }
+
+func (f *uniqueWordsFilter) ComputeStats(s *sample.Sample) error {
+	if _, ok := s.Stat("unique_words_ratio"); ok {
+		return nil
+	}
+	words := ops.WordsLowerOf(s)
+	if len(words) == 0 {
+		s.SetStat("unique_words_ratio", 0)
+		return nil
+	}
+	uniq := make(map[string]struct{}, len(words))
+	for _, w := range words {
+		uniq[w] = struct{}{}
+	}
+	s.SetStat("unique_words_ratio", float64(len(uniq))/float64(len(words)))
+	return nil
+}
+
+func (f *uniqueWordsFilter) Keep(s *sample.Sample) bool {
+	v, _ := s.Stat("unique_words_ratio")
+	return f.within(v)
+}

@@ -1,0 +1,53 @@
+package filter
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ops"
+	"repro/internal/sample"
+)
+
+func TestSentenceNumFilter(t *testing.T) {
+	if textVerdict(t, "sentence_num_filter", ops.Params{"min_num": 3}, "Only one sentence here.") {
+		t.Fatal("single sentence accepted")
+	}
+	if !textVerdict(t, "sentence_num_filter", ops.Params{"min_num": 2, "max_num": 10}, "First. Second. Third.") {
+		t.Fatal("three sentences rejected")
+	}
+}
+
+func TestAverageWordLengthFilter(t *testing.T) {
+	if !textVerdict(t, "average_word_length_filter", nil, "normal words appear throughout this sentence") {
+		t.Fatal("normal prose rejected")
+	}
+	if textVerdict(t, "average_word_length_filter", nil, "a b c d e f g h i j") {
+		t.Fatal("single-letter soup accepted")
+	}
+	long := strings.Repeat("pneumonoultramicroscopic ", 10)
+	if textVerdict(t, "average_word_length_filter", nil, long) {
+		t.Fatal("overlong-word text accepted")
+	}
+}
+
+func TestUniqueWordsRatioFilter(t *testing.T) {
+	if !textVerdict(t, "unique_words_ratio_filter", ops.Params{"min_ratio": 0.5}, "every word here is completely distinct") {
+		t.Fatal("varied text rejected")
+	}
+	if textVerdict(t, "unique_words_ratio_filter", ops.Params{"min_ratio": 0.5}, strings.Repeat("same ", 40)) {
+		t.Fatal("degenerate text accepted")
+	}
+}
+
+func TestExtraFiltersShareWordContext(t *testing.T) {
+	s := textSample("several distinct words compose this rather pleasant sentence")
+	for _, name := range []string{"average_word_length_filter", "unique_words_ratio_filter", "word_num_filter"} {
+		op, _ := ops.Build(name, nil)
+		op.(ops.Filter).ComputeStats(s)
+	}
+	if s.ContextLen() != 1 {
+		t.Fatalf("context entries = %d, want 1 shared", s.ContextLen())
+	}
+}
+
+func textSample(text string) *sample.Sample { return sample.New(text) }

@@ -1,0 +1,122 @@
+package filter
+
+import (
+	"strings"
+
+	"repro/internal/ops"
+	"repro/internal/sample"
+)
+
+// Meta-field filters: verdicts driven by sample metadata instead of text
+// content — "filter by meta-info" in Table 1.
+
+func init() {
+	ops.Register("suffix_filter", ops.CategoryFilter, "general,code",
+		func(p ops.Params) (ops.OP, error) {
+			return &suffixFilter{
+				base:     newBase("suffix_filter", p),
+				field:    p.String("field", "meta.suffix"),
+				suffixes: p.Strings("suffixes"),
+			}, nil
+		})
+	ops.Register("specified_field_filter", ops.CategoryFilter, "general",
+		func(p ops.Params) (ops.OP, error) {
+			return &specifiedFieldFilter{
+				base:    newBase("specified_field_filter", p),
+				field:   p.String("field", "meta.tag"),
+				allowed: p.Strings("target_value"),
+			}, nil
+		})
+	ops.Register("specified_numeric_field_filter", ops.CategoryFilter, "general",
+		func(p ops.Params) (ops.OP, error) {
+			return &specifiedNumericFieldFilter{
+				base:      newBase("specified_numeric_field_filter", p),
+				field:     p.String("field", "meta.score"),
+				rangeKeep: newRange(p, "min_value", -1e18, "max_value", 1e18),
+			}, nil
+		})
+}
+
+type suffixFilter struct {
+	base
+	field    string
+	suffixes []string
+}
+
+func (f *suffixFilter) StatKeys() []string { return []string{"suffix_ok"} }
+
+func (f *suffixFilter) ComputeStats(s *sample.Sample) error {
+	v, _ := s.GetString(f.field)
+	ok := len(f.suffixes) == 0
+	for _, suf := range f.suffixes {
+		if strings.HasSuffix(v, suf) {
+			ok = true
+			break
+		}
+	}
+	s.SetStat("suffix_ok", boolStat(ok))
+	return nil
+}
+
+func (f *suffixFilter) Keep(s *sample.Sample) bool {
+	v, _ := s.Stat("suffix_ok")
+	return v > 0
+}
+
+type specifiedFieldFilter struct {
+	base
+	field   string
+	allowed []string
+}
+
+func (f *specifiedFieldFilter) StatKeys() []string { return []string{"field_ok"} }
+
+func (f *specifiedFieldFilter) ComputeStats(s *sample.Sample) error {
+	v, present := s.GetString(f.field)
+	ok := false
+	if present {
+		if len(f.allowed) == 0 {
+			ok = true
+		}
+		for _, a := range f.allowed {
+			if v == a {
+				ok = true
+				break
+			}
+		}
+	}
+	s.SetStat("field_ok", boolStat(ok))
+	return nil
+}
+
+func (f *specifiedFieldFilter) Keep(s *sample.Sample) bool {
+	v, _ := s.Stat("field_ok")
+	return v > 0
+}
+
+type specifiedNumericFieldFilter struct {
+	base
+	field string
+	rangeKeep
+}
+
+func (f *specifiedNumericFieldFilter) StatKeys() []string { return []string{"num_field_ok"} }
+
+func (f *specifiedNumericFieldFilter) ComputeStats(s *sample.Sample) error {
+	v, present := s.GetFloat(f.field)
+	ok := present && f.within(v)
+	s.SetStat("num_field_ok", boolStat(ok))
+	return nil
+}
+
+func (f *specifiedNumericFieldFilter) Keep(s *sample.Sample) bool {
+	v, _ := s.Stat("num_field_ok")
+	return v > 0
+}
+
+func boolStat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

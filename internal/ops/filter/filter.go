@@ -1,0 +1,100 @@
+// Package filter implements the Filter operators of the pool: conditional
+// sample removal driven by per-sample statistics (Table 1, row "Filters").
+// Each filter follows the decoupled contract of Listing 1 — ComputeStats
+// writes into sample.Stats, Keep reads only those stats — so the analyzer
+// can reuse whole-dataset statistics and the executor can fuse stat
+// computation across filters.
+package filter
+
+import (
+	"sync/atomic"
+
+	"repro/internal/ops"
+	"repro/internal/sample"
+)
+
+// base carries the plumbing shared by all filters.
+type base struct {
+	name    string
+	textKey string
+}
+
+func newBase(name string, p ops.Params) base {
+	return base{name: name, textKey: p.String("text_key", "text")}
+}
+
+func (b base) Name() string { return b.name }
+
+func (b base) text(s *sample.Sample) string {
+	t, _ := s.GetString(b.textKey)
+	return t
+}
+
+// rangeKeep is the common "stat within [min, max]" verdict.
+type rangeKeep struct {
+	min, max float64
+}
+
+func newRange(p ops.Params, minKey string, minDef float64, maxKey string, maxDef float64) rangeKeep {
+	return rangeKeep{min: p.Float(minKey, minDef), max: p.Float(maxKey, maxDef)}
+}
+
+func (r rangeKeep) within(v float64) bool { return v >= r.min && v <= r.max }
+
+// PerplexityScorer scores text noisiness; lower is more natural. The
+// production implementation is the n-gram LM in internal/lm.
+type PerplexityScorer interface {
+	PerplexityWords(words []string) float64
+}
+
+// TokenCounter counts model tokens; the production implementation is the
+// BPE tokenizer in internal/tokenizer.
+type TokenCounter interface {
+	CountTokens(text string) int
+}
+
+// QualityScorer maps text to a quality probability in [0, 1]; the
+// production implementation is the logistic-regression classifier in
+// internal/quality.
+type QualityScorer interface {
+	QualityScore(text string) float64
+}
+
+// Injection points for the model-backed filters. Experiments install the
+// real models; unit tests may install stubs. Stored atomically so builds
+// and installs can interleave freely.
+var (
+	perplexityModel atomic.Value // PerplexityScorer
+	tokenCounter    atomic.Value // TokenCounter
+	qualityScorer   atomic.Value // QualityScorer
+)
+
+// SetPerplexityModel installs the scorer used by perplexity_filter.
+func SetPerplexityModel(m PerplexityScorer) { perplexityModel.Store(&m) }
+
+// SetTokenCounter installs the counter used by token_num_filter.
+func SetTokenCounter(c TokenCounter) { tokenCounter.Store(&c) }
+
+// SetQualityScorer installs the scorer used by quality_score_filter.
+func SetQualityScorer(q QualityScorer) { qualityScorer.Store(&q) }
+
+func getPerplexityModel() PerplexityScorer {
+	if v, ok := perplexityModel.Load().(*PerplexityScorer); ok && *v != nil {
+		return *v
+	}
+	return nil
+}
+
+func getTokenCounter() TokenCounter {
+	if v, ok := tokenCounter.Load().(*TokenCounter); ok && *v != nil {
+		return *v
+	}
+	return nil
+}
+
+func getQualityScorer() QualityScorer {
+	if v, ok := qualityScorer.Load().(*QualityScorer); ok && *v != nil {
+		return *v
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package filter
+
+import (
+	"repro/internal/ops"
+	"repro/internal/sample"
+)
+
+// Line-level filters share the CtxLines context: when fused, the line
+// split is computed once per sample and reused.
+
+func init() {
+	ops.Register("average_line_length_filter", ops.CategoryFilter, "general,code",
+		func(p ops.Params) (ops.OP, error) {
+			return &avgLineLengthFilter{
+				base:      newBase("average_line_length_filter", p),
+				rangeKeep: newRange(p, "min_len", 10, "max_len", 1e9),
+			}, nil
+		})
+	ops.Register("maximum_line_length_filter", ops.CategoryFilter, "general,code",
+		func(p ops.Params) (ops.OP, error) {
+			return &maxLineLengthFilter{
+				base:      newBase("maximum_line_length_filter", p),
+				rangeKeep: newRange(p, "min_len", 10, "max_len", 1e9),
+			}, nil
+		})
+}
+
+type avgLineLengthFilter struct {
+	base
+	rangeKeep
+}
+
+func (f *avgLineLengthFilter) StatKeys() []string    { return []string{"avg_line_length"} }
+func (f *avgLineLengthFilter) ContextKeys() []string { return []string{ops.CtxLines} }
+
+func (f *avgLineLengthFilter) ComputeStats(s *sample.Sample) error {
+	if _, ok := s.Stat("avg_line_length"); ok {
+		return nil
+	}
+	lines := ops.LinesOf(s)
+	if len(lines) == 0 {
+		s.SetStat("avg_line_length", 0)
+		return nil
+	}
+	total := 0
+	for _, l := range lines {
+		total += len([]rune(l))
+	}
+	s.SetStat("avg_line_length", float64(total)/float64(len(lines)))
+	return nil
+}
+
+func (f *avgLineLengthFilter) Keep(s *sample.Sample) bool {
+	v, _ := s.Stat("avg_line_length")
+	return f.within(v)
+}
+
+type maxLineLengthFilter struct {
+	base
+	rangeKeep
+}
+
+func (f *maxLineLengthFilter) StatKeys() []string    { return []string{"max_line_length"} }
+func (f *maxLineLengthFilter) ContextKeys() []string { return []string{ops.CtxLines} }
+
+func (f *maxLineLengthFilter) ComputeStats(s *sample.Sample) error {
+	if _, ok := s.Stat("max_line_length"); ok {
+		return nil
+	}
+	max := 0
+	for _, l := range ops.LinesOf(s) {
+		if n := len([]rune(l)); n > max {
+			max = n
+		}
+	}
+	s.SetStat("max_line_length", float64(max))
+	return nil
+}
+
+func (f *maxLineLengthFilter) Keep(s *sample.Sample) bool {
+	v, _ := s.Stat("max_line_length")
+	return f.within(v)
+}

@@ -1,0 +1,191 @@
+package filter
+
+import (
+	"repro/internal/ops"
+	"repro/internal/sample"
+	"repro/internal/text"
+)
+
+// Word-level filters share the CtxWordsLower context (the segmented,
+// lower-cased word stream): they form the fusible group exercised by the
+// Figure 9 experiment.
+
+func init() {
+	ops.Register("word_num_filter", ops.CategoryFilter, "general",
+		func(p ops.Params) (ops.OP, error) {
+			return &wordNumFilter{
+				base:      newBase("word_num_filter", p),
+				rangeKeep: newRange(p, "min_num", 10, "max_num", 1e9),
+			}, nil
+		})
+	ops.Register("word_repetition_filter", ops.CategoryFilter, "general",
+		func(p ops.Params) (ops.OP, error) {
+			return &wordRepetitionFilter{
+				base:      newBase("word_repetition_filter", p),
+				repLen:    p.Int("rep_len", 10),
+				rangeKeep: newRange(p, "min_ratio", 0.0, "max_ratio", 0.5),
+			}, nil
+		})
+	ops.Register("stopwords_filter", ops.CategoryFilter, "general,en,zh",
+		func(p ops.Params) (ops.OP, error) {
+			lang := p.String("lang", "en")
+			words := text.Stopwords(lang)
+			return &wordSetRatioFilter{
+				base:     newBase("stopwords_filter", p),
+				statKey:  "stopwords_ratio",
+				set:      words,
+				min:      p.Float("min_ratio", 0.1),
+				max:      p.Float("max_ratio", 1.0),
+				costHint: 2,
+			}, nil
+		})
+	ops.Register("flagged_words_filter", ops.CategoryFilter, "general,en,zh",
+		func(p ops.Params) (ops.OP, error) {
+			lang := p.String("lang", "en")
+			return &wordSetRatioFilter{
+				base:     newBase("flagged_words_filter", p),
+				statKey:  "flagged_words_ratio",
+				set:      text.FlaggedWords(lang),
+				min:      p.Float("min_ratio", 0.0),
+				max:      p.Float("max_ratio", 0.01),
+				costHint: 2,
+			}, nil
+		})
+	ops.Register("text_action_filter", ops.CategoryFilter, "fine-tuning,en",
+		func(p ops.Params) (ops.OP, error) {
+			return &lexiconCountFilter{
+				base:    newBase("text_action_filter", p),
+				statKey: "num_actions",
+				member:  text.IsVerb,
+				minNum:  p.Float("min_action_num", 1),
+			}, nil
+		})
+	ops.Register("text_entity_dependency_filter", ops.CategoryFilter, "fine-tuning,en",
+		func(p ops.Params) (ops.OP, error) {
+			return &lexiconCountFilter{
+				base:    newBase("text_entity_dependency_filter", p),
+				statKey: "num_entities",
+				member:  text.IsNoun,
+				minNum:  p.Float("min_dependency_num", 1),
+			}, nil
+		})
+}
+
+type wordNumFilter struct {
+	base
+	rangeKeep
+}
+
+func (f *wordNumFilter) StatKeys() []string    { return []string{"num_words"} }
+func (f *wordNumFilter) ContextKeys() []string { return []string{ops.CtxWordsLower} }
+func (f *wordNumFilter) CostHint() float64     { return 2 }
+
+func (f *wordNumFilter) ComputeStats(s *sample.Sample) error {
+	if _, ok := s.Stat("num_words"); ok {
+		return nil
+	}
+	s.SetStat("num_words", float64(len(ops.WordsLowerOf(s))))
+	return nil
+}
+
+func (f *wordNumFilter) Keep(s *sample.Sample) bool {
+	v, _ := s.Stat("num_words")
+	return f.within(v)
+}
+
+type wordRepetitionFilter struct {
+	base
+	repLen int
+	rangeKeep
+}
+
+func (f *wordRepetitionFilter) StatKeys() []string    { return []string{"word_rep_ratio"} }
+func (f *wordRepetitionFilter) ContextKeys() []string { return []string{ops.CtxWordsLower} }
+func (f *wordRepetitionFilter) CostHint() float64     { return 3 }
+
+func (f *wordRepetitionFilter) ComputeStats(s *sample.Sample) error {
+	if _, ok := s.Stat("word_rep_ratio"); ok {
+		return nil
+	}
+	grams := text.WordNGrams(ops.WordsLowerOf(s), f.repLen)
+	s.SetStat("word_rep_ratio", text.RepetitionRatio(grams))
+	return nil
+}
+
+func (f *wordRepetitionFilter) Keep(s *sample.Sample) bool {
+	v, _ := s.Stat("word_rep_ratio")
+	return f.within(v)
+}
+
+// wordSetRatioFilter computes the fraction of words that belong to a word
+// set; it implements both stopwords_filter (keep when the ratio is high
+// enough — natural text contains stopwords) and flagged_words_filter
+// (keep when the ratio is low enough).
+type wordSetRatioFilter struct {
+	base
+	statKey  string
+	set      map[string]struct{}
+	min, max float64
+	costHint float64
+}
+
+func (f *wordSetRatioFilter) StatKeys() []string    { return []string{f.statKey} }
+func (f *wordSetRatioFilter) ContextKeys() []string { return []string{ops.CtxWordsLower} }
+func (f *wordSetRatioFilter) CostHint() float64     { return f.costHint }
+
+func (f *wordSetRatioFilter) ComputeStats(s *sample.Sample) error {
+	if _, ok := s.Stat(f.statKey); ok {
+		return nil
+	}
+	words := ops.WordsLowerOf(s)
+	if len(words) == 0 {
+		s.SetStat(f.statKey, 0)
+		return nil
+	}
+	hits := 0
+	for _, w := range words {
+		if _, ok := f.set[w]; ok {
+			hits++
+		}
+	}
+	s.SetStat(f.statKey, float64(hits)/float64(len(words)))
+	return nil
+}
+
+func (f *wordSetRatioFilter) Keep(s *sample.Sample) bool {
+	v, _ := s.Stat(f.statKey)
+	return v >= f.min && v <= f.max
+}
+
+// lexiconCountFilter counts lexicon members (verbs / nouns) and keeps
+// samples with at least minNum, the mechanism behind text_action_filter
+// and text_entity_dependency_filter.
+type lexiconCountFilter struct {
+	base
+	statKey string
+	member  func(string) bool
+	minNum  float64
+}
+
+func (f *lexiconCountFilter) StatKeys() []string    { return []string{f.statKey} }
+func (f *lexiconCountFilter) ContextKeys() []string { return []string{ops.CtxWordsLower} }
+func (f *lexiconCountFilter) CostHint() float64     { return 2 }
+
+func (f *lexiconCountFilter) ComputeStats(s *sample.Sample) error {
+	if _, ok := s.Stat(f.statKey); ok {
+		return nil
+	}
+	n := 0
+	for _, w := range ops.WordsLowerOf(s) {
+		if f.member(w) {
+			n++
+		}
+	}
+	s.SetStat(f.statKey, float64(n))
+	return nil
+}
+
+func (f *lexiconCountFilter) Keep(s *sample.Sample) bool {
+	v, _ := s.Stat(f.statKey)
+	return v >= f.minNum
+}

@@ -1,0 +1,35 @@
+package mapper
+
+import (
+	"strings"
+
+	"repro/internal/ops"
+	"repro/internal/text"
+)
+
+func init() {
+	registerTransform("whitespace_normalization_mapper", "general",
+		func(p ops.Params) func(string) string { return text.NormalizeWhitespace })
+
+	registerTransform("fix_unicode_mapper", "general",
+		func(p ops.Params) func(string) string { return text.FixUnicode })
+
+	registerTransform("punctuation_normalization_mapper", "general",
+		func(p ops.Params) func(string) string { return text.NormalizePunctuation })
+
+	registerTransform("remove_non_printing_mapper", "general",
+		func(p ops.Params) func(string) string { return text.RemoveNonPrinting })
+
+	registerTransform("lowercase_mapper", "general",
+		func(p ops.Params) func(string) string { return strings.ToLower })
+
+	registerTransform("clean_html_mapper", "general,web",
+		func(p ops.Params) func(string) string { return text.StripHTML })
+
+	registerTransform("sentence_split_mapper", "general,en",
+		func(p ops.Params) func(string) string {
+			return func(s string) string {
+				return strings.Join(text.Sentences(s), "\n")
+			}
+		})
+}

@@ -1,0 +1,84 @@
+package mapper
+
+import (
+	"regexp"
+	"strings"
+
+	"repro/internal/ops"
+)
+
+var (
+	emailRe = regexp.MustCompile(`[A-Za-z0-9._%+\-]+@[A-Za-z0-9.\-]+\.[A-Za-z]{2,}`)
+	linkRe  = regexp.MustCompile(`(?i)\b(?:https?://|ftp://|www\.)[^\s<>"')\]]+`)
+	ipRe    = regexp.MustCompile(`\b(?:\d{1,3}\.){3}\d{1,3}(?::\d{1,5})?\b`)
+	// Copyright banners at the head of source files: // or # or /* style
+	// comment lines mentioning copyright/license.
+	copyrightLineRe = regexp.MustCompile(`(?i)^\s*(?://|#|\*|/\*)?.*\b(copyright|all rights reserved|licensed under|license|spdx)\b`)
+)
+
+func init() {
+	registerTransform("clean_email_mapper", "general,privacy",
+		func(p ops.Params) func(string) string {
+			repl := p.String("replacement", "")
+			return func(s string) string { return emailRe.ReplaceAllString(s, repl) }
+		})
+
+	registerTransform("clean_links_mapper", "general,web",
+		func(p ops.Params) func(string) string {
+			repl := p.String("replacement", "")
+			return func(s string) string { return linkRe.ReplaceAllString(s, repl) }
+		})
+
+	registerTransform("clean_ip_mapper", "general,privacy",
+		func(p ops.Params) func(string) string {
+			repl := p.String("replacement", "")
+			return func(s string) string { return ipRe.ReplaceAllString(s, repl) }
+		})
+
+	registerTransform("clean_copyright_mapper", "code",
+		func(p ops.Params) func(string) string { return cleanCopyright })
+}
+
+// cleanCopyright removes a leading comment block that mentions copyright
+// or license terms, the behaviour of the paper's clean_copyright_mapper
+// for code corpora. Only the head of the file is considered: copyright
+// notices in the middle of a document are content, not boilerplate.
+func cleanCopyright(s string) string {
+	lines := strings.Split(s, "\n")
+	// Find the extent of the leading comment block.
+	end := 0
+	sawCopyright := false
+	inBlock := false
+	for i, l := range lines {
+		t := strings.TrimSpace(l)
+		switch {
+		case inBlock:
+			end = i + 1
+			if copyrightLineRe.MatchString(l) {
+				sawCopyright = true
+			}
+			if strings.Contains(t, "*/") {
+				inBlock = false
+			}
+			continue
+		case strings.HasPrefix(t, "/*"):
+			inBlock = !strings.Contains(t, "*/")
+			end = i + 1
+			if copyrightLineRe.MatchString(l) {
+				sawCopyright = true
+			}
+			continue
+		case strings.HasPrefix(t, "//") || strings.HasPrefix(t, "#") || t == "":
+			end = i + 1
+			if copyrightLineRe.MatchString(l) {
+				sawCopyright = true
+			}
+			continue
+		}
+		break
+	}
+	if !sawCopyright || end == 0 {
+		return s
+	}
+	return strings.Join(lines[end:], "\n")
+}

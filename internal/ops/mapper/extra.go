@@ -1,0 +1,140 @@
+package mapper
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"repro/internal/ops"
+	"repro/internal/text"
+)
+
+// Additional mappers rounding out the pool: contraction expansion,
+// repeated-sentence removal, user-specified regex rewriting, and header
+// removal for code fences.
+
+var contractions = map[string]string{
+	"can't": "cannot", "won't": "will not", "n't": " not",
+	"'re": " are", "'ve": " have", "'ll": " will", "'m": " am",
+	"let's": "let us", "it's": "it is", "that's": "that is",
+	"what's": "what is", "there's": "there is", "he's": "he is",
+	"she's": "she is", "who's": "who is",
+}
+
+// contractionOrder applies multi-word forms before generic suffixes.
+var contractionOrder = []string{
+	"can't", "won't", "let's", "it's", "that's", "what's", "there's",
+	"he's", "she's", "who's", "n't", "'re", "'ve", "'ll", "'m",
+}
+
+func init() {
+	registerTransform("expand_contractions_mapper", "en,fine-tuning",
+		func(p ops.Params) func(string) string { return expandContractions })
+
+	registerTransform("remove_repeat_sentences_mapper", "general,web",
+		func(p ops.Params) func(string) string {
+			lowercase := p.Bool("lowercase", true)
+			minLen := p.Int("min_repeat_sentence_length", 2)
+			return func(s string) string { return removeRepeatSentences(s, lowercase, minLen) }
+		})
+
+	ops.Register("replace_content_mapper", ops.CategoryMapper, "general,custom",
+		func(p ops.Params) (ops.OP, error) {
+			pattern := p.String("pattern", "")
+			if pattern == "" {
+				return nil, fmt.Errorf("replace_content_mapper: pattern is required")
+			}
+			re, err := regexp.Compile(pattern)
+			if err != nil {
+				return nil, fmt.Errorf("replace_content_mapper: %w", err)
+			}
+			repl := p.String("repl", "")
+			return &transform{
+				base: newBase("replace_content_mapper", p),
+				fn:   func(s string) string { return re.ReplaceAllString(s, repl) },
+			}, nil
+		})
+
+	registerTransform("remove_code_fences_mapper", "markdown",
+		func(p ops.Params) func(string) string { return removeCodeFences })
+}
+
+// expandContractions rewrites common English contractions into their full
+// forms (case-insensitive on the apostrophe forms), normalizing text for
+// downstream word statistics.
+func expandContractions(s string) string {
+	lower := strings.ToLower(s)
+	var b strings.Builder
+	b.Grow(len(s))
+	i := 0
+outer:
+	for i < len(s) {
+		for _, c := range contractionOrder {
+			if strings.HasPrefix(lower[i:], c) {
+				// Suffix forms must follow a letter; word forms must start
+				// at a word boundary.
+				if strings.HasPrefix(c, "'") || c == "n't" {
+					if b.Len() == 0 {
+						break
+					}
+				} else if i > 0 && isWordByte(s[i-1]) {
+					continue
+				}
+				b.WriteString(contractions[c])
+				i += len(c)
+				continue outer
+			}
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// removeRepeatSentences drops sentences that already appeared earlier in
+// the document — the in-document cousin of deduplication, aimed at
+// templated boilerplate that repeats within a page.
+func removeRepeatSentences(s string, lowercase bool, minWords int) string {
+	sentences := text.Sentences(s)
+	if len(sentences) < 2 {
+		return s
+	}
+	seen := make(map[string]struct{}, len(sentences))
+	kept := sentences[:0]
+	for _, sent := range sentences {
+		key := sent
+		if lowercase {
+			key = strings.ToLower(key)
+		}
+		words := text.Words(sent)
+		if len(words) >= minWords {
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+		}
+		kept = append(kept, sent)
+	}
+	return strings.Join(kept, " ")
+}
+
+// removeCodeFences strips fenced code blocks from markdown documents.
+func removeCodeFences(s string) string {
+	lines := strings.Split(s, "\n")
+	out := lines[:0]
+	inFence := false
+	for _, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "```") {
+			inFence = !inFence
+			continue
+		}
+		if !inFence {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

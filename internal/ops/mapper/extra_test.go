@@ -1,0 +1,65 @@
+package mapper
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ops"
+)
+
+func TestExpandContractionsMapper(t *testing.T) {
+	cases := map[string]string{
+		"I can't and won't go":  "I cannot and will not go",
+		"it's fine, let's stay": "it is fine, let us stay",
+		"they're here":          "they are here",
+		"we didn't see":         "we did not see",
+		"no contractions here":  "no contractions here",
+	}
+	for in, want := range cases {
+		if got := run(t, "expand_contractions_mapper", nil, in); got != want {
+			t.Errorf("expand(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRemoveRepeatSentencesMapper(t *testing.T) {
+	in := "Subscribe to our newsletter today. Real content lives here. Subscribe to our newsletter today. More real content follows."
+	got := run(t, "remove_repeat_sentences_mapper", nil, in)
+	if strings.Count(got, "Subscribe to our newsletter today.") != 1 {
+		t.Fatalf("repeat sentence survived: %q", got)
+	}
+	if !strings.Contains(got, "Real content lives here.") || !strings.Contains(got, "More real content follows.") {
+		t.Fatalf("content lost: %q", got)
+	}
+	// Short sentences below the word threshold are never treated as dups.
+	short := "Yes. No. Yes. No."
+	if got := run(t, "remove_repeat_sentences_mapper", ops.Params{"min_repeat_sentence_length": 3}, short); strings.Count(got, "Yes.") != 2 {
+		t.Fatalf("short sentences deduped: %q", got)
+	}
+}
+
+func TestReplaceContentMapper(t *testing.T) {
+	got := run(t, "replace_content_mapper",
+		ops.Params{"pattern": `\d{3}-\d{4}`, "repl": "<PHONE>"},
+		"call 555-1234 now")
+	if got != "call <PHONE> now" {
+		t.Fatalf("got %q", got)
+	}
+	if _, err := ops.Build("replace_content_mapper", nil); err == nil {
+		t.Fatal("missing pattern must error")
+	}
+	if _, err := ops.Build("replace_content_mapper", ops.Params{"pattern": "("}); err == nil {
+		t.Fatal("bad regex must error")
+	}
+}
+
+func TestRemoveCodeFencesMapper(t *testing.T) {
+	in := "Intro text\n```go\nfunc main() {}\n```\nOutro text"
+	got := run(t, "remove_code_fences_mapper", nil, in)
+	if strings.Contains(got, "func main") || strings.Contains(got, "```") {
+		t.Fatalf("fence survived: %q", got)
+	}
+	if !strings.Contains(got, "Intro text") || !strings.Contains(got, "Outro text") {
+		t.Fatalf("content lost: %q", got)
+	}
+}

@@ -1,0 +1,82 @@
+package mapper
+
+import (
+	"regexp"
+	"strings"
+
+	"repro/internal/ops"
+)
+
+// LaTeX-oriented mappers for arXiv-style corpora, mirroring the paper's
+// expand_macro / remove_bibliography / remove_comments / remove_header /
+// remove_table_text operators.
+
+var (
+	newcommandRe = regexp.MustCompile(`\\(?:newcommand|def|renewcommand)\{?\\([A-Za-z]+)\}?(?:\[\d+\])?\{([^{}]*)\}`)
+	bibRe        = regexp.MustCompile(`(?s)\\(?:bibliography|begin\{thebibliography\}).*`)
+	commentRe    = regexp.MustCompile(`(?m)(^|[^\\])%.*$`)
+	tableEnvRe   = regexp.MustCompile(`(?s)\\begin\{(table\*?|tabular)\}.*?\\end\{(table\*?|tabular)\}`)
+	headerRe     = regexp.MustCompile(`(?s)^.*?(\\(?:section|chapter|part)\*?\{)`)
+)
+
+func init() {
+	registerTransform("expand_macro_mapper", "latex",
+		func(p ops.Params) func(string) string { return expandMacros })
+
+	registerTransform("remove_bibliography_mapper", "latex",
+		func(p ops.Params) func(string) string {
+			return func(s string) string { return bibRe.ReplaceAllString(s, "") }
+		})
+
+	registerTransform("remove_comments_mapper", "latex",
+		func(p ops.Params) func(string) string {
+			return func(s string) string { return commentRe.ReplaceAllString(s, "$1") }
+		})
+
+	registerTransform("remove_table_text_mapper", "latex,general",
+		func(p ops.Params) func(string) string {
+			return func(s string) string { return tableEnvRe.ReplaceAllString(s, "") }
+		})
+
+	registerTransform("remove_header_mapper", "latex",
+		func(p ops.Params) func(string) string {
+			keep := p.Bool("drop_no_head", true)
+			return func(s string) string { return removeHeader(s, keep) }
+		})
+}
+
+// expandMacros inlines simple one-level \newcommand / \def macros into the
+// body, so later filters see real content instead of macro names.
+func expandMacros(s string) string {
+	defs := newcommandRe.FindAllStringSubmatch(s, -1)
+	if len(defs) == 0 {
+		return s
+	}
+	s = newcommandRe.ReplaceAllString(s, "")
+	for _, d := range defs {
+		name, body := d[1], d[2]
+		// Parameterized bodies (#1 etc.) are left alone: single-level
+		// expansion of constant macros covers the bulk of real usage.
+		if strings.Contains(body, "#") {
+			continue
+		}
+		s = regexp.MustCompile(`\\`+regexp.QuoteMeta(name)+`\b`).ReplaceAllString(s, body)
+	}
+	return s
+}
+
+// removeHeader drops everything before the first sectioning command (the
+// preamble: documentclass, packages, title matter). If the document has no
+// sectioning command and dropNoHead is true, the text is emptied, matching
+// the paper's semantics for header-only fragments.
+func removeHeader(s string, dropNoHead bool) string {
+	loc := headerRe.FindStringSubmatchIndex(s)
+	if loc == nil {
+		if dropNoHead {
+			return ""
+		}
+		return s
+	}
+	// loc[2] is the start of the sectioning command capture group.
+	return s[loc[2]:]
+}

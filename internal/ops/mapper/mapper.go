@@ -1,0 +1,64 @@
+// Package mapper implements the Mapper operators of the pool: in-place
+// text editing OPs for cleaning, normalization and transformation
+// (Table 1, row "Mappers"). Every operator registers itself with the ops
+// registry under its snake_case name.
+package mapper
+
+import (
+	"strings"
+
+	"repro/internal/ops"
+	"repro/internal/sample"
+)
+
+// base carries the plumbing shared by all mappers: the operator name and
+// the text field it processes (default "text", overridable per recipe via
+// the text_key parameter, as described in Sec. 3.3).
+type base struct {
+	name    string
+	textKey string
+}
+
+func newBase(name string, p ops.Params) base {
+	return base{name: name, textKey: p.String("text_key", "text")}
+}
+
+func (b base) Name() string { return b.name }
+
+func (b base) text(s *sample.Sample) string {
+	t, _ := s.GetString(b.textKey)
+	return t
+}
+
+func (b base) setText(s *sample.Sample, t string) error {
+	return s.SetString(b.textKey, t)
+}
+
+// transform wraps a pure string function as a full Mapper.
+type transform struct {
+	base
+	fn func(string) string
+}
+
+func (m *transform) Process(s *sample.Sample) error {
+	return m.setText(s, m.fn(m.text(s)))
+}
+
+func registerTransform(name, usage string, mk func(p ops.Params) func(string) string) {
+	ops.Register(name, ops.CategoryMapper, usage, func(p ops.Params) (ops.OP, error) {
+		return &transform{base: newBase(name, p), fn: mk(p)}, nil
+	})
+}
+
+// dropLines wraps a per-line predicate as a Mapper that deletes matching
+// lines.
+func dropLines(text string, drop func(line string) bool) string {
+	lines := strings.Split(text, "\n")
+	out := lines[:0]
+	for _, l := range lines {
+		if !drop(l) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

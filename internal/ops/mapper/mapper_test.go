@@ -1,0 +1,267 @@
+package mapper
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ops"
+	"repro/internal/sample"
+)
+
+// run builds the named mapper and applies it to text, returning the result.
+func run(t *testing.T, name string, p ops.Params, text string) string {
+	t.Helper()
+	op, err := ops.Build(name, p)
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	m, ok := op.(ops.Mapper)
+	if !ok {
+		t.Fatalf("%s is not a Mapper", name)
+	}
+	s := sample.New(text)
+	if err := m.Process(s); err != nil {
+		t.Fatalf("process %s: %v", name, err)
+	}
+	return s.Text
+}
+
+func TestWhitespaceNormalizationMapper(t *testing.T) {
+	got := run(t, "whitespace_normalization_mapper", nil, "a   b\t c \n\n\n\nd")
+	if got != "a b c\n\nd" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFixUnicodeMapper(t *testing.T) {
+	got := run(t, "fix_unicode_mapper", nil, "cafÃ©")
+	if got != "café" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPunctuationNormalizationMapper(t *testing.T) {
+	got := run(t, "punctuation_normalization_mapper", nil, "«x»")
+	if got != `"x"` {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestLowercaseMapper(t *testing.T) {
+	if got := run(t, "lowercase_mapper", nil, "ABC"); got != "abc" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRemoveNonPrintingMapper(t *testing.T) {
+	if got := run(t, "remove_non_printing_mapper", nil, "a\x00b"); got != "ab" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCleanHTMLMapper(t *testing.T) {
+	got := run(t, "clean_html_mapper", nil, "<p>Hello <b>world</b></p>")
+	if strings.Contains(got, "<") || !strings.Contains(got, "Hello world") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSentenceSplitMapper(t *testing.T) {
+	got := run(t, "sentence_split_mapper", nil, "One. Two! Three?")
+	if got != "One.\nTwo!\nThree?" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCleanEmailMapper(t *testing.T) {
+	got := run(t, "clean_email_mapper", nil, "contact me at foo.bar+1@example.co.uk today")
+	if strings.Contains(got, "@") {
+		t.Fatalf("email left: %q", got)
+	}
+	got = run(t, "clean_email_mapper", ops.Params{"replacement": "<EMAIL>"}, "x a@b.com y")
+	if got != "x <EMAIL> y" {
+		t.Fatalf("replacement: %q", got)
+	}
+}
+
+func TestCleanLinksMapper(t *testing.T) {
+	got := run(t, "clean_links_mapper", nil, "see https://example.com/a?b=1 and www.test.org/page now")
+	if strings.Contains(got, "example.com") || strings.Contains(got, "www.test.org") {
+		t.Fatalf("links left: %q", got)
+	}
+	if !strings.Contains(got, "see") || !strings.Contains(got, "now") {
+		t.Fatalf("content lost: %q", got)
+	}
+}
+
+func TestCleanIPMapper(t *testing.T) {
+	got := run(t, "clean_ip_mapper", nil, "server at 192.168.0.1:8080 responded")
+	if strings.Contains(got, "192.168") {
+		t.Fatalf("ip left: %q", got)
+	}
+}
+
+func TestCleanCopyrightMapper(t *testing.T) {
+	in := `// Copyright 2020 Example Corp.
+// Licensed under the Apache License.
+
+package main
+
+func main() {} // keep this copyright mention inline`
+	got := run(t, "clean_copyright_mapper", nil, in)
+	if strings.Contains(got, "Example Corp") {
+		t.Fatalf("header left: %q", got)
+	}
+	if !strings.Contains(got, "package main") || !strings.Contains(got, "keep this copyright mention inline") {
+		t.Fatalf("content lost: %q", got)
+	}
+	// Files without a copyright header pass through unchanged.
+	plain := "package main\n\nfunc main() {}"
+	if got := run(t, "clean_copyright_mapper", nil, plain); got != plain {
+		t.Fatalf("no-header file changed: %q", got)
+	}
+}
+
+func TestCleanCopyrightBlockComment(t *testing.T) {
+	in := "/*\n * Copyright (c) 2021\n * All rights reserved.\n */\nint main() {}"
+	got := run(t, "clean_copyright_mapper", nil, in)
+	if strings.Contains(got, "rights reserved") || !strings.Contains(got, "int main") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestExpandMacroMapper(t *testing.T) {
+	in := `\newcommand{\model}{Transformer}
+The \model architecture uses \model blocks.`
+	got := run(t, "expand_macro_mapper", nil, in)
+	if strings.Contains(got, `\model`) || strings.Count(got, "Transformer") != 2 {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRemoveBibliographyMapper(t *testing.T) {
+	in := "Body text.\n\\bibliography{refs}\nMore refs here"
+	got := run(t, "remove_bibliography_mapper", nil, in)
+	if strings.Contains(got, "refs") || !strings.Contains(got, "Body text.") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRemoveCommentsMapper(t *testing.T) {
+	in := "Real content % a comment\n50\\% of cases % another"
+	got := run(t, "remove_comments_mapper", nil, in)
+	if strings.Contains(got, "a comment") || strings.Contains(got, "another") {
+		t.Fatalf("comments left: %q", got)
+	}
+	if !strings.Contains(got, "50\\%") {
+		t.Fatalf("escaped percent damaged: %q", got)
+	}
+}
+
+func TestRemoveHeaderMapper(t *testing.T) {
+	in := "\\documentclass{article}\n\\usepackage{x}\n\\begin{document}\n\\section{Intro}\nContent."
+	got := run(t, "remove_header_mapper", nil, in)
+	if strings.Contains(got, "documentclass") || !strings.HasPrefix(got, "\\section{Intro}") {
+		t.Fatalf("got %q", got)
+	}
+	// Document without sections is emptied by default.
+	if got := run(t, "remove_header_mapper", nil, "no sections here"); got != "" {
+		t.Fatalf("no-head doc should be emptied, got %q", got)
+	}
+	if got := run(t, "remove_header_mapper", ops.Params{"drop_no_head": false}, "no sections"); got != "no sections" {
+		t.Fatalf("drop_no_head=false should keep, got %q", got)
+	}
+}
+
+func TestRemoveTableTextMapper(t *testing.T) {
+	in := "Before\n\\begin{table}\nx & y \\\\ \n\\end{table}\nAfter"
+	got := run(t, "remove_table_text_mapper", nil, in)
+	if strings.Contains(got, "x & y") || !strings.Contains(got, "Before") || !strings.Contains(got, "After") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRemoveLongWordsMapper(t *testing.T) {
+	got := run(t, "remove_long_words_mapper", ops.Params{"max_len": 10}, "ok "+strings.Repeat("x", 30)+" fine")
+	if got != "ok fine" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRemoveSpecificCharsMapper(t *testing.T) {
+	got := run(t, "remove_specific_chars_mapper", nil, "a◆b●c")
+	if got != "abc" {
+		t.Fatalf("got %q", got)
+	}
+	got = run(t, "remove_specific_chars_mapper", ops.Params{"chars_to_remove": "xz"}, "xyz")
+	if got != "y" {
+		t.Fatalf("custom chars: %q", got)
+	}
+}
+
+func TestRemoveWordsWithIncorrectSubstringsMapper(t *testing.T) {
+	got := run(t, "remove_words_with_incorrect_substrings_mapper", nil, "visit http://spam now")
+	if got != "visit now" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTextAugmentMapperDeterministic(t *testing.T) {
+	in := "one two three four five six seven eight nine ten"
+	a := run(t, "text_augment_mapper", ops.Params{"seed": 1, "swap_rate": 0.5}, in)
+	b := run(t, "text_augment_mapper", ops.Params{"seed": 1, "swap_rate": 0.5}, in)
+	if a != b {
+		t.Fatalf("augmentation not deterministic: %q vs %q", a, b)
+	}
+	// All words preserved (only order changes).
+	wa := strings.Fields(a)
+	if len(wa) != 10 {
+		t.Fatalf("words lost: %q", a)
+	}
+	// Short texts are untouched.
+	if got := run(t, "text_augment_mapper", nil, "too short"); got != "too short" {
+		t.Fatalf("short text changed: %q", got)
+	}
+}
+
+func TestMapperTextKeyTargeting(t *testing.T) {
+	op, err := ops.Build("lowercase_mapper", ops.Params{"text_key": "text.abstract"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sample.New("BODY")
+	s.SetString("text.abstract", "ABSTRACT")
+	if err := op.(ops.Mapper).Process(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Text != "BODY" {
+		t.Fatalf("primary text changed: %q", s.Text)
+	}
+	if got, _ := s.GetString("text.abstract"); got != "abstract" {
+		t.Fatalf("targeted part = %q", got)
+	}
+}
+
+func TestAllMappersRegistered(t *testing.T) {
+	want := []string{
+		"whitespace_normalization_mapper", "fix_unicode_mapper",
+		"punctuation_normalization_mapper", "remove_non_printing_mapper",
+		"lowercase_mapper", "clean_html_mapper", "sentence_split_mapper",
+		"clean_email_mapper", "clean_links_mapper", "clean_ip_mapper",
+		"clean_copyright_mapper", "expand_macro_mapper",
+		"remove_bibliography_mapper", "remove_comments_mapper",
+		"remove_table_text_mapper", "remove_header_mapper",
+		"remove_long_words_mapper", "remove_specific_chars_mapper",
+		"remove_words_with_incorrect_substrings_mapper", "text_augment_mapper",
+	}
+	for _, name := range want {
+		info, ok := ops.InfoFor(name)
+		if !ok {
+			t.Errorf("%s not registered", name)
+			continue
+		}
+		if info.Category != ops.CategoryMapper {
+			t.Errorf("%s category = %s", name, info.Category)
+		}
+	}
+}

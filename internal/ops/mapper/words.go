@@ -1,0 +1,113 @@
+package mapper
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/ops"
+	"repro/internal/sample"
+)
+
+func init() {
+	registerTransform("remove_long_words_mapper", "general",
+		func(p ops.Params) func(string) string {
+			min := p.Int("min_len", 1)
+			max := p.Int("max_len", 128)
+			return func(s string) string { return removeLongWords(s, min, max) }
+		})
+
+	registerTransform("remove_specific_chars_mapper", "general",
+		func(p ops.Params) func(string) string {
+			chars := p.String("chars_to_remove", "◆●■►▼▲▴∆▻▷❖♡□")
+			return func(s string) string {
+				return strings.Map(func(r rune) rune {
+					if strings.ContainsRune(chars, r) {
+						return -1
+					}
+					return r
+				}, s)
+			}
+		})
+
+	registerTransform("remove_words_with_incorrect_substrings_mapper", "general,web",
+		func(p ops.Params) func(string) string {
+			subs := p.Strings("substrings")
+			if subs == nil {
+				subs = []string{"http", "www", ".com", ".html", "<?", "?>"}
+			}
+			return func(s string) string { return removeWordsWithSubstrings(s, subs) }
+		})
+
+	ops.Register("text_augment_mapper", ops.CategoryMapper, "fine-tuning,augment",
+		func(p ops.Params) (ops.OP, error) {
+			return &textAugment{
+				base:     newBase("text_augment_mapper", p),
+				seed:     int64(p.Int("seed", 42)),
+				swapRate: p.Float("swap_rate", 0.05),
+			}, nil
+		})
+}
+
+// removeLongWords drops whitespace tokens whose rune length falls outside
+// [min, max] — very long "words" are usually URLs, base64 blobs or broken
+// markup.
+func removeLongWords(s string, min, max int) string {
+	parts := strings.Fields(s)
+	out := parts[:0]
+	for _, w := range parts {
+		n := len([]rune(w))
+		if n >= min && n <= max {
+			out = append(out, w)
+		}
+	}
+	return strings.Join(out, " ")
+}
+
+func removeWordsWithSubstrings(s string, subs []string) string {
+	parts := strings.Fields(s)
+	out := parts[:0]
+	for _, w := range parts {
+		bad := false
+		lw := strings.ToLower(w)
+		for _, sub := range subs {
+			if strings.Contains(lw, sub) {
+				bad = true
+				break
+			}
+		}
+		if !bad {
+			out = append(out, w)
+		}
+	}
+	return strings.Join(out, " ")
+}
+
+// textAugment performs light, seeded text enhancement (adjacent word
+// swaps) — the stand-in for the nlpaug-style diversity mappers used on
+// fine-tuning data. Determinism comes from hashing the text into the
+// per-sample RNG stream.
+type textAugment struct {
+	base
+	seed     int64
+	swapRate float64
+}
+
+func (m *textAugment) Process(s *sample.Sample) error {
+	t := m.text(s)
+	words := strings.Fields(t)
+	if len(words) < 4 {
+		return nil
+	}
+	var h int64
+	for _, c := range t {
+		h = h*131 + int64(c)
+	}
+	rng := rand.New(rand.NewSource(m.seed ^ h))
+	for i := 0; i+1 < len(words); i++ {
+		if rng.Float64() < m.swapRate {
+			words[i], words[i+1] = words[i+1], words[i]
+			i++
+		}
+	}
+	return m.setText(s, strings.Join(words, " "))
+}

@@ -1,0 +1,127 @@
+package ops
+
+import (
+	"testing"
+
+	"repro/internal/sample"
+)
+
+func TestParamsTypedGetters(t *testing.T) {
+	p := Params{
+		"f":  3.5,
+		"i":  7,
+		"i2": 4.0, // JSON numbers arrive as float64
+		"s":  "hello",
+		"b":  true,
+		"ls": []any{"a", "b", 3},
+		"ts": []string{"x", "y"},
+	}
+	if v := p.Float("f", 0); v != 3.5 {
+		t.Fatalf("Float = %v", v)
+	}
+	if v := p.Float("i", 0); v != 7 {
+		t.Fatalf("Float(int) = %v", v)
+	}
+	if v := p.Float("missing", 9); v != 9 {
+		t.Fatalf("Float default = %v", v)
+	}
+	if v := p.Int("i2", 0); v != 4 {
+		t.Fatalf("Int(float) = %v", v)
+	}
+	if v := p.String("s", ""); v != "hello" {
+		t.Fatalf("String = %v", v)
+	}
+	if v := p.String("missing", "d"); v != "d" {
+		t.Fatalf("String default = %v", v)
+	}
+	if !p.Bool("b", false) {
+		t.Fatal("Bool = false")
+	}
+	if got := p.Strings("ls"); len(got) != 2 || got[0] != "a" {
+		t.Fatalf("Strings([]any) = %v", got)
+	}
+	if got := p.Strings("ts"); len(got) != 2 || got[1] != "y" {
+		t.Fatalf("Strings([]string) = %v", got)
+	}
+	if got := p.Strings("missing"); got != nil {
+		t.Fatalf("Strings missing = %v", got)
+	}
+}
+
+type fakeOP struct{ name string }
+
+func (f fakeOP) Name() string { return f.name }
+
+type costedOP struct {
+	fakeOP
+	cost float64
+}
+
+func (c costedOP) CostHint() float64 { return c.cost }
+
+type ctxOP struct {
+	fakeOP
+	keys []string
+}
+
+func (c ctxOP) ContextKeys() []string { return c.keys }
+
+func TestCostAndContextHelpers(t *testing.T) {
+	if CostOf(fakeOP{"a"}) != 1 {
+		t.Fatal("default cost must be 1")
+	}
+	if CostOf(costedOP{fakeOP{"b"}, 5}) != 5 {
+		t.Fatal("cost hint ignored")
+	}
+	if ContextKeysOf(fakeOP{"a"}) != nil {
+		t.Fatal("default context keys must be nil")
+	}
+	keys := ContextKeysOf(ctxOP{fakeOP{"c"}, []string{CtxWords}})
+	if len(keys) != 1 || keys[0] != CtxWords {
+		t.Fatalf("context keys = %v", keys)
+	}
+}
+
+func TestRegistryBuildUnknown(t *testing.T) {
+	if _, err := Build("definitely_not_registered", nil); err == nil {
+		t.Fatal("unknown op must error")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register("ops_test_dup_op", CategoryMapper, "test", func(p Params) (OP, error) {
+		return fakeOP{"ops_test_dup_op"}, nil
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	Register("ops_test_dup_op", CategoryMapper, "test", func(p Params) (OP, error) {
+		return fakeOP{"ops_test_dup_op"}, nil
+	})
+}
+
+func TestContextHelpersShareCache(t *testing.T) {
+	s := sample.New("Hello world one two")
+	w1 := WordsLowerOf(s)
+	w2 := WordsLowerOf(s)
+	if len(w1) != 4 {
+		t.Fatalf("words = %v", w1)
+	}
+	// Same backing slice → same first element address semantics: mutate one
+	// and observe the other (they must be the identical cached value).
+	w1[0] = "mutated"
+	if w2[0] != "mutated" {
+		t.Fatal("WordsLowerOf must return the cached slice")
+	}
+	if !s.HasContext(CtxWordsLower) {
+		t.Fatal("context key not cached")
+	}
+	LinesOf(s)
+	SentencesOf(s)
+	WordsOf(s)
+	if s.ContextLen() != 4 {
+		t.Fatalf("context entries = %d, want 4", s.ContextLen())
+	}
+}

@@ -1,0 +1,202 @@
+package quality
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func webTexts(n int, seed int64) []string {
+	d := corpus.Web(corpus.Options{Docs: n, Seed: seed})
+	out := make([]string, d.Len())
+	for i, s := range d.Samples {
+		out[i] = s.Text
+	}
+	return out
+}
+
+func wikiBooksTexts(n int, seed int64) []string {
+	w := corpus.Wiki(corpus.Options{Docs: n / 2, Seed: seed})
+	b := corpus.Books(corpus.Options{Docs: n - n/2, Seed: seed + 1})
+	out := make([]string, 0, n)
+	for _, s := range w.Samples {
+		out = append(out, s.Text)
+	}
+	for _, s := range b.Samples {
+		out = append(out, s.Text)
+	}
+	return out
+}
+
+func TestHashingTF(t *testing.T) {
+	tf := HashingTF{Dim: 1024}
+	v := tf.Transform([]string{"a", "b", "a"})
+	if len(v) != 2 {
+		t.Fatalf("buckets = %v", v)
+	}
+	var total float64
+	for _, x := range v {
+		total += x
+	}
+	if total != 3 {
+		t.Fatalf("total tf = %v", total)
+	}
+	// Same token always maps to the same bucket.
+	v2 := tf.Transform([]string{"a"})
+	for k := range v2 {
+		if v[k] != 2 {
+			t.Fatalf("bucket mismatch for 'a': %v vs %v", v, v2)
+		}
+	}
+}
+
+func TestLogRegSeparatesLinearlyStructuredData(t *testing.T) {
+	// Feature 0 active -> label 1, feature 1 active -> label 0.
+	var features []map[int]float64
+	var labels []int
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			features = append(features, map[int]float64{0: 1})
+			labels = append(labels, 1)
+		} else {
+			features = append(features, map[int]float64{1: 1})
+			labels = append(labels, 0)
+		}
+	}
+	m := TrainLogReg(2, features, labels, TrainOptions{Seed: 1})
+	if p := m.Predict(map[int]float64{0: 1}); p < 0.9 {
+		t.Fatalf("positive prediction = %v", p)
+	}
+	if p := m.Predict(map[int]float64{1: 1}); p > 0.1 {
+		t.Fatalf("negative prediction = %v", p)
+	}
+}
+
+func trainEnglish(t *testing.T) *Classifier {
+	t.Helper()
+	return Train(KindGPT3, wikiBooksTexts(120, 10), webTexts(120, 20), TrainOptions{Seed: 7})
+}
+
+func TestClassifierSeparatesCleanFromNoisy(t *testing.T) {
+	c := trainEnglish(t)
+	cleanEval := wikiBooksTexts(40, 99)
+	noisyEval := webTexts(40, 98)
+	var cleanAvg, noisyAvg float64
+	for _, s := range cleanEval {
+		cleanAvg += c.QualityScore(s)
+	}
+	for _, s := range noisyEval {
+		noisyAvg += c.QualityScore(s)
+	}
+	cleanAvg /= float64(len(cleanEval))
+	noisyAvg /= float64(len(noisyEval))
+	if cleanAvg <= noisyAvg+0.2 {
+		t.Fatalf("separation too weak: clean=%v noisy=%v", cleanAvg, noisyAvg)
+	}
+}
+
+func TestClassifierMetricsHigh(t *testing.T) {
+	// Reproduces the Table 5 setup in miniature: 4:1 split, F1 should be
+	// high for the English classifier on held-out data.
+	pos := wikiBooksTexts(150, 1)
+	neg := webTexts(150, 2)
+	texts := append(append([]string{}, pos...), neg...)
+	labels := make([]int, len(texts))
+	for i := range pos {
+		labels[i] = 1
+	}
+	trainX, trainY, evalX, evalY := Split(texts, labels, 0.8, 3)
+	var p, n []string
+	for i, s := range trainX {
+		if trainY[i] == 1 {
+			p = append(p, s)
+		} else {
+			n = append(n, s)
+		}
+	}
+	c := Train(KindGPT3, p, n, TrainOptions{Seed: 4})
+	m := c.Evaluate(evalX, evalY)
+	if m.F1 < 0.85 {
+		t.Fatalf("F1 = %v, want >= 0.85 (metrics %+v)", m.F1, m)
+	}
+}
+
+func TestChineseClassifier(t *testing.T) {
+	clean := corpus.WebZH(corpus.Options{Docs: 100, Seed: 5, Noise: 0.01})
+	noisy := corpus.WebZH(corpus.Options{Docs: 100, Seed: 6, Noise: 3.0})
+	var pos, neg []string
+	for _, s := range clean.Samples {
+		pos = append(pos, s.Text)
+	}
+	for _, s := range noisy.Samples {
+		neg = append(neg, s.Text)
+	}
+	c := Train(KindChinese, pos[:80], neg[:80], TrainOptions{Seed: 8})
+	evalX := append(append([]string{}, pos[80:]...), neg[80:]...)
+	evalY := make([]int, len(evalX))
+	for i := 0; i < 20; i++ {
+		evalY[i] = 1
+	}
+	m := c.Evaluate(evalX, evalY)
+	if m.Accuracy < 0.7 {
+		t.Fatalf("chinese accuracy = %v (metrics %+v)", m.Accuracy, m)
+	}
+}
+
+func TestKeepMethods(t *testing.T) {
+	c := trainEnglish(t)
+	texts := webTexts(200, 77)
+	labelRatio := c.KeepRatio(texts, KeepLabel, 1)
+	paretoRatio := c.KeepRatio(texts, KeepPareto, 1)
+	if labelRatio < 0 || labelRatio > 1 || paretoRatio < 0 || paretoRatio > 1 {
+		t.Fatalf("ratios out of range: %v %v", labelRatio, paretoRatio)
+	}
+	// The web tier is mostly noise: both rules should keep a minority.
+	if labelRatio > 0.5 {
+		t.Fatalf("label keep ratio on raw web = %v, want < 0.5", labelRatio)
+	}
+}
+
+func TestKeepParetoDeterministicWithSeed(t *testing.T) {
+	c := trainEnglish(t)
+	texts := webTexts(100, 50)
+	a := c.KeepRatio(texts, KeepPareto, 42)
+	b := c.KeepRatio(texts, KeepPareto, 42)
+	if a != b {
+		t.Fatalf("pareto keep not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestKeepSingle(t *testing.T) {
+	c := trainEnglish(t)
+	rng := rand.New(rand.NewSource(1))
+	clean := wikiBooksTexts(4, 123)[0]
+	if !c.Keep(clean, KeepLabel, rng) {
+		t.Fatal("clean doc rejected by label rule")
+	}
+}
+
+func TestSplitRatio(t *testing.T) {
+	texts := make([]string, 100)
+	labels := make([]int, 100)
+	for i := range texts {
+		texts[i] = "t"
+		labels[i] = i % 2
+	}
+	trainX, trainY, evalX, evalY := Split(texts, labels, 0.8, 9)
+	if len(trainX) != 80 || len(evalX) != 20 {
+		t.Fatalf("split = %d/%d", len(trainX), len(evalX))
+	}
+	if len(trainY) != 80 || len(evalY) != 20 {
+		t.Fatal("label split mismatch")
+	}
+}
+
+func TestEvaluateEmptyDegenerate(t *testing.T) {
+	c := trainEnglish(t)
+	m := c.Evaluate(nil, nil)
+	if m.F1 != 0 || m.Precision != 0 || m.Recall != 0 {
+		t.Fatalf("empty eval = %+v", m)
+	}
+}

@@ -1,0 +1,356 @@
+// Package sample defines the unified intermediate representation for one
+// document flowing through a Data-Juicer pipeline.
+//
+// A sample is conceptually organized in three parts, mirroring Sec. 3.1 of
+// the paper: "text" holds the raw textual payload (with optional named
+// sub-parts such as "text.abstract"), "meta" holds metadata (source, date,
+// tags), and "stats" holds per-sample statistics produced by Filter OPs and
+// consumed by other OPs and the analyzer.
+package sample
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one document. The zero value is a valid empty sample.
+//
+// A sample is owned by a single goroutine at any point in time (the dataset
+// executor hands each sample to exactly one worker), so its methods do not
+// lock.
+type Sample struct {
+	// Text is the primary text payload, addressed as "text".
+	Text string
+	// Parts holds named text sub-parts, addressed as "text.<name>".
+	Parts map[string]string
+	// Meta holds metadata fields, addressed as "meta.<path>".
+	Meta Fields
+	// Stats holds per-sample statistics, addressed as "stats.<name>".
+	Stats Fields
+
+	ctx map[string]any
+}
+
+// New returns a sample holding text.
+func New(text string) *Sample { return &Sample{Text: text} }
+
+// Clone returns a deep copy of the sample. The context cache is not copied:
+// clones start with a cold context.
+func (s *Sample) Clone() *Sample {
+	c := &Sample{Text: s.Text}
+	if s.Parts != nil {
+		c.Parts = make(map[string]string, len(s.Parts))
+		for k, v := range s.Parts {
+			c.Parts[k] = v
+		}
+	}
+	c.Meta = s.Meta.Clone()
+	c.Stats = s.Stats.Clone()
+	return c
+}
+
+// GetString resolves a dotted field path to a string value.
+// Supported roots: "text", "text.<part>", "meta.<path>", "stats.<name>".
+func (s *Sample) GetString(path string) (string, bool) {
+	root, rest := splitPath(path)
+	switch root {
+	case "text":
+		if rest == "" {
+			return s.Text, true
+		}
+		v, ok := s.Parts[rest]
+		return v, ok
+	case "meta":
+		v, ok := s.Meta.Get(rest)
+		if !ok {
+			return "", false
+		}
+		return toString(v)
+	case "stats":
+		v, ok := s.Stats.Get(rest)
+		if !ok {
+			return "", false
+		}
+		return toString(v)
+	}
+	return "", false
+}
+
+// SetString writes a string value at a dotted field path.
+func (s *Sample) SetString(path, value string) error {
+	root, rest := splitPath(path)
+	switch root {
+	case "text":
+		if rest == "" {
+			s.Text = value
+			return nil
+		}
+		if s.Parts == nil {
+			s.Parts = make(map[string]string)
+		}
+		s.Parts[rest] = value
+		return nil
+	case "meta":
+		if rest == "" {
+			return fmt.Errorf("sample: cannot set bare %q", path)
+		}
+		s.Meta = s.Meta.Set(rest, value)
+		return nil
+	case "stats":
+		if rest == "" {
+			return fmt.Errorf("sample: cannot set bare %q", path)
+		}
+		s.Stats = s.Stats.Set(rest, value)
+		return nil
+	}
+	return fmt.Errorf("sample: unknown field root in path %q", path)
+}
+
+// GetFloat resolves a dotted field path to a float64.
+func (s *Sample) GetFloat(path string) (float64, bool) {
+	root, rest := splitPath(path)
+	var v any
+	var ok bool
+	switch root {
+	case "meta":
+		v, ok = s.Meta.Get(rest)
+	case "stats":
+		v, ok = s.Stats.Get(rest)
+	default:
+		return 0, false
+	}
+	if !ok {
+		return 0, false
+	}
+	return toFloat(v)
+}
+
+// SetStat records a numeric statistic under stats.<name>.
+func (s *Sample) SetStat(name string, v float64) {
+	s.Stats = s.Stats.Set(name, v)
+}
+
+// Stat reads a numeric statistic; ok reports whether it was present and
+// numeric.
+func (s *Sample) Stat(name string) (float64, bool) {
+	v, ok := s.Stats.Get(name)
+	if !ok {
+		return 0, false
+	}
+	return toFloat(v)
+}
+
+// SetStatString records a string-valued statistic (e.g. a language tag).
+func (s *Sample) SetStatString(name, v string) {
+	s.Stats = s.Stats.Set(name, v)
+}
+
+// StatString reads a string-valued statistic.
+func (s *Sample) StatString(name string) (string, bool) {
+	v, ok := s.Stats.Get(name)
+	if !ok {
+		return "", false
+	}
+	return toString(v)
+}
+
+// Context returns the memoized shared intermediate for key, computing it
+// with compute on first use. It backs the context manager of Sec. 6: fused
+// operators share segmented words, split lines, and other derived values
+// through this cache instead of recomputing them.
+func (s *Sample) Context(key string, compute func() any) any {
+	if v, ok := s.ctx[key]; ok {
+		return v
+	}
+	v := compute()
+	if s.ctx == nil {
+		s.ctx = make(map[string]any, 4)
+	}
+	s.ctx[key] = v
+	return v
+}
+
+// HasContext reports whether key is currently cached.
+func (s *Sample) HasContext(key string) bool {
+	_, ok := s.ctx[key]
+	return ok
+}
+
+// ClearContext drops all cached intermediates. The executor calls this
+// after each (fused) operator so context management needs little extra
+// memory, as described in Sec. 6.
+func (s *Sample) ClearContext() { s.ctx = nil }
+
+// ContextLen reports the number of cached intermediates (used by tests and
+// the ablation benchmarks).
+func (s *Sample) ContextLen() int { return len(s.ctx) }
+
+// sampleJSON is the serialized wire form of a sample.
+type sampleJSON struct {
+	Text  string            `json:"text"`
+	Parts map[string]string `json:"parts,omitempty"`
+	Meta  Fields            `json:"meta,omitempty"`
+	Stats Fields            `json:"stats,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Sample) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sampleJSON{Text: s.Text, Parts: s.Parts, Meta: s.Meta, Stats: s.Stats})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Sample) UnmarshalJSON(b []byte) error {
+	var j sampleJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	s.Text, s.Parts, s.Meta, s.Stats = j.Text, j.Parts, j.Meta, j.Stats
+	s.ctx = nil
+	return nil
+}
+
+// Fields is a nested string-keyed document supporting dotted-path access.
+// A nil Fields behaves as an empty, read-only document; Set returns the
+// (possibly newly allocated) map so callers can write through nil values.
+type Fields map[string]any
+
+// Get resolves a dotted path ("a.b.c") to its value.
+func (f Fields) Get(path string) (any, bool) {
+	if f == nil || path == "" {
+		return nil, false
+	}
+	cur := f
+	for {
+		head, rest := splitPath(path)
+		v, ok := cur[head]
+		if !ok {
+			return nil, false
+		}
+		if rest == "" {
+			return v, true
+		}
+		next, ok := asFields(v)
+		if !ok {
+			return nil, false
+		}
+		cur, path = next, rest
+	}
+}
+
+// Set writes value at a dotted path, creating intermediate maps, and
+// returns the root map (allocating it if f was nil).
+func (f Fields) Set(path string, value any) Fields {
+	if f == nil {
+		f = make(Fields, 4)
+	}
+	cur := f
+	for {
+		head, rest := splitPath(path)
+		if rest == "" {
+			cur[head] = value
+			return f
+		}
+		next, ok := asFields(cur[head])
+		if !ok {
+			next = make(Fields, 2)
+			cur[head] = next
+		}
+		cur, path = next, rest
+	}
+}
+
+// Delete removes the value at a dotted path if present.
+func (f Fields) Delete(path string) {
+	if f == nil {
+		return
+	}
+	head, rest := splitPath(path)
+	if rest == "" {
+		delete(f, head)
+		return
+	}
+	if next, ok := asFields(f[head]); ok {
+		next.Delete(rest)
+	}
+}
+
+// Clone deep-copies the document. Nested Fields (and map[string]any) are
+// copied recursively; slices are copied shallowly per element.
+func (f Fields) Clone() Fields {
+	if f == nil {
+		return nil
+	}
+	c := make(Fields, len(f))
+	for k, v := range f {
+		if nested, ok := asFields(v); ok {
+			c[k] = nested.Clone()
+			continue
+		}
+		c[k] = v
+	}
+	return c
+}
+
+// Keys returns the sorted top-level keys, for deterministic iteration.
+func (f Fields) Keys() []string {
+	keys := make([]string, 0, len(f))
+	for k := range f {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func asFields(v any) (Fields, bool) {
+	switch m := v.(type) {
+	case Fields:
+		return m, true
+	case map[string]any:
+		return Fields(m), true
+	}
+	return nil, false
+}
+
+func splitPath(path string) (head, rest string) {
+	if i := strings.IndexByte(path, '.'); i >= 0 {
+		return path[:i], path[i+1:]
+	}
+	return path, ""
+}
+
+func toString(v any) (string, bool) {
+	switch x := v.(type) {
+	case string:
+		return x, true
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64), true
+	case int:
+		return strconv.Itoa(x), true
+	case bool:
+		return strconv.FormatBool(x), true
+	}
+	return "", false
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case json.Number:
+		f, err := x.Float64()
+		return f, err == nil
+	case string:
+		f, err := strconv.ParseFloat(x, 64)
+		return f, err == nil
+	}
+	return 0, false
+}

@@ -1,0 +1,256 @@
+package sample
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+func TestGetSetText(t *testing.T) {
+	s := New("hello")
+	if got, ok := s.GetString("text"); !ok || got != "hello" {
+		t.Fatalf("GetString(text) = %q, %v", got, ok)
+	}
+	if err := s.SetString("text", "world"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Text != "world" {
+		t.Fatalf("Text = %q, want world", s.Text)
+	}
+}
+
+func TestTextParts(t *testing.T) {
+	s := New("body")
+	if err := s.SetString("text.abstract", "short"); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.GetString("text.abstract"); !ok || got != "short" {
+		t.Fatalf("GetString(text.abstract) = %q, %v", got, ok)
+	}
+	if got, ok := s.GetString("text"); !ok || got != "body" {
+		t.Fatalf("primary text clobbered: %q, %v", got, ok)
+	}
+	if _, ok := s.GetString("text.missing"); ok {
+		t.Fatal("missing part should not resolve")
+	}
+}
+
+func TestMetaNestedPaths(t *testing.T) {
+	s := New("x")
+	if err := s.SetString("meta.source.name", "wiki"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetString("meta.source.lang", "en"); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.GetString("meta.source.name"); !ok || got != "wiki" {
+		t.Fatalf("nested meta = %q, %v", got, ok)
+	}
+	if got, ok := s.GetString("meta.source.lang"); !ok || got != "en" {
+		t.Fatalf("nested meta sibling = %q, %v", got, ok)
+	}
+	if _, ok := s.GetString("meta.source.name.deeper"); ok {
+		t.Fatal("path through a leaf should not resolve")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := New("x")
+	s.SetStat("word_count", 42)
+	if got, ok := s.Stat("word_count"); !ok || got != 42 {
+		t.Fatalf("Stat = %v, %v", got, ok)
+	}
+	if got, ok := s.GetFloat("stats.word_count"); !ok || got != 42 {
+		t.Fatalf("GetFloat(stats.word_count) = %v, %v", got, ok)
+	}
+	s.SetStatString("lang", "en")
+	if got, ok := s.StatString("lang"); !ok || got != "en" {
+		t.Fatalf("StatString = %q, %v", got, ok)
+	}
+	if _, ok := s.Stat("missing"); ok {
+		t.Fatal("missing stat should not resolve")
+	}
+}
+
+func TestUnknownRoot(t *testing.T) {
+	s := New("x")
+	if err := s.SetString("bogus.path", "v"); err == nil {
+		t.Fatal("SetString on unknown root should error")
+	}
+	if _, ok := s.GetString("bogus"); ok {
+		t.Fatal("GetString on unknown root should fail")
+	}
+	if _, ok := s.GetFloat("text"); ok {
+		t.Fatal("GetFloat on text root should fail")
+	}
+}
+
+func TestContextMemoization(t *testing.T) {
+	s := New("a b c")
+	calls := 0
+	f := func() any { calls++; return []string{"a", "b", "c"} }
+	v1 := s.Context("words", f)
+	v2 := s.Context("words", f)
+	if calls != 1 {
+		t.Fatalf("compute called %d times, want 1", calls)
+	}
+	if len(v1.([]string)) != 3 || len(v2.([]string)) != 3 {
+		t.Fatal("context value corrupted")
+	}
+	if !s.HasContext("words") {
+		t.Fatal("HasContext should be true")
+	}
+	s.ClearContext()
+	if s.HasContext("words") || s.ContextLen() != 0 {
+		t.Fatal("ClearContext did not clear")
+	}
+	s.Context("words", f)
+	if calls != 2 {
+		t.Fatalf("compute after clear called %d times total, want 2", calls)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := New("orig")
+	s.SetString("text.part", "p")
+	s.SetString("meta.a.b", "v")
+	s.SetStat("n", 1)
+	s.Context("w", func() any { return 1 })
+
+	c := s.Clone()
+	c.Text = "changed"
+	c.SetString("text.part", "p2")
+	c.SetString("meta.a.b", "v2")
+	c.SetStat("n", 2)
+
+	if s.Text != "orig" {
+		t.Fatal("clone shares Text")
+	}
+	if got, _ := s.GetString("text.part"); got != "p" {
+		t.Fatal("clone shares Parts")
+	}
+	if got, _ := s.GetString("meta.a.b"); got != "v" {
+		t.Fatal("clone shares Meta")
+	}
+	if got, _ := s.Stat("n"); got != 1 {
+		t.Fatal("clone shares Stats")
+	}
+	if c.HasContext("w") {
+		t.Fatal("clone must start with cold context")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := New("body text")
+	s.SetString("text.title", "T")
+	s.SetString("meta.src", "web")
+	s.SetStat("len", 9)
+	s.SetStatString("lang", "en")
+
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Sample
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Text != s.Text {
+		t.Fatalf("text round trip: %q", got.Text)
+	}
+	if v, _ := got.GetString("text.title"); v != "T" {
+		t.Fatalf("parts round trip: %q", v)
+	}
+	if v, _ := got.GetString("meta.src"); v != "web" {
+		t.Fatalf("meta round trip: %q", v)
+	}
+	if v, ok := got.Stat("len"); !ok || v != 9 {
+		t.Fatalf("numeric stat round trip: %v %v", v, ok)
+	}
+	if v, _ := got.StatString("lang"); v != "en" {
+		t.Fatalf("string stat round trip: %q", v)
+	}
+}
+
+func TestFieldsNilSafety(t *testing.T) {
+	var f Fields
+	if _, ok := f.Get("a"); ok {
+		t.Fatal("nil Fields Get should fail")
+	}
+	f.Delete("a") // must not panic
+	if c := f.Clone(); c != nil {
+		t.Fatal("nil Clone should be nil")
+	}
+	f = f.Set("a.b", 1)
+	if v, ok := f.Get("a.b"); !ok || v != 1 {
+		t.Fatalf("Set through nil = %v, %v", v, ok)
+	}
+}
+
+func TestFieldsOverwriteLeafWithMap(t *testing.T) {
+	f := Fields{}.Set("a", "leaf")
+	f = f.Set("a.b", "v")
+	if v, ok := f.Get("a.b"); !ok || v != "v" {
+		t.Fatalf("overwriting a leaf with a nested path failed: %v %v", v, ok)
+	}
+}
+
+func TestFieldsKeysSorted(t *testing.T) {
+	f := Fields{"z": 1, "a": 2, "m": 3}
+	keys := f.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "m" || keys[2] != "z" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestToFloatConversions(t *testing.T) {
+	s := New("x")
+	s.Meta = s.Meta.Set("n_int", 7)
+	s.Meta = s.Meta.Set("n_str", "3.5")
+	s.Meta = s.Meta.Set("n_i64", int64(9))
+	if v, ok := s.GetFloat("meta.n_int"); !ok || v != 7 {
+		t.Fatalf("int: %v %v", v, ok)
+	}
+	if v, ok := s.GetFloat("meta.n_str"); !ok || v != 3.5 {
+		t.Fatalf("string: %v %v", v, ok)
+	}
+	if v, ok := s.GetFloat("meta.n_i64"); !ok || v != 9 {
+		t.Fatalf("int64: %v %v", v, ok)
+	}
+}
+
+// Property: for any path segments and string value, SetString then
+// GetString on meta round-trips.
+func TestPropertyMetaRoundTrip(t *testing.T) {
+	f := func(a, b uint8, val string) bool {
+		path := "meta.k" + string(rune('a'+a%26)) + ".k" + string(rune('a'+b%26))
+		s := New("x")
+		if err := s.SetString(path, val); err != nil {
+			return false
+		}
+		got, ok := s.GetString(path)
+		return ok && got == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: JSON round-trip preserves text for arbitrary strings.
+func TestPropertyJSONTextRoundTrip(t *testing.T) {
+	f := func(text string) bool {
+		s := New(text)
+		b, err := json.Marshal(s)
+		if err != nil {
+			return false
+		}
+		var got Sample
+		if err := json.Unmarshal(b, &got); err != nil {
+			return false
+		}
+		return got.Text == text
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

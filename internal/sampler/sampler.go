@@ -1,0 +1,154 @@
+// Package sampler implements the enhanced data sampling utilities of
+// Sec. 5.2: uniform reservoir sampling, stratified sampling over metadata
+// or statistics fields, and the diversity-maximizing sampler that buckets
+// candidates by verb–noun structure and draws evenly across buckets (the
+// strategy behind the Table 3 fine-tuning recipes).
+package sampler
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/sample"
+	"repro/internal/text"
+)
+
+// Reservoir draws k samples uniformly without replacement (classic
+// reservoir sampling), preserving input order in the output.
+func Reservoir(d *dataset.Dataset, k int, seed int64) *dataset.Dataset {
+	if k >= d.Len() {
+		return dataset.New(append([]*sample.Sample(nil), d.Samples...))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := make([]int, k)
+	for i := 0; i < k; i++ {
+		idx[i] = i
+	}
+	for i := k; i < d.Len(); i++ {
+		j := rng.Intn(i + 1)
+		if j < k {
+			idx[j] = i
+		}
+	}
+	sort.Ints(idx)
+	out := make([]*sample.Sample, k)
+	for i, j := range idx {
+		out[i] = d.Samples[j]
+	}
+	return dataset.New(out)
+}
+
+// KeyFunc maps a sample to its stratum key.
+type KeyFunc func(*sample.Sample) string
+
+// FieldKey strata by a string field (e.g. "meta.lang_tag").
+func FieldKey(field string) KeyFunc {
+	return func(s *sample.Sample) string {
+		v, ok := s.GetString(field)
+		if !ok {
+			return "<missing>"
+		}
+		return v
+	}
+}
+
+// StatBucketKey strata by bucketing a numeric stat into nBuckets between
+// lo and hi.
+func StatBucketKey(stat string, lo, hi float64, nBuckets int) KeyFunc {
+	return func(s *sample.Sample) string {
+		v, ok := s.Stat(stat)
+		if !ok {
+			return "<missing>"
+		}
+		if hi <= lo || nBuckets <= 0 {
+			return "b0"
+		}
+		b := int((v - lo) / (hi - lo) * float64(nBuckets))
+		if b < 0 {
+			b = 0
+		}
+		if b >= nBuckets {
+			b = nBuckets - 1
+		}
+		return fmt.Sprintf("b%d", b)
+	}
+}
+
+// VerbNounKey strata by the sample's first verb–noun pair (its
+// instruction structure) — the linguistic-diversity criterion of Sec. 5.2.
+func VerbNounKey(s *sample.Sample) string {
+	pairs := text.VerbNounPairs(text.WordsLower(s.Text))
+	if len(pairs) == 0 {
+		return "<none>"
+	}
+	return pairs[0][0] + "→" + pairs[0][1]
+}
+
+// Stratified draws k samples, allocating draws evenly across strata
+// (round-robin over strata, uniformly within each), so rare strata keep
+// representation. Output preserves the input order.
+func Stratified(d *dataset.Dataset, k int, key KeyFunc, seed int64) *dataset.Dataset {
+	if k >= d.Len() {
+		return dataset.New(append([]*sample.Sample(nil), d.Samples...))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	strata := map[string][]int{}
+	var order []string
+	for i, s := range d.Samples {
+		kk := key(s)
+		if _, seen := strata[kk]; !seen {
+			order = append(order, kk)
+		}
+		strata[kk] = append(strata[kk], i)
+	}
+	sort.Strings(order)
+	// Shuffle within each stratum, then round-robin draw.
+	for _, kk := range order {
+		members := strata[kk]
+		rng.Shuffle(len(members), func(a, b int) { members[a], members[b] = members[b], members[a] })
+	}
+	picked := make([]int, 0, k)
+	cursor := map[string]int{}
+	for len(picked) < k {
+		progress := false
+		for _, kk := range order {
+			if len(picked) >= k {
+				break
+			}
+			c := cursor[kk]
+			members := strata[kk]
+			if c < len(members) {
+				picked = append(picked, members[c])
+				cursor[kk] = c + 1
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	sort.Ints(picked)
+	out := make([]*sample.Sample, len(picked))
+	for i, j := range picked {
+		out[i] = d.Samples[j]
+	}
+	return dataset.New(out)
+}
+
+// Diversity draws k samples maximizing verb–noun bucket coverage: it is
+// Stratified with the VerbNounKey criterion.
+func Diversity(d *dataset.Dataset, k int, seed int64) *dataset.Dataset {
+	return Stratified(d, k, VerbNounKey, seed)
+}
+
+// Coverage reports the number of distinct strata present in d under key —
+// the measure the diversity sampler maximizes.
+func Coverage(d *dataset.Dataset, key KeyFunc) int {
+	seen := map[string]struct{}{}
+	for _, s := range d.Samples {
+		seen[key(s)] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,162 @@
+package sampler
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+	"repro/internal/sample"
+)
+
+func taggedDataset(counts map[string]int) *dataset.Dataset {
+	var samples []*sample.Sample
+	// Deterministic order: sort keys implicitly via fixed insertion.
+	for _, tag := range []string{"A", "B", "C", "D"} {
+		n := counts[tag]
+		for i := 0; i < n; i++ {
+			s := sample.New(fmt.Sprintf("%s sample %d", tag, i))
+			s.SetString("meta.tag", tag)
+			samples = append(samples, s)
+		}
+	}
+	return dataset.New(samples)
+}
+
+func TestReservoirSizeAndDeterminism(t *testing.T) {
+	d := taggedDataset(map[string]int{"A": 50, "B": 50})
+	a := Reservoir(d, 20, 7)
+	b := Reservoir(d, 20, 7)
+	if a.Len() != 20 || b.Len() != 20 {
+		t.Fatalf("sizes = %d, %d", a.Len(), b.Len())
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("reservoir not deterministic")
+	}
+	c := Reservoir(d, 20, 8)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("seed ignored")
+	}
+}
+
+func TestReservoirKOverflow(t *testing.T) {
+	d := taggedDataset(map[string]int{"A": 5})
+	if got := Reservoir(d, 50, 1); got.Len() != 5 {
+		t.Fatalf("overflow k = %d", got.Len())
+	}
+}
+
+func TestReservoirApproximatelyUniform(t *testing.T) {
+	d := taggedDataset(map[string]int{"A": 500, "B": 500})
+	hits := 0
+	s := Reservoir(d, 300, 99)
+	for _, smp := range s.Samples {
+		if v, _ := smp.GetString("meta.tag"); v == "A" {
+			hits++
+		}
+	}
+	if hits < 110 || hits > 190 {
+		t.Fatalf("A samples = %d of 300, expected ≈150", hits)
+	}
+}
+
+func TestStratifiedEqualAllocation(t *testing.T) {
+	// Heavily skewed input: stratified sampling must keep rare strata.
+	d := taggedDataset(map[string]int{"A": 900, "B": 50, "C": 30, "D": 20})
+	s := Stratified(d, 80, FieldKey("meta.tag"), 3)
+	byTag := map[string]int{}
+	for _, smp := range s.Samples {
+		v, _ := smp.GetString("meta.tag")
+		byTag[v]++
+	}
+	if byTag["A"] != 20 || byTag["B"] != 20 || byTag["C"] != 20 || byTag["D"] != 20 {
+		t.Fatalf("allocation = %v, want 20 each", byTag)
+	}
+}
+
+func TestStratifiedExhaustsSmallStrata(t *testing.T) {
+	d := taggedDataset(map[string]int{"A": 100, "B": 4})
+	s := Stratified(d, 50, FieldKey("meta.tag"), 3)
+	byTag := map[string]int{}
+	for _, smp := range s.Samples {
+		v, _ := smp.GetString("meta.tag")
+		byTag[v]++
+	}
+	if byTag["B"] != 4 {
+		t.Fatalf("small stratum not exhausted: %v", byTag)
+	}
+	if byTag["A"]+byTag["B"] != 50 {
+		t.Fatalf("total = %v", byTag)
+	}
+}
+
+func TestStatBucketKey(t *testing.T) {
+	s := sample.New("x")
+	s.SetStat("score", 0.72)
+	key := StatBucketKey("score", 0, 1, 10)
+	if got := key(s); got != "b7" {
+		t.Fatalf("bucket = %q", got)
+	}
+	s2 := sample.New("y") // missing stat
+	if got := key(s2); got != "<missing>" {
+		t.Fatalf("missing = %q", got)
+	}
+	s3 := sample.New("z")
+	s3.SetStat("score", 99)
+	if got := key(s3); got != "b9" {
+		t.Fatalf("overflow clamp = %q", got)
+	}
+}
+
+func TestDiversityImprovesCoverage(t *testing.T) {
+	d := corpus.CFT(corpus.Options{Docs: 600, Seed: 11}, "EN")
+	k := 100
+	div := Diversity(d, k, 5)
+	rnd := Reservoir(d, k, 5)
+	covDiv := Coverage(div, VerbNounKey)
+	covRnd := Coverage(rnd, VerbNounKey)
+	if covDiv <= covRnd {
+		t.Fatalf("diversity coverage %d should beat random %d", covDiv, covRnd)
+	}
+}
+
+func TestVerbNounKey(t *testing.T) {
+	s := sample.New("Write a story about dragons")
+	if got := VerbNounKey(s); got != "write→story" {
+		t.Fatalf("key = %q", got)
+	}
+	if got := VerbNounKey(sample.New("nothing verbal here")); got != "<none>" {
+		t.Fatalf("none key = %q", got)
+	}
+}
+
+// Property: stratified sampling returns exactly min(k, len) samples and
+// every returned sample is from the input.
+func TestPropertyStratifiedSize(t *testing.T) {
+	f := func(nA, nB uint8, k uint8) bool {
+		d := taggedDataset(map[string]int{"A": int(nA % 40), "B": int(nB % 40)})
+		want := int(k) % 60
+		s := Stratified(d, want, FieldKey("meta.tag"), 1)
+		expected := want
+		if d.Len() < want {
+			expected = d.Len()
+		}
+		if s.Len() != expected {
+			return false
+		}
+		members := map[*sample.Sample]bool{}
+		for _, smp := range d.Samples {
+			members[smp] = true
+		}
+		for _, smp := range s.Samples {
+			if !members[smp] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,229 @@
+package text
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// NormalizeWhitespace collapses runs of spaces/tabs into one space,
+// collapses 3+ newlines into two, trims trailing whitespace per line, and
+// trims the whole text. Various unicode space characters are mapped to
+// plain spaces first.
+func NormalizeWhitespace(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	prevSpace := false
+	newlines := 0
+	for _, r := range s {
+		if r == '\n' {
+			// Trim spaces that were pending before the newline.
+			newlines++
+			if newlines <= 2 {
+				trimTrailingSpaces(&b)
+				b.WriteByte('\n')
+			}
+			prevSpace = false
+			continue
+		}
+		if isHorizontalSpace(r) {
+			if !prevSpace {
+				b.WriteByte(' ')
+				prevSpace = true
+			}
+			newlines = 0
+			continue
+		}
+		b.WriteRune(r)
+		prevSpace = false
+		newlines = 0
+	}
+	return strings.TrimSpace(b.String())
+}
+
+func isHorizontalSpace(r rune) bool {
+	switch r {
+	case ' ', '\t', ' ', ' ', ' ', ' ', ' ', ' ',
+		' ', ' ', ' ', ' ', ' ', ' ', ' ',
+		' ', '　', '\r', '\v', '\f':
+		return true
+	}
+	return false
+}
+
+func trimTrailingSpaces(b *strings.Builder) {
+	s := b.String()
+	t := strings.TrimRight(s, " ")
+	if len(t) != len(s) {
+		b.Reset()
+		b.WriteString(t)
+	}
+}
+
+// RemoveNonPrinting drops control characters (except newline and tab) and
+// the unicode replacement character.
+func RemoveNonPrinting(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '\n' || r == '\t' {
+			return r
+		}
+		if unicode.IsControl(r) || r == utf8.RuneError || r == '\uFEFF' {
+			return -1
+		}
+		return r
+	}, s)
+}
+
+// mojibake holds the common UTF-8-decoded-as-Latin-1 artifacts. FixUnicode
+// first tries a structural repair (re-encode as Latin-1, re-decode as
+// UTF-8); this table catches the Windows-1252 leftovers the structural
+// pass cannot express.
+var mojibake = map[string]string{
+	"â€™": "'", "â€˜": "'", "â€œ": "\"", "â€": "\"", "â€”": "—",
+	"â€“": "–", "â€¦": "…", "Ã©": "é", "Ã¨": "è", "Ã¼": "ü", "Ã¶": "ö",
+	"Ã¤": "ä", "Ã±": "ñ", "Ã§": "ç", "Ã ": "à", "Â ": " ", "Â©": "©",
+	"Â®": "®", "Â°": "°",
+}
+
+// FixUnicode repairs mojibake ("messy code rectification" in the paper).
+// It attempts the inverse of the classic corruption — UTF-8 bytes decoded
+// as Latin-1 — and falls back to a table of common artifacts. Text that is
+// already clean passes through unchanged.
+func FixUnicode(s string) string {
+	if repaired, ok := reverseLatin1(s); ok {
+		s = repaired
+	}
+	if looksMojibake(s) {
+		for bad, good := range mojibake {
+			s = strings.ReplaceAll(s, bad, good)
+		}
+	}
+	return s
+}
+
+// reverseLatin1 re-encodes each rune < 0x100 as a single byte and checks
+// whether the byte stream is valid UTF-8 that "looks better" (fewer
+// mojibake marker runes). It refuses the repair if any rune >= 0x100 is
+// present (the text would be lossy to re-encode) or the result is not
+// cleaner.
+func reverseLatin1(s string) (string, bool) {
+	if !looksMojibake(s) {
+		return "", false
+	}
+	bytes := make([]byte, 0, len(s))
+	for _, r := range s {
+		if r >= 0x100 {
+			return "", false
+		}
+		bytes = append(bytes, byte(r))
+	}
+	if !utf8.Valid(bytes) {
+		return "", false
+	}
+	out := string(bytes)
+	if markerCount(out) >= markerCount(s) {
+		return "", false
+	}
+	return out, true
+}
+
+// Mojibake marker runes: the Latin-1 view of UTF-8 lead bytes.
+func looksMojibake(s string) bool { return markerCount(s) > 0 }
+
+func markerCount(s string) int {
+	n := 0
+	for _, r := range s {
+		switch r {
+		case 'Ã', 'Â', 'â', 'ð', '€', '™', '˜', 'œ', '¦', '“', '”':
+			n++
+		}
+	}
+	return n
+}
+
+// punctNormalize maps unicode punctuation to ASCII equivalents, following
+// the paper's punctuation_normalization_mapper.
+var punctNormalize = map[rune]string{
+	'，': ",", '。': ". ", '、': ",", '„': "\"", '”': "\"", '“': "\"",
+	'«': "\"", '»': "\"", '１': "1", '」': "\"", '「': "\"", '《': "\"",
+	'》': "\"", '´': "'", '∶': ":", '：': ":", '？': "?", '！': "!",
+	'（': "(", '）': ")", '；': ";", '–': "-", '—': " - ", '．': ". ",
+	'～': "~", '’': "'", '‘': "'", '…': "...", '━': "-", '〈': "<",
+	'〉': ">", '【': "[", '】': "]", '％': "%", '►': "-",
+}
+
+// NormalizePunctuation rewrites unicode punctuation into ASCII forms.
+func NormalizePunctuation(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		if rep, ok := punctNormalize[r]; ok {
+			b.WriteString(rep)
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// StripHTML removes tags, decodes the common entities, and drops script
+// and style bodies. It is intentionally a lexer-level cleaner, not a full
+// HTML parser: formatter inputs only need readable text out.
+func StripHTML(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if c != '<' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		// Find the end of the tag.
+		end := strings.IndexByte(s[i:], '>')
+		if end < 0 {
+			b.WriteString(s[i:])
+			break
+		}
+		tag := s[i+1 : i+end]
+		lower := strings.ToLower(tag)
+		i += end + 1
+		// Skip script/style bodies entirely.
+		for _, skip := range []string{"script", "style"} {
+			if strings.HasPrefix(lower, skip) {
+				closing := "</" + skip
+				if j := strings.Index(strings.ToLower(s[i:]), closing); j >= 0 {
+					i += j
+					if k := strings.IndexByte(s[i:], '>'); k >= 0 {
+						i += k + 1
+					} else {
+						i = len(s)
+					}
+				} else {
+					i = len(s)
+				}
+			}
+		}
+		// Block-level tags imply a line break.
+		switch {
+		case strings.HasPrefix(lower, "p"), strings.HasPrefix(lower, "/p"),
+			strings.HasPrefix(lower, "br"), strings.HasPrefix(lower, "div"),
+			strings.HasPrefix(lower, "/div"), strings.HasPrefix(lower, "li"),
+			strings.HasPrefix(lower, "h1"), strings.HasPrefix(lower, "h2"),
+			strings.HasPrefix(lower, "h3"), strings.HasPrefix(lower, "tr"):
+			b.WriteByte('\n')
+		}
+	}
+	out := b.String()
+	for entity, rep := range htmlEntities {
+		out = strings.ReplaceAll(out, entity, rep)
+	}
+	return NormalizeWhitespace(out)
+}
+
+var htmlEntities = map[string]string{
+	"&amp;": "&", "&lt;": "<", "&gt;": ">", "&quot;": "\"", "&#39;": "'",
+	"&apos;": "'", "&nbsp;": " ", "&mdash;": "—", "&ndash;": "–",
+	"&hellip;": "…", "&copy;": "©",
+}

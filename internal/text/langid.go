@@ -1,0 +1,173 @@
+package text
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// LangID is a character-trigram language identifier, the stand-in for the
+// fasttext model used by the paper's language_id_score_filter. Profiles
+// are built from embedded seed text; Classify returns the best language
+// and a confidence score in [0, 1].
+type LangID struct {
+	profiles map[string]map[string]float64
+}
+
+// seedTexts are small, representative snippets per language. Trigram
+// profiles extracted from them separate the synthetic corpora cleanly;
+// they are not intended to match fasttext accuracy on real web text.
+var seedTexts = map[string]string{
+	"en": `the quick brown fox jumps over the lazy dog and then runs through
+the forest where many animals live together in peace this is a sentence
+with common english words that people use every day when they talk about
+their work their families and the world around them we should also note
+that language models are trained on large amounts of text which makes
+the distribution of letters and words very important for all of these
+systems and their users everywhere something about history science and
+government with information knowledge education research development`,
+	"de": `der schnelle braune fuchs springt über den faulen hund und läuft
+dann durch den wald wo viele tiere zusammen leben dies ist ein satz mit
+häufigen deutschen wörtern die menschen jeden tag benutzen wenn sie über
+ihre arbeit ihre familien und die welt um sie herum sprechen wir sollten
+auch beachten dass sprachmodelle auf großen textmengen trainiert werden
+was die verteilung von buchstaben und wörtern sehr wichtig macht etwas
+über geschichte wissenschaft und regierung mit informationen wissen`,
+	"fr": `le rapide renard brun saute par dessus le chien paresseux et court
+ensuite à travers la forêt où beaucoup d'animaux vivent ensemble en paix
+ceci est une phrase avec des mots français courants que les gens utilisent
+tous les jours quand ils parlent de leur travail de leurs familles et du
+monde qui les entoure nous devons aussi noter que les modèles de langue
+sont entraînés sur de grandes quantités de texte ce qui rend la
+distribution des lettres et des mots très importante pour ces systèmes`,
+	"es": `el rápido zorro marrón salta sobre el perro perezoso y luego corre
+por el bosque donde muchos animales viven juntos en paz esta es una frase
+con palabras comunes en español que la gente usa todos los días cuando
+hablan de su trabajo sus familias y el mundo que les rodea también debemos
+señalar que los modelos de lenguaje se entrenan con grandes cantidades de
+texto lo que hace que la distribución de letras y palabras sea muy
+importante para todos estos sistemas y sus usuarios en todas partes`,
+	"zh": `快速的棕色狐狸跳过懒狗然后跑过森林那里有许多动物和平地生活在一起这是
+一个包含常用中文词汇的句子人们每天谈论工作家庭和周围世界时都会使用这些词我们
+还应该注意语言模型是在大量文本上训练的这使得字母和单词的分布对所有这些系统及
+其用户都非常重要历史科学政府信息知识教育研究发展数据处理质量多样性`,
+}
+
+// NewLangID builds the identifier from the embedded seed profiles.
+func NewLangID() *LangID {
+	l := &LangID{profiles: make(map[string]map[string]float64, len(seedTexts))}
+	for lang, seed := range seedTexts {
+		l.profiles[lang] = trigramProfile(seed)
+	}
+	return l
+}
+
+// Languages returns the supported language codes, sorted.
+func (l *LangID) Languages() []string {
+	out := make([]string, 0, len(l.profiles))
+	for k := range l.profiles {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Classify returns the most likely language for s and a confidence score
+// in [0, 1]. Empty or too-short input yields ("", 0).
+func (l *LangID) Classify(s string) (lang string, score float64) {
+	// Fast, reliable path: a high share of CJK letters is decisive.
+	if r := CJKRatio(s); r > 0.5 {
+		return "zh", r
+	}
+	p := trigramProfile(strings.ToLower(s))
+	if len(p) == 0 {
+		return "", 0
+	}
+	type cand struct {
+		lang string
+		sim  float64
+	}
+	cands := make([]cand, 0, len(l.profiles))
+	for lg, prof := range l.profiles {
+		cands = append(cands, cand{lg, cosine(p, prof)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sim != cands[j].sim {
+			return cands[i].sim > cands[j].sim
+		}
+		return cands[i].lang < cands[j].lang
+	})
+	best := cands[0]
+	if best.sim <= 0 {
+		return "", 0
+	}
+	// Confidence: the winner's share of total similarity mass, sharpened;
+	// short texts with ambiguous trigrams land near 1/len(languages).
+	total := 0.0
+	for _, c := range cands {
+		total += c.sim
+	}
+	conf := best.sim / total
+	// Rescale from [1/n, 1] to [0, 1].
+	n := float64(len(cands))
+	conf = (conf - 1/n) / (1 - 1/n)
+	if conf < 0 {
+		conf = 0
+	}
+	return best.lang, math.Min(1, math.Sqrt(conf)*1.6)
+}
+
+// Score returns the confidence that s is in language want.
+func (l *LangID) Score(s, want string) float64 {
+	lang, score := l.Classify(s)
+	if lang != want {
+		return 0
+	}
+	return score
+}
+
+func trigramProfile(s string) map[string]float64 {
+	grams := CharNGrams(s, 3)
+	if len(grams) == 0 {
+		return nil
+	}
+	p := make(map[string]float64, len(grams))
+	for _, g := range grams {
+		if strings.TrimSpace(g) == "" {
+			continue
+		}
+		p[g]++
+	}
+	return p
+}
+
+// cosine sums in sorted key order so the score does not depend on Go's
+// randomized map iteration (float addition is not associative; a
+// nondeterministic sum would make filter verdicts nondeterministic).
+func cosine(a, b map[string]float64) float64 {
+	keysA := make([]string, 0, len(a))
+	for k := range a {
+		keysA = append(keysA, k)
+	}
+	sort.Strings(keysA)
+	var dot, na, nb float64
+	for _, k := range keysA {
+		av := a[k]
+		na += av * av
+		if bv, ok := b[k]; ok {
+			dot += av * bv
+		}
+	}
+	keysB := make([]string, 0, len(b))
+	for k := range b {
+		keysB = append(keysB, k)
+	}
+	sort.Strings(keysB)
+	for _, k := range keysB {
+		nb += b[k] * b[k]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}

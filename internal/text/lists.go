@@ -1,0 +1,117 @@
+package text
+
+import "strings"
+
+// Stopwords returns the built-in stopword set for a language code
+// ("en" or "zh"); nil for unsupported languages. The sets are the built-in
+// resources the paper's stopwords_filter downloads from its asset drive.
+func Stopwords(lang string) map[string]struct{} {
+	switch lang {
+	case "en":
+		return englishStopwords
+	case "zh":
+		return chineseStopwords
+	}
+	return nil
+}
+
+func toSet(words string) map[string]struct{} {
+	set := make(map[string]struct{})
+	for _, w := range strings.Fields(words) {
+		set[w] = struct{}{}
+	}
+	return set
+}
+
+var englishStopwords = toSet(`
+a about above after again against all am an and any are aren't as at be
+because been before being below between both but by can't cannot could
+couldn't did didn't do does doesn't doing don't down during each few for
+from further had hadn't has hasn't have haven't having he he'd he'll he's
+her here here's hers herself him himself his how how's i i'd i'll i'm
+i've if in into is isn't it it's its itself let's me more most mustn't my
+myself no nor not of off on once only or other ought our ours ourselves
+out over own same shan't she she'd she'll she's should shouldn't so some
+such than that that's the their theirs them themselves then there there's
+these they they'd they'll they're they've this those through to too under
+until up very was wasn't we we'd we'll we're we've were weren't what
+what's when when's where where's which while who who's whom why why's
+with won't would wouldn't you you'd you'll you're you've your yours
+yourself yourselves will just also now get got like one two much many`)
+
+var chineseStopwords = toSet(`
+的 了 和 是 在 我 有 他 这 中 大 来 上 国 个 到 说 们 为 子 要 你 就 出 会
+可 也 对 生 能 而 以 于 不 之 时 地 它 她 那 得 着 下 自 与 去 过 家 学 都
+年 想 作 种 开 些 么 样 啊 把 被 让 给 但 并 或 很 再 还 只 又 如 因 此 所`)
+
+// FlaggedWords returns the built-in flagged-word set per language — the
+// resource behind the flagged_words_filter. The lists here are small
+// placeholder sets of toxicity/adult markers sufficient for the synthetic
+// corpora, standing in for the large curated lists the paper ships.
+func FlaggedWords(lang string) map[string]struct{} {
+	switch lang {
+	case "en":
+		return englishFlagged
+	case "zh":
+		return chineseFlagged
+	}
+	return nil
+}
+
+var englishFlagged = toSet(`
+damn hell crap stupid idiot hate kill die ugly loser sucks
+gambling casino jackpot viagra lottery xxx porn nude sexy escort
+clickbait scam fraud pyramid hoax miracle-cure free-money`)
+
+var chineseFlagged = toSet(`赌博 色情 诈骗 垃圾 傻瓜 废物 彩票 发票`)
+
+// VerbLexicon is a small English verb lexicon used by the text_action
+// filter and the diversity analyzer (verb–noun pair extraction). The
+// paper relies on a full POS tagger; for the synthetic corpora a lexicon
+// lookup of common instruction verbs is sufficient.
+var VerbLexicon = toSet(`
+write describe explain summarize translate list give create generate
+make build find identify classify compare analyze answer tell show
+compute calculate solve design develop implement test review edit
+rewrite improve fix convert extract rank sort choose select recommend
+suggest plan outline draft compose define discuss evaluate predict
+estimate prove derive simplify expand paraphrase continue complete`)
+
+// NounLexicon is the companion object lexicon for verb–noun diversity.
+var NounLexicon = toSet(`
+story essay poem summary article code function program letter email
+report list table plan recipe answer question sentence paragraph text
+document review outline speech song headline title description
+explanation argument proof equation algorithm model dataset number
+word name idea example difference similarity advantage disadvantage
+step instruction method approach solution problem`)
+
+// IsVerb reports whether the lower-cased token is in the verb lexicon.
+func IsVerb(w string) bool {
+	_, ok := VerbLexicon[strings.ToLower(w)]
+	return ok
+}
+
+// IsNoun reports whether the lower-cased token is in the noun lexicon.
+func IsNoun(w string) bool {
+	_, ok := NounLexicon[strings.ToLower(w)]
+	return ok
+}
+
+// VerbNounPairs extracts (verb, first following noun) pairs from words,
+// the structure behind the diversity pie plots in Figures 2 and 5.
+func VerbNounPairs(words []string) [][2]string {
+	var pairs [][2]string
+	for i, w := range words {
+		if !IsVerb(w) {
+			continue
+		}
+		for j := i + 1; j < len(words) && j <= i+6; j++ {
+			if IsNoun(words[j]) {
+				pairs = append(pairs, [2]string{strings.ToLower(w), strings.ToLower(words[j])})
+				break
+			}
+		}
+	}
+	return pairs
+}

@@ -1,0 +1,84 @@
+package text
+
+import "strings"
+
+// CharNGrams returns all rune n-grams of s (overlapping). For n <= 0 or
+// texts shorter than n runes it returns nil.
+func CharNGrams(s string, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	runes := []rune(s)
+	if len(runes) < n {
+		return nil
+	}
+	out := make([]string, 0, len(runes)-n+1)
+	for i := 0; i+n <= len(runes); i++ {
+		out = append(out, string(runes[i:i+n]))
+	}
+	return out
+}
+
+// WordNGrams returns all word n-grams joined with a single space.
+func WordNGrams(words []string, n int) []string {
+	if n <= 0 || len(words) < n {
+		return nil
+	}
+	out := make([]string, 0, len(words)-n+1)
+	for i := 0; i+n <= len(words); i++ {
+		out = append(out, strings.Join(words[i:i+n], " "))
+	}
+	return out
+}
+
+// RepetitionRatio computes the fraction of n-gram occurrences that are
+// repeats of an already-seen n-gram. It is the statistic behind the
+// character_repetition_filter and word_repetition_filter: boilerplate and
+// degenerate text repeat the same n-grams over and over.
+func RepetitionRatio(ngrams []string) float64 {
+	if len(ngrams) == 0 {
+		return 0
+	}
+	seen := make(map[string]struct{}, len(ngrams))
+	dup := 0
+	for _, g := range ngrams {
+		if _, ok := seen[g]; ok {
+			dup++
+			continue
+		}
+		seen[g] = struct{}{}
+	}
+	return float64(dup) / float64(len(ngrams))
+}
+
+// TopKFraction returns the fraction of occurrences covered by the k most
+// frequent items, a concentration measure used by the analyzer.
+func TopKFraction(items []string, k int) float64 {
+	if len(items) == 0 || k <= 0 {
+		return 0
+	}
+	counts := make(map[string]int, len(items))
+	for _, it := range items {
+		counts[it]++
+	}
+	top := make([]int, 0, len(counts))
+	for _, c := range counts {
+		top = append(top, c)
+	}
+	// Partial selection: simple sort is fine at these sizes.
+	for i := 0; i < len(top); i++ {
+		for j := i + 1; j < len(top); j++ {
+			if top[j] > top[i] {
+				top[i], top[j] = top[j], top[i]
+			}
+		}
+		if i+1 >= k {
+			break
+		}
+	}
+	sum := 0
+	for i := 0; i < k && i < len(top); i++ {
+		sum += top[i]
+	}
+	return float64(sum) / float64(len(items))
+}

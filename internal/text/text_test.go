@@ -1,0 +1,335 @@
+package text
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordsLatin(t *testing.T) {
+	got := Words("Hello, world! It's a test-case.")
+	want := []string{"Hello", "world", "It's", "a", "test-case"}
+	if len(got) != len(want) {
+		t.Fatalf("Words = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Words[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWordsCJK(t *testing.T) {
+	got := Words("数据处理 data")
+	want := []string{"数", "据", "处", "理", "data"}
+	if len(got) != len(want) {
+		t.Fatalf("Words = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Words[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWordsEmpty(t *testing.T) {
+	if got := Words(""); len(got) != 0 {
+		t.Fatalf("Words(\"\") = %v", got)
+	}
+	if got := Words("   \n\t  "); len(got) != 0 {
+		t.Fatalf("Words(spaces) = %v", got)
+	}
+}
+
+func TestWordsLower(t *testing.T) {
+	got := WordsLower("Hello WORLD")
+	if got[0] != "hello" || got[1] != "world" {
+		t.Fatalf("WordsLower = %v", got)
+	}
+}
+
+func TestLines(t *testing.T) {
+	got := Lines("a\nb\r\nc")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("Lines = %v", got)
+	}
+	if Lines("") != nil {
+		t.Fatal("Lines(\"\") should be nil")
+	}
+}
+
+func TestParagraphs(t *testing.T) {
+	got := Paragraphs("para one\nstill one\n\npara two\n\n\n  \n\npara three")
+	if len(got) != 3 {
+		t.Fatalf("Paragraphs = %v", got)
+	}
+}
+
+func TestSentences(t *testing.T) {
+	got := Sentences("First sentence. Second! Third? 中文句子。 Trailing fragment")
+	if len(got) != 5 {
+		t.Fatalf("Sentences = %v (%d)", got, len(got))
+	}
+	if got[0] != "First sentence." {
+		t.Fatalf("Sentences[0] = %q", got[0])
+	}
+	if got[4] != "Trailing fragment" {
+		t.Fatalf("Sentences[4] = %q", got[4])
+	}
+}
+
+func TestCharNGrams(t *testing.T) {
+	got := CharNGrams("abcd", 2)
+	want := []string{"ab", "bc", "cd"}
+	if len(got) != len(want) {
+		t.Fatalf("CharNGrams = %v", got)
+	}
+	if CharNGrams("ab", 3) != nil {
+		t.Fatal("short input should yield nil")
+	}
+	if CharNGrams("abc", 0) != nil {
+		t.Fatal("n=0 should yield nil")
+	}
+}
+
+func TestWordNGrams(t *testing.T) {
+	got := WordNGrams([]string{"a", "b", "c"}, 2)
+	if len(got) != 2 || got[0] != "a b" || got[1] != "b c" {
+		t.Fatalf("WordNGrams = %v", got)
+	}
+}
+
+func TestRepetitionRatio(t *testing.T) {
+	if r := RepetitionRatio([]string{"a", "b", "c"}); r != 0 {
+		t.Fatalf("unique ratio = %v", r)
+	}
+	if r := RepetitionRatio([]string{"a", "a", "a", "a"}); r != 0.75 {
+		t.Fatalf("repeated ratio = %v", r)
+	}
+	if r := RepetitionRatio(nil); r != 0 {
+		t.Fatalf("empty ratio = %v", r)
+	}
+}
+
+func TestRatios(t *testing.T) {
+	if r := AlnumRatio("ab12"); r != 1 {
+		t.Fatalf("AlnumRatio = %v", r)
+	}
+	if r := AlnumRatio("a!"); r != 0.5 {
+		t.Fatalf("AlnumRatio = %v", r)
+	}
+	if r := AlnumRatio(""); r != 0 {
+		t.Fatalf("AlnumRatio empty = %v", r)
+	}
+	if r := SpecialCharRatio("ab!?"); r != 0.5 {
+		t.Fatalf("SpecialCharRatio = %v", r)
+	}
+	if r := DigitRatio("a1b2"); r != 0.5 {
+		t.Fatalf("DigitRatio = %v", r)
+	}
+	if r := CJKRatio("中文ab"); r != 0.5 {
+		t.Fatalf("CJKRatio = %v", r)
+	}
+}
+
+func TestNormalizeWhitespace(t *testing.T) {
+	got := NormalizeWhitespace("  a   b\t\tc  \n\n\n\nd  ")
+	want := "a b c\n\nd"
+	if got != want {
+		t.Fatalf("NormalizeWhitespace = %q, want %q", got, want)
+	}
+}
+
+func TestNormalizeWhitespaceUnicodeSpaces(t *testing.T) {
+	got := NormalizeWhitespace("a  b　c")
+	if got != "a b c" {
+		t.Fatalf("unicode spaces: %q", got)
+	}
+}
+
+func TestRemoveNonPrinting(t *testing.T) {
+	got := RemoveNonPrinting("a\x00b\x07c\nd\te�f")
+	if got != "abc\nd\tef" {
+		t.Fatalf("RemoveNonPrinting = %q", got)
+	}
+}
+
+func TestFixUnicodeMojibake(t *testing.T) {
+	// "café" encoded UTF-8, decoded Latin-1 → "cafÃ©".
+	if got := FixUnicode("cafÃ© au lait"); got != "café au lait" {
+		t.Fatalf("FixUnicode = %q", got)
+	}
+	// Clean text passes through untouched.
+	clean := "already clean — ünïcode fine."
+	if got := FixUnicode(clean); got != clean {
+		t.Fatalf("clean text changed: %q", got)
+	}
+}
+
+func TestNormalizePunctuation(t *testing.T) {
+	got := NormalizePunctuation("«quote»，done。")
+	if got != "\"quote\",done. " {
+		t.Fatalf("NormalizePunctuation = %q", got)
+	}
+}
+
+func TestStripHTML(t *testing.T) {
+	in := `<html><head><style>body{color:red}</style></head>
+<body><h1>Title</h1><p>Hello &amp; welcome.</p><script>var x=1;</script>
+<div>More</div></body></html>`
+	got := StripHTML(in)
+	if strings.Contains(got, "<") || strings.Contains(got, "color:red") || strings.Contains(got, "var x") {
+		t.Fatalf("StripHTML left markup: %q", got)
+	}
+	if !strings.Contains(got, "Title") || !strings.Contains(got, "Hello & welcome.") || !strings.Contains(got, "More") {
+		t.Fatalf("StripHTML lost content: %q", got)
+	}
+}
+
+func TestLangIDEnglish(t *testing.T) {
+	l := NewLangID()
+	lang, score := l.Classify("The government announced new research about science and history for all the people in the country.")
+	if lang != "en" {
+		t.Fatalf("Classify = %q (score %v), want en", lang, score)
+	}
+	if score <= 0.2 {
+		t.Fatalf("english score too low: %v", score)
+	}
+}
+
+func TestLangIDChinese(t *testing.T) {
+	l := NewLangID()
+	lang, score := l.Classify("数据处理系统对于大型语言模型非常重要")
+	if lang != "zh" || score < 0.5 {
+		t.Fatalf("Classify = %q, %v, want zh", lang, score)
+	}
+}
+
+func TestLangIDOthers(t *testing.T) {
+	l := NewLangID()
+	cases := map[string]string{
+		"de": "der schnelle fuchs springt über den faulen hund durch den wald und die tiere leben zusammen",
+		"fr": "le renard rapide saute par dessus le chien paresseux dans la forêt où les animaux vivent ensemble",
+		"es": "el zorro rápido salta sobre el perro perezoso en el bosque donde los animales viven juntos",
+	}
+	for want, s := range cases {
+		if lang, _ := l.Classify(s); lang != want {
+			t.Errorf("Classify(%s sample) = %q, want %q", want, lang, want)
+		}
+	}
+}
+
+func TestLangIDEmpty(t *testing.T) {
+	l := NewLangID()
+	if lang, score := l.Classify(""); lang != "" || score != 0 {
+		t.Fatalf("empty = %q, %v", lang, score)
+	}
+}
+
+func TestLangIDScore(t *testing.T) {
+	l := NewLangID()
+	en := "the quick brown fox jumps over the lazy dog and the people talk about their work"
+	if s := l.Score(en, "en"); s <= 0 {
+		t.Fatalf("Score(en) = %v", s)
+	}
+	if s := l.Score(en, "de"); s != 0 {
+		t.Fatalf("Score(en as de) = %v", s)
+	}
+}
+
+func TestStopwordsAndFlagged(t *testing.T) {
+	en := Stopwords("en")
+	if _, ok := en["the"]; !ok {
+		t.Fatal("'the' missing from english stopwords")
+	}
+	zh := Stopwords("zh")
+	if _, ok := zh["的"]; !ok {
+		t.Fatal("'的' missing from chinese stopwords")
+	}
+	if Stopwords("xx") != nil {
+		t.Fatal("unknown language should be nil")
+	}
+	fl := FlaggedWords("en")
+	if _, ok := fl["damn"]; !ok {
+		t.Fatal("flagged word missing")
+	}
+}
+
+func TestVerbNounPairs(t *testing.T) {
+	pairs := VerbNounPairs([]string{"please", "write", "a", "short", "story", "about", "cats"})
+	if len(pairs) != 1 || pairs[0] != [2]string{"write", "story"} {
+		t.Fatalf("VerbNounPairs = %v", pairs)
+	}
+	// Noun too far away (>6 tokens) should not pair.
+	pairs = VerbNounPairs([]string{"write", "x", "x", "x", "x", "x", "x", "story"})
+	if len(pairs) != 0 {
+		t.Fatalf("distant pair should not match: %v", pairs)
+	}
+}
+
+func TestTopKFraction(t *testing.T) {
+	items := []string{"a", "a", "a", "b", "c"}
+	if f := TopKFraction(items, 1); f != 0.6 {
+		t.Fatalf("TopKFraction(1) = %v", f)
+	}
+	if f := TopKFraction(items, 3); f != 1.0 {
+		t.Fatalf("TopKFraction(3) = %v", f)
+	}
+	if f := TopKFraction(nil, 2); f != 0 {
+		t.Fatalf("TopKFraction(nil) = %v", f)
+	}
+}
+
+// Property: NormalizeWhitespace is idempotent.
+func TestPropertyNormalizeWhitespaceIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := NormalizeWhitespace(s)
+		twice := NormalizeWhitespace(once)
+		return once == twice
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RepetitionRatio is always within [0, 1).
+func TestPropertyRepetitionRatioBounds(t *testing.T) {
+	f := func(ws []string) bool {
+		r := RepetitionRatio(ws)
+		return r >= 0 && r < 1 || (len(ws) == 0 && r == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CharNGrams(s, n) yields len(runes)-n+1 grams for long enough s.
+func TestPropertyCharNGramCount(t *testing.T) {
+	f := func(s string, n8 uint8) bool {
+		n := int(n8%5) + 1
+		grams := CharNGrams(s, n)
+		runes := []rune(s)
+		if len(runes) < n {
+			return grams == nil
+		}
+		return len(grams) == len(runes)-n+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Words never returns tokens containing spaces.
+func TestPropertyWordsNoSpaces(t *testing.T) {
+	f := func(s string) bool {
+		for _, w := range Words(s) {
+			if strings.ContainsAny(w, " \t\n") || w == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package text provides the language-processing primitives that the
+// operator pool builds on: word and sentence segmentation, n-grams,
+// unicode repair and normalization, a character-trigram language
+// identifier, and the built-in stopword and flagged-word resources.
+//
+// These are the stand-ins for the Python stack the paper uses (regex
+// tokenizers, fasttext language ID, curated word lists); see DESIGN.md for
+// the substitution notes.
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Words segments text into word tokens. Latin-script words are maximal
+// runs of letters, digits, apostrophes and hyphens; each CJK ideograph is
+// its own token (Chinese has no spaces, and per-character tokens are the
+// standard approximation).
+func Words(s string) []string {
+	words := make([]string, 0, len(s)/6+1)
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			words = append(words, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case IsCJK(r):
+			flush()
+			words = append(words, string(r))
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\'' || r == '-' || r == '_':
+			b.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return words
+}
+
+// WordsLower is Words with every token lower-cased.
+func WordsLower(s string) []string {
+	ws := Words(s)
+	for i, w := range ws {
+		ws[i] = strings.ToLower(w)
+	}
+	return ws
+}
+
+// Fields splits on whitespace only (raw tokens including punctuation),
+// matching the "standard tokenizer" used by the quality classifier.
+func Fields(s string) []string { return strings.Fields(s) }
+
+// Lines splits text into lines without trailing newline characters.
+func Lines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimSuffix(l, "\r")
+	}
+	return lines
+}
+
+// Paragraphs splits text on blank lines.
+func Paragraphs(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, "\n\n") {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Sentences splits text into sentences on ASCII and CJK terminal
+// punctuation. Terminators are kept attached to their sentence.
+func Sentences(s string) []string {
+	var out []string
+	var b strings.Builder
+	runes := []rune(s)
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		b.WriteRune(r)
+		if isSentenceEnd(r) {
+			// Absorb a run of closing quotes/terminators.
+			for i+1 < len(runes) && (isSentenceEnd(runes[i+1]) || runes[i+1] == '"' || runes[i+1] == '\'' || runes[i+1] == '”') {
+				i++
+				b.WriteRune(runes[i])
+			}
+			if t := strings.TrimSpace(b.String()); t != "" {
+				out = append(out, t)
+			}
+			b.Reset()
+		}
+	}
+	if t := strings.TrimSpace(b.String()); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+func isSentenceEnd(r rune) bool {
+	switch r {
+	case '.', '!', '?', '。', '！', '？', '…':
+		return true
+	}
+	return false
+}
+
+// IsCJK reports whether r is a CJK ideograph (or kana/hangul, which we
+// treat the same way for segmentation purposes).
+func IsCJK(r rune) bool {
+	switch {
+	case r >= 0x4E00 && r <= 0x9FFF: // CJK Unified Ideographs
+		return true
+	case r >= 0x3400 && r <= 0x4DBF: // Extension A
+		return true
+	case r >= 0x3040 && r <= 0x30FF: // Hiragana + Katakana
+		return true
+	case r >= 0xAC00 && r <= 0xD7AF: // Hangul syllables
+		return true
+	case r >= 0xF900 && r <= 0xFAFF: // CJK compatibility
+		return true
+	}
+	return false
+}
+
+// CJKRatio returns the fraction of letters in s that are CJK.
+func CJKRatio(s string) float64 {
+	letters, cjk := 0, 0
+	for _, r := range s {
+		if unicode.IsLetter(r) {
+			letters++
+			if IsCJK(r) {
+				cjk++
+			}
+		}
+	}
+	if letters == 0 {
+		return 0
+	}
+	return float64(cjk) / float64(letters)
+}
+
+// AlnumRatio returns the fraction of all runes in s that are letters or
+// digits.
+func AlnumRatio(s string) float64 {
+	total, alnum := 0, 0
+	for _, r := range s {
+		total++
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			alnum++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(alnum) / float64(total)
+}
+
+// SpecialCharRatio returns the fraction of runes that are neither
+// letters, digits, nor plain whitespace — the paper's
+// special_characters_filter statistic.
+func SpecialCharRatio(s string) float64 {
+	total, special := 0, 0
+	for _, r := range s {
+		total++
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && !unicode.IsSpace(r) {
+			special++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(special) / float64(total)
+}
+
+// DigitRatio returns the fraction of runes that are decimal digits.
+func DigitRatio(s string) float64 {
+	total, digits := 0, 0
+	for _, r := range s {
+		total++
+		if unicode.IsDigit(r) {
+			digits++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(digits) / float64(total)
+}

@@ -1,0 +1,151 @@
+// Package trace implements the tracer of Sec. 4.2: it records what every
+// operator did to the dataset — pre/post edit differences for Mappers,
+// discarded samples for Filters, duplicate pairs for Deduplicators — so
+// users can visually track per-OP effects and debug recipes.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Edit records one Mapper change: the text before and after.
+type Edit struct {
+	Before string `json:"before"`
+	After  string `json:"after"`
+}
+
+// Discard records one Filter rejection with the stats that drove it.
+type Discard struct {
+	Text  string             `json:"text"`
+	Stats map[string]float64 `json:"stats,omitempty"`
+}
+
+// DupPair records one Deduplicator removal.
+type DupPair struct {
+	Kept    string `json:"kept"`
+	Dropped string `json:"dropped"`
+}
+
+// Event is the lineage record of one executed operator.
+type Event struct {
+	OpName   string        `json:"op_name"`
+	Kind     string        `json:"kind"` // mapper | filter | deduplicator
+	InCount  int           `json:"in_count"`
+	OutCount int           `json:"out_count"`
+	Duration time.Duration `json:"duration_ns"`
+	CacheHit bool          `json:"cache_hit,omitempty"`
+
+	// Capped example payloads for interactive inspection.
+	Edits    []Edit    `json:"edits,omitempty"`
+	Discards []Discard `json:"discards,omitempty"`
+	DupPairs []DupPair `json:"dup_pairs,omitempty"`
+}
+
+// Tracer accumulates events. The zero value is unusable; construct with
+// New. All methods are safe for concurrent use.
+type Tracer struct {
+	mu         sync.Mutex
+	events     []Event
+	maxPerOp   int
+	maxTextLen int
+}
+
+// New returns a tracer keeping at most maxPerOp example records per
+// operator (25 if maxPerOp <= 0).
+func New(maxPerOp int) *Tracer {
+	if maxPerOp <= 0 {
+		maxPerOp = 25
+	}
+	return &Tracer{maxPerOp: maxPerOp, maxTextLen: 200}
+}
+
+// MaxPerOp reports the per-operator example cap.
+func (t *Tracer) MaxPerOp() int { return t.maxPerOp }
+
+func (t *Tracer) clip(s string) string {
+	if len(s) <= t.maxTextLen {
+		return s
+	}
+	return s[:t.maxTextLen] + "…"
+}
+
+// Record appends a completed event, clipping example payloads.
+func (t *Tracer) Record(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(e.Edits) > t.maxPerOp {
+		e.Edits = e.Edits[:t.maxPerOp]
+	}
+	for i := range e.Edits {
+		e.Edits[i].Before = t.clip(e.Edits[i].Before)
+		e.Edits[i].After = t.clip(e.Edits[i].After)
+	}
+	if len(e.Discards) > t.maxPerOp {
+		e.Discards = e.Discards[:t.maxPerOp]
+	}
+	for i := range e.Discards {
+		e.Discards[i].Text = t.clip(e.Discards[i].Text)
+	}
+	if len(e.DupPairs) > t.maxPerOp {
+		e.DupPairs = e.DupPairs[:t.maxPerOp]
+	}
+	for i := range e.DupPairs {
+		e.DupPairs[i].Kept = t.clip(e.DupPairs[i].Kept)
+		e.DupPairs[i].Dropped = t.clip(e.DupPairs[i].Dropped)
+	}
+	t.events = append(t.events, e)
+}
+
+// Events returns a copy of the recorded events in execution order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Summary renders the per-OP pipeline effect (the Figure 4(b) view): one
+// line per operator with sample counts flowing through.
+func (t *Tracer) Summary() string {
+	var b strings.Builder
+	b.WriteString("op pipeline effect (samples in -> out)\n")
+	for _, e := range t.Events() {
+		removed := e.InCount - e.OutCount
+		pct := 0.0
+		if e.InCount > 0 {
+			pct = 100 * float64(removed) / float64(e.InCount)
+		}
+		cached := ""
+		if e.CacheHit {
+			cached = " [cache]"
+		}
+		fmt.Fprintf(&b, "  %-44s %8d -> %-8d (-%5.1f%%) %8s%s\n",
+			e.OpName, e.InCount, e.OutCount, pct, e.Duration.Round(time.Microsecond), cached)
+	}
+	return b.String()
+}
+
+// WriteJSON dumps the full lineage to path for offline inspection.
+func (t *Tracer) WriteJSON(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(t.Events(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
+}

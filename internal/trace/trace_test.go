@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	tr := New(2)
+	tr.Record(Event{OpName: "a", Kind: "mapper", InCount: 10, OutCount: 10})
+	tr.Record(Event{OpName: "b", Kind: "filter", InCount: 10, OutCount: 7})
+	events := tr.Events()
+	if len(events) != 2 || events[0].OpName != "a" || events[1].OutCount != 7 {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestCapsApplied(t *testing.T) {
+	tr := New(2)
+	tr.Record(Event{
+		OpName: "f", Kind: "filter",
+		Discards: []Discard{{Text: "1"}, {Text: "2"}, {Text: "3"}},
+		Edits:    []Edit{{Before: "a", After: "b"}, {}, {}, {}},
+		DupPairs: []DupPair{{}, {}, {}},
+	})
+	e := tr.Events()[0]
+	if len(e.Discards) != 2 || len(e.Edits) != 2 || len(e.DupPairs) != 2 {
+		t.Fatalf("caps not applied: %d %d %d", len(e.Discards), len(e.Edits), len(e.DupPairs))
+	}
+}
+
+func TestLongTextClipped(t *testing.T) {
+	tr := New(5)
+	long := strings.Repeat("x", 1000)
+	tr.Record(Event{OpName: "m", Kind: "mapper", Edits: []Edit{{Before: long, After: long}}})
+	e := tr.Events()[0]
+	if len(e.Edits[0].Before) > 220 {
+		t.Fatalf("text not clipped: %d", len(e.Edits[0].Before))
+	}
+	if !strings.HasSuffix(e.Edits[0].Before, "…") {
+		t.Fatal("clip marker missing")
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	tr := New(5)
+	tr.Record(Event{OpName: "word_num_filter", Kind: "filter", InCount: 100, OutCount: 60, Duration: time.Millisecond})
+	tr.Record(Event{OpName: "dedup", Kind: "deduplicator", InCount: 60, OutCount: 50, CacheHit: true})
+	s := tr.Summary()
+	if !strings.Contains(s, "word_num_filter") || !strings.Contains(s, "40.0%") {
+		t.Fatalf("summary = %q", s)
+	}
+	if !strings.Contains(s, "[cache]") {
+		t.Fatalf("cache marker missing: %q", s)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tr := New(3)
+	tr.Record(Event{OpName: "a", Kind: "mapper"})
+	path := filepath.Join(t.TempDir(), "sub", "trace.json")
+	if err := tr.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].OpName != "a" {
+		t.Fatalf("round trip = %+v", events)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Event{OpName: "x"}) // must not panic
+	if tr.Events() != nil {
+		t.Fatal("nil tracer events should be nil")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tr := New(5)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.Record(Event{OpName: "op", Kind: "mapper"})
+		}()
+	}
+	wg.Wait()
+	if len(tr.Events()) != 50 {
+		t.Fatalf("events = %d", len(tr.Events()))
+	}
+}
