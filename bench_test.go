@@ -8,7 +8,9 @@ package repro_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/cache"
@@ -17,9 +19,11 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/format"
 	"repro/internal/ops"
 	_ "repro/internal/ops/all"
 	"repro/internal/sample"
+	"repro/internal/stream"
 )
 
 // benchScale keeps benchmark iterations affordable.
@@ -411,3 +415,149 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 
 // sanity: the benchmark file compiles against a fmt-using helper.
 var _ = fmt.Sprintf
+
+// --- Execution backends: batch vs shard-pipelined streaming ---
+//
+// The streaming engine's claim is architectural: peak memory stays
+// O(shards in flight) as the corpus grows, while the batch executor's
+// peak scales linearly with corpus size (it holds everything). Each
+// benchmark reports peak_heap_MB alongside throughput so
+// `go test -bench 'Exec(Batch|Stream)' -benchtime 1x` renders the
+// comparison across corpus sizes.
+
+const benchStreamRecipe = `
+project_name: backend-bench
+use_cache: false
+op_fusion: true
+process:
+  - clean_links_mapper:
+  - whitespace_normalization_mapper:
+  - word_num_filter:
+      min_num: 5
+  - document_deduplicator:
+`
+
+var benchCorpusFiles = map[int]string{}
+
+// benchCorpusFile materializes a hub corpus of the given size as a JSONL
+// file once per process, outside benchmark timing.
+func benchCorpusFile(b *testing.B, docs int) string {
+	b.Helper()
+	if path, ok := benchCorpusFiles[docs]; ok {
+		return path
+	}
+	d := corpus.Web(corpus.Options{Docs: docs, Seed: 77})
+	dir, err := os.MkdirTemp("", "djbench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := fmt.Sprintf("%s/corpus-%d.jsonl", dir, docs)
+	if err := d.SaveJSONL(path); err != nil {
+		b.Fatal(err)
+	}
+	benchCorpusFiles[docs] = path
+	return path
+}
+
+// trackPeakHeap samples the live heap until stopped and reports the
+// maximum observed, in bytes.
+func trackPeakHeap() (stop func() uint64) {
+	var (
+		peak uint64
+		quit = make(chan struct{})
+		done = make(chan struct{})
+	)
+	runtime.GC()
+	go func() {
+		defer close(done)
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+			select {
+			case <-quit:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}()
+	return func() uint64 {
+		close(quit)
+		<-done
+		return peak
+	}
+}
+
+var backendBenchSizes = []int{500, 2000, 8000}
+
+func BenchmarkExecBatch(b *testing.B) {
+	for _, docs := range backendBenchSizes {
+		b.Run(fmt.Sprintf("docs=%d", docs), func(b *testing.B) {
+			path := benchCorpusFile(b, docs)
+			r, err := config.ParseRecipe(benchStreamRecipe)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.WorkDir = b.TempDir()
+			var peak uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stop := trackPeakHeap()
+				data, err := format.Load(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				exec, err := core.NewExecutor(r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				out, _, err := exec.Run(data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if p := stop(); p > peak {
+					peak = p
+				}
+				_ = out
+			}
+			b.ReportMetric(float64(peak)/(1<<20), "peak_heap_MB")
+			b.ReportMetric(float64(docs)*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+		})
+	}
+}
+
+func BenchmarkExecStream(b *testing.B) {
+	for _, docs := range backendBenchSizes {
+		b.Run(fmt.Sprintf("docs=%d", docs), func(b *testing.B) {
+			path := benchCorpusFile(b, docs)
+			r, err := config.ParseRecipe(benchStreamRecipe)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.WorkDir = b.TempDir()
+			var peak uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stop := trackPeakHeap()
+				eng, err := stream.New(r, stream.Options{ShardSize: 256})
+				if err != nil {
+					b.Fatal(err)
+				}
+				src, err := stream.OpenSource(path, 256)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Run(src, stream.DiscardSink{}); err != nil {
+					b.Fatal(err)
+				}
+				if p := stop(); p > peak {
+					peak = p
+				}
+			}
+			b.ReportMetric(float64(peak)/(1<<20), "peak_heap_MB")
+			b.ReportMetric(float64(docs)*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+		})
+	}
+}

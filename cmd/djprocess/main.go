@@ -1,10 +1,14 @@
 // Command djprocess runs a data recipe end-to-end: load → process →
-// export, with optional plan display, tracing and probe analysis.
+// export, with optional plan display, tracing and probe analysis. Two
+// execution backends are available: the default batch executor
+// (whole-dataset, op by op) and the shard-pipelined streaming engine
+// (-stream), which bounds peak memory for corpora larger than RAM.
 //
 // Usage:
 //
 //	djprocess -recipe recipe.yaml [-input PATH] [-output PATH] [-np N]
 //	djprocess -builtin pretrain-web-en -input "hub:web-en?docs=500&seed=1" -output out.jsonl
+//	djprocess -stream -shard-size 1024 -recipe recipe.yaml -input big.jsonl -output out.jsonl
 //	djprocess -list-ops | -list-recipes
 package main
 
@@ -12,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/cache"
@@ -19,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/format"
 	_ "repro/internal/ops/all"
+	"repro/internal/stream"
 
 	"repro/internal/ops"
 )
@@ -30,9 +37,11 @@ func main() {
 		input       = flag.String("input", "", "dataset spec (file, directory, or hub:<name>); overrides the recipe's dataset_path")
 		output      = flag.String("output", "", "export path (.jsonl/.json/.txt); overrides the recipe's export_path")
 		np          = flag.Int("np", 0, "worker count (0 = all cores)")
+		streamMode  = flag.Bool("stream", false, "use the shard-pipelined streaming engine (bounded memory)")
+		shardSize   = flag.Int("shard-size", stream.DefaultShardSize, "samples per shard in -stream mode")
 		showPlan    = flag.Bool("plan", false, "print the fused execution plan before running")
-		probe       = flag.Bool("probe", false, "print before/after data probes (analyzer)")
-		space       = flag.Bool("space", false, "print the Appendix A.2 peak-disk-space analysis")
+		probe       = flag.Bool("probe", false, "print before/after data probes (analyzer; batch mode only)")
+		space       = flag.Bool("space", false, "print the Appendix A.2 peak-disk-space analysis (batch mode only)")
 		listOps     = flag.Bool("list-ops", false, "list the registered operators and exit")
 		listRecipes = flag.Bool("list-recipes", false, "list the built-in recipes and exit")
 	)
@@ -68,6 +77,11 @@ func main() {
 		fatal(fmt.Errorf("no dataset: set dataset_path in the recipe or pass -input"))
 	}
 
+	if *streamMode {
+		runStreaming(recipe, *shardSize, *showPlan, *probe || *space)
+		return
+	}
+
 	exec, err := core.NewExecutor(recipe)
 	if err != nil {
 		fatal(err)
@@ -101,8 +115,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("processed: %d -> %d samples in %s (%d planned ops)\n",
-		report.OpStats[0].InCount, out.Len(), report.Total.Round(1e6), report.PlanSize)
+	if len(report.OpStats) == 0 {
+		// Zero executed ops: the plan was empty or the whole run was
+		// resumed past its last operator.
+		why := "empty plan"
+		if report.Resumed {
+			why = "fully resumed from checkpoint"
+		}
+		fmt.Printf("processed: %d samples in %s (%s, %d planned ops)\n",
+			out.Len(), report.Total.Round(1e6), why, report.PlanSize)
+	} else {
+		fmt.Printf("processed: %d -> %d samples in %s (%d planned ops)\n",
+			report.InCount(), out.Len(), report.Total.Round(1e6), report.PlanSize)
+	}
 	for _, st := range report.OpStats {
 		marker := ""
 		if st.CacheHit {
@@ -128,6 +153,52 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("exported to %s\n", recipe.ExportPath)
+	}
+}
+
+// runStreaming executes the recipe on the shard-pipelined engine: the
+// input is never fully resident, and export shards appear as the stream
+// progresses.
+func runStreaming(recipe *config.Recipe, shardSize int, showPlan, probeOrSpace bool) {
+	if probeOrSpace {
+		fmt.Fprintln(os.Stderr, "djprocess: -probe/-space need the full dataset; ignored in -stream mode")
+	}
+	eng, err := stream.New(recipe, stream.Options{ShardSize: shardSize})
+	if err != nil {
+		fatal(err)
+	}
+	if showPlan {
+		fmt.Println("streaming execution plan:")
+		fmt.Print(eng.DescribePlan())
+	}
+	src, err := stream.OpenSource(recipe.DatasetPath, shardSize)
+	if err != nil {
+		fatal(err)
+	}
+	var sink stream.Sink = stream.DiscardSink{}
+	var sharded *stream.ShardedJSONLSink
+	prefix := ""
+	if recipe.ExportPath != "" {
+		if !strings.EqualFold(".jsonl", filepath.Ext(recipe.ExportPath)) {
+			fatal(fmt.Errorf("stream mode exports sharded JSONL; use a .jsonl export path (got %q)", recipe.ExportPath))
+		}
+		prefix = recipe.ExportPath[:len(recipe.ExportPath)-len(".jsonl")]
+		sharded, err = stream.NewShardedJSONLSink(prefix)
+		if err != nil {
+			fatal(err)
+		}
+		sink = sharded
+	}
+	report, err := eng.Run(src, sink)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(report.Summary())
+	if tr := eng.Tracer(); tr != nil {
+		fmt.Print(tr.Summary())
+	}
+	if sharded != nil {
+		fmt.Printf("exported %d shard files to %s-*.jsonl\n", len(sharded.Paths()), prefix)
 	}
 }
 

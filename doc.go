@@ -1,7 +1,36 @@
 // Package repro is a from-scratch Go reproduction of "Data-Juicer: A
 // One-Stop Data Processing System for Large Language Models" (SIGMOD
-// 2024). See README.md for the tour, DESIGN.md for the system inventory
-// and substitution notes, and EXPERIMENTS.md for paper-vs-measured
-// results. The implementation lives under internal/; runnable entry
-// points are cmd/djprocess, cmd/djanalyze, cmd/djbench and examples/.
+// 2024): a recipe-driven pipeline that loads heterogeneous corpora into
+// a unified sample representation, runs a standardized pool of Mapper /
+// Filter / Deduplicator operators over them, and exports the refined
+// data — with operator fusion, caching, checkpoints, lineage tracing,
+// and analyzer probes as described in the paper.
+//
+// # Execution backends
+//
+// Two engines run the same recipe over the same fused plan:
+//
+//   - Batch (internal/core.Executor): the whole dataset is resident and
+//     moves through one operator at a time with parallel workers. Peak
+//     memory is O(corpus). Richest feature set — probes, disk-space
+//     analysis, whole-dataset cache chains, checkpoint resume.
+//
+//   - Streaming (internal/stream.Engine): the input is partitioned into
+//     fixed-size shards that flow through the full operator chain in a
+//     pipelined worker pool — shard K can be in op 3 while shard K+1 is
+//     in op 1 — with peak memory O(shards in flight). JSONL inputs are
+//     read incrementally; output shards are written as they complete.
+//     Shard-local ops stream freely, signature deduplicators run
+//     against a shared index without a barrier, and similarity
+//     deduplicators act as declared barriers (merge, apply, re-shard).
+//     Both backends share the per-op application logic (core.OpRunner),
+//     so kept-sample sets are identical.
+//
+// Choose batch for corpora that fit comfortably in RAM or when probe
+// analysis is wanted; choose streaming (djprocess -stream) for corpora
+// larger than RAM or when output should appear incrementally. See the
+// README architecture section for the full comparison.
+//
+// The implementation lives under internal/; runnable entry points are
+// cmd/djprocess, cmd/djanalyze, cmd/djbench and examples/.
 package repro

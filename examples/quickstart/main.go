@@ -64,7 +64,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nkept %d of %d samples in %s\n",
-		out.Len(), report.OpStats[0].InCount, report.Total.Round(1e6))
+		out.Len(), report.InCount(), report.Total.Round(1e6))
 
 	// 4. Inspect per-OP lineage (the tracer view of Figure 4).
 	fmt.Println("\nper-op pipeline effect:")

@@ -4,14 +4,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"path/filepath"
-	"strings"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/dataset"
 	"repro/internal/ops"
-	"repro/internal/sample"
 	"repro/internal/trace"
 )
 
@@ -33,13 +31,24 @@ type Report struct {
 	PlanSize int
 }
 
-// Executor runs a recipe over datasets.
+// InCount returns the sample count entering the first executed operator
+// (0 when every op was skipped, e.g. a fully cache-resumed run or an
+// empty plan).
+func (r *Report) InCount() int {
+	if len(r.OpStats) == 0 {
+		return 0
+	}
+	return r.OpStats[0].InCount
+}
+
+// Executor runs a recipe over in-memory datasets: the batch backend. The
+// whole dataset moves through one operator at a time; see
+// internal/stream for the shard-pipelined streaming backend.
 type Executor struct {
 	recipe *config.Recipe
 	plan   []ops.OP
 	specs  []config.OpSpec // aligned with the *unfused* recipe order
-	ids    map[ops.OP]string
-	tracer *trace.Tracer
+	runner *OpRunner
 	store  *cache.Store
 	ckpt   *cache.CheckpointManager
 }
@@ -54,21 +63,15 @@ func NewExecutor(r *config.Recipe) (*Executor, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Stable per-operator identities (name + params) for cache keys: the
-	// chain key of op i depends only on the dataset content and the ops up
-	// to i, so editing the recipe tail reuses every cached prefix.
-	ids := make(map[ops.OP]string, len(built))
-	for i, op := range built {
-		ids[op] = cache.Key("", r.Process[i].Name, r.Process[i].Params)
+	var tracer *trace.Tracer
+	if r.EnableTrace {
+		tracer = trace.New(0)
 	}
 	e := &Executor{
 		recipe: r,
 		plan:   BuildPlan(built, r.OpFusion),
 		specs:  r.Process,
-		ids:    ids,
-	}
-	if r.EnableTrace {
-		e.tracer = trace.New(0)
+		runner: NewOpRunner(built, r.Process, tracer),
 	}
 	if r.UseCache {
 		store, err := cache.NewStore(filepath.Join(r.WorkDir, "cache"), r.CacheCompression)
@@ -91,7 +94,11 @@ func NewExecutor(r *config.Recipe) (*Executor, error) {
 func (e *Executor) Plan() []ops.OP { return e.plan }
 
 // Tracer returns the lineage tracer (nil unless the recipe enables it).
-func (e *Executor) Tracer() *trace.Tracer { return e.tracer }
+func (e *Executor) Tracer() *trace.Tracer { return e.runner.Tracer() }
+
+// Runner returns the shared per-op application logic, so other backends
+// (the streaming engine) execute operators exactly as the batch path does.
+func (e *Executor) Runner() *OpRunner { return e.runner }
 
 // recipeFingerprint identifies this recipe + input dataset combination for
 // checkpoint compatibility checks.
@@ -136,7 +143,7 @@ func (e *Executor) Run(d *dataset.Dataset) (*dataset.Dataset, *Report, error) {
 	if e.store != nil {
 		chainKey = cache.Key(d.Fingerprint(), "dataset", nil)
 		for i := 0; i < startIdx && i < len(e.plan); i++ {
-			chainKey = e.opCacheKey(chainKey, e.plan[i])
+			chainKey = e.runner.OpCacheKey(chainKey, e.plan[i])
 		}
 	}
 
@@ -147,7 +154,7 @@ func (e *Executor) Run(d *dataset.Dataset) (*dataset.Dataset, *Report, error) {
 
 		var key string
 		if e.store != nil {
-			key = e.opCacheKey(chainKey, op)
+			key = e.runner.OpCacheKey(chainKey, op)
 			if cached, ok, err := e.store.Get(key); err != nil {
 				return nil, nil, err
 			} else if ok {
@@ -156,12 +163,12 @@ func (e *Executor) Run(d *dataset.Dataset) (*dataset.Dataset, *Report, error) {
 				stat := OpStat{Name: op.Name(), InCount: inCount, OutCount: d.Len(),
 					Duration: time.Since(opStart), CacheHit: true}
 				report.OpStats = append(report.OpStats, stat)
-				e.traceCacheHit(op, inCount, d.Len(), stat.Duration)
+				e.runner.TraceCacheHit(op, inCount, d.Len(), stat.Duration)
 				continue
 			}
 		}
 
-		out, err := e.applyOp(op, d, np)
+		out, err := e.runner.ApplyOp(op, d, np)
 		if err != nil {
 			// Preserve a recovery point before surfacing the failure, as
 			// described in Sec. 4.1.1 (states are saved when errors occur).
@@ -194,156 +201,4 @@ func (e *Executor) Run(d *dataset.Dataset) (*dataset.Dataset, *Report, error) {
 	}
 	report.Total = time.Since(start)
 	return d, report, nil
-}
-
-// opCacheKey folds one planned operator's identity into the chain key.
-// Fused OPs compose the identities of their members, so the same fused
-// pipeline state maps to the same key across runs.
-func (e *Executor) opCacheKey(prev string, op ops.OP) string {
-	return cache.Key(prev, e.opIdentity(op), nil)
-}
-
-func (e *Executor) opIdentity(op ops.OP) string {
-	if id, ok := e.ids[op]; ok {
-		return id
-	}
-	if fused, ok := op.(*FusedFilter); ok {
-		parts := make([]string, 0, len(fused.Members()))
-		for _, m := range fused.Members() {
-			parts = append(parts, e.opIdentity(m))
-		}
-		return "fused(" + strings.Join(parts, ",") + ")"
-	}
-	return op.Name()
-}
-
-// applyOp dispatches one planned operator over the dataset.
-func (e *Executor) applyOp(op ops.OP, d *dataset.Dataset, np int) (*dataset.Dataset, error) {
-	switch typed := op.(type) {
-	case ops.Mapper:
-		return e.applyMapper(typed, d, np)
-	case ops.Filter:
-		return e.applyFilter(typed, d, np)
-	case ops.Deduplicator:
-		return e.applyDedup(typed, d, np)
-	}
-	return nil, fmt.Errorf("unsupported operator type %T", op)
-}
-
-func (e *Executor) applyMapper(m ops.Mapper, d *dataset.Dataset, np int) (*dataset.Dataset, error) {
-	var edits []trace.Edit
-	collect := e.tracer != nil
-	editCap := 0
-	if collect {
-		editCap = e.tracer.MaxPerOp()
-	}
-	var before []string
-	if collect {
-		before = make([]string, d.Len())
-		for i, s := range d.Samples {
-			before[i] = s.Text
-		}
-	}
-	start := time.Now()
-	err := d.Map(np, func(s *sample.Sample) error {
-		defer s.ClearContext()
-		return m.Process(s)
-	})
-	if err != nil {
-		return nil, err
-	}
-	if collect {
-		for i, s := range d.Samples {
-			if len(edits) >= editCap {
-				break
-			}
-			if s.Text != before[i] {
-				edits = append(edits, trace.Edit{Before: before[i], After: s.Text})
-			}
-		}
-		e.tracer.Record(trace.Event{
-			OpName: m.Name(), Kind: "mapper",
-			InCount: d.Len(), OutCount: d.Len(),
-			Duration: time.Since(start), Edits: edits,
-		})
-	}
-	return d, nil
-}
-
-// applyFilter runs the two decoupled phases: parallel stat computation
-// (with per-sample context cleared afterwards, bounding fusion memory),
-// then the boolean split.
-func (e *Executor) applyFilter(f ops.Filter, d *dataset.Dataset, np int) (*dataset.Dataset, error) {
-	start := time.Now()
-	if err := d.Map(np, func(s *sample.Sample) error {
-		defer s.ClearContext()
-		return f.ComputeStats(s)
-	}); err != nil {
-		return nil, err
-	}
-	kept, dropped := d.Filter(np, f.Keep)
-	if e.tracer != nil {
-		var discards []trace.Discard
-		for i, s := range dropped {
-			if i >= e.tracer.MaxPerOp() {
-				break
-			}
-			stats := map[string]float64{}
-			for _, k := range f.StatKeys() {
-				if v, ok := s.Stat(k); ok {
-					stats[k] = v
-				}
-			}
-			discards = append(discards, trace.Discard{Text: s.Text, Stats: stats})
-		}
-		e.tracer.Record(trace.Event{
-			OpName: f.Name(), Kind: "filter",
-			InCount: d.Len(), OutCount: kept.Len(),
-			Duration: time.Since(start), Discards: discards,
-		})
-	}
-	return kept, nil
-}
-
-func (e *Executor) applyDedup(dd ops.Deduplicator, d *dataset.Dataset, np int) (*dataset.Dataset, error) {
-	start := time.Now()
-	kept, pairs, err := dd.Dedup(d, np)
-	if err != nil {
-		return nil, err
-	}
-	if e.tracer != nil {
-		var dp []trace.DupPair
-		for i, p := range pairs {
-			if i >= e.tracer.MaxPerOp() {
-				break
-			}
-			dp = append(dp, trace.DupPair{
-				Kept:    d.Samples[p.Kept].Text,
-				Dropped: d.Samples[p.Dropped].Text,
-			})
-		}
-		e.tracer.Record(trace.Event{
-			OpName: dd.Name(), Kind: "deduplicator",
-			InCount: d.Len(), OutCount: kept.Len(),
-			Duration: time.Since(start), DupPairs: dp,
-		})
-	}
-	return kept, nil
-}
-
-func (e *Executor) traceCacheHit(op ops.OP, in, out int, dur time.Duration) {
-	if e.tracer == nil {
-		return
-	}
-	kind := "mapper"
-	switch op.(type) {
-	case ops.Filter:
-		kind = "filter"
-	case ops.Deduplicator:
-		kind = "deduplicator"
-	}
-	e.tracer.Record(trace.Event{
-		OpName: op.Name(), Kind: kind, InCount: in, OutCount: out,
-		Duration: dur, CacheHit: true,
-	})
 }

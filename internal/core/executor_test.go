@@ -365,3 +365,14 @@ func TestExecutorContextClearedBetweenOps(t *testing.T) {
 		}
 	}
 }
+
+func TestReportInCountGuardsEmptyStats(t *testing.T) {
+	r := &Report{}
+	if got := r.InCount(); got != 0 {
+		t.Fatalf("empty report InCount = %d, want 0", got)
+	}
+	r.OpStats = []OpStat{{Name: "x", InCount: 42, OutCount: 40}}
+	if got := r.InCount(); got != 42 {
+		t.Fatalf("InCount = %d, want 42", got)
+	}
+}

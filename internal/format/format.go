@@ -159,7 +159,7 @@ func loadJSONL(raw []byte) (*dataset.Dataset, error) {
 		if line == "" {
 			continue
 		}
-		s, err := sampleFromJSONObject([]byte(line))
+		s, err := SampleFromJSON([]byte(line))
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineNo, err)
 		}
@@ -177,7 +177,7 @@ func loadJSON(raw []byte) (*dataset.Dataset, error) {
 		}
 		samples := make([]*sample.Sample, 0, len(items))
 		for i, item := range items {
-			s, err := sampleFromJSONObject(item)
+			s, err := SampleFromJSON(item)
 			if err != nil {
 				return nil, fmt.Errorf("item %d: %w", i, err)
 			}
@@ -185,15 +185,19 @@ func loadJSON(raw []byte) (*dataset.Dataset, error) {
 		}
 		return dataset.New(samples), nil
 	}
-	s, err := sampleFromJSONObject(raw)
+	s, err := SampleFromJSON(raw)
 	if err != nil {
 		return nil, err
 	}
 	return dataset.New([]*sample.Sample{s}), nil
 }
 
-// sampleFromJSONObject unifies one JSON object into a sample.
-func sampleFromJSONObject(raw []byte) (*sample.Sample, error) {
+// SampleFromJSON unifies one JSON object into a sample: "text"/"content"
+// becomes the payload (with nested part support), "meta"/"stats" map to
+// their fields, and foreign top-level fields fold into meta. It is the
+// shared decode path of the batch loader and the streaming JSONL source,
+// so both backends see identical samples for the same input line.
+func SampleFromJSON(raw []byte) (*sample.Sample, error) {
 	var obj map[string]any
 	if err := json.Unmarshal(raw, &obj); err != nil {
 		return nil, err

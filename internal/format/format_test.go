@@ -252,3 +252,75 @@ func TestExportSharded(t *testing.T) {
 		t.Fatal("shard size 0 must error")
 	}
 }
+
+func TestExportShardedNamingAndBoundaries(t *testing.T) {
+	dir := t.TempDir()
+	src, _ := Load("hub:wiki?docs=21&seed=4")
+
+	// Exact -NNNNN-of-MMMMM naming, in order.
+	paths, err := ExportSharded(src, filepath.Join(dir, "corpus"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"corpus-00000-of-00003.jsonl",
+		"corpus-00001-of-00003.jsonl",
+		"corpus-00002-of-00003.jsonl",
+	}
+	if len(paths) != len(want) {
+		t.Fatalf("got %d paths, want %d", len(paths), len(want))
+	}
+	for i, p := range paths {
+		if filepath.Base(p) != want[i] {
+			t.Errorf("shard %d named %q, want %q", i, filepath.Base(p), want[i])
+		}
+	}
+	// The last shard holds the remainder.
+	last, err := Load(paths[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Len() != 1 {
+		t.Fatalf("last shard holds %d samples, want the 1 remainder", last.Len())
+	}
+	// Order and metadata survive: first sample of shard 1 is source
+	// sample 10, byte for byte.
+	mid, err := Load(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Samples[0].Text != src.Samples[10].Text {
+		t.Fatal("shard 1 does not start at source sample 10")
+	}
+	if mid.Fingerprint() == "" || mid.Len() != 10 {
+		t.Fatalf("shard 1 malformed: %d samples", mid.Len())
+	}
+
+	// A shard size larger than the dataset yields a single full shard.
+	paths, err = ExportSharded(src, filepath.Join(dir, "one"), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || filepath.Base(paths[0]) != "one-00000-of-00001.jsonl" {
+		t.Fatalf("oversize shard export = %v", paths)
+	}
+
+	// An empty dataset still writes one (empty) shard file.
+	empty, _ := Load("hub:wiki?docs=1&seed=4")
+	empty.Samples = nil
+	paths, err = ExportSharded(empty, filepath.Join(dir, "empty"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("empty export = %v", paths)
+	}
+	if st, err := os.Stat(paths[0]); err != nil || st.Size() != 0 {
+		t.Fatalf("empty shard file: stat=%v size mismatch", err)
+	}
+
+	// Negative shard sizes error like zero.
+	if _, err := ExportSharded(src, filepath.Join(dir, "bad"), -3); err == nil {
+		t.Fatal("negative shard size must error")
+	}
+}

@@ -27,11 +27,20 @@ type documentDedup struct {
 
 func (d *documentDedup) Name() string { return "document_deduplicator" }
 
+// Signature implements ops.StreamDeduper: exact duplicates are exactly
+// the samples whose normalized-text hashes collide, so the streaming
+// engine can dedup against a shared signature index without a barrier.
+func (d *documentDedup) Signature(s *sample.Sample) uint64 {
+	t, _ := s.GetString(d.textKey)
+	return hash64(normalizeForHash(t, d.lowercase, d.ignorePunct))
+}
+
+var _ ops.StreamDeduper = (*documentDedup)(nil)
+
 func (d *documentDedup) Dedup(ds *dataset.Dataset, np int) (*dataset.Dataset, []ops.DupPair, error) {
 	hashes := make([]uint64, ds.Len())
 	err := ds.MapIndexed(np, func(i int, s *sample.Sample) error {
-		t, _ := s.GetString(d.textKey)
-		hashes[i] = hash64(normalizeForHash(t, d.lowercase, d.ignorePunct))
+		hashes[i] = d.Signature(s)
 		return nil
 	})
 	if err != nil {

@@ -66,6 +66,18 @@ type Deduplicator interface {
 	Dedup(d *dataset.Dataset, np int) (*dataset.Dataset, []DupPair, error)
 }
 
+// StreamDeduper is a Deduplicator whose duplicate verdict depends only on
+// a per-sample signature: two samples are duplicates exactly when their
+// signatures collide. Such an op does not force a pipeline barrier in the
+// streaming engine — shards consult a shared signature index in shard
+// order instead, keeping first-occurrence semantics identical to the
+// batch path. Signature must be pure and safe for concurrent calls.
+type StreamDeduper interface {
+	Deduplicator
+	// Signature returns the sample's dedup signature.
+	Signature(s *sample.Sample) uint64
+}
+
 // ContextUser is implemented by OPs that consume shared per-sample
 // intermediates (segmented words, split lines, ...). The fusion pass
 // groups filters by overlapping context keys.

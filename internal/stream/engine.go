@@ -1,0 +1,515 @@
+// Package stream is the shard-pipelined streaming execution backend: the
+// second engine next to the batch executor of internal/core. It
+// partitions the input into fixed-size shards and pushes every shard
+// through the full operator chain inside a worker pool, so shard K can
+// be in op 3 while shard K+1 is still in op 1 and peak memory stays
+// O(shards in flight) instead of O(corpus).
+//
+// Operators execute through the same core.OpRunner the batch executor
+// uses, so both backends apply ops identically. Op capability decides
+// the flow (see Classify): mappers and filters are shard-local;
+// signature deduplicators (ops.StreamDeduper) run against a shared
+// signature index consulted in shard order, preserving the batch
+// engine's first-occurrence semantics without a barrier; similarity
+// deduplicators are declared barriers — the engine drains the stream,
+// merges the shards in order, applies the op, and re-shards.
+//
+// With the recipe's cache enabled, every shard's leading run of
+// shard-local ops is cached per (shard content, op chain) key via
+// internal/cache, so an interrupted run resumes at shard granularity.
+package stream
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ops"
+	"repro/internal/sample"
+	"repro/internal/trace"
+)
+
+// DefaultShardSize is the shard size used when Options leaves it zero.
+const DefaultShardSize = 512
+
+// Options tunes the engine.
+type Options struct {
+	// ShardSize is the number of samples per shard (DefaultShardSize
+	// when zero).
+	ShardSize int
+	// MaxInFlight bounds the shards resident in memory at once —
+	// processing, queued, or waiting for ordered emission. Zero means
+	// twice the worker count.
+	MaxInFlight int
+}
+
+// Engine is the streaming execution backend for one recipe.
+type Engine struct {
+	recipe      *config.Recipe
+	plan        []ops.OP
+	phases      []phase
+	runner      *core.OpRunner
+	store       *cache.Store
+	shardSize   int
+	maxInFlight int
+	np          int
+}
+
+// stage kinds inside one phase.
+type stageKind int
+
+const (
+	stageLocal stageKind = iota // a run of consecutive shard-local ops
+	stageIndex                  // one StreamDeduper behind a shared signature index
+)
+
+type stage struct {
+	kind    stageKind
+	ops     []ops.OP          // stageLocal: the run, in plan order
+	planIdx []int             // plan indexes aligned with ops (or the one dedup)
+	dedup   ops.StreamDeduper // stageIndex only
+}
+
+// phase is a maximal barrier-free segment of the plan. The engine
+// pipelines shards through a phase's stages, then (unless it is the
+// final phase) merges everything and applies the barrier op.
+type phase struct {
+	stages     []stage
+	barrier    ops.OP // nil for the final phase
+	barrierIdx int
+}
+
+// splitPhases segments a plan at its Barrier ops and groups the
+// shard-local runs and shared-index stages in between.
+func splitPhases(plan []ops.OP) []phase {
+	var phases []phase
+	var stages []stage
+	var run []ops.OP
+	var runIdx []int
+	flush := func() {
+		if len(run) > 0 {
+			stages = append(stages, stage{kind: stageLocal, ops: run, planIdx: runIdx})
+			run, runIdx = nil, nil
+		}
+	}
+	for i, op := range plan {
+		switch Classify(op) {
+		case ShardLocal:
+			run = append(run, op)
+			runIdx = append(runIdx, i)
+		case SharedIndex:
+			flush()
+			stages = append(stages, stage{
+				kind: stageIndex, dedup: op.(ops.StreamDeduper), planIdx: []int{i},
+			})
+		case Barrier:
+			flush()
+			phases = append(phases, phase{stages: stages, barrier: op, barrierIdx: i})
+			stages = nil
+		}
+	}
+	flush()
+	phases = append(phases, phase{stages: stages})
+	return phases
+}
+
+// New validates the recipe and builds a streaming engine over the same
+// (optionally fused) plan the batch executor would run.
+func New(r *config.Recipe, opts Options) (*Engine, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	built, err := r.BuildOps()
+	if err != nil {
+		return nil, err
+	}
+	var tracer *trace.Tracer
+	if r.EnableTrace {
+		tracer = trace.New(0)
+	}
+	plan := core.BuildPlan(built, r.OpFusion)
+	e := &Engine{
+		recipe:      r,
+		plan:        plan,
+		phases:      splitPhases(plan),
+		runner:      core.NewOpRunner(built, r.Process, tracer),
+		shardSize:   opts.ShardSize,
+		maxInFlight: opts.MaxInFlight,
+		np:          dataset.Workers(r.NP),
+	}
+	if e.shardSize <= 0 {
+		e.shardSize = DefaultShardSize
+	}
+	if e.maxInFlight <= 0 {
+		e.maxInFlight = 2 * e.np
+	}
+	if e.maxInFlight < e.np {
+		e.maxInFlight = e.np
+	}
+	if r.UseCache {
+		store, err := cache.NewStore(filepath.Join(r.WorkDir, "stream-cache"), r.CacheCompression)
+		if err != nil {
+			return nil, err
+		}
+		e.store = store
+	}
+	return e, nil
+}
+
+// Plan returns the fused execution plan.
+func (e *Engine) Plan() []ops.OP { return e.plan }
+
+// Tracer returns the lineage tracer (nil unless the recipe enables it).
+// In streaming mode mapper and filter events are recorded per shard, and
+// shared-index dedup events carry counts but no example pairs.
+func (e *Engine) Tracer() *trace.Tracer { return e.runner.Tracer() }
+
+// DescribePlan renders the plan with each op's streaming capability.
+func (e *Engine) DescribePlan() string {
+	s := ""
+	for i, op := range e.plan {
+		s += fmt.Sprintf("%2d. %-13s %s\n", i+1, "["+Classify(op).String()+"]", op.Name())
+	}
+	return s
+}
+
+// Run streams src through the plan into sink and returns the merged
+// report. The source is always closed before Run returns; the sink is
+// closed only on success — on error, partially written sink state (e.g.
+// a sharded sink's .part files) is left as-is rather than finalized,
+// and the next successful run over the same prefix cleans it up.
+func (e *Engine) Run(src Source, sink Sink) (*Report, error) {
+	start := time.Now()
+	agg := newAggregator(e.plan)
+	var totalIn, totalOut, sourceShards int
+
+	cur := src
+	for pi := range e.phases {
+		ph := e.phases[pi]
+		last := pi == len(e.phases)-1
+		var collected []*dataset.Dataset
+		emit := func(d *dataset.Dataset) error {
+			if last {
+				totalOut += d.Len()
+				return sink.Consume(d)
+			}
+			collected = append(collected, d)
+			return nil
+		}
+		in, shards, err := e.runPhase(pi, cur, ph.stages, agg, emit)
+		cur.Close()
+		if err != nil {
+			return nil, err
+		}
+		if pi == 0 {
+			totalIn, sourceShards = in, shards
+		}
+		if last {
+			break
+		}
+		// Pipeline barrier: merge the drained shards in order, apply the
+		// global op with full parallelism, and re-shard the result.
+		merged := dataset.Concat(collected...)
+		bStart := time.Now()
+		out, err := e.runner.ApplyOp(ph.barrier, merged, e.recipe.NP)
+		if err != nil {
+			return nil, fmt.Errorf("stream: barrier op %s: %w", ph.barrier.Name(), err)
+		}
+		agg.addOp(ph.barrierIdx, merged.Len(), out.Len(), time.Since(bStart), false)
+		cur, err = NewDatasetSource(out, e.shardSize)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := sink.Close(); err != nil {
+		return nil, err
+	}
+	return agg.finish(sourceShards, totalIn, totalOut, time.Since(start)), nil
+}
+
+// turnstile is the shared signature index of one stageIndex stage.
+// Shards pass it strictly in index order, so "first occurrence kept"
+// means the same thing it does in the batch engine; the expensive part —
+// computing signatures — happens outside the critical section.
+type turnstile struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	next int
+	seen map[uint64]struct{}
+}
+
+// errAborted is returned by shard processing interrupted by another
+// shard's failure; the original error is already recorded.
+var errAborted = fmt.Errorf("stream: run aborted")
+
+// phaseRun holds the shared state of one pipelined phase execution.
+type phaseRun struct {
+	eng    *Engine
+	phase  int
+	stages []stage
+	turns  map[int]*turnstile
+	agg    *aggregator
+
+	abort     chan struct{}
+	abortOnce sync.Once
+	runErr    error
+}
+
+func (p *phaseRun) fail(err error) {
+	if err == errAborted {
+		return
+	}
+	p.abortOnce.Do(func() {
+		p.runErr = err
+		close(p.abort)
+		// Wake turnstile waiters under their locks so no Wait is missed.
+		for _, t := range p.turns {
+			t.mu.Lock()
+			t.cond.Broadcast()
+			t.mu.Unlock()
+		}
+	})
+}
+
+func (p *phaseRun) aborted() bool {
+	select {
+	case <-p.abort:
+		return true
+	default:
+		return false
+	}
+}
+
+// runPhase pipelines every shard of src through the phase's stages and
+// hands the results to emit in shard order. It returns the total samples
+// and shards read from src.
+func (e *Engine) runPhase(phaseIdx int, src Source, stages []stage, agg *aggregator,
+	emit func(*dataset.Dataset) error) (inCount, shardCount int, err error) {
+
+	p := &phaseRun{
+		eng: e, phase: phaseIdx, stages: stages, agg: agg,
+		turns: map[int]*turnstile{},
+		abort: make(chan struct{}),
+	}
+	for i, st := range stages {
+		if st.kind == stageIndex {
+			t := &turnstile{seen: map[uint64]struct{}{}}
+			t.cond = sync.NewCond(&t.mu)
+			p.turns[i] = t
+		}
+	}
+
+	sem := make(chan struct{}, e.maxInFlight)
+	work := make(chan *Shard)
+	done := make(chan *Shard, e.maxInFlight)
+	counts := make(chan [2]int, 1)
+
+	// Reader: pulls shards from the source, bounded by the in-flight
+	// semaphore (released by the emitter once a shard leaves the phase).
+	go func() {
+		defer close(work)
+		in, n := 0, 0
+		defer func() { counts <- [2]int{in, n} }()
+		for {
+			select {
+			case sem <- struct{}{}:
+			case <-p.abort:
+				return
+			}
+			sh, err := src.Next()
+			if err == io.EOF {
+				<-sem
+				return
+			}
+			if err != nil {
+				p.fail(err)
+				return
+			}
+			sh.Index = n // dense per-phase indexes, whatever the source says
+			n++
+			in += sh.Data.Len()
+			select {
+			case work <- sh:
+			case <-p.abort:
+				return
+			}
+		}
+	}()
+
+	// Workers: each shard runs the whole stage chain on one worker, so
+	// different shards occupy different ops concurrently. The work
+	// channel delivers shards in index order, which guarantees the
+	// lowest in-flight shard is always held by some worker — the
+	// property that keeps turnstile waits deadlock-free.
+	var wg sync.WaitGroup
+	for w := 0; w < e.np; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sh := range work {
+				if p.aborted() {
+					continue
+				}
+				if err := p.processShard(sh); err != nil {
+					p.fail(err)
+					continue
+				}
+				done <- sh
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	// Ordered emitter (caller goroutine): reorders completed shards and
+	// releases their in-flight slots.
+	next := 0
+	buf := map[int]*dataset.Dataset{}
+	for sh := range done {
+		buf[sh.Index] = sh.Data
+		for {
+			d, ok := buf[next]
+			if !ok {
+				break
+			}
+			delete(buf, next)
+			next++
+			if !p.aborted() {
+				if err := emit(d); err != nil {
+					p.fail(err)
+				}
+			}
+			<-sem
+		}
+	}
+	res := <-counts
+	if p.runErr != nil {
+		return 0, 0, p.runErr
+	}
+	return res[0], res[1], nil
+}
+
+// processShard pushes one shard through the phase's stages, recording
+// per-op aggregates. Ops run single-threaded within the shard —
+// parallelism lives across shards.
+func (p *phaseRun) processShard(sh *Shard) error {
+	e := p.eng
+	start := time.Now()
+	in := sh.Data.Len()
+	d := sh.Data
+	resumed := false
+	for si, st := range p.stages {
+		var err error
+		switch st.kind {
+		case stageLocal:
+			// Only the leading run sees the shard cache: its result is a
+			// pure function of the shard's content, while runs behind a
+			// shared-index stage depend on other shards' signatures.
+			var hit bool
+			d, hit, err = p.runLocal(st, d, si == 0 && e.store != nil)
+			resumed = resumed || hit
+		case stageIndex:
+			d, err = p.runIndex(si, st, sh.Index, d)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	sh.Data = d
+	p.agg.addShard(ShardStat{
+		Phase: p.phase, Index: sh.Index, In: in, Out: d.Len(),
+		Duration: time.Since(start), CacheHit: resumed,
+	})
+	return nil
+}
+
+// runLocal applies one run of shard-local ops, mirroring the batch
+// executor's chain-cache discipline per shard when useCache is set.
+func (p *phaseRun) runLocal(st stage, d *dataset.Dataset, useCache bool) (*dataset.Dataset, bool, error) {
+	e := p.eng
+	chainKey := ""
+	if useCache {
+		chainKey = cache.Key(d.Fingerprint(), "stream-shard", nil)
+	}
+	hits := 0
+	for i, op := range st.ops {
+		if p.aborted() {
+			return nil, false, errAborted
+		}
+		opStart := time.Now()
+		inCount := d.Len()
+		var key string
+		if useCache {
+			key = e.runner.OpCacheKey(chainKey, op)
+			if cached, ok, err := e.store.Get(key); err != nil {
+				return nil, false, err
+			} else if ok {
+				d = cached
+				chainKey = key
+				hits++
+				p.agg.addOp(st.planIdx[i], inCount, d.Len(), time.Since(opStart), true)
+				e.runner.TraceCacheHit(op, inCount, d.Len(), time.Since(opStart))
+				continue
+			}
+		}
+		out, err := e.runner.ApplyOp(op, d, 1)
+		if err != nil {
+			return nil, false, fmt.Errorf("stream: op %d (%s): %w", st.planIdx[i], op.Name(), err)
+		}
+		d = out
+		if useCache {
+			if err := e.store.Put(key, d); err != nil {
+				return nil, false, err
+			}
+			chainKey = key
+		}
+		p.agg.addOp(st.planIdx[i], inCount, d.Len(), time.Since(opStart), false)
+	}
+	return d, hits == len(st.ops) && hits > 0, nil
+}
+
+// runIndex passes one shard through a shared-signature dedup stage.
+func (p *phaseRun) runIndex(si int, st stage, shardIdx int, d *dataset.Dataset) (*dataset.Dataset, error) {
+	opStart := time.Now()
+	// Signatures are pure per-sample work: compute them before taking a
+	// turn so the serialized section is just map lookups.
+	sigs := make([]uint64, d.Len())
+	for i, s := range d.Samples {
+		sigs[i] = st.dedup.Signature(s)
+	}
+	t := p.turns[si]
+	t.mu.Lock()
+	for t.next != shardIdx {
+		if p.aborted() {
+			t.mu.Unlock()
+			return nil, errAborted
+		}
+		t.cond.Wait()
+	}
+	var kept []*sample.Sample
+	for i, s := range d.Samples {
+		if _, dup := t.seen[sigs[i]]; dup {
+			continue
+		}
+		t.seen[sigs[i]] = struct{}{}
+		kept = append(kept, s)
+	}
+	t.next++
+	t.cond.Broadcast()
+	t.mu.Unlock()
+
+	out := dataset.New(kept)
+	p.agg.addOp(st.planIdx[0], d.Len(), out.Len(), time.Since(opStart), false)
+	if tr := p.eng.runner.Tracer(); tr != nil {
+		tr.Record(trace.Event{
+			OpName: st.dedup.Name(), Kind: "deduplicator",
+			InCount: d.Len(), OutCount: out.Len(), Duration: time.Since(opStart),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ops"
+)
+
+// ShardStat records one shard's trip through one phase of the plan.
+type ShardStat struct {
+	// Phase is the pipeline segment (0 until the first barrier, then 1, …).
+	Phase int
+	// Index is the shard's position within its phase.
+	Index int
+	In    int
+	Out   int
+	// Duration is the shard's processing wall time in this phase.
+	Duration time.Duration
+	// CacheHit reports that the shard's leading operator run was resumed
+	// from the shard cache instead of recomputed.
+	CacheHit bool
+}
+
+// Report summarizes one streaming run: the per-shard statistics merged
+// into per-operator aggregates comparable with the batch core.Report.
+type Report struct {
+	// OpStats holds one aggregated entry per planned op, in plan order.
+	// InCount/OutCount sum over shards; Duration sums shard processing
+	// time (CPU time, not wall time); CacheHit is set when every shard's
+	// result for the op came from the shard cache.
+	OpStats []core.OpStat
+	// Shards holds the per-shard, per-phase statistics.
+	Shards []ShardStat
+	// ShardCount is the number of shards read from the source.
+	ShardCount int
+	// InCount / OutCount are the total samples read and emitted.
+	InCount, OutCount int
+	// ResumedShards counts shard runs satisfied by the shard cache.
+	ResumedShards int
+	// PlanSize is the number of planned ops.
+	PlanSize int
+	// Total is the end-to-end wall time.
+	Total time.Duration
+}
+
+// Summary renders the report in the style of the batch CLI output.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "streamed: %d -> %d samples in %s (%d planned ops, %d shards",
+		r.InCount, r.OutCount, r.Total.Round(time.Millisecond), r.PlanSize, r.ShardCount)
+	if r.ResumedShards > 0 {
+		fmt.Fprintf(&b, ", %d resumed from cache", r.ResumedShards)
+	}
+	b.WriteString(")\n")
+	for _, st := range r.OpStats {
+		marker := ""
+		if st.CacheHit {
+			marker = " [cache]"
+		}
+		fmt.Fprintf(&b, "  %-44s %7d -> %-7d %10s%s\n", st.Name, st.InCount, st.OutCount,
+			st.Duration.Round(100*time.Microsecond), marker)
+	}
+	return b.String()
+}
+
+// aggregator merges concurrent per-shard observations into the report.
+type aggregator struct {
+	mu     sync.Mutex
+	stats  []core.OpStat
+	misses []int // per op: shards that executed it without a cache hit
+	hits   []int
+	report *Report
+}
+
+func newAggregator(plan []ops.OP) *aggregator {
+	a := &aggregator{
+		stats:  make([]core.OpStat, len(plan)),
+		misses: make([]int, len(plan)),
+		hits:   make([]int, len(plan)),
+		report: &Report{PlanSize: len(plan)},
+	}
+	for i, op := range plan {
+		a.stats[i].Name = op.Name()
+	}
+	return a
+}
+
+// addOp folds one shard's pass through plan op i into the aggregate.
+func (a *aggregator) addOp(i, in, out int, dur time.Duration, cacheHit bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats[i].InCount += in
+	a.stats[i].OutCount += out
+	a.stats[i].Duration += dur
+	if cacheHit {
+		a.hits[i]++
+	} else {
+		a.misses[i]++
+	}
+}
+
+// addShard records one shard's phase trip.
+func (a *aggregator) addShard(st ShardStat) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.report.Shards = append(a.report.Shards, st)
+	if st.CacheHit {
+		a.report.ResumedShards++
+	}
+}
+
+// finish seals the report.
+func (a *aggregator) finish(shardCount, in, out int, total time.Duration) *Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range a.stats {
+		a.stats[i].CacheHit = a.hits[i] > 0 && a.misses[i] == 0
+	}
+	a.report.OpStats = a.stats
+	a.report.ShardCount = shardCount
+	a.report.InCount = in
+	a.report.OutCount = out
+	a.report.Total = total
+	return a.report
+}

@@ -1,0 +1,228 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/format"
+	"repro/internal/sample"
+)
+
+// Shard is one partition of the dataset moving through the engine.
+type Shard struct {
+	// Index is the shard's position in source order (0-based, dense).
+	Index int
+	// Data holds the shard's samples.
+	Data *dataset.Dataset
+}
+
+// Source produces the input shards of a streaming run, in order.
+type Source interface {
+	// Next returns the next shard, or io.EOF when the input is exhausted.
+	Next() (*Shard, error)
+	// Close releases underlying resources.
+	Close() error
+}
+
+// JSONLSource reads JSONL files incrementally with a bounded buffer —
+// never the whole file — slicing the line stream into shards of
+// shardSize samples. Lines decode through format.SampleFromJSON, the
+// same unification the batch loader uses, so both backends see identical
+// samples. Multiple files read back-to-back as one logical stream.
+type JSONLSource struct {
+	paths     []string
+	shardSize int
+
+	fileIdx int
+	file    *os.File
+	scan    *bufio.Scanner
+	lineNo  int
+	next    int // next shard index
+	done    bool
+}
+
+// NewJSONLSource opens a streaming source over the given files.
+func NewJSONLSource(shardSize int, paths ...string) (*JSONLSource, error) {
+	if shardSize <= 0 {
+		return nil, fmt.Errorf("stream: shard size must be positive, got %d", shardSize)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("stream: no input files")
+	}
+	return &JSONLSource{paths: paths, shardSize: shardSize}, nil
+}
+
+func (j *JSONLSource) openNext() error {
+	if j.file != nil {
+		j.file.Close()
+		j.file = nil
+	}
+	if j.fileIdx >= len(j.paths) {
+		return io.EOF
+	}
+	f, err := os.Open(j.paths[j.fileIdx])
+	if err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	j.fileIdx++
+	j.file = f
+	j.scan = bufio.NewScanner(f)
+	j.scan.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	j.lineNo = 0
+	return nil
+}
+
+// Next returns the next shard of up to shardSize samples.
+func (j *JSONLSource) Next() (*Shard, error) {
+	if j.done {
+		return nil, io.EOF
+	}
+	var samples []*sample.Sample
+	for len(samples) < j.shardSize {
+		if j.scan == nil {
+			if err := j.openNext(); err == io.EOF {
+				j.done = true
+				break
+			} else if err != nil {
+				return nil, err
+			}
+		}
+		if !j.scan.Scan() {
+			if err := j.scan.Err(); err != nil {
+				return nil, fmt.Errorf("stream: %s: %w", j.paths[j.fileIdx-1], err)
+			}
+			j.scan = nil // advance to the next file
+			continue
+		}
+		j.lineNo++
+		line := strings.TrimSpace(j.scan.Text())
+		if line == "" {
+			continue
+		}
+		s, err := format.SampleFromJSON([]byte(line))
+		if err != nil {
+			return nil, fmt.Errorf("stream: %s line %d: %w", j.paths[j.fileIdx-1], j.lineNo, err)
+		}
+		samples = append(samples, s)
+	}
+	if len(samples) == 0 {
+		return nil, io.EOF
+	}
+	sh := &Shard{Index: j.next, Data: dataset.New(samples)}
+	j.next++
+	return sh, nil
+}
+
+// Close closes the currently open file.
+func (j *JSONLSource) Close() error {
+	if j.file != nil {
+		err := j.file.Close()
+		j.file = nil
+		return err
+	}
+	return nil
+}
+
+// DatasetSource shards an in-memory dataset: the adapter for inputs that
+// have no incremental representation (hub: corpora, non-JSONL files).
+// Shards alias the dataset's samples; they are not copied.
+type DatasetSource struct {
+	d         *dataset.Dataset
+	shardSize int
+	pos       int
+	next      int
+}
+
+// NewDatasetSource wraps d as a source of shardSize-sample shards.
+func NewDatasetSource(d *dataset.Dataset, shardSize int) (*DatasetSource, error) {
+	if shardSize <= 0 {
+		return nil, fmt.Errorf("stream: shard size must be positive, got %d", shardSize)
+	}
+	return &DatasetSource{d: d, shardSize: shardSize}, nil
+}
+
+// Next returns the next contiguous slice of the dataset.
+func (ds *DatasetSource) Next() (*Shard, error) {
+	if ds.pos >= ds.d.Len() {
+		return nil, io.EOF
+	}
+	hi := ds.pos + ds.shardSize
+	if hi > ds.d.Len() {
+		hi = ds.d.Len()
+	}
+	sh := &Shard{Index: ds.next, Data: dataset.New(ds.d.Samples[ds.pos:hi])}
+	ds.pos = hi
+	ds.next++
+	return sh, nil
+}
+
+// Close is a no-op for in-memory sources.
+func (ds *DatasetSource) Close() error { return nil }
+
+// OpenSource resolves a dataset spec (the same specs format.Load accepts)
+// into a streaming source. JSONL files — and directories holding only
+// JSONL files — stream incrementally; every other spec falls back to a
+// batch load wrapped in a DatasetSource, which still pipelines the
+// processing but not the input I/O.
+func OpenSource(spec string, shardSize int) (Source, error) {
+	if strings.HasPrefix(spec, "hub:") {
+		return loadFallback(spec, shardSize)
+	}
+	info, err := os.Stat(spec)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	if info.IsDir() {
+		jsonl, only, err := jsonlFilesIn(spec)
+		if err != nil {
+			return nil, err
+		}
+		if only && len(jsonl) > 0 {
+			return NewJSONLSource(shardSize, jsonl...)
+		}
+		return loadFallback(spec, shardSize)
+	}
+	if strings.EqualFold(filepath.Ext(spec), ".jsonl") {
+		return NewJSONLSource(shardSize, spec)
+	}
+	return loadFallback(spec, shardSize)
+}
+
+func loadFallback(spec string, shardSize int) (Source, error) {
+	d, err := format.Load(spec)
+	if err != nil {
+		return nil, err
+	}
+	return NewDatasetSource(d, shardSize)
+}
+
+// jsonlFilesIn lists the .jsonl files under dir (sorted) and reports
+// whether the directory holds no other regular files.
+func jsonlFilesIn(dir string) (files []string, only bool, err error) {
+	only = true
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".jsonl") {
+			files = append(files, path)
+		} else {
+			only = false
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	sort.Strings(files)
+	return files, only, nil
+}
