@@ -9,6 +9,7 @@
 //	djprocess -recipe recipe.yaml [-input PATH] [-output PATH] [-np N]
 //	djprocess -builtin pretrain-web-en -input "hub:web-en?docs=500&seed=1" -output out.jsonl
 //	djprocess -stream -shard-size 1024 -recipe recipe.yaml -input big.jsonl -output out.jsonl
+//	djprocess -stream -adaptive -max-workers 16 -target-mem-mb 512 -recipe recipe.yaml -input big.jsonl -output out.jsonl
 //	djprocess -list-ops | -list-recipes
 package main
 
@@ -38,7 +39,10 @@ func main() {
 		output      = flag.String("output", "", "export path (.jsonl/.json/.txt); overrides the recipe's export_path")
 		np          = flag.Int("np", 0, "worker count (0 = all cores)")
 		streamMode  = flag.Bool("stream", false, "use the shard-pipelined streaming engine (bounded memory)")
-		shardSize   = flag.Int("shard-size", stream.DefaultShardSize, "samples per shard in -stream mode")
+		shardSize   = flag.Int("shard-size", stream.DefaultShardSize, "samples per shard in -stream mode (starting point with -adaptive)")
+		adaptive    = flag.Bool("adaptive", false, "let the runtime controller retune shard size, workers and backpressure from live measurements (implies -stream)")
+		maxWorkers  = flag.Int("max-workers", 0, "cap on the adaptive worker pool (0 = max of -np and all cores)")
+		targetMemMB = flag.Int("target-mem-mb", 0, "adaptive mode: bound the text MB resident across in-flight shards (0 = unbounded)")
 		showPlan    = flag.Bool("plan", false, "print the fused execution plan before running")
 		probe       = flag.Bool("probe", false, "print before/after data probes (analyzer; batch mode only)")
 		space       = flag.Bool("space", false, "print the Appendix A.2 peak-disk-space analysis (batch mode only)")
@@ -77,7 +81,20 @@ func main() {
 		fatal(fmt.Errorf("no dataset: set dataset_path in the recipe or pass -input"))
 	}
 
-	if *streamMode {
+	if *adaptive {
+		recipe.Adaptive = true
+	}
+	if *maxWorkers != 0 {
+		recipe.MaxWorkers = *maxWorkers
+	}
+	if *targetMemMB != 0 {
+		recipe.TargetMemMB = *targetMemMB
+	}
+	if !recipe.Adaptive && (recipe.MaxWorkers != 0 || recipe.TargetMemMB != 0) {
+		fmt.Fprintln(os.Stderr, "djprocess: -max-workers/-target-mem-mb only take effect with -adaptive; ignored")
+	}
+
+	if *streamMode || recipe.Adaptive {
 		runStreaming(recipe, *shardSize, *showPlan, *probe || *space)
 		return
 	}
@@ -163,7 +180,12 @@ func runStreaming(recipe *config.Recipe, shardSize int, showPlan, probeOrSpace b
 	if probeOrSpace {
 		fmt.Fprintln(os.Stderr, "djprocess: -probe/-space need the full dataset; ignored in -stream mode")
 	}
-	eng, err := stream.New(recipe, stream.Options{ShardSize: shardSize})
+	eng, err := stream.New(recipe, stream.Options{
+		ShardSize:      shardSize,
+		Adaptive:       recipe.Adaptive,
+		MaxWorkers:     recipe.MaxWorkers,
+		TargetMemBytes: int64(recipe.TargetMemMB) << 20,
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,182 @@
+// Cross-backend differential conformance: randomized (seeded) recipes
+// must produce byte-identical exports and equivalent per-op reports on
+// the batch executor and the streaming engine, fused and unfused, fixed
+// and adaptive. This is the contract that lets the two backends — and the
+// adaptive controller retuning one of them mid-run — diverge in
+// implementation without ever diverging in output.
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/format"
+	"repro/internal/ops"
+	_ "repro/internal/ops/all"
+	"repro/internal/stream"
+)
+
+// opDraw yields one operator spec, optionally randomizing parameters.
+type opDraw func(rng *rand.Rand) config.OpSpec
+
+func fixedOp(name string) opDraw {
+	return func(*rand.Rand) config.OpSpec { return config.OpSpec{Name: name} }
+}
+
+// conformancePool is the operator universe recipes are drawn from: a mix
+// of shard-local mappers and filters, a shared-index deduplicator, and
+// barrier (similarity) deduplicators.
+var conformancePool = []opDraw{
+	fixedOp("clean_links_mapper"),
+	fixedOp("clean_html_mapper"),
+	fixedOp("whitespace_normalization_mapper"),
+	fixedOp("fix_unicode_mapper"),
+	fixedOp("remove_non_printing_mapper"),
+	fixedOp("alphanumeric_filter"),
+	fixedOp("special_characters_filter"),
+	func(rng *rand.Rand) config.OpSpec {
+		return config.OpSpec{Name: "word_num_filter", Params: ops.Params{"min_num": 1 + rng.Intn(8)}}
+	},
+	func(rng *rand.Rand) config.OpSpec {
+		return config.OpSpec{Name: "character_repetition_filter",
+			Params: ops.Params{"rep_len": 3 + rng.Intn(5), "max_ratio": 0.4 + 0.4*rng.Float64()}}
+	},
+	func(rng *rand.Rand) config.OpSpec {
+		return config.OpSpec{Name: "stopwords_filter", Params: ops.Params{"min_ratio": 0.02 * rng.Float64()}}
+	},
+	func(rng *rand.Rand) config.OpSpec {
+		return config.OpSpec{Name: "flagged_words_filter", Params: ops.Params{"max_ratio": 0.05 + 0.2*rng.Float64()}}
+	},
+	func(rng *rand.Rand) config.OpSpec {
+		return config.OpSpec{Name: "text_length_filter", Params: ops.Params{"min_len": rng.Intn(60)}}
+	},
+	fixedOp("document_deduplicator"),
+	fixedOp("document_simhash_deduplicator"),
+	fixedOp("document_minhash_deduplicator"),
+}
+
+// randomRecipe draws 3-6 distinct pool entries in pool order — a
+// plausible pipeline with at least one op guaranteed.
+func randomRecipe(rng *rand.Rand) *config.Recipe {
+	n := 3 + rng.Intn(4)
+	picks := rng.Perm(len(conformancePool))[:n]
+	sort.Ints(picks) // keep pool (≈pipeline) order
+	r := config.Default()
+	r.ProjectName = "conformance"
+	r.UseCache = false
+	r.OpFusion = rng.Intn(2) == 0
+	for _, idx := range picks {
+		r.Process = append(r.Process, conformancePool[idx](rng))
+	}
+	return r
+}
+
+func readAll(t *testing.T, paths ...string) []byte {
+	t.Helper()
+	var out []byte
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, raw...)
+	}
+	return out
+}
+
+func TestCrossBackendConformance(t *testing.T) {
+	// A corpus salted with exact and near duplicates so deduplicators
+	// have real work, written once as the shared JSONL input.
+	d := corpus.Web(corpus.Options{Docs: 400, Seed: 20260729})
+	input := filepath.Join(t.TempDir(), "input.jsonl")
+	if err := d.SaveJSONL(input); err != nil {
+		t.Fatal(err)
+	}
+
+	shardSizes := []int{16, 50, 128, 400}
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			recipe := randomRecipe(rng)
+			recipe.WorkDir = t.TempDir()
+			shardSize := shardSizes[rng.Intn(len(shardSizes))]
+			adaptive := seed%2 == 0
+
+			// Batch reference run.
+			exec, err := core.NewExecutor(recipe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := format.Load(input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchOut, batchRep, err := exec.Run(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchPath := filepath.Join(t.TempDir(), "batch.jsonl")
+			if err := format.Export(batchOut, batchPath); err != nil {
+				t.Fatal(err)
+			}
+
+			// Streaming run over the same recipe and input.
+			eng, err := stream.New(recipe, stream.Options{
+				ShardSize:      shardSize,
+				Adaptive:       adaptive,
+				MaxWorkers:     4,
+				TargetMemBytes: 64 << 20,
+				Generation:     2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := stream.OpenSource(input, shardSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prefix := filepath.Join(t.TempDir(), "stream")
+			sink, err := stream.NewShardedJSONLSink(prefix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			streamRep, err := eng.Run(src, sink)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Byte-identical exports: the concatenated stream shards must
+			// equal the batch export exactly.
+			batchBytes := readAll(t, batchPath)
+			streamBytes := readAll(t, sink.Paths()...)
+			if string(batchBytes) != string(streamBytes) {
+				t.Fatalf("exports diverge: batch %d bytes, stream %d bytes (fusion=%v adaptive=%v shard=%d)\nrecipe: %+v",
+					len(batchBytes), len(streamBytes), recipe.OpFusion, adaptive, shardSize, recipe.Process)
+			}
+
+			// Equivalent per-op reports: same plan, same per-op sample flow.
+			if len(batchRep.OpStats) != len(streamRep.OpStats) {
+				t.Fatalf("report length diverges: batch %d ops, stream %d ops",
+					len(batchRep.OpStats), len(streamRep.OpStats))
+			}
+			for i, b := range batchRep.OpStats {
+				s := streamRep.OpStats[i]
+				if b.Name != s.Name || b.InCount != s.InCount || b.OutCount != s.OutCount {
+					t.Errorf("op %d: batch %s %d->%d, stream %s %d->%d",
+						i, b.Name, b.InCount, b.OutCount, s.Name, s.InCount, s.OutCount)
+				}
+			}
+			if adaptive && streamRep.Metrics == nil {
+				t.Error("adaptive run reported no controller metrics")
+			}
+		})
+	}
+}

@@ -16,20 +16,31 @@
 //     analysis, whole-dataset cache chains, checkpoint resume.
 //
 //   - Streaming (internal/stream.Engine): the input is partitioned into
-//     fixed-size shards that flow through the full operator chain in a
-//     pipelined worker pool — shard K can be in op 3 while shard K+1 is
-//     in op 1 — with peak memory O(shards in flight). JSONL inputs are
-//     read incrementally; output shards are written as they complete.
+//     shards that flow through the full operator chain in a pipelined
+//     worker pool — shard K can be in op 3 while shard K+1 is in op 1 —
+//     with peak memory O(shards in flight). JSONL inputs are read
+//     incrementally; output shards are written as they complete.
 //     Shard-local ops stream freely, signature deduplicators run
 //     against a shared index without a barrier, and similarity
 //     deduplicators act as declared barriers (merge, apply, re-shard).
 //     Both backends share the per-op application logic (core.OpRunner),
-//     so kept-sample sets are identical.
+//     so kept-sample sets are identical — a contract enforced by the
+//     randomized cross-backend conformance suite (conformance_test.go).
+//
+// In adaptive streaming mode (djprocess -stream -adaptive), a runtime
+// controller measures every operator application online through a
+// core.OpRunner observer hook, feeds the live profile into the
+// internal/dist cost model (dist.OnlineModel), and re-plans between
+// shard generations: shard size tracks the measured chain cost, the
+// worker pool grows only while the model says throughput follows, and a
+// resizable in-flight gate applies backpressure at the source so a
+// -target-mem-mb budget holds. Fixed-shard mode remains the default.
 //
 // Choose batch for corpora that fit comfortably in RAM or when probe
 // analysis is wanted; choose streaming (djprocess -stream) for corpora
-// larger than RAM or when output should appear incrementally. See the
-// README architecture section for the full comparison.
+// larger than RAM or when output should appear incrementally; add
+// -adaptive when the workload is unprofiled or a memory budget matters.
+// See the README architecture section for the full comparison.
 //
 // The implementation lives under internal/; runnable entry points are
 // cmd/djprocess, cmd/djanalyze, cmd/djbench and examples/.

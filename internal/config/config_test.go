@@ -296,3 +296,33 @@ func TestAllBuiltinRecipesParseAndValidate(t *testing.T) {
 		t.Fatal("unknown builtin must error")
 	}
 }
+
+func TestRecipeAdaptiveKeys(t *testing.T) {
+	r, err := ParseRecipe(`
+project_name: adaptive-keys
+adaptive: true
+max_workers: 12
+target_mem_mb: 512
+process:
+  - whitespace_normalization_mapper:
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Adaptive || r.MaxWorkers != 12 || r.TargetMemMB != 512 {
+		t.Fatalf("adaptive keys not parsed: %+v", r)
+	}
+}
+
+func TestApplyEnvAdaptive(t *testing.T) {
+	r := Default()
+	env := map[string]string{
+		"DJ_ADAPTIVE":      "true",
+		"DJ_MAX_WORKERS":   "7",
+		"DJ_TARGET_MEM_MB": "128",
+	}
+	r.ApplyEnv(func(k string) string { return env[k] })
+	if !r.Adaptive || r.MaxWorkers != 7 || r.TargetMemMB != 128 {
+		t.Fatalf("env overrides not applied: %+v", r)
+	}
+}

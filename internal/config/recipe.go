@@ -37,6 +37,15 @@ type Recipe struct {
 	CacheCompression string
 	// OpFusion enables context-sharing fusion and reordering (Sec. 6).
 	OpFusion bool
+	// Adaptive enables the streaming engine's runtime controller, which
+	// retunes shard size, worker count and backpressure from live
+	// measurements (djprocess -stream -adaptive).
+	Adaptive bool
+	// MaxWorkers caps the adaptive worker pool (0 = max(NP, GOMAXPROCS)).
+	MaxWorkers int
+	// TargetMemMB bounds the text megabytes resident across in-flight
+	// shards in adaptive streaming mode (0 = unbounded).
+	TargetMemMB int
 	// EnableTrace records per-OP lineage for the tracer.
 	EnableTrace bool
 	// WorkDir holds caches, checkpoints and trace output.
@@ -81,6 +90,12 @@ func FromMap(m map[string]any) (*Recipe, error) {
 			r.CacheCompression = asString(v)
 		case "op_fusion":
 			r.OpFusion = asBool(v)
+		case "adaptive":
+			r.Adaptive = asBool(v)
+		case "max_workers":
+			r.MaxWorkers = asInt(v)
+		case "target_mem_mb":
+			r.TargetMemMB = asInt(v)
 		case "trace":
 			r.EnableTrace = asBool(v)
 		case "work_dir":
@@ -188,6 +203,19 @@ func (r *Recipe) ApplyEnv(getenv func(string) string) {
 	}
 	if v := getenv("DJ_OP_FUSION"); v != "" {
 		r.OpFusion = v == "true" || v == "1"
+	}
+	if v := getenv("DJ_ADAPTIVE"); v != "" {
+		r.Adaptive = v == "true" || v == "1"
+	}
+	if v := getenv("DJ_MAX_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			r.MaxWorkers = n
+		}
+	}
+	if v := getenv("DJ_TARGET_MEM_MB"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			r.TargetMemMB = n
+		}
 	}
 	if v := getenv("DJ_EXPORT_PATH"); v != "" {
 		r.ExportPath = v

@@ -13,6 +13,24 @@ import (
 	"repro/internal/trace"
 )
 
+// OpObservation is one measured operator application: what went in, what
+// came out, how many text bytes were touched, and how long it took. It is
+// the raw signal an adaptive scheduler needs — wall time yields per-sample
+// cost, Out/In yields selectivity, Bytes yields the memory footprint.
+type OpObservation struct {
+	Op       ops.OP
+	In, Out  int
+	Bytes    int64 // input text bytes entering the op
+	Duration time.Duration
+}
+
+// OpObserver receives one OpObservation per operator application.
+// Implementations must be safe for concurrent calls: the streaming engine
+// applies ops from many shard workers at once.
+type OpObserver interface {
+	ObserveOp(OpObservation)
+}
+
 // OpRunner applies planned operators to datasets: the per-op execution
 // logic — type dispatch, tracer hooks, and chain cache keys — shared by
 // the batch Executor and the streaming engine (internal/stream). An
@@ -21,6 +39,22 @@ import (
 type OpRunner struct {
 	tracer *trace.Tracer
 	ids    map[ops.OP]string
+	obs    OpObserver
+}
+
+// WithObserver returns a copy of the runner that reports every operator
+// application to obs. The receiver is unchanged, preserving immutability.
+func (r *OpRunner) WithObserver(obs OpObserver) *OpRunner {
+	c := *r
+	c.obs = obs
+	return &c
+}
+
+// observe emits one measurement (no-op without an observer).
+func (r *OpRunner) observe(op ops.OP, in, out int, bytes int64, dur time.Duration) {
+	if r.obs != nil {
+		r.obs.ObserveOp(OpObservation{Op: op, In: in, Out: out, Bytes: bytes, Duration: dur})
+	}
 }
 
 // NewOpRunner builds a runner for the given instantiated operators.
@@ -78,6 +112,11 @@ func (r *OpRunner) ApplyOp(op ops.OP, d *dataset.Dataset, np int) (*dataset.Data
 
 // ApplyMapper transforms every sample in place with np workers.
 func (r *OpRunner) ApplyMapper(m ops.Mapper, d *dataset.Dataset, np int) (*dataset.Dataset, error) {
+	var inBytes int64
+	if r.obs != nil {
+		inBytes = d.TotalBytes() // before mutation: mappers edit text in place
+	}
+	obsStart := time.Now()
 	var edits []trace.Edit
 	collect := r.tracer != nil
 	editCap := 0
@@ -114,6 +153,7 @@ func (r *OpRunner) ApplyMapper(m ops.Mapper, d *dataset.Dataset, np int) (*datas
 			Duration: time.Since(start), Edits: edits,
 		})
 	}
+	r.observe(m, d.Len(), d.Len(), inBytes, time.Since(obsStart))
 	return d, nil
 }
 
@@ -121,6 +161,10 @@ func (r *OpRunner) ApplyMapper(m ops.Mapper, d *dataset.Dataset, np int) (*datas
 // (with per-sample context cleared afterwards, bounding fusion memory),
 // then the boolean split.
 func (r *OpRunner) ApplyFilter(f ops.Filter, d *dataset.Dataset, np int) (*dataset.Dataset, error) {
+	var inBytes int64
+	if r.obs != nil {
+		inBytes = d.TotalBytes()
+	}
 	start := time.Now()
 	if err := d.Map(np, func(s *sample.Sample) error {
 		defer s.ClearContext()
@@ -149,11 +193,16 @@ func (r *OpRunner) ApplyFilter(f ops.Filter, d *dataset.Dataset, np int) (*datas
 			Duration: time.Since(start), Discards: discards,
 		})
 	}
+	r.observe(f, d.Len(), kept.Len(), inBytes, time.Since(start))
 	return kept, nil
 }
 
 // ApplyDedup runs a dataset-global deduplicator.
 func (r *OpRunner) ApplyDedup(dd ops.Deduplicator, d *dataset.Dataset, np int) (*dataset.Dataset, error) {
+	var inBytes int64
+	if r.obs != nil {
+		inBytes = d.TotalBytes()
+	}
 	start := time.Now()
 	kept, pairs, err := dd.Dedup(d, np)
 	if err != nil {
@@ -176,6 +225,7 @@ func (r *OpRunner) ApplyDedup(dd ops.Deduplicator, d *dataset.Dataset, np int) (
 			Duration: time.Since(start), DupPairs: dp,
 		})
 	}
+	r.observe(dd, d.Len(), kept.Len(), inBytes, time.Since(start))
 	return kept, nil
 }
 

@@ -1,0 +1,261 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+func feedChain(m *OnlineModel, rounds int, perSample time.Duration, sel float64, bytesPer int64, shard int) {
+	for r := 0; r < rounds; r++ {
+		out := int(float64(shard) * sel)
+		m.RecordOp(OpSample{
+			Seq: 0, Name: "op", In: shard, Out: out, Bytes: bytesPer * int64(shard),
+			Duration: time.Duration(shard) * perSample,
+		})
+	}
+}
+
+func TestOnlineModelProfiles(t *testing.T) {
+	m := NewOnlineModel(0.5)
+	m.RecordOp(OpSample{Seq: 1, Name: "b", In: 100, Out: 50, Bytes: 1000, Duration: 100 * time.Millisecond})
+	m.RecordOp(OpSample{Seq: 0, Name: "a", In: 100, Out: 100, Bytes: 2000, Duration: 50 * time.Millisecond})
+	m.RecordOp(OpSample{Seq: 0, Name: "a", In: 100, Out: 100, Bytes: 2000, Duration: 50 * time.Millisecond})
+
+	ps := m.Profiles()
+	if len(ps) != 2 {
+		t.Fatalf("profiles = %d, want 2", len(ps))
+	}
+	if ps[0].Name != "a" || ps[1].Name != "b" {
+		t.Fatalf("profiles out of plan order: %q, %q", ps[0].Name, ps[1].Name)
+	}
+	if ps[0].Applications != 2 || ps[0].In != 200 {
+		t.Errorf("op a: apps=%d in=%d, want 2/200", ps[0].Applications, ps[0].In)
+	}
+	if got := ps[0].CostPerSample; got != 500*time.Microsecond {
+		t.Errorf("op a cost/sample = %v, want 500µs", got)
+	}
+	if ps[1].Selectivity != 0.5 {
+		t.Errorf("op b selectivity = %v, want 0.5", ps[1].Selectivity)
+	}
+}
+
+func TestOnlineModelIgnoresEmptyObservations(t *testing.T) {
+	m := NewOnlineModel(0)
+	m.RecordOp(OpSample{Seq: 0, Name: "a", In: 0, Out: 0})
+	m.RecordSource(0, 0, time.Second)
+	if got := len(m.Profiles()); got != 0 {
+		t.Fatalf("profiles after empty observations = %d, want 0", got)
+	}
+	if _, ok := m.Plan(Tuning{MaxWorkers: 4}, Decision{}); ok {
+		t.Fatal("Plan reported a decision with no measurements")
+	}
+}
+
+func TestPlanKeepsCurrentWithoutData(t *testing.T) {
+	m := NewOnlineModel(0)
+	cur := Decision{Workers: 3, ShardSize: 512, MaxInFlight: 6}
+	got, ok := m.Plan(Tuning{MaxWorkers: 8}, cur)
+	if ok || got != cur {
+		t.Fatalf("Plan(no data) = %+v ok=%v, want current decision unchanged", got, ok)
+	}
+}
+
+func TestPlanShardSizeTracksChainCost(t *testing.T) {
+	// Fast chain: 10µs/sample → the 150ms latency target wants ~15000
+	// samples, clamped to MaxShardSize.
+	fast := NewOnlineModel(0)
+	feedChain(fast, 5, 10*time.Microsecond, 1.0, 100, 512)
+	dFast, ok := fast.Plan(Tuning{MaxWorkers: 4}, Decision{})
+	if !ok {
+		t.Fatal("no decision from fast profile")
+	}
+	// Slow chain: 10ms/sample → wants ~15 samples, clamped to MinShardSize.
+	slow := NewOnlineModel(0)
+	feedChain(slow, 5, 10*time.Millisecond, 1.0, 100, 512)
+	dSlow, ok := slow.Plan(Tuning{MaxWorkers: 4}, Decision{})
+	if !ok {
+		t.Fatal("no decision from slow profile")
+	}
+	if dFast.ShardSize <= dSlow.ShardSize {
+		t.Fatalf("fast-op shard %d should exceed slow-op shard %d", dFast.ShardSize, dSlow.ShardSize)
+	}
+	if dSlow.ShardSize != 32 {
+		t.Errorf("slow-op shard = %d, want the 32 floor", dSlow.ShardSize)
+	}
+	if dFast.ShardSize != 8192 {
+		t.Errorf("fast-op shard = %d, want the 8192 ceiling", dFast.ShardSize)
+	}
+}
+
+func TestPlanWorkersRespectSerialFloor(t *testing.T) {
+	// Source costs 1ms/sample, chain costs 2ms/sample: 2 workers keep up
+	// with the reader and a third adds nothing.
+	m := NewOnlineModel(0)
+	feedChain(m, 5, 2*time.Millisecond, 1.0, 100, 512)
+	m.RecordSource(512, 512*100, 512*time.Millisecond)
+	d, ok := m.Plan(Tuning{MaxWorkers: 16}, Decision{})
+	if !ok {
+		t.Fatal("no decision")
+	}
+	if d.Workers < 2 || d.Workers > 3 {
+		t.Fatalf("workers = %d, want 2-3 (chain/serial = 2)", d.Workers)
+	}
+
+	// No serial floor measured: saturate the pool.
+	m2 := NewOnlineModel(0)
+	feedChain(m2, 5, 2*time.Millisecond, 1.0, 100, 512)
+	d2, _ := m2.Plan(Tuning{MaxWorkers: 16}, Decision{})
+	if d2.Workers != 16 {
+		t.Fatalf("workers without serial floor = %d, want MaxWorkers", d2.Workers)
+	}
+}
+
+func TestPlanMemoryTargetBoundsResidentBytes(t *testing.T) {
+	// 1KB/sample, fast ops → huge latency-derived shards; a 256KB target
+	// must cut shard × in-flight × bytes under the target.
+	m := NewOnlineModel(0)
+	feedChain(m, 5, 10*time.Microsecond, 1.0, 1024, 512)
+	tun := Tuning{MaxWorkers: 4, TargetMemBytes: 256 << 10}
+	d, ok := m.Plan(tun, Decision{})
+	if !ok {
+		t.Fatal("no decision")
+	}
+	resident := int64(float64(d.MaxInFlight) * float64(d.ShardSize) * d.PeakBytesPerSample)
+	if resident > tun.TargetMemBytes {
+		t.Fatalf("modeled resident bytes %d exceed target %d (shard=%d inflight=%d)",
+			resident, tun.TargetMemBytes, d.ShardSize, d.MaxInFlight)
+	}
+	if d.MaxInFlight < 1 || d.Workers < 1 {
+		t.Fatalf("degenerate decision: %+v", d)
+	}
+}
+
+// A serial (barrier) op's cost must stay out of the per-shard chain —
+// it runs once per phase, outside the pipeline — while its selectivity
+// still discounts everything downstream.
+func TestPlanExcludesSerialOpCost(t *testing.T) {
+	m := NewOnlineModel(0)
+	for r := 0; r < 5; r++ {
+		m.RecordOp(OpSample{Seq: 0, Name: "local", In: 1000, Out: 1000, Bytes: 100_000, Duration: 10 * time.Millisecond})
+		// Barrier: enormous once-per-phase cost, halves the stream.
+		m.RecordOp(OpSample{Seq: 1, Name: "barrier", In: 1000, Out: 500, Bytes: 100_000,
+			Duration: 10 * time.Second, Serial: true})
+		m.RecordOp(OpSample{Seq: 2, Name: "tail", In: 500, Out: 500, Bytes: 50_000, Duration: 5 * time.Millisecond})
+	}
+	d, ok := m.Plan(Tuning{MaxWorkers: 4}, Decision{})
+	if !ok {
+		t.Fatal("no decision")
+	}
+	// chain = 10µs (local) + 0.5×10µs (tail, behind the barrier's 0.5
+	// selectivity) = 15µs/input sample; the barrier's 10ms/sample must
+	// not appear.
+	want := 15 * time.Microsecond
+	if diff := d.ChainCostPerSample - want; diff < -2*time.Microsecond || diff > 2*time.Microsecond {
+		t.Fatalf("chain cost/sample = %v, want ~%v (barrier cost must be excluded)", d.ChainCostPerSample, want)
+	}
+	if d.Selectivity < 0.45 || d.Selectivity > 0.55 {
+		t.Fatalf("selectivity = %v, want ~0.5 (barrier selectivity must be kept)", d.Selectivity)
+	}
+	if d.ShardSize == 32 {
+		t.Fatal("shard collapsed to the floor: barrier cost leaked into the chain model")
+	}
+}
+
+// Shard sizing targets the costliest phase, not the whole plan: a shard
+// only traverses one barrier-delimited segment, so two equal phases must
+// not halve the shard size.
+func TestPlanSizesShardPerPhase(t *testing.T) {
+	single := NewOnlineModel(0)
+	multi := NewOnlineModel(0)
+	for r := 0; r < 5; r++ {
+		// One phase of 300µs/sample.
+		single.RecordOp(OpSample{Seq: 0, Name: "only", In: 512, Out: 512, Bytes: 51_200,
+			Duration: 512 * 300 * time.Microsecond})
+		// Two phases of 300µs/sample each, split by a barrier.
+		multi.RecordOp(OpSample{Seq: 0, Name: "p0", In: 512, Out: 512, Bytes: 51_200,
+			Duration: 512 * 300 * time.Microsecond})
+		multi.RecordOp(OpSample{Seq: 1, Name: "barrier", In: 512, Out: 512,
+			Duration: time.Second, Serial: true})
+		multi.RecordOp(OpSample{Seq: 2, Name: "p1", In: 512, Out: 512, Bytes: 51_200,
+			Duration: 512 * 300 * time.Microsecond})
+	}
+	dSingle, ok := single.Plan(Tuning{MaxWorkers: 4}, Decision{})
+	if !ok {
+		t.Fatal("no decision (single)")
+	}
+	dMulti, ok := multi.Plan(Tuning{MaxWorkers: 4}, Decision{})
+	if !ok {
+		t.Fatal("no decision (multi)")
+	}
+	if dMulti.ShardSize != dSingle.ShardSize {
+		t.Fatalf("two equal phases sized shard %d, one phase sized %d; per-phase latency target must match",
+			dMulti.ShardSize, dSingle.ShardSize)
+	}
+	// The throughput model still sees the total pipelined work.
+	if dMulti.ChainCostPerSample <= dSingle.ChainCostPerSample {
+		t.Fatalf("total chain cost %v should exceed single-phase %v",
+			dMulti.ChainCostPerSample, dSingle.ChainCostPerSample)
+	}
+}
+
+func TestPlanSelectivityWeighting(t *testing.T) {
+	// Op 0 drops 90%; op 1 is expensive but sees only survivors, so the
+	// chain cost must be far below the naive sum.
+	m := NewOnlineModel(0)
+	for r := 0; r < 5; r++ {
+		m.RecordOp(OpSample{Seq: 0, Name: "filter", In: 1000, Out: 100, Bytes: 100_000, Duration: 10 * time.Millisecond})
+		m.RecordOp(OpSample{Seq: 1, Name: "heavy", In: 100, Out: 100, Bytes: 10_000, Duration: 100 * time.Millisecond})
+	}
+	d, ok := m.Plan(Tuning{MaxWorkers: 4}, Decision{})
+	if !ok {
+		t.Fatal("no decision")
+	}
+	// chain = 10µs + 0.1×1ms = 110µs per input sample.
+	want := 110 * time.Microsecond
+	if diff := d.ChainCostPerSample - want; diff < -5*time.Microsecond || diff > 5*time.Microsecond {
+		t.Fatalf("chain cost/sample = %v, want ~%v", d.ChainCostPerSample, want)
+	}
+	if d.Selectivity < 0.09 || d.Selectivity > 0.11 {
+		t.Fatalf("end-to-end selectivity = %v, want ~0.1", d.Selectivity)
+	}
+}
+
+func TestPlanHysteresisSuppressesSmallDrift(t *testing.T) {
+	m := NewOnlineModel(0)
+	feedChain(m, 5, 300*time.Microsecond, 1.0, 100, 512) // wants shard ≈ 500
+	cur := Decision{ShardSize: 450, Workers: 2, MaxInFlight: 4}
+	d, ok := m.Plan(Tuning{MaxWorkers: 4}, cur)
+	if !ok {
+		t.Fatal("no decision")
+	}
+	if d.ShardSize != 450 {
+		t.Fatalf("shard = %d; drift under 25%% of 450 should keep the current size", d.ShardSize)
+	}
+}
+
+// TestPlanMemoryClampBeatsHysteresis pins the precedence: when honoring
+// the memory target needs a shard reduction smaller than the 25%
+// hysteresis band, the reduction must still happen — the memory bound is
+// hard, churn suppression is not.
+func TestPlanMemoryClampBeatsHysteresis(t *testing.T) {
+	m := NewOnlineModel(0)
+	// ~150ms/320 ≈ 469µs/sample: latency wants shard ≈ 320 = cur, so the
+	// latency term introduces no drift; only the memory clamp moves it.
+	feedChain(m, 5, 469*time.Microsecond, 1.0, 1024, 320)
+	cur := Decision{ShardSize: 320, Workers: 1, MaxInFlight: 2}
+	// Target sized so inflight×shard×bytes needs shard ≈ 256: a 20%
+	// reduction, inside the hysteresis band.
+	tun := Tuning{MaxWorkers: 1, TargetMemBytes: 2 * 256 * 1024}
+	d, ok := m.Plan(tun, cur)
+	if !ok {
+		t.Fatal("no decision")
+	}
+	resident := int64(float64(d.MaxInFlight) * float64(d.ShardSize) * d.PeakBytesPerSample)
+	if resident > tun.TargetMemBytes {
+		t.Fatalf("hysteresis overrode the memory clamp: resident %d > target %d (%+v)",
+			resident, tun.TargetMemBytes, d)
+	}
+	if d.ShardSize >= cur.ShardSize {
+		t.Fatalf("shard = %d, want a memory-mandated reduction below %d", d.ShardSize, cur.ShardSize)
+	}
+}

@@ -147,9 +147,15 @@ func TestTable5And4Shape(t *testing.T) {
 	}
 }
 
+// raceEnabled is set by race_on_test.go when the race detector is active.
+var raceEnabled bool
+
 func TestFig8Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
+	}
+	if raceEnabled {
+		t.Skip("cross-system wall-clock comparison is not meaningful under the race detector")
 	}
 	s := Quick()
 	s.PerfDocs = [3]int{40, 80, 150} // keep CI fast

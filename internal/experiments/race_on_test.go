@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this test binary was built with the race
+// detector. Cross-system wall-clock comparisons are skipped under it:
+// race instrumentation slows the goroutine-heavy Data-Juicer path far
+// more than the mostly-serial baselines, inverting timing relationships
+// the uninstrumented build upholds.
+func init() { raceEnabled = true }

@@ -1,0 +1,467 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dist"
+	"repro/internal/ops"
+	"repro/internal/sample"
+)
+
+// fakeOp is a named placeholder standing in for a planned operator in
+// controller tests.
+type fakeOp struct{ name string }
+
+func (f *fakeOp) Name() string                   { return f.name }
+func (f *fakeOp) Process(s *sample.Sample) error { return nil }
+
+// fakeClock produces deterministic durations: every "timestamp" is
+// advanced by hand, so controller convergence tests never depend on the
+// machine's real scheduler.
+type fakeClock struct{ now time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+// step advances the clock and returns the elapsed duration, simulating a
+// measured interval of exactly d.
+func (c *fakeClock) step(d time.Duration) time.Duration {
+	c.now = c.now.Add(d)
+	return d
+}
+
+// simulate drives a controller through generations of synthetic shards:
+// each shard of the current decided size passes every op at the given
+// per-sample cost, with source reads at srcPerSample. The returned
+// decisions are those in force after each emitted shard.
+func simulate(t *testing.T, ctrl *Controller, plan []ops.OP, shards int,
+	perSample map[string]time.Duration, sel map[string]float64,
+	bytesPer int64, srcPerSample time.Duration) []dist.Decision {
+
+	t.Helper()
+	clock := newFakeClock()
+	var decisions []dist.Decision
+	for i := 0; i < shards; i++ {
+		size := ctrl.ShardSize()
+		ctrl.ObserveSource(size, bytesPer*int64(size), clock.step(time.Duration(size)*srcPerSample))
+		in := size
+		for _, op := range plan {
+			s := sel[op.Name()]
+			if s == 0 {
+				s = 1
+			}
+			out := int(float64(in) * s)
+			dur := clock.step(time.Duration(in) * perSample[op.Name()])
+			ctrl.ObserveOp(core.OpObservation{Op: op, In: in, Out: out, Bytes: bytesPer * int64(in), Duration: dur})
+			in = out
+		}
+		ctrl.ObserveSink(in, clock.step(time.Duration(in)*time.Microsecond))
+		dec, _ := ctrl.shardEmitted()
+		decisions = append(decisions, dec)
+	}
+	return decisions
+}
+
+func testPlan(names ...string) []ops.OP {
+	plan := make([]ops.OP, len(names))
+	for i, n := range names {
+		plan[i] = &fakeOp{name: n}
+	}
+	return plan
+}
+
+func testTuning(maxWorkers int, memBytes int64) dist.Tuning {
+	return dist.Tuning{MaxWorkers: maxWorkers, TargetMemBytes: memBytes, InFlightPerWorker: 2}
+}
+
+func initialDecision(shard int) dist.Decision {
+	return dist.Decision{Workers: 2, ShardSize: shard, MaxInFlight: 4}
+}
+
+// Fast ops: shard size must grow toward the latency target and then hold
+// steady — convergence, not oscillation.
+func TestControllerConvergesOnFastOps(t *testing.T) {
+	plan := testPlan("fast_a", "fast_b")
+	ctrl := newController(plan, initialDecision(64), testTuning(4, 0), 4)
+	decisions := simulate(t, ctrl, plan, 40, map[string]time.Duration{
+		"fast_a": 5 * time.Microsecond,
+		"fast_b": 5 * time.Microsecond,
+	}, nil, 200, 20*time.Microsecond)
+
+	final := decisions[len(decisions)-1]
+	if final.ShardSize <= 64 {
+		t.Fatalf("shard size %d did not grow under fast ops", final.ShardSize)
+	}
+	// Converged: the last three generations agree.
+	for _, d := range decisions[len(decisions)-12:] {
+		if d.ShardSize != final.ShardSize || d.Workers != final.Workers {
+			t.Fatalf("controller still oscillating at the tail: %+v vs %+v", d, final)
+		}
+	}
+	// Chain (10µs) < source (20µs): the serial reader is the floor, so a
+	// single worker must satisfy the model.
+	if final.Workers != 1 {
+		t.Errorf("workers = %d, want 1 (reader-bound workload)", final.Workers)
+	}
+}
+
+// Slow ops: shard size must shrink to keep shards responsive and the pool
+// must saturate toward MaxWorkers.
+func TestControllerConvergesOnSlowOps(t *testing.T) {
+	plan := testPlan("slow")
+	ctrl := newController(plan, initialDecision(2048), testTuning(8, 0), 4)
+	decisions := simulate(t, ctrl, plan, 40, map[string]time.Duration{
+		"slow": 2 * time.Millisecond,
+	}, nil, 200, time.Microsecond)
+
+	final := decisions[len(decisions)-1]
+	if final.ShardSize >= 2048 {
+		t.Fatalf("shard size %d did not shrink under slow ops", final.ShardSize)
+	}
+	if final.Workers != 8 {
+		t.Fatalf("workers = %d, want 8 (compute-bound workload)", final.Workers)
+	}
+	for _, d := range decisions[len(decisions)-12:] {
+		if d.ShardSize != final.ShardSize || d.Workers != final.Workers {
+			t.Fatalf("controller still oscillating at the tail: %+v vs %+v", d, final)
+		}
+	}
+}
+
+// A memory target must bound modeled resident bytes and throttle the
+// in-flight allowance.
+func TestControllerHonorsMemoryTarget(t *testing.T) {
+	plan := testPlan("fast")
+	target := int64(64 << 10)
+	ctrl := newController(plan, initialDecision(512), testTuning(4, target), 4)
+	decisions := simulate(t, ctrl, plan, 24, map[string]time.Duration{
+		"fast": 2 * time.Microsecond,
+	}, nil, 1024, 2*time.Microsecond)
+
+	final := decisions[len(decisions)-1]
+	resident := int64(float64(final.MaxInFlight) * float64(final.ShardSize) * final.PeakBytesPerSample)
+	if resident > target {
+		t.Fatalf("modeled resident bytes %d exceed target %d (%+v)", resident, target, final)
+	}
+}
+
+// Selectivity must reach the model: a 90%-dropping filter makes the
+// modeled end-to-end selectivity ~0.1.
+func TestControllerSeesSelectivity(t *testing.T) {
+	plan := testPlan("filter", "tail")
+	ctrl := newController(plan, initialDecision(512), testTuning(4, 0), 4)
+	simulate(t, ctrl, plan, 12, map[string]time.Duration{
+		"filter": 10 * time.Microsecond,
+		"tail":   10 * time.Microsecond,
+	}, map[string]float64{"filter": 0.1}, 200, time.Microsecond)
+
+	dec := ctrl.Decision()
+	if dec.Selectivity < 0.05 || dec.Selectivity > 0.15 {
+		t.Fatalf("modeled selectivity = %v, want ~0.1", dec.Selectivity)
+	}
+}
+
+// Observations for ops outside the plan must be dropped, not misfiled.
+func TestControllerIgnoresUnplannedOps(t *testing.T) {
+	plan := testPlan("planned")
+	ctrl := newController(plan, initialDecision(512), testTuning(4, 0), 4)
+	ctrl.ObserveOp(core.OpObservation{Op: &fakeOp{name: "stray"}, In: 100, Out: 100, Duration: time.Second})
+	if got := len(ctrl.metrics().Profiles); got != 0 {
+		t.Fatalf("stray op landed in the model: %d profiles", got)
+	}
+}
+
+func TestControllerMetricsRecordDecisions(t *testing.T) {
+	plan := testPlan("op")
+	ctrl := newController(plan, initialDecision(64), testTuning(4, 0), 2)
+	simulate(t, ctrl, plan, 10, map[string]time.Duration{"op": 5 * time.Microsecond}, nil, 100, 50*time.Microsecond)
+	m := ctrl.metrics()
+	if !m.Adaptive {
+		t.Fatal("metrics not flagged adaptive")
+	}
+	if m.Generations == 0 {
+		t.Fatal("no generations recorded")
+	}
+	if m.Resizes != len(m.Decisions) {
+		t.Fatalf("resizes %d != recorded decisions %d", m.Resizes, len(m.Decisions))
+	}
+	if len(m.Profiles) != 1 || m.Profiles[0].Name != "op" {
+		t.Fatalf("profiles = %+v, want the one planned op", m.Profiles)
+	}
+}
+
+// --- gate: the backpressure primitive ---
+
+// The gate must bound concurrent holders exactly at its limit.
+func TestGateBoundsInFlight(t *testing.T) {
+	g := newGate(3)
+	for i := 0; i < 3; i++ {
+		if !g.acquire(nil) {
+			t.Fatal("acquire under limit blocked or failed")
+		}
+	}
+	acquired := make(chan bool, 1)
+	go func() { acquired <- g.acquire(nil) }()
+	select {
+	case <-acquired:
+		t.Fatal("4th acquire succeeded past limit 3")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.release()
+	if ok := <-acquired; !ok {
+		t.Fatal("acquire failed after release")
+	}
+}
+
+// Raising the limit must wake blocked acquirers; closing must fail them.
+func TestGateLimitChangeAndClose(t *testing.T) {
+	g := newGate(1)
+	g.acquire(nil)
+	results := make(chan bool, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); results <- g.acquire(nil) }()
+	}
+	g.setLimit(2) // frees exactly one waiter
+	if ok := <-results; !ok {
+		t.Fatal("acquire failed after limit raise")
+	}
+	g.close() // fails the other
+	if ok := <-results; ok {
+		t.Fatal("acquire succeeded on a closed gate")
+	}
+	wg.Wait()
+}
+
+// A blocked acquire must report its wait time to the backpressure probe.
+func TestGateReportsBackpressure(t *testing.T) {
+	g := newGate(1)
+	g.acquire(nil)
+	var mu sync.Mutex
+	var waited time.Duration
+	done := make(chan struct{})
+	go func() {
+		g.acquire(func(d time.Duration) { mu.Lock(); waited = d; mu.Unlock() })
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	g.release()
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	if waited <= 0 {
+		t.Fatal("blocked acquire reported no wait")
+	}
+}
+
+// --- pool: the resizable worker primitive ---
+
+func TestPoolResize(t *testing.T) {
+	work := make(chan *Shard)
+	var mu sync.Mutex
+	processed := 0
+	p := newPool(work, func(*Shard) { mu.Lock(); processed++; mu.Unlock() })
+	p.resize(2)
+	if got := p.size(); got != 2 {
+		t.Fatalf("size after resize(2) = %d", got)
+	}
+	p.resize(5)
+	if got := p.size(); got != 5 {
+		t.Fatalf("size after resize(5) = %d", got)
+	}
+	// Shrink: workers retire only after finishing a shard.
+	p.resize(1)
+	for i := 0; i < 10; i++ {
+		work <- &Shard{Index: i}
+	}
+	close(work)
+	p.wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if processed != 10 {
+		t.Fatalf("processed %d shards, want 10 (shrink must not drop work)", processed)
+	}
+	if got := p.size(); got != 0 {
+		t.Fatalf("%d workers alive after wait", got)
+	}
+}
+
+// --- engine-level: adaptive mode must preserve semantics and actually
+// consult the model ---
+
+func TestAdaptiveEngineMatchesFixed(t *testing.T) {
+	_, d := corpusWithDupes(t, 600)
+	const recipeYAML = `
+project_name: adaptive-vs-fixed
+use_cache: false
+process:
+  - whitespace_normalization_mapper:
+  - word_num_filter:
+      min_num: 3
+  - document_deduplicator:
+`
+	fixedRecipe := mustRecipe(t, recipeYAML)
+	fixedRecipe.WorkDir = t.TempDir()
+	fixedEng, err := New(fixedRecipe, Options{ShardSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixedSrc, _ := NewDatasetSource(d.Clone(), 64)
+	var fixedOut CollectSink
+	fixedRep, err := fixedEng.Run(fixedSrc, &fixedOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixedRep.Metrics != nil {
+		t.Fatal("fixed-mode run carries adaptive metrics")
+	}
+
+	adRecipe := mustRecipe(t, recipeYAML)
+	adRecipe.WorkDir = t.TempDir()
+	adEng, err := New(adRecipe, Options{
+		ShardSize: 64, Adaptive: true, MaxWorkers: 4,
+		TargetMemBytes: 8 << 20, Generation: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adSrc, _ := NewDatasetSource(d.Clone(), 64)
+	var adOut CollectSink
+	adRep, err := adEng.Run(adSrc, &adOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fixedOut.Dataset().Len() != adOut.Dataset().Len() {
+		t.Fatalf("adaptive kept %d samples, fixed kept %d", adOut.Dataset().Len(), fixedOut.Dataset().Len())
+	}
+	for i, s := range fixedOut.Dataset().Samples {
+		if adOut.Dataset().Samples[i].Text != s.Text {
+			t.Fatalf("sample %d diverged between adaptive and fixed runs", i)
+		}
+	}
+
+	m := adRep.Metrics
+	if m == nil || !m.Adaptive {
+		t.Fatal("adaptive run produced no metrics")
+	}
+	if m.Generations == 0 {
+		t.Fatal("controller never re-planned: the engine is not consulting the cost model")
+	}
+	if len(m.Profiles) == 0 {
+		t.Fatal("no live op profiles reached the dist model")
+	}
+	if m.Workers < 1 || m.ShardSize < 1 || m.MaxInFlight < 1 {
+		t.Fatalf("degenerate final decision: %+v", m)
+	}
+}
+
+// The -max-workers cap must hold from the first shard — an input too
+// short to ever reach a generation boundary still honors it.
+func TestAdaptiveInitialDecisionRespectsCaps(t *testing.T) {
+	recipe := mustRecipe(t, `
+project_name: initial-caps
+use_cache: false
+np: 8
+process:
+  - whitespace_normalization_mapper:
+  - document_simhash_deduplicator:
+`)
+	recipe.WorkDir = t.TempDir()
+	eng, err := New(recipe, Options{ShardSize: 64, Adaptive: true, MaxWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := eng.ctrl.Decision()
+	if dec.Workers > 2 {
+		t.Fatalf("initial workers = %d, exceeds -max-workers 2", dec.Workers)
+	}
+	if dec.MaxInFlight > 4 {
+		t.Fatalf("initial in-flight = %d, exceeds MaxWorkers×2", dec.MaxInFlight)
+	}
+	// Barrier ops must be registered as serial in the controller.
+	plan := eng.Plan()
+	if len(eng.ctrl.serial) == 0 {
+		t.Fatal("no serial ops recorded despite a barrier in the plan")
+	}
+	for i, op := range plan {
+		if (Classify(op) == Barrier) != eng.ctrl.serial[i] {
+			t.Fatalf("op %d (%s) serial flag mismatch", i, op.Name())
+		}
+	}
+}
+
+// Backpressure end-to-end: with a tiny in-flight allowance and a slow
+// sink, the source must never run more than MaxInFlight shards ahead of
+// the emitter.
+func TestAdaptiveBackpressureBoundsInFlight(t *testing.T) {
+	_, d := corpusWithDupes(t, 400)
+	recipe := mustRecipe(t, `
+project_name: backpressure
+use_cache: false
+process:
+  - whitespace_normalization_mapper:
+`)
+	recipe.WorkDir = t.TempDir()
+	eng, err := New(recipe, Options{ShardSize: 20, MaxInFlight: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	read, consumed, maxAhead := 0, 0, 0
+	src, _ := NewDatasetSource(d, 20)
+	counting := &countingSource{src: src, onNext: func() {
+		mu.Lock()
+		read++
+		if ahead := read - consumed; ahead > maxAhead {
+			maxAhead = ahead
+		}
+		mu.Unlock()
+	}}
+	sink := &slowSink{delay: time.Millisecond, onConsume: func() {
+		mu.Lock()
+		consumed++
+		mu.Unlock()
+	}}
+	if _, err := eng.Run(counting, sink); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if maxAhead > 3 {
+		t.Fatalf("source ran %d shards ahead; in-flight limit is 3", maxAhead)
+	}
+}
+
+type countingSource struct {
+	src    Source
+	onNext func()
+}
+
+func (c *countingSource) Next() (*Shard, error) {
+	sh, err := c.src.Next()
+	if err == nil {
+		c.onNext()
+	}
+	return sh, err
+}
+func (c *countingSource) Close() error { return c.src.Close() }
+
+type slowSink struct {
+	delay     time.Duration
+	onConsume func()
+}
+
+func (s *slowSink) Consume(d *dataset.Dataset) error {
+	time.Sleep(s.delay)
+	s.onConsume()
+	return nil
+}
+func (s *slowSink) Close() error { return nil }

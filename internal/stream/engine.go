@@ -17,6 +17,13 @@
 // With the recipe's cache enabled, every shard's leading run of
 // shard-local ops is cached per (shard content, op chain) key via
 // internal/cache, so an interrupted run resumes at shard granularity.
+//
+// In adaptive mode (Options.Adaptive) a runtime controller closes the
+// loop between execution and the internal/dist cost model: per-op wall
+// time, selectivity and bytes are observed online, and between shard
+// generations the engine re-plans — resizing the worker pool, re-slicing
+// the source's shard size, and moving the in-flight backpressure gate so
+// a memory target holds. See controller.go and stream.Metrics.
 package stream
 
 import (
@@ -30,6 +37,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/dist"
 	"repro/internal/ops"
 	"repro/internal/sample"
 	"repro/internal/trace"
@@ -41,12 +49,27 @@ const DefaultShardSize = 512
 // Options tunes the engine.
 type Options struct {
 	// ShardSize is the number of samples per shard (DefaultShardSize
-	// when zero).
+	// when zero). In adaptive mode this is only the starting point.
 	ShardSize int
 	// MaxInFlight bounds the shards resident in memory at once —
 	// processing, queued, or waiting for ordered emission. Zero means
-	// twice the worker count.
+	// twice the worker count. In adaptive mode this is only the starting
+	// point.
 	MaxInFlight int
+	// Adaptive enables the runtime controller: per-op wall time,
+	// selectivity and bytes are measured online, fed into the
+	// internal/dist cost model, and the engine re-plans shard size,
+	// worker count and the in-flight bound every few shards.
+	Adaptive bool
+	// MaxWorkers caps the adaptive worker pool (default: the larger of
+	// the recipe's worker count and GOMAXPROCS). Ignored unless Adaptive.
+	MaxWorkers int
+	// TargetMemBytes bounds the text bytes resident across in-flight
+	// shards in adaptive mode (0 = unbounded). Ignored unless Adaptive.
+	TargetMemBytes int64
+	// Generation is the number of emitted shards between controller
+	// re-plans (DefaultGeneration when zero). Ignored unless Adaptive.
+	Generation int
 }
 
 // Engine is the streaming execution backend for one recipe.
@@ -59,6 +82,8 @@ type Engine struct {
 	shardSize   int
 	maxInFlight int
 	np          int
+	ctrl        *Controller
+	tuning      dist.Tuning
 }
 
 // stage kinds inside one phase.
@@ -152,6 +177,39 @@ func New(r *config.Recipe, opts Options) (*Engine, error) {
 	if e.maxInFlight < e.np {
 		e.maxInFlight = e.np
 	}
+	if opts.Adaptive {
+		maxWorkers := opts.MaxWorkers
+		if maxWorkers <= 0 {
+			maxWorkers = dataset.Workers(0) // GOMAXPROCS
+			if e.np > maxWorkers {
+				maxWorkers = e.np
+			}
+		}
+		e.tuning = dist.Tuning{
+			MaxWorkers:        maxWorkers,
+			TargetMemBytes:    opts.TargetMemBytes,
+			InFlightPerWorker: 2,
+		}
+		// The caps hold from the first shard, not the first re-plan: an
+		// input too short to reach a generation boundary must still honor
+		// -max-workers.
+		initial := dist.Decision{
+			Workers:     e.np,
+			ShardSize:   e.shardSize,
+			MaxInFlight: e.maxInFlight,
+		}
+		if initial.Workers > maxWorkers {
+			initial.Workers = maxWorkers
+		}
+		if limit := maxWorkers * e.tuning.InFlightPerWorker; initial.MaxInFlight > limit {
+			initial.MaxInFlight = limit
+		}
+		if initial.MaxInFlight < initial.Workers {
+			initial.MaxInFlight = initial.Workers
+		}
+		e.ctrl = newController(plan, initial, e.tuning, opts.Generation)
+		e.runner = e.runner.WithObserver(e.ctrl)
+	}
 	if r.UseCache {
 		store, err := cache.NewStore(filepath.Join(r.WorkDir, "stream-cache"), r.CacheCompression)
 		if err != nil {
@@ -197,7 +255,14 @@ func (e *Engine) Run(src Source, sink Sink) (*Report, error) {
 		emit := func(d *dataset.Dataset) error {
 			if last {
 				totalOut += d.Len()
-				return sink.Consume(d)
+				consumeStart := time.Now()
+				if err := sink.Consume(d); err != nil {
+					return err
+				}
+				if e.ctrl != nil {
+					e.ctrl.ObserveSink(d.Len(), time.Since(consumeStart))
+				}
+				return nil
 			}
 			collected = append(collected, d)
 			return nil
@@ -222,7 +287,11 @@ func (e *Engine) Run(src Source, sink Sink) (*Report, error) {
 			return nil, fmt.Errorf("stream: barrier op %s: %w", ph.barrier.Name(), err)
 		}
 		agg.addOp(ph.barrierIdx, merged.Len(), out.Len(), time.Since(bStart), false)
-		cur, err = NewDatasetSource(out, e.shardSize)
+		reshardSize := e.shardSize
+		if e.ctrl != nil {
+			reshardSize = e.ctrl.ShardSize()
+		}
+		cur, err = NewDatasetSource(out, reshardSize)
 		if err != nil {
 			return nil, err
 		}
@@ -230,7 +299,11 @@ func (e *Engine) Run(src Source, sink Sink) (*Report, error) {
 	if err := sink.Close(); err != nil {
 		return nil, err
 	}
-	return agg.finish(sourceShards, totalIn, totalOut, time.Since(start)), nil
+	rep := agg.finish(sourceShards, totalIn, totalOut, time.Since(start))
+	if e.ctrl != nil {
+		rep.Metrics = e.ctrl.metrics()
+	}
+	return rep, nil
 }
 
 // turnstile is the shared signature index of one stageIndex stage.
@@ -255,6 +328,7 @@ type phaseRun struct {
 	stages []stage
 	turns  map[int]*turnstile
 	agg    *aggregator
+	gate   *gate
 
 	abort     chan struct{}
 	abortOnce sync.Once
@@ -268,6 +342,8 @@ func (p *phaseRun) fail(err error) {
 	p.abortOnce.Do(func() {
 		p.runErr = err
 		close(p.abort)
+		// Unblock the source's backpressure wait.
+		p.gate.close()
 		// Wake turnstile waiters under their locks so no Wait is missed.
 		for _, t := range p.turns {
 			t.mu.Lock()
@@ -292,10 +368,24 @@ func (p *phaseRun) aborted() bool {
 func (e *Engine) runPhase(phaseIdx int, src Source, stages []stage, agg *aggregator,
 	emit func(*dataset.Dataset) error) (inCount, shardCount int, err error) {
 
+	// Starting point: the fixed configuration, or the controller's
+	// decision currently in force.
+	limit, workers := e.maxInFlight, e.np
+	if e.ctrl != nil {
+		dec := e.ctrl.Decision()
+		if dec.MaxInFlight > 0 {
+			limit = dec.MaxInFlight
+		}
+		if dec.Workers > 0 {
+			workers = dec.Workers
+		}
+	}
+
 	p := &phaseRun{
 		eng: e, phase: phaseIdx, stages: stages, agg: agg,
 		turns: map[int]*turnstile{},
 		abort: make(chan struct{}),
+		gate:  newGate(limit),
 	}
 	for i, st := range stages {
 		if st.kind == stageIndex {
@@ -305,31 +395,50 @@ func (e *Engine) runPhase(phaseIdx int, src Source, stages []stage, agg *aggrega
 		}
 	}
 
-	sem := make(chan struct{}, e.maxInFlight)
+	// The done buffer must hold the largest in-flight population any
+	// future decision can allow.
+	bound := e.maxInFlight
+	if e.ctrl != nil {
+		if b := e.tuning.MaxWorkers * e.tuning.InFlightPerWorker; b > bound {
+			bound = b
+		}
+	}
 	work := make(chan *Shard)
-	done := make(chan *Shard, e.maxInFlight)
+	done := make(chan *Shard, bound)
 	counts := make(chan [2]int, 1)
 
-	// Reader: pulls shards from the source, bounded by the in-flight
-	// semaphore (released by the emitter once a shard leaves the phase).
+	// Reader: pulls shards from the source, bounded by the in-flight gate
+	// (released by the emitter once a shard leaves the phase). This is
+	// where backpressure lands: when the sink or a turnstile falls behind,
+	// slots stop freeing and the reader blocks in acquire.
 	go func() {
 		defer close(work)
 		in, n := 0, 0
 		defer func() { counts <- [2]int{in, n} }()
+		var onBlocked func(time.Duration)
+		if e.ctrl != nil {
+			onBlocked = e.ctrl.observeBackpressure
+		}
+		sizer, resizable := src.(ShardSizer)
 		for {
-			select {
-			case sem <- struct{}{}:
-			case <-p.abort:
-				return
+			if !p.gate.acquire(onBlocked) {
+				return // aborted
 			}
+			if e.ctrl != nil && resizable {
+				sizer.SetShardSize(e.ctrl.ShardSize())
+			}
+			readStart := time.Now()
 			sh, err := src.Next()
 			if err == io.EOF {
-				<-sem
+				p.gate.release()
 				return
 			}
 			if err != nil {
 				p.fail(err)
 				return
+			}
+			if e.ctrl != nil {
+				e.ctrl.ObserveSource(sh.Data.Len(), sh.Data.TotalBytes(), time.Since(readStart))
 			}
 			sh.Index = n // dense per-phase indexes, whatever the source says
 			n++
@@ -346,28 +455,25 @@ func (e *Engine) runPhase(phaseIdx int, src Source, stages []stage, agg *aggrega
 	// different shards occupy different ops concurrently. The work
 	// channel delivers shards in index order, which guarantees the
 	// lowest in-flight shard is always held by some worker — the
-	// property that keeps turnstile waits deadlock-free.
-	var wg sync.WaitGroup
-	for w := 0; w < e.np; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for sh := range work {
-				if p.aborted() {
-					continue
-				}
-				if err := p.processShard(sh); err != nil {
-					p.fail(err)
-					continue
-				}
-				done <- sh
-			}
-		}()
-	}
-	go func() { wg.Wait(); close(done) }()
+	// property that keeps turnstile waits deadlock-free. The pool only
+	// retires workers after they finish their current shard, preserving
+	// that invariant across resizes.
+	wp := newPool(work, func(sh *Shard) {
+		if p.aborted() {
+			return
+		}
+		if err := p.processShard(sh); err != nil {
+			p.fail(err)
+			return
+		}
+		done <- sh
+	})
+	wp.resize(workers)
+	go func() { wp.wait(); close(done) }()
 
-	// Ordered emitter (caller goroutine): reorders completed shards and
-	// releases their in-flight slots.
+	// Ordered emitter (caller goroutine): reorders completed shards,
+	// releases their in-flight slots, and applies controller decisions at
+	// generation boundaries.
 	next := 0
 	buf := map[int]*dataset.Dataset{}
 	for sh := range done {
@@ -384,7 +490,13 @@ func (e *Engine) runPhase(phaseIdx int, src Source, stages []stage, agg *aggrega
 					p.fail(err)
 				}
 			}
-			<-sem
+			p.gate.release()
+			if e.ctrl != nil {
+				if dec, changed := e.ctrl.shardEmitted(); changed {
+					p.gate.setLimit(dec.MaxInFlight)
+					wp.resize(dec.Workers)
+				}
+			}
 		}
 	}
 	res := <-counts
@@ -476,6 +588,10 @@ func (p *phaseRun) runLocal(st stage, d *dataset.Dataset, useCache bool) (*datas
 // runIndex passes one shard through a shared-signature dedup stage.
 func (p *phaseRun) runIndex(si int, st stage, shardIdx int, d *dataset.Dataset) (*dataset.Dataset, error) {
 	opStart := time.Now()
+	var inBytes int64
+	if p.eng.ctrl != nil {
+		inBytes = d.TotalBytes()
+	}
 	// Signatures are pure per-sample work: compute them before taking a
 	// turn so the serialized section is just map lookups.
 	sigs := make([]uint64, d.Len())
@@ -483,6 +599,7 @@ func (p *phaseRun) runIndex(si int, st stage, shardIdx int, d *dataset.Dataset) 
 		sigs[i] = st.dedup.Signature(s)
 	}
 	t := p.turns[si]
+	waitStart := time.Now()
 	t.mu.Lock()
 	for t.next != shardIdx {
 		if p.aborted() {
@@ -491,6 +608,7 @@ func (p *phaseRun) runIndex(si int, st stage, shardIdx int, d *dataset.Dataset) 
 		}
 		t.cond.Wait()
 	}
+	turnWait := time.Since(waitStart)
 	var kept []*sample.Sample
 	for i, s := range d.Samples {
 		if _, dup := t.seen[sigs[i]]; dup {
@@ -505,6 +623,11 @@ func (p *phaseRun) runIndex(si int, st stage, shardIdx int, d *dataset.Dataset) 
 
 	out := dataset.New(kept)
 	p.agg.addOp(st.planIdx[0], d.Len(), out.Len(), time.Since(opStart), false)
+	if p.eng.ctrl != nil {
+		// Queueing at the turnstile is backpressure, not work: exclude it
+		// from the cost signal.
+		p.eng.ctrl.observeIndexOp(st.dedup, d.Len(), out.Len(), inBytes, time.Since(opStart)-turnWait)
+	}
 	if tr := p.eng.runner.Tracer(); tr != nil {
 		tr.Record(trace.Event{
 			OpName: st.dedup.Name(), Kind: "deduplicator",

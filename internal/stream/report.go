@@ -45,6 +45,9 @@ type Report struct {
 	PlanSize int
 	// Total is the end-to-end wall time.
 	Total time.Duration
+	// Metrics is the adaptive controller's self-report (nil when the
+	// engine ran with fixed parameters).
+	Metrics *Metrics
 }
 
 // Summary renders the report in the style of the batch CLI output.
@@ -64,6 +67,7 @@ func (r *Report) Summary() string {
 		fmt.Fprintf(&b, "  %-44s %7d -> %-7d %10s%s\n", st.Name, st.InCount, st.OutCount,
 			st.Duration.Round(100*time.Microsecond), marker)
 	}
+	b.WriteString(r.Metrics.Summary())
 	return b.String()
 }
 

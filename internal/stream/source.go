@@ -30,6 +30,16 @@ type Source interface {
 	Close() error
 }
 
+// ShardSizer is implemented by sources whose shard size may change
+// between reads. The adaptive controller uses it to re-slice the input as
+// its cost model sharpens; sources without it simply keep their original
+// granularity.
+type ShardSizer interface {
+	// SetShardSize changes the sample count of subsequently read shards.
+	// Non-positive sizes are ignored.
+	SetShardSize(n int)
+}
+
 // JSONLSource reads JSONL files incrementally with a bounded buffer —
 // never the whole file — slicing the line stream into shards of
 // shardSize samples. Lines decode through format.SampleFromJSON, the
@@ -119,6 +129,14 @@ func (j *JSONLSource) Next() (*Shard, error) {
 	return sh, nil
 }
 
+// SetShardSize implements ShardSizer: later shards slice the line stream
+// at the new granularity.
+func (j *JSONLSource) SetShardSize(n int) {
+	if n > 0 {
+		j.shardSize = n
+	}
+}
+
 // Close closes the currently open file.
 func (j *JSONLSource) Close() error {
 	if j.file != nil {
@@ -160,6 +178,13 @@ func (ds *DatasetSource) Next() (*Shard, error) {
 	ds.pos = hi
 	ds.next++
 	return sh, nil
+}
+
+// SetShardSize implements ShardSizer.
+func (ds *DatasetSource) SetShardSize(n int) {
+	if n > 0 {
+		ds.shardSize = n
+	}
 }
 
 // Close is a no-op for in-memory sources.

@@ -1,0 +1,102 @@
+package text
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// wordRune reports whether r may appear inside a non-CJK Words token.
+func wordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\'' || r == '-' || r == '_'
+}
+
+// FuzzWords checks the segmentation invariants every operator that
+// consumes word tokens (word_num_filter, stopwords_filter, n-gram
+// repetition, perplexity) relies on: no panics, no empty or malformed
+// tokens, token runes drawn from the input in order, CJK ideographs
+// isolated, and determinism.
+func FuzzWords(f *testing.F) {
+	f.Add("The quick brown fox jumps over the lazy dog.")
+	f.Add("don't re-enter the under_scored zone 42 times")
+	f.Add("中文没有空格。日本語も同じです。English mixed in.")
+	f.Add("!!!@@@###   \t\n\r  ---''' ")
+	f.Add("naïve façade coöperate Zürich žluťoučký кўзгу")
+	f.Add("a\u00a0b\u200bc\ufeffd") // NBSP, zero-width space, BOM
+
+	f.Fuzz(func(t *testing.T, s string) {
+		words := Words(s)
+
+		// Determinism: segmentation is a pure function.
+		again := Words(s)
+		if len(again) != len(words) {
+			t.Fatalf("non-deterministic: %d then %d tokens", len(words), len(again))
+		}
+		for i := range words {
+			if words[i] != again[i] {
+				t.Fatalf("non-deterministic token %d: %q then %q", i, words[i], again[i])
+			}
+		}
+
+		// Token well-formedness.
+		for _, w := range words {
+			if w == "" {
+				t.Fatal("empty token")
+			}
+			runes := []rune(w)
+			if IsCJK(runes[0]) {
+				if len(runes) != 1 {
+					t.Fatalf("CJK token %q not isolated to one ideograph", w)
+				}
+				continue
+			}
+			for _, r := range runes {
+				if !wordRune(r) {
+					t.Fatalf("token %q contains non-word rune %q", w, r)
+				}
+			}
+		}
+
+		// Conservation: the concatenated tokens are a subsequence of the
+		// input's runes — segmentation never invents or reorders text.
+		input := []rune(s)
+		pos := 0
+		for _, w := range words {
+			for _, r := range w {
+				for pos < len(input) && input[pos] != r {
+					pos++
+				}
+				if pos >= len(input) {
+					t.Fatalf("token %q not found in order within input", w)
+				}
+				pos++
+			}
+		}
+
+		// Completeness: every word rune of the input lands in some token.
+		var kept int
+		for _, r := range input {
+			if wordRune(r) || IsCJK(r) {
+				kept++
+			}
+		}
+		var emitted int
+		for _, w := range words {
+			emitted += len([]rune(w))
+		}
+		if emitted != kept {
+			t.Fatalf("emitted %d word runes, input holds %d", emitted, kept)
+		}
+
+		// WordsLower mirrors Words token-for-token.
+		lower := WordsLower(s)
+		if len(lower) != len(words) {
+			t.Fatalf("WordsLower %d tokens vs Words %d", len(lower), len(words))
+		}
+		for i := range lower {
+			if lower[i] != strings.ToLower(words[i]) {
+				t.Fatalf("WordsLower[%d] = %q, want %q", i, lower[i], strings.ToLower(words[i]))
+			}
+		}
+	})
+}
