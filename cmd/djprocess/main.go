@@ -4,11 +4,18 @@
 // (whole-dataset, op by op) and the shard-pipelined streaming engine
 // (-stream), which bounds peak memory for corpora larger than RAM.
 //
+// Inputs resolve through the unified ingestion layer (internal/format):
+// jsonl/json/csv/tsv/txt/md/html/code files, transparently gzip-
+// decompressed ".gz" variants, directories, globs, "hub:" synthetic
+// corpora, and "mix:" weighted multi-source mixtures — on either
+// backend. See docs/recipes.md for the full spec and recipe reference.
+//
 // Usage:
 //
 //	djprocess -recipe recipe.yaml [-input PATH] [-output PATH] [-np N]
 //	djprocess -builtin pretrain-web-en -input "hub:web-en?docs=500&seed=1" -output out.jsonl
-//	djprocess -stream -shard-size 1024 -recipe recipe.yaml -input big.jsonl -output out.jsonl
+//	djprocess -builtin minimal-clean -input "mix:a.jsonl@2,b.csv.gz@1" -output mixed.jsonl
+//	djprocess -stream -shard-size 1024 -recipe recipe.yaml -input "data/*.jsonl.gz" -output out.jsonl
 //	djprocess -stream -adaptive -max-workers 16 -target-mem-mb 512 -recipe recipe.yaml -input big.jsonl -output out.jsonl
 //	djprocess -list-ops | -list-recipes
 package main
@@ -35,8 +42,8 @@ func main() {
 	var (
 		recipePath  = flag.String("recipe", "", "path to a recipe .yaml/.json file")
 		builtin     = flag.String("builtin", "", "name of a built-in recipe (see -list-recipes)")
-		input       = flag.String("input", "", "dataset spec (file, directory, or hub:<name>); overrides the recipe's dataset_path")
-		output      = flag.String("output", "", "export path (.jsonl/.json/.txt); overrides the recipe's export_path")
+		input       = flag.String("input", "", "dataset spec (file, dir, glob, hub:<name>, or mix:spec@w,...; .gz transparent); overrides the recipe's dataset_path/sources")
+		output      = flag.String("output", "", "export path (.jsonl/.json/.txt; .txt drops meta/stats); overrides the recipe's export_path")
 		np          = flag.Int("np", 0, "worker count (0 = all cores)")
 		streamMode  = flag.Bool("stream", false, "use the shard-pipelined streaming engine (bounded memory)")
 		shardSize   = flag.Int("shard-size", stream.DefaultShardSize, "samples per shard in -stream mode (starting point with -adaptive)")
@@ -46,8 +53,8 @@ func main() {
 		showPlan    = flag.Bool("plan", false, "print the fused execution plan before running")
 		probe       = flag.Bool("probe", false, "print before/after data probes (analyzer; batch mode only)")
 		space       = flag.Bool("space", false, "print the Appendix A.2 peak-disk-space analysis (batch mode only)")
-		listOps     = flag.Bool("list-ops", false, "list the registered operators and exit")
-		listRecipes = flag.Bool("list-recipes", false, "list the built-in recipes and exit")
+		listOps     = flag.Bool("list-ops", false, "list the registered operators and exit (see internal/ops/README.md)")
+		listRecipes = flag.Bool("list-recipes", false, "list the built-in recipes with their input requirements and exit")
 	)
 	flag.Parse()
 
@@ -58,9 +65,7 @@ func main() {
 		return
 	}
 	if *listRecipes {
-		for _, name := range config.BuiltinRecipeNames() {
-			fmt.Println(name)
-		}
+		listBuiltinRecipes()
 		return
 	}
 
@@ -70,6 +75,7 @@ func main() {
 	}
 	if *input != "" {
 		recipe.DatasetPath = *input
+		recipe.Sources = nil
 	}
 	if *output != "" {
 		recipe.ExportPath = *output
@@ -77,8 +83,9 @@ func main() {
 	if *np != 0 {
 		recipe.NP = *np
 	}
-	if recipe.DatasetPath == "" {
-		fatal(fmt.Errorf("no dataset: set dataset_path in the recipe or pass -input"))
+	inputSpec := recipe.DatasetSpec()
+	if inputSpec == "" {
+		fatal(fmt.Errorf("no dataset: set dataset_path or sources in the recipe, or pass -input"))
 	}
 
 	if *adaptive {
@@ -95,7 +102,7 @@ func main() {
 	}
 
 	if *streamMode || recipe.Adaptive {
-		runStreaming(recipe, *shardSize, *showPlan, *probe || *space)
+		runStreaming(recipe, inputSpec, *shardSize, *showPlan, *probe || *space)
 		return
 	}
 
@@ -108,12 +115,12 @@ func main() {
 		fmt.Print(core.DescribePlan(exec.Plan()))
 	}
 
-	data, err := format.Load(recipe.DatasetPath)
+	data, err := core.LoadInput(recipe)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("loaded %d samples (%d bytes of text) from %s\n",
-		data.Len(), data.TotalBytes(), recipe.DatasetPath)
+		data.Len(), data.TotalBytes(), inputSpec)
 
 	if *space {
 		a, err := cache.AnalyzeSpace(recipe)
@@ -173,10 +180,28 @@ func main() {
 	}
 }
 
+// listBuiltinRecipes prints each shipped recipe with its input
+// requirements: the dataset spec it carries (dataset_path or an encoded
+// sources: mixture), or the marker for recipes that need -input.
+func listBuiltinRecipes() {
+	fmt.Printf("%-24s %-4s %s\n", "RECIPE", "OPS", "INPUT")
+	for _, name := range config.BuiltinRecipeNames() {
+		r, err := config.BuiltinRecipe(name)
+		if err != nil {
+			fatal(err)
+		}
+		in := r.DatasetSpec()
+		if in == "" {
+			in = "(requires -input)"
+		}
+		fmt.Printf("%-24s %-4d %s\n", name, len(r.Process), in)
+	}
+}
+
 // runStreaming executes the recipe on the shard-pipelined engine: the
 // input is never fully resident, and export shards appear as the stream
 // progresses.
-func runStreaming(recipe *config.Recipe, shardSize int, showPlan, probeOrSpace bool) {
+func runStreaming(recipe *config.Recipe, inputSpec string, shardSize int, showPlan, probeOrSpace bool) {
 	if probeOrSpace {
 		fmt.Fprintln(os.Stderr, "djprocess: -probe/-space need the full dataset; ignored in -stream mode")
 	}
@@ -193,7 +218,7 @@ func runStreaming(recipe *config.Recipe, shardSize int, showPlan, probeOrSpace b
 		fmt.Println("streaming execution plan:")
 		fmt.Print(eng.DescribePlan())
 	}
-	src, err := stream.OpenSource(recipe.DatasetPath, shardSize)
+	src, err := stream.OpenSource(inputSpec, shardSize)
 	if err != nil {
 		fatal(err)
 	}

@@ -7,6 +7,8 @@
 package repro_test
 
 import (
+	"compress/gzip"
+	"encoding/csv"
 	"fmt"
 	"math/rand"
 	"os"
@@ -89,6 +91,149 @@ func readAll(t *testing.T, paths ...string) []byte {
 		out = append(out, raw...)
 	}
 	return out
+}
+
+// TestCrossBackendConformanceMixedFormats holds the acceptance bar of
+// the unified ingestion layer: a "mix:" spec over a gzipped CSV and a
+// plain JSONL — weighted 2:1, one constituent sample-capped — must
+// produce byte-identical exports on the batch executor and the streaming
+// engine, provenance tags included, while the stream side still reads
+// shard by shard.
+func TestCrossBackendConformanceMixedFormats(t *testing.T) {
+	dir := t.TempDir()
+
+	// Constituent 1: plain JSONL with duplicates for the dedup stage.
+	web := corpus.Web(corpus.Options{Docs: 240, Seed: 77})
+	jsonlPath := filepath.Join(dir, "web.jsonl")
+	if err := web.SaveJSONL(jsonlPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Constituent 2: gzipped CSV with a text column and a meta column.
+	wiki := corpus.Wiki(corpus.Options{Docs: 120, Seed: 78})
+	csvPath := filepath.Join(dir, "wiki.csv.gz")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	cw := csv.NewWriter(zw)
+	if err := cw.Write([]string{"text", "topic"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range wiki.Samples {
+		topic, _ := s.GetString("meta.topic")
+		if err := cw.Write([]string{s.Text, topic}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := "mix:" + jsonlPath + "@2," + csvPath + "@1:100"
+
+	// A recipe crossing every capability class: shard-local mappers and
+	// filters, a shared-index dedup, and a barrier (minhash) dedup.
+	recipe := config.Default()
+	recipe.ProjectName = "conformance-mixed"
+	recipe.UseCache = false
+	recipe.Process = []config.OpSpec{
+		{Name: "fix_unicode_mapper"},
+		{Name: "clean_links_mapper"},
+		{Name: "whitespace_normalization_mapper"},
+		{Name: "word_num_filter", Params: ops.Params{"min_num": 5}},
+		{Name: "document_deduplicator"},
+		{Name: "document_minhash_deduplicator"},
+	}
+	recipe.WorkDir = t.TempDir()
+
+	// Batch reference run over the drained mixture.
+	exec, err := core.NewExecutor(recipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := format.Load(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Len() != 340 { // 240 jsonl + 100 capped csv rows
+		t.Fatalf("mixture loaded %d samples, want 340", data.Len())
+	}
+	batchOut, batchRep, err := exec.Run(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchPath := filepath.Join(t.TempDir(), "batch.jsonl")
+	if err := format.Export(batchOut, batchPath); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range []struct {
+		name     string
+		adaptive bool
+		shard    int
+	}{
+		{"fixed", false, 37},
+		{"adaptive", true, 64},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			eng, err := stream.New(recipe, stream.Options{
+				ShardSize:      mode.shard,
+				Adaptive:       mode.adaptive,
+				MaxWorkers:     4,
+				TargetMemBytes: 32 << 20,
+				Generation:     2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := stream.OpenSource(spec, mode.shard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prefix := filepath.Join(t.TempDir(), "stream")
+			sink, err := stream.NewShardedJSONLSink(prefix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			streamRep, err := eng.Run(src, sink)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchBytes := readAll(t, batchPath)
+			streamBytes := readAll(t, sink.Paths()...)
+			if string(batchBytes) != string(streamBytes) {
+				t.Fatalf("mixed-format exports diverge: batch %d bytes, stream %d bytes",
+					len(batchBytes), len(streamBytes))
+			}
+			if len(batchRep.OpStats) != len(streamRep.OpStats) {
+				t.Fatalf("report length diverges: batch %d, stream %d",
+					len(batchRep.OpStats), len(streamRep.OpStats))
+			}
+			for i, b := range batchRep.OpStats {
+				s := streamRep.OpStats[i]
+				if b.Name != s.Name || b.InCount != s.InCount || b.OutCount != s.OutCount {
+					t.Errorf("op %d: batch %s %d->%d, stream %s %d->%d",
+						i, b.Name, b.InCount, b.OutCount, s.Name, s.InCount, s.OutCount)
+				}
+			}
+		})
+	}
+
+	// Provenance survives processing: every exported sample is tagged.
+	for _, s := range batchOut.Samples {
+		if _, ok := s.Meta.Get("source"); !ok {
+			t.Fatal("processed sample lost its provenance tag")
+		}
+	}
 }
 
 func TestCrossBackendConformance(t *testing.T) {

@@ -27,6 +27,22 @@
 //     so kept-sample sets are identical — a contract enforced by the
 //     randomized cross-backend conformance suite (conformance_test.go).
 //
+// # Unified ingestion and mixing
+//
+// Both backends read inputs through one incremental interface
+// (internal/format.Source): jsonl/json/csv/tsv/txt/md/html/code files,
+// transparent gzip decompression, directories, globs, and "hub:"
+// synthetic corpora, all unified into the sample representation.
+// Record-oriented formats read with bounded buffers; whole-document
+// formats (txt/md/html/code) are bounded by the largest single file,
+// since the whole file is one sample. Weighted multi-source mixing ("mix:" specs,
+// recipe "sources:" lists) interleaves corpora deterministically by
+// weight with per-sample provenance tags in meta.source, so mixed
+// multi-format inputs run on either backend with byte-identical
+// exports. The complete recipe-key and input-spec reference is
+// docs/recipes.md; the generated operator table is
+// internal/ops/README.md.
+//
 // In adaptive streaming mode (djprocess -stream -adaptive), a runtime
 // controller measures every operator application online through a
 // core.OpRunner observer hook, feeds the live profile into the

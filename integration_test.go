@@ -38,7 +38,7 @@ func TestEveryBuiltinRecipeEndToEnd(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			input := r.DatasetPath
+			input := r.DatasetSpec()
 			if input == "" {
 				input = fallbackInput[name]
 			} else if !strings.Contains(input, "?") {

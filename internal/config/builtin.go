@@ -164,6 +164,29 @@ process:
       max_ratio: 0.01
   - document_deduplicator:
 `,
+	// --- weighted multi-source mixing (paper §3.1: corpora are mixed by
+	// weight before the op chain; RedPajama-style source proportions) ---
+	"pretrain-mix": `
+project_name: pretrain-mix
+sources:
+  - spec: "hub:web-en?docs=150&seed=11"
+    weight: 2
+  - spec: "hub:wiki?docs=100&seed=12"
+    weight: 1
+  - spec: "hub:books?docs=80&seed=13"
+    weight: 1
+    max_samples: 50
+process:
+  - fix_unicode_mapper:
+  - clean_links_mapper:
+  - whitespace_normalization_mapper:
+  - word_num_filter:
+      min_num: 15
+  - character_repetition_filter:
+      rep_len: 10
+      max_ratio: 0.5
+  - document_deduplicator:
+`,
 	// --- fine-tuning recipes (Alpaca-CoT-style) ---
 	"finetune-ift-en": `
 project_name: finetune-ift-en

@@ -1,0 +1,71 @@
+package config_test
+
+// Docs lint: the recipe/spec reference (docs/recipes.md) and the
+// operator reference (internal/ops/README.md) must cover every
+// registered operator and every recipe key, so the documentation cannot
+// rot as the pool or the config surface grows. Registering a new op or
+// adding a recipe key without documenting it fails this test.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/ops"
+	_ "repro/internal/ops/all"
+)
+
+func readDoc(t *testing.T, rel string) string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "..", rel))
+	if err != nil {
+		t.Fatalf("docs lint: %v (run from the repo, the reference must exist)", err)
+	}
+	return string(raw)
+}
+
+func TestDocsCoverEveryOperator(t *testing.T) {
+	recipes := readDoc(t, filepath.Join("docs", "recipes.md"))
+	opsRef := readDoc(t, filepath.Join("internal", "ops", "README.md"))
+	for _, name := range ops.Names() {
+		if !strings.Contains(recipes, "`"+name+"`") {
+			t.Errorf("docs/recipes.md does not mention operator %q", name)
+		}
+		if !strings.Contains(opsRef, "`"+name+"`") {
+			t.Errorf("internal/ops/README.md does not mention operator %q — regenerate with go run ./internal/ops/gen_readme.go", name)
+		}
+	}
+}
+
+func TestDocsCoverEveryRecipeKey(t *testing.T) {
+	recipes := readDoc(t, filepath.Join("docs", "recipes.md"))
+	for _, key := range config.KnownRecipeKeys() {
+		if !strings.Contains(recipes, "`"+key+"`") {
+			t.Errorf("docs/recipes.md does not document recipe key %q", key)
+		}
+	}
+	// The input-spec grammar must stay documented alongside the keys.
+	for _, form := range []string{"hub:", "mix:", "max_samples", ".gz", "meta.source"} {
+		if !strings.Contains(recipes, form) {
+			t.Errorf("docs/recipes.md does not document input-spec form %q", form)
+		}
+	}
+}
+
+func TestDocsCoverEveryBuiltinRecipe(t *testing.T) {
+	// Built-ins are self-documenting through -list-recipes; the reference
+	// only needs to name the command, but the shipped mixing recipe —
+	// the subsystem's flagship — must be mentioned explicitly.
+	recipes := readDoc(t, filepath.Join("docs", "recipes.md"))
+	if !strings.Contains(recipes, "-list-recipes") {
+		t.Error("docs/recipes.md does not point at -list-recipes")
+	}
+	if !strings.Contains(recipes, "pretrain-mix") {
+		t.Error("docs/recipes.md does not mention the pretrain-mix built-in")
+	}
+	if _, err := config.BuiltinRecipe("pretrain-mix"); err != nil {
+		t.Errorf("pretrain-mix built-in missing: %v", err)
+	}
+}

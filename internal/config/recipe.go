@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/format"
 	"repro/internal/ops"
 )
 
@@ -18,13 +19,24 @@ type OpSpec struct {
 	Params ops.Params
 }
 
+// SourceSpec is one weighted input of a multi-source recipe — an alias of
+// the format layer's type so recipes and the mixer share one definition.
+type SourceSpec = format.WeightedSpec
+
 // Recipe is the all-in-one configuration for one processing run,
 // mirroring the paper's config files: environment parameters, the ordered
 // OP list, and cache/checkpoint policy.
 type Recipe struct {
 	ProjectName string
+	// DatasetPath is the single-input dataset spec (file, dir, glob,
+	// "hub:", "mix:"); ignored when Sources is non-empty.
 	DatasetPath string
-	ExportPath  string
+	// Sources is the weighted multi-source input list (recipe key
+	// "sources:"). When non-empty it overrides DatasetPath; the inputs
+	// are interleaved deterministically by weight with per-sample
+	// provenance tags (see format.MixSource and DatasetSpec).
+	Sources    []SourceSpec
+	ExportPath string
 	// NP is the number of parallel workers (0 = GOMAXPROCS).
 	NP int
 	// TextKey is the default text field OPs process.
@@ -100,6 +112,12 @@ func FromMap(m map[string]any) (*Recipe, error) {
 			r.EnableTrace = asBool(v)
 		case "work_dir":
 			r.WorkDir = asString(v)
+		case "sources":
+			specs, err := parseSources(v)
+			if err != nil {
+				return nil, err
+			}
+			r.Sources = specs
 		case "process":
 			specs, err := parseProcess(v)
 			if err != nil {
@@ -107,10 +125,94 @@ func FromMap(m map[string]any) (*Recipe, error) {
 			}
 			r.Process = specs
 		default:
-			return nil, fmt.Errorf("config: unknown recipe key %q", key)
+			return nil, fmt.Errorf("config: unknown recipe key %q (known keys: %v)", key, KnownRecipeKeys())
 		}
 	}
 	return r, nil
+}
+
+// recipeKeys lists every key FromMap accepts, in documentation order.
+// docs/recipes.md must reference each of them (enforced by the docs-lint
+// test) and FromMap must accept each (enforced by TestKnownRecipeKeys).
+var recipeKeys = []string{
+	"project_name", "dataset_path", "sources", "export_path", "np",
+	"text_key", "use_cache", "use_checkpoint", "cache_compression",
+	"op_fusion", "adaptive", "max_workers", "target_mem_mb", "trace",
+	"work_dir", "process",
+}
+
+// KnownRecipeKeys returns every recognized recipe key.
+func KnownRecipeKeys() []string {
+	return append([]string(nil), recipeKeys...)
+}
+
+// parseSources parses the sources: list: entries are either plain spec
+// strings (weight 1) or mappings with spec (or path), weight, and
+// max_samples keys.
+func parseSources(v any) ([]SourceSpec, error) {
+	list, ok := v.([]any)
+	if !ok {
+		if v == nil {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("config: sources must be a list, got %T", v)
+	}
+	specs := make([]SourceSpec, 0, len(list))
+	for i, item := range list {
+		switch e := item.(type) {
+		case string:
+			specs = append(specs, SourceSpec{Spec: e, Weight: 1})
+		case map[string]any:
+			ws := SourceSpec{Weight: 1}
+			for k, ev := range e {
+				switch k {
+				case "spec", "path":
+					if ws.Spec != "" {
+						return nil, fmt.Errorf("config: sources[%d]: both spec and path given", i)
+					}
+					ws.Spec = asString(ev)
+				case "weight":
+					f, ok := asFloatStrict(ev)
+					if !ok {
+						return nil, fmt.Errorf("config: sources[%d]: weight must be a number, got %T (%v)", i, ev, ev)
+					}
+					if f == 0 {
+						// 0 would silently coerce to the default 1;
+						// excluding a source is done by omitting it.
+						return nil, fmt.Errorf("config: sources[%d]: weight 0 — omit the source instead", i)
+					}
+					ws.Weight = f
+				case "max_samples":
+					f, ok := asFloatStrict(ev)
+					if !ok || f != float64(int(f)) {
+						return nil, fmt.Errorf("config: sources[%d]: max_samples must be an integer, got %T (%v)", i, ev, ev)
+					}
+					ws.MaxSamples = int(f)
+				default:
+					return nil, fmt.Errorf("config: sources[%d]: unknown key %q (want spec/path, weight, max_samples)", i, k)
+				}
+			}
+			if ws.Spec == "" {
+				return nil, fmt.Errorf("config: sources[%d]: missing spec", i)
+			}
+			specs = append(specs, ws)
+		default:
+			return nil, fmt.Errorf("config: sources[%d]: unsupported entry type %T", i, item)
+		}
+	}
+	return specs, nil
+}
+
+// DatasetSpec returns the single input spec of the recipe: DatasetPath
+// when Sources is empty, otherwise the canonical "mix:" encoding of the
+// weighted source list. Both execution backends open this one spec
+// through the format layer, so mixed multi-format inputs feed the batch
+// executor and the streaming engine identically.
+func (r *Recipe) DatasetSpec() string {
+	if len(r.Sources) == 0 {
+		return r.DatasetPath
+	}
+	return format.EncodeMix(r.Sources)
 }
 
 func parseProcess(v any) ([]OpSpec, error) {
@@ -221,7 +323,10 @@ func (r *Recipe) ApplyEnv(getenv func(string) string) {
 		r.ExportPath = v
 	}
 	if v := getenv("DJ_DATASET_PATH"); v != "" {
+		// An explicit input override replaces the recipe's whole input,
+		// including a sources: list (a "mix:" value can express one).
 		r.DatasetPath = v
+		r.Sources = nil
 	}
 	if v := getenv("DJ_WORK_DIR"); v != "" {
 		r.WorkDir = v
@@ -231,11 +336,20 @@ func (r *Recipe) ApplyEnv(getenv func(string) string) {
 	}
 }
 
-// Validate checks the recipe for structural problems: unknown operators
-// and empty process lists are reported before any data is touched.
+// Validate checks the recipe for structural problems: unknown operators,
+// empty process lists, and malformed source entries are reported before
+// any data is touched.
 func (r *Recipe) Validate() error {
 	if len(r.Process) == 0 {
 		return fmt.Errorf("config: recipe has an empty process list")
+	}
+	for i, ws := range r.Sources {
+		// Sources travel to both backends as an encoded "mix:" string;
+		// CheckEncodable enforces the weight/max_samples invariants and
+		// rejects specs the grammar would misparse before any data loads.
+		if err := format.CheckEncodable(ws); err != nil {
+			return fmt.Errorf("config: sources[%d]: %w", i, err)
+		}
 	}
 	for i, spec := range r.Process {
 		if _, ok := ops.InfoFor(spec.Name); !ok {
@@ -324,4 +438,19 @@ func asInt(v any) int {
 func asBool(v any) bool {
 	b, _ := v.(bool)
 	return b
+}
+
+// asFloatStrict converts parser-produced numeric types only; anything
+// else (strings, bools, nil) reports !ok so callers can error loudly
+// instead of silently defaulting.
+func asFloatStrict(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	}
+	return 0, false
 }

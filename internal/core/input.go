@@ -1,0 +1,22 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/dataset"
+	"repro/internal/format"
+)
+
+// LoadInput resolves the recipe's input — dataset_path or the weighted
+// sources: list — into a fully resident dataset for the batch executor.
+// The streaming engine opens the identical spec incrementally via
+// stream.OpenSource(r.DatasetSpec(), ...), so both backends consume the
+// same sample sequence, provenance tags included.
+func LoadInput(r *config.Recipe) (*dataset.Dataset, error) {
+	spec := r.DatasetSpec()
+	if spec == "" {
+		return nil, fmt.Errorf("core: recipe has no input: set dataset_path or sources")
+	}
+	return format.Load(spec)
+}

@@ -2,7 +2,9 @@ package corpus
 
 import (
 	"fmt"
+	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/dataset"
@@ -303,6 +305,35 @@ func CFT(o Options, lang string) *dataset.Dataset {
 		s.SetString("meta.dialog", g.pick([]string{"single-round", "multi-round", "preference"}))
 		return s
 	})
+}
+
+// FromSpec resolves the body of a "hub:" dataset spec —
+// "<name>[?docs=N&seed=S]" — to its generated corpus. It is the single
+// parser behind every hub: input, whichever backend opens it.
+func FromSpec(rest string) (*dataset.Dataset, error) {
+	name := rest
+	docs, seed := 0, int64(0)
+	if i := strings.IndexByte(rest, '?'); i >= 0 {
+		name = rest[:i]
+		q, err := url.ParseQuery(rest[i+1:])
+		if err != nil {
+			return nil, fmt.Errorf("corpus: hub query: %w", err)
+		}
+		if v := q.Get("docs"); v != "" {
+			docs, err = strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("corpus: hub docs: %w", err)
+			}
+		}
+		if v := q.Get("seed"); v != "" {
+			s, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("corpus: hub seed: %w", err)
+			}
+			seed = s
+		}
+	}
+	return Hub(name, docs, seed)
 }
 
 // Hub resolves a named built-in corpus ("hub:" scheme of the formatters).

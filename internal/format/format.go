@@ -1,25 +1,25 @@
 // Package format implements the Formatter layer of Table 1: loading and
 // unifying heterogeneous inputs — JSONL, JSON, txt, csv/tsv, markdown,
-// HTML, source code files, directories of any of those, and the "hub:"
-// scheme resolving to the built-in synthetic corpora — into the unified
-// sample representation, plus dataset export.
+// HTML, source code files, gzip-compressed variants of any of those,
+// directories and globs, the "hub:" scheme resolving to the built-in
+// synthetic corpora, and "mix:" weighted multi-source mixtures — into the
+// unified sample representation, plus dataset export. All loading flows
+// through the incremental Source interface (source.go), so the streaming
+// backend reads the same specs with bounded memory; Load is simply a
+// Source drained into a batch dataset.
+//
+// See docs/recipes.md for the complete input-spec reference.
 package format
 
 import (
-	"encoding/csv"
 	"encoding/json"
 	"fmt"
-	"net/url"
 	"os"
 	"path/filepath"
-	"sort"
-	"strconv"
 	"strings"
 
-	"repro/internal/corpus"
 	"repro/internal/dataset"
 	"repro/internal/sample"
-	"repro/internal/text"
 )
 
 // codeSuffixes are loaded as code documents with meta.suffix set.
@@ -28,82 +28,15 @@ var codeSuffixes = map[string]bool{
 	".c": true, ".h": true, ".rs": true, ".rb": true, ".ts": true,
 }
 
-// Load resolves a dataset spec:
-//
-//   - "hub:<name>" or "hub:<name>?docs=N&seed=S" → built-in synthetic
-//     corpus (see corpus.HubNames)
-//   - a file path → loaded according to its extension
-//   - a directory → every supported file inside, merged in sorted order
+// Load resolves a dataset spec (every form OpenSource accepts — file,
+// directory, glob, "hub:", "mix:") into a fully resident batch dataset.
 func Load(spec string) (*dataset.Dataset, error) {
-	if rest, ok := strings.CutPrefix(spec, "hub:"); ok {
-		return loadHub(rest)
-	}
-	info, err := os.Stat(spec)
-	if err != nil {
-		return nil, fmt.Errorf("format: %w", err)
-	}
-	if info.IsDir() {
-		return loadDir(spec)
-	}
-	return loadFile(spec)
-}
-
-func loadHub(rest string) (*dataset.Dataset, error) {
-	name := rest
-	docs, seed := 0, int64(0)
-	if i := strings.IndexByte(rest, '?'); i >= 0 {
-		name = rest[:i]
-		q, err := url.ParseQuery(rest[i+1:])
-		if err != nil {
-			return nil, fmt.Errorf("format: hub query: %w", err)
-		}
-		if v := q.Get("docs"); v != "" {
-			docs, err = strconv.Atoi(v)
-			if err != nil {
-				return nil, fmt.Errorf("format: hub docs: %w", err)
-			}
-		}
-		if v := q.Get("seed"); v != "" {
-			s, err := strconv.ParseInt(v, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("format: hub seed: %w", err)
-			}
-			seed = s
-		}
-	}
-	return corpus.Hub(name, docs, seed)
-}
-
-func loadDir(dir string) (*dataset.Dataset, error) {
-	var files []string
-	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			return nil
-		}
-		if supported(strings.ToLower(filepath.Ext(path))) {
-			files = append(files, path)
-		}
-		return nil
-	})
+	src, err := OpenSource(spec)
 	if err != nil {
 		return nil, err
 	}
-	sort.Strings(files)
-	var parts []*dataset.Dataset
-	for _, f := range files {
-		d, err := loadFile(f)
-		if err != nil {
-			return nil, fmt.Errorf("format: %s: %w", f, err)
-		}
-		parts = append(parts, d)
-	}
-	if len(parts) == 0 {
-		return nil, fmt.Errorf("format: no supported files under %s", dir)
-	}
-	return dataset.Concat(parts...), nil
+	defer src.Close()
+	return Drain(src)
 }
 
 func supported(ext string) bool {
@@ -114,89 +47,11 @@ func supported(ext string) bool {
 	return codeSuffixes[ext]
 }
 
-func loadFile(path string) (*dataset.Dataset, error) {
-	ext := strings.ToLower(filepath.Ext(path))
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	switch ext {
-	case ".jsonl":
-		return loadJSONL(raw)
-	case ".json":
-		return loadJSON(raw)
-	case ".csv":
-		return loadCSV(raw, ',')
-	case ".tsv":
-		return loadCSV(raw, '\t')
-	case ".html", ".htm":
-		s := sample.New(text.StripHTML(string(raw)))
-		s.SetString("meta.file", filepath.Base(path))
-		return dataset.New([]*sample.Sample{s}), nil
-	case ".txt", ".md":
-		s := sample.New(string(raw))
-		s.SetString("meta.file", filepath.Base(path))
-		return dataset.New([]*sample.Sample{s}), nil
-	}
-	if codeSuffixes[ext] {
-		s := sample.New(string(raw))
-		s.SetString("meta.file", filepath.Base(path))
-		s.SetString("meta.suffix", ext)
-		return dataset.New([]*sample.Sample{s}), nil
-	}
-	return nil, fmt.Errorf("format: unsupported file type %q", ext)
-}
-
-// loadJSONL accepts both native sample objects and foreign JSONL: any
-// object with a "text" (or "content") field; remaining top-level fields
-// are folded into meta.
-func loadJSONL(raw []byte) (*dataset.Dataset, error) {
-	var samples []*sample.Sample
-	lineNo := 0
-	for _, line := range strings.Split(string(raw), "\n") {
-		lineNo++
-		line = strings.TrimSpace(line)
-		if line == "" {
-			continue
-		}
-		s, err := SampleFromJSON([]byte(line))
-		if err != nil {
-			return nil, fmt.Errorf("line %d: %w", lineNo, err)
-		}
-		samples = append(samples, s)
-	}
-	return dataset.New(samples), nil
-}
-
-func loadJSON(raw []byte) (*dataset.Dataset, error) {
-	trimmed := strings.TrimSpace(string(raw))
-	if strings.HasPrefix(trimmed, "[") {
-		var items []json.RawMessage
-		if err := json.Unmarshal(raw, &items); err != nil {
-			return nil, err
-		}
-		samples := make([]*sample.Sample, 0, len(items))
-		for i, item := range items {
-			s, err := SampleFromJSON(item)
-			if err != nil {
-				return nil, fmt.Errorf("item %d: %w", i, err)
-			}
-			samples = append(samples, s)
-		}
-		return dataset.New(samples), nil
-	}
-	s, err := SampleFromJSON(raw)
-	if err != nil {
-		return nil, err
-	}
-	return dataset.New([]*sample.Sample{s}), nil
-}
-
 // SampleFromJSON unifies one JSON object into a sample: "text"/"content"
 // becomes the payload (with nested part support), "meta"/"stats" map to
 // their fields, and foreign top-level fields fold into meta. It is the
-// shared decode path of the batch loader and the streaming JSONL source,
-// so both backends see identical samples for the same input line.
+// shared decode path of every JSON-carrying Source, so both backends see
+// identical samples for the same input line.
 func SampleFromJSON(raw []byte) (*sample.Sample, error) {
 	var obj map[string]any
 	if err := json.Unmarshal(raw, &obj); err != nil {
@@ -254,48 +109,15 @@ func SampleFromJSON(raw []byte) (*sample.Sample, error) {
 	return s, nil
 }
 
-// loadCSV maps a header row to sample fields: the "text" (or first)
-// column becomes the text, others become meta.
-func loadCSV(raw []byte, sep rune) (*dataset.Dataset, error) {
-	r := csv.NewReader(strings.NewReader(string(raw)))
-	r.Comma = sep
-	r.FieldsPerRecord = -1
-	rows, err := r.ReadAll()
-	if err != nil {
-		return nil, err
-	}
-	if len(rows) == 0 {
-		return dataset.New(nil), nil
-	}
-	header := rows[0]
-	textCol := 0
-	for i, h := range header {
-		if strings.EqualFold(strings.TrimSpace(h), "text") {
-			textCol = i
-			break
-		}
-	}
-	samples := make([]*sample.Sample, 0, len(rows)-1)
-	for _, row := range rows[1:] {
-		s := &sample.Sample{}
-		for i, cell := range row {
-			if i >= len(header) {
-				break
-			}
-			if i == textCol {
-				s.Text = cell
-				continue
-			}
-			s.Meta = s.Meta.Set(strings.TrimSpace(header[i]), cell)
-		}
-		samples = append(samples, s)
-	}
-	return dataset.New(samples), nil
-}
-
-// Export writes the dataset to path according to its extension: .jsonl
-// (native, lossless), .json (array), or .txt (text only, blank-line
-// separated).
+// Export writes the dataset to path according to its extension:
+//
+//   - .jsonl — native and lossless: text, parts, meta and stats all
+//     round-trip through Load
+//   - .json — a JSON array of full samples; lossless like .jsonl (an
+//     empty dataset exports as [], not null)
+//   - .txt — LOSSY: primary text only, blank-line separated; parts,
+//     meta and stats are dropped by construction. Use .jsonl/.json when
+//     provenance tags or statistics must survive.
 func Export(d *dataset.Dataset, path string) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
@@ -311,7 +133,13 @@ func Export(d *dataset.Dataset, path string) error {
 		defer f.Close()
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
-		return enc.Encode(d.Samples)
+		samples := d.Samples
+		if samples == nil {
+			// A nil slice encodes as null; export [] so the file reads as
+			// an explicitly empty array rather than a degenerate document.
+			samples = []*sample.Sample{}
+		}
+		return enc.Encode(samples)
 	case ".txt":
 		f, err := os.Create(path)
 		if err != nil {
@@ -330,7 +158,7 @@ func Export(d *dataset.Dataset, path string) error {
 		}
 		return nil
 	}
-	return fmt.Errorf("format: unsupported export type for %q", path)
+	return fmt.Errorf("format: unsupported export type for %q (want .jsonl, .json, or .txt — note .txt drops parts/meta/stats)", path)
 }
 
 // ExportSharded writes the dataset as numbered JSONL shard files

@@ -1,0 +1,247 @@
+// Weighted multi-source mixing (paper §3.1: multiple corpora are mixed
+// by weight before the op chain runs). The mixer is a Source over other
+// Sources: it interleaves constituent streams deterministically in
+// proportion to their weights, tags every sample's provenance, and stays
+// incremental — a constituent is only read when its turn comes, so mixing
+// N streaming files still holds O(1) samples outside the consumer.
+package format
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/sample"
+)
+
+// WeightedSpec is one constituent of a mixed input: a dataset spec (any
+// form OpenSource accepts except "mix:" itself — mixes do not nest), a
+// relative sampling weight, and an optional cap on the samples taken.
+type WeightedSpec struct {
+	// Spec is the constituent dataset spec (file, dir, glob, hub:).
+	Spec string
+	// Weight is the relative interleave weight (0 means 1).
+	Weight float64
+	// MaxSamples caps the samples taken from this constituent (0 = all).
+	MaxSamples int
+}
+
+// ParseMixSpec parses the body of a "mix:" spec — a comma-separated list
+// of items of the form
+//
+//	spec[@weight[:max_samples]]
+//
+// e.g. "a.jsonl@2,b.csv.gz@1,hub:wiki?docs=100@0.5:40". The weight
+// defaults to 1. The '@' before the weight is reserved: a path whose last
+// '@'-suffix does not parse as a weight is an error. Commas cannot appear
+// inside item specs.
+func ParseMixSpec(body string) ([]WeightedSpec, error) {
+	if strings.TrimSpace(body) == "" {
+		return nil, fmt.Errorf("format: empty mix spec")
+	}
+	items := strings.Split(body, ",")
+	specs := make([]WeightedSpec, 0, len(items))
+	for _, item := range items {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			return nil, fmt.Errorf("format: empty item in mix spec %q", body)
+		}
+		ws := WeightedSpec{Spec: item, Weight: 1}
+		if i := strings.LastIndexByte(item, '@'); i >= 0 {
+			tail := item[i+1:]
+			maxPart := ""
+			if j := strings.IndexByte(tail, ':'); j >= 0 {
+				tail, maxPart = tail[:j], tail[j+1:]
+			}
+			w, err := strconv.ParseFloat(tail, 64)
+			if err != nil {
+				return nil, fmt.Errorf("format: mix item %q: bad weight %q", item, tail)
+			}
+			if w == 0 {
+				// An explicit @0 would silently coerce to the default 1
+				// (the zero-value convention); excluding a source is done
+				// by omitting it, so reject the ambiguity.
+				return nil, fmt.Errorf("format: mix item %q: weight 0 — omit the source instead", item)
+			}
+			ws.Spec, ws.Weight = item[:i], w
+			if maxPart != "" {
+				n, err := strconv.Atoi(maxPart)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("format: mix item %q: bad max_samples %q", item, maxPart)
+				}
+				ws.MaxSamples = n
+			}
+		}
+		if err := validateWeighted(ws); err != nil {
+			return nil, err
+		}
+		specs = append(specs, ws)
+	}
+	return specs, nil
+}
+
+// EncodeMix renders weighted specs back into the canonical "mix:" string
+// ParseMixSpec accepts. It is how recipes with a sources: list and both
+// execution backends agree on one input spec.
+func EncodeMix(specs []WeightedSpec) string {
+	parts := make([]string, len(specs))
+	for i, ws := range specs {
+		p := ws.Spec
+		w := ws.Weight
+		if w == 0 {
+			w = 1
+		}
+		if w != 1 || ws.MaxSamples > 0 {
+			p += "@" + strconv.FormatFloat(w, 'g', -1, 64)
+			if ws.MaxSamples > 0 {
+				p += ":" + strconv.Itoa(ws.MaxSamples)
+			}
+		}
+		parts[i] = p
+	}
+	return "mix:" + strings.Join(parts, ",")
+}
+
+// CheckEncodable reports whether ws survives the mix-spec string grammar
+// unchanged — recipes with a sources: list are canonically encoded via
+// EncodeMix, so a spec the grammar would misparse (a ',' anywhere, or a
+// trailing '@<number>' segment in the path) must be rejected up front
+// with a clear error instead of loading the wrong data.
+func CheckEncodable(ws WeightedSpec) error {
+	if err := validateWeighted(ws); err != nil {
+		return err
+	}
+	if strings.Contains(ws.Spec, ",") {
+		return fmt.Errorf("format: source spec %q contains ',', which the mix grammar reserves; rename the file", ws.Spec)
+	}
+	back, err := ParseMixSpec(strings.TrimPrefix(EncodeMix([]WeightedSpec{ws}), "mix:"))
+	w := ws.Weight
+	if w == 0 {
+		w = 1
+	}
+	if err != nil || len(back) != 1 || back[0].Spec != ws.Spec ||
+		back[0].Weight != w || back[0].MaxSamples != ws.MaxSamples {
+		return fmt.Errorf("format: source spec %q is ambiguous under the mix grammar (a trailing @<number> segment reads as a weight); rename the file", ws.Spec)
+	}
+	return nil
+}
+
+func validateWeighted(ws WeightedSpec) error {
+	if ws.Spec == "" {
+		return fmt.Errorf("format: mix item has an empty spec")
+	}
+	if strings.HasPrefix(ws.Spec, "mix:") {
+		return fmt.Errorf("format: mix specs do not nest (%q)", ws.Spec)
+	}
+	if ws.Weight < 0 || math.IsNaN(ws.Weight) || math.IsInf(ws.Weight, 0) {
+		// NaN poisons every credit comparison (always false → no mixing)
+		// and Inf degenerates the schedule, so both are rejected with
+		// negatives rather than silently concatenating.
+		return fmt.Errorf("format: mix item %q: weight must be a finite non-negative number, got %v", ws.Spec, ws.Weight)
+	}
+	if ws.MaxSamples < 0 {
+		return fmt.Errorf("format: mix item %q: negative max_samples %d", ws.Spec, ws.MaxSamples)
+	}
+	return nil
+}
+
+// mixEntry is one live constituent of a MixSource.
+type mixEntry struct {
+	spec   string
+	src    Source
+	weight float64
+	credit float64
+	taken  int
+	max    int
+	done   bool
+}
+
+// MixSource interleaves constituent sources by smooth weighted
+// round-robin: each turn every live entry gains its weight in credit, the
+// richest entry (ties to the earliest) emits one sample and pays back the
+// total live weight. The schedule is a pure function of the weights —
+// with weights 2:1 the stream goes a b a, a b a, ... — so mixing is fully
+// deterministic and both backends see the identical sequence. Exhausted
+// or capped entries leave the rotation and the remaining weights keep
+// their relative proportions.
+//
+// Every emitted sample is provenance-tagged: meta.source is set to the
+// constituent's spec string, overwriting any loader-assigned value.
+type MixSource struct {
+	entries []*mixEntry
+}
+
+// OpenMix opens every weighted spec and returns their interleaved Source.
+// On error, constituents already opened are closed.
+func OpenMix(specs []WeightedSpec) (*MixSource, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("format: empty mix spec")
+	}
+	m := &MixSource{}
+	for _, ws := range specs {
+		if err := validateWeighted(ws); err != nil {
+			m.Close()
+			return nil, err
+		}
+		src, err := OpenSource(ws.Spec)
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		w := ws.Weight
+		if w == 0 {
+			w = 1
+		}
+		m.entries = append(m.entries, &mixEntry{
+			spec: ws.Spec, src: src, weight: w, max: ws.MaxSamples,
+		})
+	}
+	return m, nil
+}
+
+// Next returns the next sample of the interleaved stream, tagged with its
+// provenance, or io.EOF once every constituent is exhausted.
+func (m *MixSource) Next() (*sample.Sample, error) {
+	for {
+		total := 0.0
+		var pick *mixEntry
+		for _, e := range m.entries {
+			if e.done || (e.max > 0 && e.taken >= e.max) {
+				continue
+			}
+			total += e.weight
+			e.credit += e.weight
+			if pick == nil || e.credit > pick.credit {
+				pick = e
+			}
+		}
+		if pick == nil {
+			return nil, io.EOF
+		}
+		pick.credit -= total
+		s, err := pick.src.Next()
+		if err == io.EOF {
+			pick.done = true
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("format: mix source %s: %w", pick.spec, err)
+		}
+		pick.taken++
+		s.Meta = s.Meta.Set("source", pick.spec)
+		return s, nil
+	}
+}
+
+// Close closes every constituent, returning the first error.
+func (m *MixSource) Close() error {
+	var first error
+	for _, e := range m.entries {
+		if err := e.src.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,220 @@
+package format
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseMixSpec(t *testing.T) {
+	got, err := ParseMixSpec("a.jsonl@2,b.csv.gz@1,hub:wiki?docs=100&seed=3@0.5:40,c.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []WeightedSpec{
+		{Spec: "a.jsonl", Weight: 2},
+		{Spec: "b.csv.gz", Weight: 1},
+		{Spec: "hub:wiki?docs=100&seed=3", Weight: 0.5, MaxSamples: 40},
+		{Spec: "c.txt", Weight: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v\nwant %+v", got, want)
+	}
+	for _, bad := range []string{
+		"",
+		"a.jsonl,",
+		"a.jsonl@notanumber",
+		"a.jsonl@2:xyz",
+		"a.jsonl@-1",
+		"a.jsonl@0",    // explicit 0 would coerce to 1; omit instead
+		"a.jsonl@NaN",  // NaN would poison every credit comparison
+		"a.jsonl@+Inf", // Inf degenerates the schedule
+		"mix:a.jsonl",
+	} {
+		if _, err := ParseMixSpec(bad); err == nil {
+			t.Errorf("ParseMixSpec(%q) should error", bad)
+		}
+	}
+}
+
+// TestEncodeMixRoundTrip: EncodeMix output must re-parse to the same
+// weighted specs — the contract that lets recipes (sources:) and the CLI
+// (mix:) agree on one canonical form.
+func TestEncodeMixRoundTrip(t *testing.T) {
+	specs := []WeightedSpec{
+		{Spec: "a.jsonl", Weight: 2},
+		{Spec: "b.csv.gz"}, // zero weight encodes as default 1
+		{Spec: "hub:books?docs=50", Weight: 1.5, MaxSamples: 10},
+	}
+	enc := EncodeMix(specs)
+	body, ok := strings.CutPrefix(enc, "mix:")
+	if !ok {
+		t.Fatalf("EncodeMix = %q, want mix: prefix", enc)
+	}
+	back, err := ParseMixSpec(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []WeightedSpec{
+		{Spec: "a.jsonl", Weight: 2},
+		{Spec: "b.csv.gz", Weight: 1},
+		{Spec: "hub:books?docs=50", Weight: 1.5, MaxSamples: 10},
+	}
+	if !reflect.DeepEqual(back, want) {
+		t.Fatalf("round trip: got %+v\nwant %+v", back, want)
+	}
+}
+
+// TestCheckEncodable: specs the mix grammar would misparse are rejected
+// up front; ordinary specs round-trip.
+func TestCheckEncodable(t *testing.T) {
+	for _, ok := range []WeightedSpec{
+		{Spec: "a.jsonl", Weight: 2},
+		{Spec: "hub:wiki?docs=10&seed=1", MaxSamples: 5},
+	} {
+		if err := CheckEncodable(ok); err != nil {
+			t.Errorf("CheckEncodable(%+v) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []WeightedSpec{
+		{Spec: "data@2.jsonl"},        // '@' tail does not re-parse
+		{Spec: "data@v2.dir/x.jsonl"}, // same: '@' is reserved in the grammar
+		{Spec: "a,b.jsonl"},           // comma is the item separator
+		{Spec: "shard@3"},             // trailing @<number> reads as a weight
+		{Spec: ""},                    // empty
+		{Spec: "mix:a.jsonl"},         // nesting
+		{Spec: "x", Weight: -1},       // negative weight
+	} {
+		if err := CheckEncodable(bad); err == nil {
+			t.Errorf("CheckEncodable(%+v) should error", bad)
+		}
+	}
+}
+
+func writeJSONLFile(t *testing.T, path string, texts ...string) {
+	t.Helper()
+	var b strings.Builder
+	for _, txt := range texts {
+		b.WriteString(`{"text":"` + txt + `"}` + "\n")
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMixInterleavesByWeight: with weights 2:1 the smooth weighted
+// round-robin emits a b a | a b a | ... and tags provenance.
+func TestMixInterleavesByWeight(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	writeJSONLFile(t, a, "a0", "a1", "a2", "a3")
+	writeJSONLFile(t, b, "b0", "b1")
+
+	d, err := Load("mix:" + a + "@2," + b + "@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts, sources []string
+	for _, s := range d.Samples {
+		texts = append(texts, s.Text)
+		src, _ := s.Meta.Get("source")
+		sources = append(sources, src.(string))
+	}
+	wantTexts := []string{"a0", "b0", "a1", "a2", "b1", "a3"}
+	if !reflect.DeepEqual(texts, wantTexts) {
+		t.Fatalf("interleave order %v, want %v", texts, wantTexts)
+	}
+	for i, s := range sources {
+		want := a
+		if strings.HasPrefix(texts[i], "b") {
+			want = b
+		}
+		if s != want {
+			t.Errorf("sample %d (%s) tagged %q, want %q", i, texts[i], s, want)
+		}
+	}
+}
+
+// TestMixDeterminism: the same spec drains to the identical sample
+// sequence every time, including hub constituents.
+func TestMixDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	writeJSONLFile(t, a, "a0", "a1", "a2", "a3", "a4", "a5", "a6")
+	spec := "mix:" + a + "@1.5,hub:wiki?docs=9&seed=4@1"
+
+	first, err := Load(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Load(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Len() != 16 {
+		t.Fatalf("mix yielded %d samples, want 16", first.Len())
+	}
+	if first.Fingerprint() != second.Fingerprint() {
+		t.Fatal("mixing is not deterministic across opens")
+	}
+}
+
+// TestMixMaxSamples: a capped constituent leaves the rotation after its
+// quota; the rest of the stream continues.
+func TestMixMaxSamples(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	writeJSONLFile(t, a, "a0", "a1", "a2", "a3", "a4")
+	writeJSONLFile(t, b, "b0", "b1", "b2", "b3", "b4")
+
+	d, err := Load("mix:" + a + "@1:2," + b + "@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, s := range d.Samples {
+		src, _ := s.Meta.Get("source")
+		counts[src.(string)]++
+	}
+	if counts[a] != 2 || counts[b] != 5 {
+		t.Fatalf("counts = %v, want a:2 b:5", counts)
+	}
+}
+
+// TestMixOverGzippedCSVAndJSONL is the acceptance-shaped unit: a mixture
+// of a gzipped CSV and a plain JSONL drains identically through the batch
+// Load and an incremental Source.
+func TestMixOverGzippedCSVAndJSONL(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	writeJSONLFile(t, a, "j0", "j1", "j2")
+	gzWrite(t, filepath.Join(dir, "b.csv.gz"), "text,tag\nc0,x\nc1,y\n")
+
+	spec := "mix:" + a + "@2," + filepath.Join(dir, "b.csv.gz") + "@1"
+	batch, err := Load(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenSource(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	streamed, err := Drain(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Len() != 5 || batch.Fingerprint() != streamed.Fingerprint() {
+		t.Fatalf("mixed multi-format load diverges (batch %d, stream %d)", batch.Len(), streamed.Len())
+	}
+	// CSV meta columns and provenance tags coexist.
+	for _, s := range batch.Samples {
+		if _, ok := s.Meta.Get("source"); !ok {
+			t.Fatalf("sample %q missing provenance tag", s.Text)
+		}
+	}
+}

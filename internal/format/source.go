@@ -1,0 +1,532 @@
+package format
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+	"repro/internal/sample"
+	"repro/internal/text"
+)
+
+// Source is the incremental reader every input flows through: it yields
+// unified samples one at a time and returns io.EOF when the input is
+// exhausted. File-backed sources read with bounded buffers — never the
+// whole file — so peak memory of a streaming run stays independent of
+// corpus size; in-memory sources (hub corpora) iterate an existing
+// dataset. Both execution backends consume the same Source for the same
+// spec, which is what makes their sample streams identical.
+type Source interface {
+	// Next returns the next sample, or io.EOF when the input is exhausted.
+	Next() (*sample.Sample, error)
+	// Close releases underlying resources.
+	Close() error
+}
+
+// OpenSource resolves a dataset spec into a streaming Source:
+//
+//   - "mix:ITEM,ITEM,..." → weighted multi-source interleaver (see
+//     ParseMixSpec); each ITEM is itself any of the forms below
+//   - "hub:<name>[?docs=N&seed=S]" → built-in synthetic corpus
+//   - a glob pattern ("data/*.jsonl.gz") → every supported match, sorted
+//   - a directory → every supported file inside, merged in sorted order
+//   - a file path → read according to its extension, with a trailing
+//     ".gz" decompressed transparently (data.csv.gz reads as csv)
+//
+// Supported extensions: .jsonl, .json, .csv, .tsv, .txt, .md, .html,
+// .htm, the code suffixes (.py, .go, ...), each optionally + ".gz".
+func OpenSource(spec string) (Source, error) {
+	if rest, ok := strings.CutPrefix(spec, "mix:"); ok {
+		specs, err := ParseMixSpec(rest)
+		if err != nil {
+			return nil, err
+		}
+		return OpenMix(specs)
+	}
+	if rest, ok := strings.CutPrefix(spec, "hub:"); ok {
+		d, err := corpus.FromSpec(rest)
+		if err != nil {
+			return nil, fmt.Errorf("format: %w", err)
+		}
+		return NewDatasetSource(d), nil
+	}
+	info, err := os.Stat(spec)
+	if err != nil {
+		// Not an existing path: try it as a glob pattern. An existing
+		// file whose name contains literal glob metacharacters is served
+		// by the stat above, never pattern-matched.
+		if strings.ContainsAny(spec, "*?[") {
+			matches, gerr := filepath.Glob(spec)
+			if gerr != nil {
+				return nil, fmt.Errorf("format: bad glob %q: %w", spec, gerr)
+			}
+			var files []string
+			for _, m := range matches {
+				ext, _ := effectiveExt(m)
+				if !supported(ext) {
+					continue
+				}
+				// A directory whose name ends in a supported extension
+				// (e.g. a per-day shard folder "old.csv/") must not be
+				// opened as a data file.
+				if fi, err := os.Stat(m); err != nil || fi.IsDir() {
+					continue
+				}
+				files = append(files, m)
+			}
+			if len(files) == 0 {
+				return nil, fmt.Errorf("format: glob %q matches no supported files", spec)
+			}
+			sort.Strings(files)
+			return OpenFiles(files...)
+		}
+		return nil, fmt.Errorf("format: %w", err)
+	}
+	if info.IsDir() {
+		files, err := supportedFilesIn(spec)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("format: no supported files under %s", spec)
+		}
+		return OpenFiles(files...)
+	}
+	return OpenFiles(spec)
+}
+
+// OpenFiles returns a Source reading the given files back-to-back as one
+// logical stream, each according to its extension. Files are opened
+// lazily, one at a time.
+func OpenFiles(paths ...string) (Source, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("format: no input files")
+	}
+	for _, p := range paths {
+		if ext, gz := effectiveExt(p); !supported(ext) {
+			if gz {
+				return nil, fmt.Errorf("format: unsupported file type %q (under the transparent .gz)", ext)
+			}
+			return nil, fmt.Errorf("format: unsupported file type %q", filepath.Ext(p))
+		}
+	}
+	return &filesSource{paths: paths}, nil
+}
+
+// effectiveExt returns the lowercased extension that decides how path is
+// parsed, and whether the file is gzip-compressed (a trailing ".gz" is
+// transparent: "data.csv.gz" has effective extension ".csv").
+func effectiveExt(path string) (ext string, gzipped bool) {
+	ext = strings.ToLower(filepath.Ext(path))
+	if ext == ".gz" {
+		gzipped = true
+		ext = strings.ToLower(filepath.Ext(strings.TrimSuffix(path, filepath.Ext(path))))
+	}
+	return ext, gzipped
+}
+
+// supportedFilesIn lists the supported files under dir, sorted.
+func supportedFilesIn(dir string) ([]string, error) {
+	var files []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		if ext, _ := effectiveExt(path); supported(ext) {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// filesSource reads a list of files sequentially, opening each lazily.
+type filesSource struct {
+	paths []string
+	idx   int
+	cur   Source
+}
+
+func (f *filesSource) Next() (*sample.Sample, error) {
+	for {
+		if f.cur == nil {
+			if f.idx >= len(f.paths) {
+				return nil, io.EOF
+			}
+			src, err := openFile(f.paths[f.idx])
+			if err != nil {
+				return nil, err
+			}
+			f.cur = src
+		}
+		s, err := f.cur.Next()
+		if err == io.EOF {
+			f.cur.Close()
+			f.cur = nil
+			f.idx++
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("format: %s: %w", f.paths[f.idx], err)
+		}
+		return s, nil
+	}
+}
+
+func (f *filesSource) Close() error {
+	if f.cur != nil {
+		err := f.cur.Close()
+		f.cur = nil
+		return err
+	}
+	return nil
+}
+
+// openFile opens one file as a Source according to its effective
+// extension, layering gzip decompression under the parser when the path
+// ends in ".gz".
+func openFile(path string) (Source, error) {
+	ext, gzipped := effectiveExt(path)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("format: %w", err)
+	}
+	var r io.Reader = f
+	closer := io.Closer(f)
+	if gzipped {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("format: %s: %w", path, err)
+		}
+		r = zr
+		closer = stackedCloser{zr, f}
+	}
+	switch ext {
+	case ".jsonl":
+		return newJSONLReader(r, closer), nil
+	case ".json":
+		return newJSONReader(r, closer), nil
+	case ".csv":
+		return newCSVReader(r, closer, ','), nil
+	case ".tsv":
+		return newCSVReader(r, closer, '\t'), nil
+	case ".html", ".htm":
+		return newDocReader(r, closer, path, true, ""), nil
+	case ".txt", ".md":
+		return newDocReader(r, closer, path, false, ""), nil
+	}
+	if codeSuffixes[ext] {
+		return newDocReader(r, closer, path, false, ext), nil
+	}
+	closer.Close()
+	if gzipped {
+		return nil, fmt.Errorf("format: unsupported file type %q (under the transparent .gz)", ext)
+	}
+	return nil, fmt.Errorf("format: unsupported file type %q", filepath.Ext(path))
+}
+
+// stackedCloser closes a decompressor, then the file under it.
+type stackedCloser struct{ outer, inner io.Closer }
+
+func (c stackedCloser) Close() error {
+	err := c.outer.Close()
+	if err2 := c.inner.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// jsonlReader decodes one JSON object per line through SampleFromJSON —
+// the exact unification the whole system shares — with a bounded buffer.
+type jsonlReader struct {
+	scan   *bufio.Scanner
+	closer io.Closer
+	lineNo int
+}
+
+func newJSONLReader(r io.Reader, closer io.Closer) *jsonlReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	return &jsonlReader{scan: sc, closer: closer}
+}
+
+func (j *jsonlReader) Next() (*sample.Sample, error) {
+	for j.scan.Scan() {
+		j.lineNo++
+		line := strings.TrimSpace(j.scan.Text())
+		if line == "" {
+			continue
+		}
+		s, err := SampleFromJSON([]byte(line))
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", j.lineNo, err)
+		}
+		return s, nil
+	}
+	if err := j.scan.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+func (j *jsonlReader) Close() error { return j.closer.Close() }
+
+// jsonReader streams a .json document: a top-level array is decoded
+// element by element (the array is never fully resident), a single
+// object yields one sample, and a bare null yields none.
+type jsonReader struct {
+	br      *bufio.Reader
+	dec     *json.Decoder
+	closer  io.Closer
+	started bool
+	array   bool
+	done    bool
+	idx     int
+}
+
+func newJSONReader(r io.Reader, closer io.Closer) *jsonReader {
+	br := bufio.NewReaderSize(r, 1<<16)
+	return &jsonReader{br: br, dec: json.NewDecoder(br), closer: closer}
+}
+
+func (j *jsonReader) start() error {
+	j.started = true
+	for {
+		b, err := j.br.ReadByte()
+		if err == io.EOF {
+			return fmt.Errorf("empty JSON document")
+		}
+		if err != nil {
+			return err
+		}
+		if b == ' ' || b == '\t' || b == '\n' || b == '\r' {
+			continue
+		}
+		j.br.UnreadByte()
+		j.array = b == '['
+		break
+	}
+	if j.array {
+		if _, err := j.dec.Token(); err != nil { // consume '['
+			return err
+		}
+	}
+	return nil
+}
+
+func (j *jsonReader) Next() (*sample.Sample, error) {
+	if j.done {
+		return nil, io.EOF
+	}
+	if !j.started {
+		if err := j.start(); err != nil {
+			return nil, err
+		}
+	}
+	if j.array {
+		if !j.dec.More() {
+			j.done = true
+			if _, err := j.dec.Token(); err != nil { // consume ']'
+				return nil, err
+			}
+			if err := j.checkTrailing(); err != nil {
+				return nil, err
+			}
+			return nil, io.EOF
+		}
+		var raw json.RawMessage
+		if err := j.dec.Decode(&raw); err != nil {
+			return nil, err
+		}
+		s, err := SampleFromJSON(raw)
+		if err != nil {
+			return nil, fmt.Errorf("item %d: %w", j.idx, err)
+		}
+		j.idx++
+		return s, nil
+	}
+	j.done = true
+	var raw json.RawMessage
+	if err := j.dec.Decode(&raw); err != nil {
+		return nil, err
+	}
+	if err := j.checkTrailing(); err != nil {
+		return nil, err
+	}
+	if string(raw) == "null" {
+		return nil, io.EOF
+	}
+	return SampleFromJSON(raw)
+}
+
+// checkTrailing rejects content after the document: a .json file holding
+// concatenated values (often JSONL mislabeled as .json) must error, not
+// silently load its first value.
+func (j *jsonReader) checkTrailing() error {
+	_, err := j.dec.Token()
+	switch {
+	case err == io.EOF:
+		return nil
+	case err == nil:
+		return fmt.Errorf("trailing content after JSON document (JSONL data should use a .jsonl extension)")
+	default:
+		// A real I/O or syntax error (e.g. a truncated gzip stream), not
+		// extra content — surface it as-is.
+		return err
+	}
+}
+
+func (j *jsonReader) Close() error { return j.closer.Close() }
+
+// csvReader streams rows: the header row maps columns to sample fields —
+// the "text" column (or the first) becomes the text, others become meta.
+type csvReader struct {
+	r       *csv.Reader
+	closer  io.Closer
+	header  []string
+	textCol int
+	started bool
+}
+
+func newCSVReader(r io.Reader, closer io.Closer, sep rune) *csvReader {
+	cr := csv.NewReader(r)
+	cr.Comma = sep
+	cr.FieldsPerRecord = -1
+	return &csvReader{r: cr, closer: closer}
+}
+
+func (c *csvReader) Next() (*sample.Sample, error) {
+	if !c.started {
+		c.started = true
+		header, err := c.r.Read()
+		if err == io.EOF {
+			return nil, io.EOF // empty file: zero samples
+		}
+		if err != nil {
+			return nil, err
+		}
+		c.header = header
+		for i, h := range header {
+			if strings.EqualFold(strings.TrimSpace(h), "text") {
+				c.textCol = i
+				break
+			}
+		}
+	}
+	row, err := c.r.Read()
+	if err != nil {
+		return nil, err // io.EOF included
+	}
+	s := &sample.Sample{}
+	for i, cell := range row {
+		if i >= len(c.header) {
+			break
+		}
+		if i == c.textCol {
+			s.Text = cell
+			continue
+		}
+		s.Meta = s.Meta.Set(strings.TrimSpace(c.header[i]), cell)
+	}
+	return s, nil
+}
+
+func (c *csvReader) Close() error { return c.closer.Close() }
+
+// docReader yields a whole file as one sample (txt/md/html/code). The
+// single sample necessarily holds the full content, so the read is not
+// incremental — but it is bounded by that one document's size.
+type docReader struct {
+	r         io.Reader
+	closer    io.Closer
+	path      string
+	stripHTML bool
+	suffix    string
+	done      bool
+}
+
+func newDocReader(r io.Reader, closer io.Closer, path string, stripHTML bool, suffix string) *docReader {
+	return &docReader{r: r, closer: closer, path: path, stripHTML: stripHTML, suffix: suffix}
+}
+
+func (d *docReader) Next() (*sample.Sample, error) {
+	if d.done {
+		return nil, io.EOF
+	}
+	d.done = true
+	raw, err := io.ReadAll(d.r)
+	if err != nil {
+		return nil, err
+	}
+	content := string(raw)
+	if d.stripHTML {
+		content = text.StripHTML(content)
+	}
+	s := sample.New(content)
+	s.SetString("meta.file", filepath.Base(d.path))
+	if d.suffix != "" {
+		s.SetString("meta.suffix", d.suffix)
+	}
+	return s, nil
+}
+
+func (d *docReader) Close() error { return d.closer.Close() }
+
+// DatasetSource iterates an in-memory dataset as a Source — the adapter
+// for inputs without an incremental representation (hub corpora,
+// already-loaded datasets). Samples are shared, not copied.
+type DatasetSource struct {
+	samples []*sample.Sample
+	pos     int
+}
+
+// NewDatasetSource wraps d as a Source.
+func NewDatasetSource(d *dataset.Dataset) *DatasetSource {
+	return &DatasetSource{samples: d.Samples}
+}
+
+// Next returns the next sample of the dataset.
+func (ds *DatasetSource) Next() (*sample.Sample, error) {
+	if ds.pos >= len(ds.samples) {
+		return nil, io.EOF
+	}
+	s := ds.samples[ds.pos]
+	ds.pos++
+	return s, nil
+}
+
+// Close is a no-op for in-memory sources.
+func (ds *DatasetSource) Close() error { return nil }
+
+// Drain reads src to exhaustion into a batch dataset. It does not close
+// the source.
+func Drain(src Source) (*dataset.Dataset, error) {
+	var samples []*sample.Sample
+	for {
+		s, err := src.Next()
+		if err == io.EOF {
+			return dataset.New(samples), nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, s)
+	}
+}

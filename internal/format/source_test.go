@@ -1,0 +1,324 @@
+package format
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// gzWrite writes content to path, gzip-compressed.
+func gzWrite(t *testing.T, path, content string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	if _, err := zw.Write([]byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEffectiveExt(t *testing.T) {
+	cases := []struct {
+		path string
+		ext  string
+		gz   bool
+	}{
+		{"a.jsonl", ".jsonl", false},
+		{"a.jsonl.gz", ".jsonl", true},
+		{"dir/b.CSV.GZ", ".csv", true},
+		{"noext", "", false},
+		{"x.gz", "", true},
+	}
+	for _, c := range cases {
+		ext, gz := effectiveExt(c.path)
+		if ext != c.ext || gz != c.gz {
+			t.Errorf("effectiveExt(%q) = (%q, %v), want (%q, %v)", c.path, ext, gz, c.ext, c.gz)
+		}
+	}
+}
+
+// TestGzipTransparent: a gzipped file must load identically to its plain
+// twin, for both line-oriented (jsonl) and record-oriented (csv) formats.
+func TestGzipTransparent(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := "{\"text\":\"alpha beta\",\"meta\":{\"lang\":\"en\"}}\n{\"text\":\"gamma\"}\n"
+	csvData := "text,topic\n\"first, doc\",news\n\"multi\nline\",sport\n"
+
+	plainJ := filepath.Join(dir, "a.jsonl")
+	if err := os.WriteFile(plainJ, []byte(jsonl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gzWrite(t, filepath.Join(dir, "a2.jsonl.gz"), jsonl)
+	plainC := filepath.Join(dir, "b.csv")
+	if err := os.WriteFile(plainC, []byte(csvData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gzWrite(t, filepath.Join(dir, "b2.csv.gz"), csvData)
+
+	for _, pair := range [][2]string{
+		{plainJ, filepath.Join(dir, "a2.jsonl.gz")},
+		{plainC, filepath.Join(dir, "b2.csv.gz")},
+	} {
+		plain, err := Load(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		zipped, err := Load(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Fingerprint() != zipped.Fingerprint() {
+			t.Errorf("%s: gzip load diverges from plain load", pair[1])
+		}
+		if plain.Len() != 2 {
+			t.Errorf("%s: got %d samples, want 2", pair[0], plain.Len())
+		}
+	}
+}
+
+// TestJSONArrayStreams: the .json reader must yield array elements
+// incrementally and agree with the batch load.
+func TestJSONArrayStreams(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "arr.json")
+	raw := `[{"text": "one"}, {"text": "two", "meta": {"k": "v"}}, {"content": "three"}]`
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	d, err := Drain(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Fingerprint() != batch.Fingerprint() || d.Len() != 3 {
+		t.Fatalf("json array stream %d samples, batch %d", d.Len(), batch.Len())
+	}
+}
+
+// TestJSONNullAndEmpty: a bare null (the old export of an empty dataset)
+// loads as an empty dataset; an empty .json file errors.
+func TestJSONNullAndEmpty(t *testing.T) {
+	dir := t.TempDir()
+	nullPath := filepath.Join(dir, "null.json")
+	if err := os.WriteFile(nullPath, []byte("null\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Load(nullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("null json loaded %d samples, want 0", d.Len())
+	}
+	emptyPath := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(emptyPath, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(emptyPath); err == nil {
+		t.Fatal("empty .json must error")
+	}
+}
+
+// TestExportEmptyJSONRoundTrip: exporting an empty dataset to .json and
+// reloading must give an empty dataset, not one phantom sample.
+func TestExportEmptyJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := Export(dataset.New(nil), path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Fatalf("empty export reloaded as %d samples, want 0", back.Len())
+	}
+}
+
+func TestGlobSpec(t *testing.T) {
+	dir := t.TempDir()
+	for i, name := range []string{"a.jsonl", "b.jsonl", "c.bin"} {
+		content := "{\"text\":\"doc " + string(rune('0'+i)) + "\"}\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A directory named like a data file must not match the glob.
+	if err := os.Mkdir(filepath.Join(dir, "folder.jsonl"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Load(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("glob load = %d samples, want 2", d.Len())
+	}
+	if _, err := Load(filepath.Join(dir, "*.parquet")); err == nil {
+		t.Fatal("glob with no supported matches must error")
+	}
+}
+
+// TestDirectoryMixedFormats: a directory holding different formats loads
+// every supported file in sorted order; unsupported files are skipped.
+func TestDirectoryMixedFormats(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.jsonl"), []byte("{\"text\":\"j\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "b.csv"), []byte("text\nrow one\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gzWrite(t, filepath.Join(dir, "c.txt.gz"), "plain text doc")
+	if err := os.WriteFile(filepath.Join(dir, "skip.bin"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("mixed dir load = %d samples, want 3", d.Len())
+	}
+	texts := []string{d.Samples[0].Text, d.Samples[1].Text, d.Samples[2].Text}
+	want := []string{"j", "row one", "plain text doc"}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Fatalf("sample %d text %q, want %q (sorted file order)", i, texts[i], want[i])
+		}
+	}
+}
+
+// TestSourceMatchesLoadEveryFormat: for each file format, draining the
+// incremental Source must be byte-equivalent to the batch Load.
+func TestSourceMatchesLoadEveryFormat(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"a.jsonl": "{\"text\":\"one\"}\n{\"text\":\"two\",\"stats\":{\"s\":1}}\n",
+		"b.json":  `[{"text":"arr"},{"text":"ay"}]`,
+		"c.csv":   "text,k\nv1,m1\nv2,m2\n",
+		"d.tsv":   "text\tk\nv1\tm1\n",
+		"e.txt":   "whole file",
+		"f.md":    "# heading\nbody",
+		"g.html":  "<p>markup</p>",
+		"h.py":    "print('code')",
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		batch, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		src, err := OpenSource(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		streamed, err := Drain(src)
+		src.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if batch.Fingerprint() != streamed.Fingerprint() {
+			t.Errorf("%s: source drain diverges from Load", name)
+		}
+	}
+}
+
+// TestJSONTrailingContentErrors: a .json file with content after the
+// document (usually JSONL mislabeled as .json) must error, not silently
+// load its first value.
+func TestJSONTrailingContentErrors(t *testing.T) {
+	dir := t.TempDir()
+	for name, tc := range map[string]struct{ content, want string }{
+		// Concatenated JSON values get the descriptive rename hint;
+		// outright garbage surfaces the decoder's syntax error.
+		"concat.json":   {"{\"text\":\"a\"}\n{\"text\":\"b\"}\n", "trailing content"},
+		"arrtrail.json": {`[{"text":"a"}] garbage`, "invalid character"},
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q error", name, err, tc.want)
+		}
+	}
+}
+
+// TestLiteralGlobCharsInFilename: an existing file whose name contains
+// glob metacharacters loads directly; patterns only apply to paths that
+// do not exist.
+func TestLiteralGlobCharsInFilename(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data[1].jsonl")
+	if err := os.WriteFile(path, []byte("{\"text\":\"bracketed\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 || d.Samples[0].Text != "bracketed" {
+		t.Fatalf("literal-glob filename loaded %d samples", d.Len())
+	}
+}
+
+func TestOpenFilesRejectsUnsupported(t *testing.T) {
+	if _, err := OpenFiles(); err == nil || !strings.Contains(err.Error(), "no input files") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := OpenFiles("x.parquet"); err == nil || !strings.Contains(err.Error(), "unsupported") {
+		t.Fatalf("err = %v", err)
+	}
+	// A gzipped unsupported type names the inner extension, not ".gz".
+	if _, err := OpenFiles("x.parquet.gz"); err == nil || !strings.Contains(err.Error(), `".parquet"`) {
+		t.Fatalf("gz err = %v", err)
+	}
+}
+
+// TestJSONTruncatedGzipSurfacesIOError: a corrupt gzip tail after a
+// complete JSON document must surface the gzip error, not be
+// misreported as trailing content.
+func TestJSONTruncatedGzipSurfacesIOError(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.json.gz")
+	gzWrite(t, full, `{"text":"doc"}`)
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.json.gz")
+	if err := os.WriteFile(trunc, raw[:len(raw)-4], 0o644); err != nil { // drop checksum bytes
+		t.Fatal(err)
+	}
+	_, err = Load(trunc)
+	if err == nil {
+		t.Fatal("truncated gzip must error")
+	}
+	if strings.Contains(err.Error(), "trailing content") {
+		t.Fatalf("I/O error misreported as trailing content: %v", err)
+	}
+}

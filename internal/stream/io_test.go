@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"compress/gzip"
 	"fmt"
 	"io"
 	"os"
@@ -138,15 +139,15 @@ func TestJSONLSourceMatchesBatchLoader(t *testing.T) {
 	assertSameSamples(t, drain(t, src), want)
 }
 
-// TestOpenSourceSpecs resolves the three spec families.
+// TestOpenSourceSpecs resolves the spec families.
 func TestOpenSourceSpecs(t *testing.T) {
-	// hub: falls back to an in-memory source.
+	// hub: generates in memory, then shards through the same adapter.
 	src, err := OpenSource("hub:web-en?docs=20&seed=3", 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := src.(*DatasetSource); !ok {
-		t.Fatalf("hub spec resolved to %T, want *DatasetSource", src)
+	if _, ok := src.(*SampleSource); !ok {
+		t.Fatalf("hub spec resolved to %T, want *SampleSource", src)
 	}
 	if d := drain(t, src); d.Len() != 20 {
 		t.Fatalf("hub source yielded %d samples, want 20", d.Len())
@@ -182,6 +183,78 @@ func TestOpenSourceSpecs(t *testing.T) {
 	if got := drain(t, src); got.Len() != 40 {
 		t.Fatalf("dir source yielded %d samples, want 40", got.Len())
 	}
+}
+
+// TestStreamMatchesBatchAcrossFormats: for gzip-compressed and
+// record-oriented inputs (csv/tsv), draining the streaming shard source
+// must reproduce the batch loader exactly — the golden contract that
+// lets the two backends share multi-format specs.
+func TestStreamMatchesBatchAcrossFormats(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	gzwrite := func(name, content string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zw := gzip.NewWriter(f)
+		if _, err := zw.Write([]byte(content)); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	specs := []string{
+		write("a.csv", "text,tag\nrow one,x\n\"quoted, cell\",y\nrow three,z\n"),
+		write("b.tsv", "text\tscore\nfirst\t1\nsecond\t2\n"),
+		gzwrite("c.jsonl.gz", "{\"text\":\"zipped one\"}\n{\"text\":\"zipped two\",\"meta\":{\"k\":\"v\"}}\n"),
+		gzwrite("d.csv.gz", "text,lang\ncompressed csv,en\n"),
+	}
+	for _, spec := range specs {
+		want, err := format.Load(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		src, err := OpenSource(spec, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		assertSameSamples(t, drain(t, src), want)
+	}
+}
+
+// TestOpenSourceMixSpec: a mix: spec shards the interleaved stream.
+func TestOpenSourceMixSpec(t *testing.T) {
+	dir := t.TempDir()
+	d := buildDataset(12)
+	file := filepath.Join(dir, "a.jsonl")
+	if err := d.SaveJSONL(file); err != nil {
+		t.Fatal(err)
+	}
+	spec := "mix:" + file + "@2,hub:wiki?docs=6&seed=9@1"
+	want, err := format.Load(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenSource(spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSamples(t, drain(t, src), want)
 }
 
 // TestDatasetSourceSharding checks shard boundaries and sample aliasing.

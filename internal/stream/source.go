@@ -1,13 +1,8 @@
 package stream
 
 import (
-	"bufio"
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
-	"sort"
-	"strings"
 
 	"repro/internal/dataset"
 	"repro/internal/format"
@@ -40,116 +35,85 @@ type ShardSizer interface {
 	SetShardSize(n int)
 }
 
-// JSONLSource reads JSONL files incrementally with a bounded buffer —
-// never the whole file — slicing the line stream into shards of
-// shardSize samples. Lines decode through format.SampleFromJSON, the
-// same unification the batch loader uses, so both backends see identical
-// samples. Multiple files read back-to-back as one logical stream.
-type JSONLSource struct {
-	paths     []string
+// SampleSource slices a format.Source — the unified incremental reader
+// behind every input spec (jsonl/json/csv/tsv/txt/md/html/code files,
+// gzip variants, directories, globs, hub: corpora, mix: mixtures) — into
+// shards of shardSize samples. The underlying reader holds a bounded
+// buffer, so peak memory stays O(shards in flight) whatever the input
+// format; both backends decode through the same format layer, so they
+// see identical samples for the same spec.
+type SampleSource struct {
+	src       format.Source
 	shardSize int
-
-	fileIdx int
-	file    *os.File
-	scan    *bufio.Scanner
-	lineNo  int
-	next    int // next shard index
-	done    bool
+	next      int
+	done      bool
 }
 
-// NewJSONLSource opens a streaming source over the given files.
-func NewJSONLSource(shardSize int, paths ...string) (*JSONLSource, error) {
+// NewSampleSource wraps src as a source of shardSize-sample shards.
+func NewSampleSource(src format.Source, shardSize int) (*SampleSource, error) {
 	if shardSize <= 0 {
 		return nil, fmt.Errorf("stream: shard size must be positive, got %d", shardSize)
 	}
+	return &SampleSource{src: src, shardSize: shardSize}, nil
+}
+
+// JSONLSource is the historical name of the incremental file-backed
+// source; it is now the general SampleSource.
+type JSONLSource = SampleSource
+
+// NewJSONLSource opens a streaming source over the given files (not
+// necessarily JSONL — any supported extension), read back-to-back as one
+// logical stream.
+func NewJSONLSource(shardSize int, paths ...string) (*SampleSource, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("stream: no input files")
 	}
-	return &JSONLSource{paths: paths, shardSize: shardSize}, nil
-}
-
-func (j *JSONLSource) openNext() error {
-	if j.file != nil {
-		j.file.Close()
-		j.file = nil
-	}
-	if j.fileIdx >= len(j.paths) {
-		return io.EOF
-	}
-	f, err := os.Open(j.paths[j.fileIdx])
+	fs, err := format.OpenFiles(paths...)
 	if err != nil {
-		return fmt.Errorf("stream: %w", err)
+		return nil, err
 	}
-	j.fileIdx++
-	j.file = f
-	j.scan = bufio.NewScanner(f)
-	j.scan.Buffer(make([]byte, 0, 1<<16), 1<<26)
-	j.lineNo = 0
-	return nil
+	return NewSampleSource(fs, shardSize)
 }
 
 // Next returns the next shard of up to shardSize samples.
-func (j *JSONLSource) Next() (*Shard, error) {
-	if j.done {
+func (ss *SampleSource) Next() (*Shard, error) {
+	if ss.done {
 		return nil, io.EOF
 	}
 	var samples []*sample.Sample
-	for len(samples) < j.shardSize {
-		if j.scan == nil {
-			if err := j.openNext(); err == io.EOF {
-				j.done = true
-				break
-			} else if err != nil {
-				return nil, err
-			}
+	for len(samples) < ss.shardSize {
+		s, err := ss.src.Next()
+		if err == io.EOF {
+			ss.done = true
+			break
 		}
-		if !j.scan.Scan() {
-			if err := j.scan.Err(); err != nil {
-				return nil, fmt.Errorf("stream: %s: %w", j.paths[j.fileIdx-1], err)
-			}
-			j.scan = nil // advance to the next file
-			continue
-		}
-		j.lineNo++
-		line := strings.TrimSpace(j.scan.Text())
-		if line == "" {
-			continue
-		}
-		s, err := format.SampleFromJSON([]byte(line))
 		if err != nil {
-			return nil, fmt.Errorf("stream: %s line %d: %w", j.paths[j.fileIdx-1], j.lineNo, err)
+			return nil, fmt.Errorf("stream: %w", err)
 		}
 		samples = append(samples, s)
 	}
 	if len(samples) == 0 {
 		return nil, io.EOF
 	}
-	sh := &Shard{Index: j.next, Data: dataset.New(samples)}
-	j.next++
+	sh := &Shard{Index: ss.next, Data: dataset.New(samples)}
+	ss.next++
 	return sh, nil
 }
 
-// SetShardSize implements ShardSizer: later shards slice the line stream
-// at the new granularity.
-func (j *JSONLSource) SetShardSize(n int) {
+// SetShardSize implements ShardSizer: later shards slice the sample
+// stream at the new granularity.
+func (ss *SampleSource) SetShardSize(n int) {
 	if n > 0 {
-		j.shardSize = n
+		ss.shardSize = n
 	}
 }
 
-// Close closes the currently open file.
-func (j *JSONLSource) Close() error {
-	if j.file != nil {
-		err := j.file.Close()
-		j.file = nil
-		return err
-	}
-	return nil
-}
+// Close closes the underlying reader.
+func (ss *SampleSource) Close() error { return ss.src.Close() }
 
-// DatasetSource shards an in-memory dataset: the adapter for inputs that
-// have no incremental representation (hub: corpora, non-JSONL files).
-// Shards alias the dataset's samples; they are not copied.
+// DatasetSource shards an in-memory dataset: used by the engine to
+// re-shard after a pipeline barrier. Shards alias the dataset's samples;
+// they are not copied.
 type DatasetSource struct {
 	d         *dataset.Dataset
 	shardSize int
@@ -190,64 +154,14 @@ func (ds *DatasetSource) SetShardSize(n int) {
 // Close is a no-op for in-memory sources.
 func (ds *DatasetSource) Close() error { return nil }
 
-// OpenSource resolves a dataset spec (the same specs format.Load accepts)
-// into a streaming source. JSONL files — and directories holding only
-// JSONL files — stream incrementally; every other spec falls back to a
-// batch load wrapped in a DatasetSource, which still pipelines the
-// processing but not the input I/O.
+// OpenSource resolves a dataset spec — every form format.OpenSource
+// accepts, including "mix:" weighted mixtures and gzip-compressed
+// multi-format files — into a streaming shard source. File-backed specs
+// read incrementally; hub: corpora are generated in memory and sharded.
 func OpenSource(spec string, shardSize int) (Source, error) {
-	if strings.HasPrefix(spec, "hub:") {
-		return loadFallback(spec, shardSize)
-	}
-	info, err := os.Stat(spec)
-	if err != nil {
-		return nil, fmt.Errorf("stream: %w", err)
-	}
-	if info.IsDir() {
-		jsonl, only, err := jsonlFilesIn(spec)
-		if err != nil {
-			return nil, err
-		}
-		if only && len(jsonl) > 0 {
-			return NewJSONLSource(shardSize, jsonl...)
-		}
-		return loadFallback(spec, shardSize)
-	}
-	if strings.EqualFold(filepath.Ext(spec), ".jsonl") {
-		return NewJSONLSource(shardSize, spec)
-	}
-	return loadFallback(spec, shardSize)
-}
-
-func loadFallback(spec string, shardSize int) (Source, error) {
-	d, err := format.Load(spec)
+	fs, err := format.OpenSource(spec)
 	if err != nil {
 		return nil, err
 	}
-	return NewDatasetSource(d, shardSize)
-}
-
-// jsonlFilesIn lists the .jsonl files under dir (sorted) and reports
-// whether the directory holds no other regular files.
-func jsonlFilesIn(dir string) (files []string, only bool, err error) {
-	only = true
-	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			return nil
-		}
-		if strings.EqualFold(filepath.Ext(path), ".jsonl") {
-			files = append(files, path)
-		} else {
-			only = false
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, false, err
-	}
-	sort.Strings(files)
-	return files, only, nil
+	return NewSampleSource(fs, shardSize)
 }
