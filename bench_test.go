@@ -585,3 +585,80 @@ func BenchmarkExecStreamAdaptive(b *testing.B) {
 		})
 	}
 }
+
+// planSkewRecipe is a skewed-selectivity workload for the planner
+// benchmark: by static cost hints the cheap unselective character
+// filters run first and the word_num filter (hint 2, tied with
+// character_repetition but later in the recipe) runs near the end — yet
+// on this corpus word_num drops ~90% of the documents. The measured-cost
+// plan learns that (cost × selectivity) and moves it to the front, so
+// every later filter scans a tenth of the data.
+const planSkewRecipe = `
+project_name: plan-bench
+use_cache: false
+op_fusion: true
+process:
+  - special_characters_filter:
+      max_ratio: 0.9
+  - character_repetition_filter:
+      rep_len: 3
+      max_ratio: 0.95
+  - word_num_filter:
+      min_num: 180
+`
+
+// BenchmarkPlannedVsStatic compares measured-cost ordering (profiles
+// persisted by a priming run) against static CostHint ordering on the
+// skewed-selectivity recipe above. BENCH_plan.json records one captured
+// comparison.
+func BenchmarkPlannedVsStatic(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		profiled bool
+	}{
+		{"static", false},
+		{"planned", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			const docs = 4000
+			path := benchCorpusFile(b, docs)
+			r, err := config.ParseRecipe(planSkewRecipe)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.NP = 1 // isolate plan order from scheduling noise
+			r.UseProfiles = mode.profiled
+			r.WorkDir = b.TempDir()
+			if mode.profiled {
+				// Priming run: persist measured profiles so the timed
+				// executors plan from them.
+				data, err := format.Load(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				prime, err := core.NewExecutor(r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := prime.Run(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				data, err := format.Load(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				exec, err := core.NewExecutor(r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := exec.Run(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(docs)*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+		})
+	}
+}

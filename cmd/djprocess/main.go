@@ -17,7 +17,15 @@
 //	djprocess -builtin minimal-clean -input "mix:a.jsonl@2,b.csv.gz@1" -output mixed.jsonl
 //	djprocess -stream -shard-size 1024 -recipe recipe.yaml -input "data/*.jsonl.gz" -output out.jsonl
 //	djprocess -stream -adaptive -max-workers 16 -target-mem-mb 512 -recipe recipe.yaml -input big.jsonl -output out.jsonl
+//	djprocess -explain -recipe recipe.yaml
 //	djprocess -list-ops | -list-recipes
+//
+// Both backends execute the physical plan of the unified planner
+// (internal/plan): measured-cost reordering, context-sharing fusion, and
+// streaming capability placement. -explain prints that plan — per-op
+// predicted cost and selectivity (from the recipe's profile sidecar when
+// previous runs measured them), capability class, and which pass moved
+// or fused each op — without running anything.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/format"
 	_ "repro/internal/ops/all"
+	"repro/internal/plan"
 	"repro/internal/stream"
 
 	"repro/internal/ops"
@@ -51,6 +60,7 @@ func main() {
 		maxWorkers  = flag.Int("max-workers", 0, "cap on the adaptive worker pool (0 = max of -np and all cores)")
 		targetMemMB = flag.Int("target-mem-mb", 0, "adaptive mode: bound the text MB resident across in-flight shards (0 = unbounded)")
 		showPlan    = flag.Bool("plan", false, "print the fused execution plan before running")
+		explain     = flag.Bool("explain", false, "print the optimized plan — per-op predicted cost, selectivity, capability class, and per-pass provenance — and exit without running")
 		probe       = flag.Bool("probe", false, "print before/after data probes (analyzer; batch mode only)")
 		space       = flag.Bool("space", false, "print the Appendix A.2 peak-disk-space analysis (batch mode only)")
 		listOps     = flag.Bool("list-ops", false, "list the registered operators and exit (see internal/ops/README.md)")
@@ -72,6 +82,14 @@ func main() {
 	recipe, err := loadRecipe(*recipePath, *builtin)
 	if err != nil {
 		fatal(err)
+	}
+	if *explain {
+		p, err := plan.Build(recipe)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(p.Explain())
+		return
 	}
 	if *input != "" {
 		recipe.DatasetPath = *input
@@ -112,7 +130,7 @@ func main() {
 	}
 	if *showPlan {
 		fmt.Println("execution plan:")
-		fmt.Print(core.DescribePlan(exec.Plan()))
+		fmt.Print(exec.Plan().Describe())
 	}
 
 	data, err := core.LoadInput(recipe)
@@ -159,6 +177,10 @@ func main() {
 		}
 		fmt.Printf("  %-44s %7d -> %-7d %10s%s\n", st.Name, st.InCount, st.OutCount,
 			st.Duration.Round(1e5), marker)
+		for _, m := range st.Members {
+			fmt.Printf("    · %-42s %7d -> %-7d %10s\n", m.Name, m.In, m.Out,
+				m.Duration.Round(1e5))
+		}
 	}
 	if tr := exec.Tracer(); tr != nil {
 		fmt.Print(tr.Summary())

@@ -155,6 +155,13 @@ func TestCrossBackendConformanceMixedFormats(t *testing.T) {
 	}
 	recipe.WorkDir = t.TempDir()
 
+	// Each stream mode plans from its own cold work dir: the batch run
+	// persists measured profiles, and a shared sidecar would let a later
+	// engine legally reorder and misalign the per-op report comparison
+	// (same isolation as TestCrossBackendConformance).
+	streamRecipe := *recipe
+	streamRecipe.WorkDir = t.TempDir()
+
 	// Batch reference run over the drained mixture.
 	exec, err := core.NewExecutor(recipe)
 	if err != nil {
@@ -185,7 +192,9 @@ func TestCrossBackendConformanceMixedFormats(t *testing.T) {
 		{"adaptive", true, 64},
 	} {
 		t.Run(mode.name, func(t *testing.T) {
-			eng, err := stream.New(recipe, stream.Options{
+			modeRecipe := streamRecipe
+			modeRecipe.WorkDir = t.TempDir()
+			eng, err := stream.New(&modeRecipe, stream.Options{
 				ShardSize:      mode.shard,
 				Adaptive:       mode.adaptive,
 				MaxWorkers:     4,
@@ -255,7 +264,14 @@ func TestCrossBackendConformance(t *testing.T) {
 			shardSize := shardSizes[rng.Intn(len(shardSizes))]
 			adaptive := seed%2 == 0
 
-			// Batch reference run.
+			// Batch reference run. The batch run persists measured
+			// profiles into its work dir, which would steer the second
+			// backend's plan (reordering is legal but would misalign the
+			// per-op report comparison below) — so the streaming engine
+			// gets its own work dir and both plan from the same cold
+			// state. TestPlannerConformance covers the warm-profile path.
+			streamRecipe := *recipe
+			streamRecipe.WorkDir = t.TempDir()
 			exec, err := core.NewExecutor(recipe)
 			if err != nil {
 				t.Fatal(err)
@@ -274,7 +290,7 @@ func TestCrossBackendConformance(t *testing.T) {
 			}
 
 			// Streaming run over the same recipe and input.
-			eng, err := stream.New(recipe, stream.Options{
+			eng, err := stream.New(&streamRecipe, stream.Options{
 				ShardSize:      shardSize,
 				Adaptive:       adaptive,
 				MaxWorkers:     4,
@@ -323,5 +339,128 @@ func TestCrossBackendConformance(t *testing.T) {
 				t.Error("adaptive run reported no controller metrics")
 			}
 		})
+	}
+}
+
+// TestPlannerConformance holds the planner's acceptance bar over the 12
+// seeded recipes: whatever legal reordering/fusion the planner applies —
+// planner off (static recipe order), planner on cold (static hints), or
+// planner on warm (measured-cost order from the persisted sidecar) — the
+// exported bytes must never change, on either backend, fixed and
+// adaptive. It also pins the headline behavior: the second run of a
+// recipe demonstrably plans from the profile sidecar the first run
+// persisted.
+func TestPlannerConformance(t *testing.T) {
+	d := corpus.Web(corpus.Options{Docs: 300, Seed: 20260730})
+	input := filepath.Join(t.TempDir(), "input.jsonl")
+	if err := d.SaveJSONL(input); err != nil {
+		t.Fatal(err)
+	}
+
+	runBatch := func(t *testing.T, r *config.Recipe) ([]byte, *core.Executor) {
+		t.Helper()
+		exec, err := core.NewExecutor(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := format.Load(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _, err := exec.Run(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "out.jsonl")
+		if err := format.Export(out, path); err != nil {
+			t.Fatal(err)
+		}
+		return readAll(t, path), exec
+	}
+
+	runStream := func(t *testing.T, r *config.Recipe, adaptive bool) []byte {
+		t.Helper()
+		eng, err := stream.New(r, stream.Options{
+			ShardSize:      41,
+			Adaptive:       adaptive,
+			MaxWorkers:     4,
+			TargetMemBytes: 64 << 20,
+			Generation:     2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := stream.OpenSource(input, 41)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink, err := stream.NewShardedJSONLSink(filepath.Join(t.TempDir(), "stream"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(src, sink); err != nil {
+			t.Fatal(err)
+		}
+		return readAll(t, sink.Paths()...)
+	}
+
+	measuredSeeds := 0
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			recipe := randomRecipe(rng)
+			adaptive := seed%2 == 0
+
+			// Planner off: static recipe order, no fusion, no profiles.
+			off := *recipe
+			off.OpFusion = false
+			off.UseProfiles = false
+			off.WorkDir = t.TempDir()
+			ref, _ := runBatch(t, &off)
+
+			// Planner on, cold: fusion + static-hint reordering.
+			on := *recipe
+			on.OpFusion = true
+			on.UseProfiles = true
+			on.WorkDir = t.TempDir()
+			cold, coldExec := runBatch(t, &on)
+			if string(cold) != string(ref) {
+				t.Fatalf("planner-on (cold) changed the export: %d vs %d bytes\nrecipe: %+v",
+					len(cold), len(ref), recipe.Process)
+			}
+			if n := coldExec.Plan().MeasuredOps; n != 0 {
+				t.Fatalf("cold plan claims %d measured ops", n)
+			}
+
+			// Planner on, warm: the same recipe replans from the sidecar
+			// the cold run persisted.
+			warm, warmExec := runBatch(t, &on)
+			if string(warm) != string(ref) {
+				t.Fatalf("planner-on (warm) changed the export: %d vs %d bytes\nplan:\n%s",
+					len(warm), len(ref), warmExec.Plan().Explain())
+			}
+			if warmExec.Plan().MeasuredOps > 0 {
+				measuredSeeds++
+			} else {
+				t.Fatalf("warm run did not plan from the persisted sidecar:\n%s",
+					warmExec.Plan().Explain())
+			}
+
+			// Streaming over the same warm sidecar (and a cold one).
+			if got := runStream(t, &on, adaptive); string(got) != string(ref) {
+				t.Fatalf("stream (warm profiles, adaptive=%v) changed the export: %d vs %d bytes",
+					adaptive, len(got), len(ref))
+			}
+			onStreamCold := on
+			onStreamCold.WorkDir = t.TempDir()
+			if got := runStream(t, &onStreamCold, adaptive); string(got) != string(ref) {
+				t.Fatalf("stream (cold, adaptive=%v) changed the export: %d vs %d bytes",
+					adaptive, len(got), len(ref))
+			}
+		})
+	}
+	if measuredSeeds == 0 {
+		t.Fatal("no seed exercised a measured warm plan")
 	}
 }

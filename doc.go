@@ -6,9 +6,23 @@
 // data — with operator fusion, caching, checkpoints, lineage tracing,
 // and analyzer probes as described in the paper.
 //
+// # Unified planner
+//
+// One logical→physical plan layer (internal/plan) serves both
+// execution backends: the recipe's op list runs through an ordered pass
+// pipeline — validate, predict (measured cost/selectivity from the
+// per-recipe profile sidecar, static CostHint ranks on cold starts),
+// measured-cost reordering of commutative filter groups, context-
+// sharing fusion, streaming capability placement, and cache-boundary
+// annotation. Every successful run persists its measurements
+// (dist.SaveProfiles), so the next run of the same recipe plans from
+// what the previous run observed. djprocess -explain renders the plan
+// with per-op predictions and per-pass provenance; docs/recipes.md has
+// the walkthrough and sidecar format.
+//
 // # Execution backends
 //
-// Two engines run the same recipe over the same fused plan:
+// Two engines run the same recipe over the same physical plan:
 //
 //   - Batch (internal/core.Executor): the whole dataset is resident and
 //     moves through one operator at a time with parallel workers. Peak

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/dist"
 	_ "repro/internal/ops/all"
@@ -44,7 +45,11 @@ func main() {
 
 	// Measure shard costs once (real loading + processing), then compose
 	// each engine/cluster from the same measurements.
-	costs, err := dist.Measure(shards, recipe)
+	process, err := core.MeasureRunner(recipe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	costs, err := dist.Measure(shards, process)
 	if err != nil {
 		log.Fatal(err)
 	}

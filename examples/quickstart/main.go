@@ -45,7 +45,8 @@ func main() {
 	}
 	fmt.Printf("loaded %d samples\n", data.Len())
 
-	// 2. Parse the recipe and build the executor (fusion happens here).
+	// 2. Parse the recipe and build the executor (planning — fusion and
+	// cost-based reordering — happens here, in internal/plan).
 	recipe, err := config.ParseRecipe(recipeYAML)
 	if err != nil {
 		log.Fatal(err)
@@ -55,7 +56,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("\nexecution plan after OP fusion:")
-	fmt.Print(core.DescribePlan(exec.Plan()))
+	fmt.Print(exec.Plan().Describe())
 
 	// 3. Run.
 	before := analysis.Analyze(data, 0)

@@ -49,6 +49,12 @@ type Recipe struct {
 	CacheCompression string
 	// OpFusion enables context-sharing fusion and reordering (Sec. 6).
 	OpFusion bool
+	// UseProfiles lets the planner read and persist the per-recipe
+	// profile sidecar (<work_dir>/profiles/<project>.json): measured
+	// per-op cost and selectivity from previous runs steer the
+	// reordering of commutative filter groups. Off, every run plans
+	// from static cost hints and nothing is persisted.
+	UseProfiles bool
 	// Adaptive enables the streaming engine's runtime controller, which
 	// retunes shard size, worker count and backpressure from live
 	// measurements (djprocess -stream -adaptive).
@@ -73,6 +79,7 @@ func Default() *Recipe {
 		TextKey:     "text",
 		UseCache:    true,
 		OpFusion:    true,
+		UseProfiles: true,
 		EnableTrace: false,
 		WorkDir:     ".data-juicer",
 	}
@@ -102,6 +109,8 @@ func FromMap(m map[string]any) (*Recipe, error) {
 			r.CacheCompression = asString(v)
 		case "op_fusion":
 			r.OpFusion = asBool(v)
+		case "use_profiles":
+			r.UseProfiles = asBool(v)
 		case "adaptive":
 			r.Adaptive = asBool(v)
 		case "max_workers":
@@ -137,8 +146,8 @@ func FromMap(m map[string]any) (*Recipe, error) {
 var recipeKeys = []string{
 	"project_name", "dataset_path", "sources", "export_path", "np",
 	"text_key", "use_cache", "use_checkpoint", "cache_compression",
-	"op_fusion", "adaptive", "max_workers", "target_mem_mb", "trace",
-	"work_dir", "process",
+	"op_fusion", "use_profiles", "adaptive", "max_workers",
+	"target_mem_mb", "trace", "work_dir", "process",
 }
 
 // KnownRecipeKeys returns every recognized recipe key.
@@ -305,6 +314,9 @@ func (r *Recipe) ApplyEnv(getenv func(string) string) {
 	}
 	if v := getenv("DJ_OP_FUSION"); v != "" {
 		r.OpFusion = v == "true" || v == "1"
+	}
+	if v := getenv("DJ_USE_PROFILES"); v != "" {
+		r.UseProfiles = v == "true" || v == "1"
 	}
 	if v := getenv("DJ_ADAPTIVE"); v != "" {
 		r.Adaptive = v == "true" || v == "1"

@@ -1,3 +1,9 @@
+// Package core implements the batch pipeline executor of Data-Juicer: it
+// runs a recipe's operator list over a dataset with parallel workers,
+// executing the physical plan produced by the unified planner
+// (internal/plan) — which owns the Sec. 6 optimizations, operator fusion
+// and measured-cost reordering (Figure 6) — plus the cache and
+// checkpoint machinery of Sec. 4.1.1 and the lineage tracer of Sec. 4.2.
 package core
 
 import (
@@ -9,7 +15,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/dataset"
-	"repro/internal/ops"
+	"repro/internal/plan"
 	"repro/internal/trace"
 )
 
@@ -21,6 +27,19 @@ type OpStat struct {
 	Duration time.Duration
 	CacheHit bool
 	Resumed  bool
+	// PlanIndex is the op's position in the physical plan.
+	PlanIndex int
+	// Workers is the parallelism Duration was measured under: the batch
+	// executor applies an op with N workers so Duration is wall time of
+	// parallel work, while the streaming engine runs ops serially inside
+	// each shard (Duration sums per-shard CPU time, Workers 1). Profile
+	// persistence multiplies Duration by Workers so every sidecar entry
+	// is on one CPU-time basis, comparable across backends and with
+	// fused-member attribution.
+	Workers int
+	// Members attributes a fused op's work to its member filters
+	// (nil for plain ops and for cache-hit entries, where nothing ran).
+	Members []plan.MemberStat
 }
 
 // Report summarizes one pipeline run.
@@ -46,20 +65,17 @@ func (r *Report) InCount() int {
 // internal/stream for the shard-pipelined streaming backend.
 type Executor struct {
 	recipe *config.Recipe
-	plan   []ops.OP
+	plan   *plan.Plan
 	specs  []config.OpSpec // aligned with the *unfused* recipe order
 	runner *OpRunner
 	store  *cache.Store
 	ckpt   *cache.CheckpointManager
 }
 
-// NewExecutor validates the recipe, instantiates its operators, and builds
-// the (optionally fused) execution plan.
+// NewExecutor validates the recipe and builds its physical plan through
+// the unified planner (fusion, measured-cost reordering, placement).
 func NewExecutor(r *config.Recipe) (*Executor, error) {
-	if err := r.Validate(); err != nil {
-		return nil, err
-	}
-	built, err := r.BuildOps()
+	p, err := plan.Build(r)
 	if err != nil {
 		return nil, err
 	}
@@ -69,9 +85,9 @@ func NewExecutor(r *config.Recipe) (*Executor, error) {
 	}
 	e := &Executor{
 		recipe: r,
-		plan:   BuildPlan(built, r.OpFusion),
+		plan:   p,
 		specs:  r.Process,
-		runner: NewOpRunner(built, r.Process, tracer),
+		runner: NewOpRunner(p.Built(), r.Process, tracer),
 	}
 	if r.UseCache {
 		store, err := cache.NewStore(filepath.Join(r.WorkDir, "cache"), r.CacheCompression)
@@ -90,8 +106,8 @@ func NewExecutor(r *config.Recipe) (*Executor, error) {
 	return e, nil
 }
 
-// Plan returns the execution plan after fusion and reordering.
-func (e *Executor) Plan() []ops.OP { return e.plan }
+// Plan returns the physical plan the executor runs.
+func (e *Executor) Plan() *plan.Plan { return e.plan }
 
 // Tracer returns the lineage tracer (nil unless the recipe enables it).
 func (e *Executor) Tracer() *trace.Tracer { return e.runner.Tracer() }
@@ -115,10 +131,13 @@ func (e *Executor) recipeFingerprint(d *dataset.Dataset) string {
 
 // Run executes the plan over d and returns the processed dataset. The
 // input dataset is modified in place by Mappers (clone first if the
-// original must survive).
+// original must survive). After a successful run the measured per-op
+// costs are folded into the recipe's profile sidecar, so the next run
+// plans from them.
 func (e *Executor) Run(d *dataset.Dataset) (*dataset.Dataset, *Report, error) {
 	start := time.Now()
-	report := &Report{PlanSize: len(e.plan)}
+	nodes := e.plan.Nodes
+	report := &Report{PlanSize: len(nodes)}
 	np := e.recipe.NP
 
 	recipeFP := ""
@@ -138,17 +157,19 @@ func (e *Executor) Run(d *dataset.Dataset) (*dataset.Dataset, *Report, error) {
 
 	// Chain cache keys: key_i = H(key_{i-1}, op_i identity). key_0 derives
 	// from the dataset content alone, so editing the recipe tail reuses the
-	// whole cached prefix.
+	// whole cached prefix. (Reordering the plan — e.g. the first run after
+	// profiles land — changes the chain and invalidates it; the cache
+	// refills under the new, faster order.)
 	chainKey := ""
 	if e.store != nil {
 		chainKey = cache.Key(d.Fingerprint(), "dataset", nil)
-		for i := 0; i < startIdx && i < len(e.plan); i++ {
-			chainKey = e.runner.OpCacheKey(chainKey, e.plan[i])
+		for i := 0; i < startIdx && i < len(nodes); i++ {
+			chainKey = e.runner.OpCacheKey(chainKey, nodes[i].Op)
 		}
 	}
 
-	for i := startIdx; i < len(e.plan); i++ {
-		op := e.plan[i]
+	for i := startIdx; i < len(nodes); i++ {
+		op := nodes[i].Op
 		opStart := time.Now()
 		inCount := d.Len()
 
@@ -161,7 +182,7 @@ func (e *Executor) Run(d *dataset.Dataset) (*dataset.Dataset, *Report, error) {
 				d = cached
 				chainKey = key
 				stat := OpStat{Name: op.Name(), InCount: inCount, OutCount: d.Len(),
-					Duration: time.Since(opStart), CacheHit: true}
+					Duration: time.Since(opStart), CacheHit: true, PlanIndex: i}
 				report.OpStats = append(report.OpStats, stat)
 				e.runner.TraceCacheHit(op, inCount, d.Len(), stat.Duration)
 				continue
@@ -190,15 +211,24 @@ func (e *Executor) Run(d *dataset.Dataset) (*dataset.Dataset, *Report, error) {
 				return nil, nil, err
 			}
 		}
-		report.OpStats = append(report.OpStats, OpStat{
+		stat := OpStat{
 			Name: op.Name(), InCount: inCount, OutCount: d.Len(),
-			Duration: time.Since(opStart),
-		})
+			Duration: time.Since(opStart), PlanIndex: i,
+			Workers: dataset.Workers(np),
+		}
+		if ff, ok := op.(*plan.FusedFilter); ok {
+			stat.Members = ff.TakeMemberStats()
+		}
+		report.OpStats = append(report.OpStats, stat)
 	}
 
 	if e.ckpt != nil {
 		_ = e.ckpt.Clear()
 	}
 	report.Total = time.Since(start)
+
+	// Best-effort: a failed sidecar write must not fail a succeeded run.
+	_ = PersistProfiles(e.plan, report.OpStats)
+
 	return d, report, nil
 }

@@ -104,6 +104,70 @@ func TestExecutorFusionMatchesUnfusedOutput(t *testing.T) {
 	}
 }
 
+func TestExecutorFusedMemberAttribution(t *testing.T) {
+	r := testRecipe(t, basicYAML)
+	e, err := NewExecutor(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := e.Run(webbyDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fused *OpStat
+	for i := range rep.OpStats {
+		if strings.HasPrefix(rep.OpStats[i].Name, "fused(") {
+			fused = &rep.OpStats[i]
+		}
+	}
+	if fused == nil {
+		t.Fatalf("no fused op in report: %+v", rep.OpStats)
+	}
+	if len(fused.Members) != 3 {
+		t.Fatalf("fused entry attributes %d members, want 3", len(fused.Members))
+	}
+	// The first member's Keep chain sees every input sample; the last
+	// member's survivors are the fused op's output.
+	if fused.Members[0].In != fused.InCount {
+		t.Errorf("first member in = %d, fused in = %d", fused.Members[0].In, fused.InCount)
+	}
+	last := fused.Members[len(fused.Members)-1]
+	if last.Out != fused.OutCount {
+		t.Errorf("last member out = %d, fused out = %d", last.Out, fused.OutCount)
+	}
+	for _, m := range fused.Members {
+		if m.Samples != fused.InCount {
+			t.Errorf("member %s computed stats for %d of %d samples", m.Name, m.Samples, fused.InCount)
+		}
+		if m.Duration <= 0 {
+			t.Errorf("member %s has no attributed duration", m.Name)
+		}
+	}
+}
+
+func TestExecutorSecondRunPlansFromProfiles(t *testing.T) {
+	r := testRecipe(t, basicYAML)
+	e1, err := NewExecutor(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := e1.Plan().MeasuredOps; n != 0 {
+		t.Fatalf("cold plan measured %d ops", n)
+	}
+	if _, _, err := e1.Run(webbyDataset()); err != nil {
+		t.Fatal(err)
+	}
+	// The run persisted a profile sidecar; a fresh executor over the same
+	// recipe must now predict every op (fused members included) from it.
+	e2, err := NewExecutor(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, total := e2.Plan().MeasuredOps, len(e2.Plan().Nodes); n != total {
+		t.Fatalf("warm plan measured %d of %d ops\n%s", n, total, e2.Plan().Explain())
+	}
+}
+
 func TestExecutorTracerLineage(t *testing.T) {
 	r := testRecipe(t, basicYAML)
 	e, _ := NewExecutor(r)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/dataset"
 	"repro/internal/ops"
+	"repro/internal/plan"
 	"repro/internal/sample"
 	"repro/internal/trace"
 )
@@ -87,7 +88,7 @@ func (r *OpRunner) OpIdentity(op ops.OP) string {
 	if id, ok := r.ids[op]; ok {
 		return id
 	}
-	if fused, ok := op.(*FusedFilter); ok {
+	if fused, ok := op.(*plan.FusedFilter); ok {
 		parts := make([]string, 0, len(fused.Members()))
 		for _, m := range fused.Members() {
 			parts = append(parts, r.OpIdentity(m))

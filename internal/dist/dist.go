@@ -15,8 +15,6 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/config"
-	"repro/internal/core"
 	"repro/internal/dataset"
 )
 
@@ -99,18 +97,15 @@ type Costs struct {
 	Shards []ShardCost
 }
 
+// ShardProcessor runs one decoded shard through a recipe's operator
+// chain and returns the surviving sample count. Callers wrap their
+// executor of choice (typically a single-threaded, cache-free batch
+// executor so costs are per-core); dist stays execution-agnostic.
+type ShardProcessor func(d *dataset.Dataset) (kept int, err error)
+
 // Measure runs every shard through real loading (JSONL decode) and real
-// processing (the recipe's operator chain, single-threaded so costs are
-// per-core) and records the durations.
-func Measure(shards []EncodedShard, r *config.Recipe) (*Costs, error) {
-	m := *r
-	m.NP = 1
-	m.UseCache = false
-	m.UseCheckpoint = false
-	exec, err := core.NewExecutor(&m)
-	if err != nil {
-		return nil, err
-	}
+// processing (the given processor) and records the durations.
+func Measure(shards []EncodedShard, process ShardProcessor) (*Costs, error) {
 	costs := &Costs{Shards: make([]ShardCost, 0, len(shards))}
 	for _, sh := range shards {
 		start := time.Now()
@@ -120,12 +115,12 @@ func Measure(shards []EncodedShard, r *config.Recipe) (*Costs, error) {
 		}
 		load := time.Since(start)
 		start = time.Now()
-		out, _, err := exec.Run(d)
+		kept, err := process(d)
 		if err != nil {
 			return nil, fmt.Errorf("dist: process shard %d: %w", sh.Index, err)
 		}
 		costs.Shards = append(costs.Shards, ShardCost{
-			Load: load, Process: time.Since(start), In: sh.Samples, Out: out.Len(),
+			Load: load, Process: time.Since(start), In: sh.Samples, Out: kept,
 		})
 	}
 	return costs, nil

@@ -1,17 +1,23 @@
-package dist
+// External test package: the measurement test drives dist.Measure with a
+// real batch executor from internal/core, which itself depends on dist
+// (the planner reads persisted profiles) — an in-package test would
+// cycle.
+package dist_test
 
 import (
 	"testing"
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/dist"
 	_ "repro/internal/ops/all"
 )
 
 func TestPartitionCoversAllSamples(t *testing.T) {
 	d := corpus.Web(corpus.Options{Docs: 103, Seed: 1})
-	parts := Partition(d, 16)
+	parts := dist.Partition(d, 16)
 	if len(parts) != 16 {
 		t.Fatalf("got %d parts, want 16", len(parts))
 	}
@@ -26,7 +32,7 @@ func TestPartitionCoversAllSamples(t *testing.T) {
 	if parts[0].Samples[0] != d.Samples[0] {
 		t.Fatal("partitioning reordered samples")
 	}
-	if got := Partition(d, 1000); len(got) != d.Len() {
+	if got := dist.Partition(d, 1000); len(got) != d.Len() {
 		t.Fatalf("oversharded partition: %d parts, want %d", len(got), d.Len())
 	}
 }
@@ -44,11 +50,15 @@ process:
 		t.Fatal(err)
 	}
 	d := corpus.Web(corpus.Options{Docs: 120, Seed: 2})
-	shards, err := EncodeShards(Partition(d, 8))
+	shards, err := dist.EncodeShards(dist.Partition(d, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
-	costs, err := Measure(shards, recipe)
+	process, err := core.MeasureRunner(recipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs, err := dist.Measure(shards, process)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,11 +71,11 @@ process:
 		}
 	}
 
-	ray1, err := Compose(EngineRay, costs, Config{Nodes: 1, CoresPerNode: 4})
+	ray1, err := dist.Compose(dist.EngineRay, costs, dist.Config{Nodes: 1, CoresPerNode: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ray8, err := Compose(EngineRay, costs, Config{Nodes: 8, CoresPerNode: 4})
+	ray8, err := dist.Compose(dist.EngineRay, costs, dist.Config{Nodes: 8, CoresPerNode: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +83,7 @@ process:
 		t.Fatalf("ray should scale with nodes: 8 nodes %v > 1 node %v", ray8.Total, ray1.Total)
 	}
 
-	beam8, err := Compose(EngineBeam, costs, Config{Nodes: 8, CoresPerNode: 4})
+	beam8, err := dist.Compose(dist.EngineBeam, costs, dist.Config{Nodes: 8, CoresPerNode: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +95,7 @@ process:
 		t.Fatalf("beam cannot beat its serial loading floor: %v < %v", beam8.Total, loadSum)
 	}
 
-	local, err := Compose(EngineLocal, costs, Config{Nodes: 1, CoresPerNode: 4})
+	local, err := dist.Compose(dist.EngineLocal, costs, dist.Config{Nodes: 1, CoresPerNode: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +103,7 @@ process:
 		t.Fatalf("local executor should win at one node: %v > %v", local.Total, ray1.Total)
 	}
 
-	if _, err := Compose(Engine("spark"), costs, Config{Nodes: 1, CoresPerNode: 1}); err == nil {
+	if _, err := dist.Compose(dist.Engine("spark"), costs, dist.Config{Nodes: 1, CoresPerNode: 1}); err == nil {
 		t.Fatal("unknown engine should error")
 	}
 }

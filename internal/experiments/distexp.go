@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/core"
 	"repro/internal/dist"
 )
 
@@ -64,7 +65,11 @@ func Fig10(s Scale) (*Fig10Result, error) {
 		}
 		// Measure shard costs once; compose every engine/node-count from
 		// the same measurements so curves are comparable.
-		costs, err := dist.Measure(shards, recipe)
+		process, err := core.MeasureRunner(recipe)
+		if err != nil {
+			return nil, err
+		}
+		costs, err := dist.Measure(shards, process)
 		if err != nil {
 			return nil, err
 		}

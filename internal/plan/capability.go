@@ -1,9 +1,11 @@
-package stream
+package plan
 
 import "repro/internal/ops"
 
 // Capability classifies how an operator may execute under the streaming
-// engine.
+// engine. It used to live in internal/stream; the planner owns it now so
+// both backends read execution order, fusion groups, and capability
+// placement from one layer.
 type Capability int
 
 const (

@@ -1,0 +1,169 @@
+package plan
+
+import (
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ops"
+	"repro/internal/sample"
+)
+
+// FusedFilter executes several context-sharing filters as one operator:
+// the shared intermediates (segmented words, split lines) are computed
+// once per sample and reused by every member, then the context is
+// cleared. It also keeps per-member counters so reports and profiles can
+// attribute work inside the fused op instead of collapsing it into one
+// opaque entry.
+type FusedFilter struct {
+	members   []ops.Filter
+	counters  []memberCounters
+	passedAll atomic.Int64 // samples every member kept
+}
+
+// memberCounters accumulates one member's share of the fused work.
+// All fields are touched concurrently by stat/filter workers. Keep-chain
+// outputs are not stored per member: a sample leaving member i is
+// exactly a sample entering member i+1, so out_i derives from keepIn of
+// the next member (and from the fused op's passedAll for the last one) —
+// one atomic add per member per Keep instead of two. The struct is
+// padded to a cache line so adjacent members' counters do not false-
+// share under many workers; the remaining cost (two clock reads and two
+// atomic adds per member per ComputeStats) is the price of reports and
+// profiles that attribute fused work truthfully, and stays small
+// against the members' own per-sample work.
+type memberCounters struct {
+	statN  atomic.Int64 // samples the member computed stats for
+	statNS atomic.Int64 // wall time of those stat computations
+	keepIn atomic.Int64 // samples reaching the member in the Keep chain
+	_      [5]int64     // pad to 64 bytes
+}
+
+// MemberStat is one member's attributed share of a fused execution:
+// In/Out count the Keep-phase chain (a sample rejected by an earlier
+// member never reaches the later ones), Samples counts stat
+// computations (every member computes stats for every input sample),
+// and Duration is the member's stat-computation wall time.
+type MemberStat struct {
+	Name     string
+	In, Out  int
+	Samples  int
+	Duration time.Duration
+}
+
+// NewFusedFilter fuses the given filters. It panics on fewer than two
+// members: fusing one filter is meaningless and indicates a planner bug.
+func NewFusedFilter(members []ops.Filter) *FusedFilter {
+	if len(members) < 2 {
+		panic("plan: fused filter needs at least two members")
+	}
+	return &FusedFilter{members: members, counters: make([]memberCounters, len(members))}
+}
+
+// Name lists the fused member names.
+func (f *FusedFilter) Name() string {
+	names := make([]string, len(f.members))
+	for i, m := range f.members {
+		names[i] = m.Name()
+	}
+	return "fused(" + strings.Join(names, ",") + ")"
+}
+
+// Members returns the fused filters in execution order.
+func (f *FusedFilter) Members() []ops.Filter { return f.members }
+
+// StatKeys is the union of member stat keys.
+func (f *FusedFilter) StatKeys() []string {
+	var keys []string
+	seen := map[string]bool{}
+	for _, m := range f.members {
+		for _, k := range m.StatKeys() {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	return keys
+}
+
+// ContextKeys is the union of member context keys.
+func (f *FusedFilter) ContextKeys() []string {
+	var keys []string
+	seen := map[string]bool{}
+	for _, m := range f.members {
+		for _, k := range ops.ContextKeysOf(m) {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	return keys
+}
+
+// CostHint is the sum of member hints: a fused OP is scheduled late
+// within its commutative group when no measured profile exists.
+func (f *FusedFilter) CostHint() float64 {
+	var c float64
+	for _, m := range f.members {
+		c += ops.CostOf(m)
+	}
+	return c
+}
+
+// ComputeStats runs every member's stat computation over the shared
+// context, attributing each member's wall time.
+func (f *FusedFilter) ComputeStats(s *sample.Sample) error {
+	prev := time.Now()
+	for i, m := range f.members {
+		if err := m.ComputeStats(s); err != nil {
+			return err
+		}
+		now := time.Now()
+		f.counters[i].statN.Add(1)
+		f.counters[i].statNS.Add(now.Sub(prev).Nanoseconds())
+		prev = now
+	}
+	return nil
+}
+
+// Keep is the conjunction of member verdicts, short-circuiting on the
+// first rejection and counting each member's in-flow.
+func (f *FusedFilter) Keep(s *sample.Sample) bool {
+	for i, m := range f.members {
+		f.counters[i].keepIn.Add(1)
+		if !m.Keep(s) {
+			return false
+		}
+	}
+	f.passedAll.Add(1)
+	return true
+}
+
+// TakeMemberStats returns the per-member attribution accumulated since
+// the last call and resets the counters, so successive executions of the
+// same fused op report disjoint work. Safe to call between runs, not
+// concurrently with one: the chain invariant out_i = in_{i+1} only
+// holds with no Keep in flight.
+func (f *FusedFilter) TakeMemberStats() []MemberStat {
+	out := make([]MemberStat, len(f.members))
+	for i, m := range f.members {
+		c := &f.counters[i]
+		out[i] = MemberStat{
+			Name:     m.Name(),
+			In:       int(c.keepIn.Swap(0)),
+			Samples:  int(c.statN.Swap(0)),
+			Duration: time.Duration(c.statNS.Swap(0)),
+		}
+		if i > 0 {
+			out[i-1].Out = out[i].In
+		}
+	}
+	out[len(out)-1].Out = int(f.passedAll.Swap(0))
+	return out
+}
+
+var _ ops.Filter = (*FusedFilter)(nil)
+var _ ops.Coster = (*FusedFilter)(nil)
+var _ ops.ContextUser = (*FusedFilter)(nil)

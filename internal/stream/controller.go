@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/ops"
+	"repro/internal/plan"
 )
 
 // This file is the adaptive runtime controller: the piece that closes the
@@ -100,10 +101,11 @@ type Controller struct {
 	bpWait  time.Duration
 }
 
-// newController builds a controller over the given plan with the initial
-// decision in force until the first measurements arrive. Barrier ops are
-// recorded as serial: their cost is once-per-phase, not per-shard.
-func newController(plan []ops.OP, initial dist.Decision, t dist.Tuning, generation int) *Controller {
+// newController builds a controller over the given physical plan with
+// the initial decision in force until the first measurements arrive.
+// Planner-placed barrier ops are recorded as serial: their cost is
+// once-per-phase, not per-shard.
+func newController(p *plan.Plan, initial dist.Decision, t dist.Tuning, generation int) *Controller {
 	if generation <= 0 {
 		generation = DefaultGeneration
 	}
@@ -111,15 +113,16 @@ func newController(plan []ops.OP, initial dist.Decision, t dist.Tuning, generati
 		model:      dist.NewOnlineModel(0),
 		tuning:     t,
 		generation: generation,
-		planIdx:    make(map[ops.OP]int, len(plan)),
-		planName:   make(map[ops.OP]string, len(plan)),
+		planIdx:    make(map[ops.OP]int, len(p.Nodes)),
+		planName:   make(map[ops.OP]string, len(p.Nodes)),
 		serial:     make(map[int]bool),
 		dec:        initial,
 	}
-	for i, op := range plan {
-		c.planIdx[op] = i
-		c.planName[op] = op.Name()
-		if Classify(op) == Barrier {
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		c.planIdx[n.Op] = i
+		c.planName[n.Op] = n.Op.Name()
+		if n.Capability == plan.Barrier {
 			c.serial[i] = true
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dist"
 	"repro/internal/ops"
+	"repro/internal/plan"
 	"repro/internal/sample"
 )
 
@@ -68,11 +69,20 @@ func simulate(t *testing.T, ctrl *Controller, plan []ops.OP, shards int,
 }
 
 func testPlan(names ...string) []ops.OP {
-	plan := make([]ops.OP, len(names))
+	list := make([]ops.OP, len(names))
 	for i, n := range names {
-		plan[i] = &fakeOp{name: n}
+		list[i] = &fakeOp{name: n}
 	}
-	return plan
+	return list
+}
+
+// physPlan wraps fake ops as a minimal physical plan for the controller.
+func physPlan(list []ops.OP) *plan.Plan {
+	p := &plan.Plan{}
+	for _, op := range list {
+		p.Nodes = append(p.Nodes, plan.PhysicalOp{Op: op, Capability: plan.Classify(op)})
+	}
+	return p
 }
 
 func testTuning(maxWorkers int, memBytes int64) dist.Tuning {
@@ -86,9 +96,9 @@ func initialDecision(shard int) dist.Decision {
 // Fast ops: shard size must grow toward the latency target and then hold
 // steady — convergence, not oscillation.
 func TestControllerConvergesOnFastOps(t *testing.T) {
-	plan := testPlan("fast_a", "fast_b")
-	ctrl := newController(plan, initialDecision(64), testTuning(4, 0), 4)
-	decisions := simulate(t, ctrl, plan, 40, map[string]time.Duration{
+	pl := testPlan("fast_a", "fast_b")
+	ctrl := newController(physPlan(pl), initialDecision(64), testTuning(4, 0), 4)
+	decisions := simulate(t, ctrl, pl, 40, map[string]time.Duration{
 		"fast_a": 5 * time.Microsecond,
 		"fast_b": 5 * time.Microsecond,
 	}, nil, 200, 20*time.Microsecond)
@@ -113,9 +123,9 @@ func TestControllerConvergesOnFastOps(t *testing.T) {
 // Slow ops: shard size must shrink to keep shards responsive and the pool
 // must saturate toward MaxWorkers.
 func TestControllerConvergesOnSlowOps(t *testing.T) {
-	plan := testPlan("slow")
-	ctrl := newController(plan, initialDecision(2048), testTuning(8, 0), 4)
-	decisions := simulate(t, ctrl, plan, 40, map[string]time.Duration{
+	pl := testPlan("slow")
+	ctrl := newController(physPlan(pl), initialDecision(2048), testTuning(8, 0), 4)
+	decisions := simulate(t, ctrl, pl, 40, map[string]time.Duration{
 		"slow": 2 * time.Millisecond,
 	}, nil, 200, time.Microsecond)
 
@@ -136,10 +146,10 @@ func TestControllerConvergesOnSlowOps(t *testing.T) {
 // A memory target must bound modeled resident bytes and throttle the
 // in-flight allowance.
 func TestControllerHonorsMemoryTarget(t *testing.T) {
-	plan := testPlan("fast")
+	pl := testPlan("fast")
 	target := int64(64 << 10)
-	ctrl := newController(plan, initialDecision(512), testTuning(4, target), 4)
-	decisions := simulate(t, ctrl, plan, 24, map[string]time.Duration{
+	ctrl := newController(physPlan(pl), initialDecision(512), testTuning(4, target), 4)
+	decisions := simulate(t, ctrl, pl, 24, map[string]time.Duration{
 		"fast": 2 * time.Microsecond,
 	}, nil, 1024, 2*time.Microsecond)
 
@@ -153,9 +163,9 @@ func TestControllerHonorsMemoryTarget(t *testing.T) {
 // Selectivity must reach the model: a 90%-dropping filter makes the
 // modeled end-to-end selectivity ~0.1.
 func TestControllerSeesSelectivity(t *testing.T) {
-	plan := testPlan("filter", "tail")
-	ctrl := newController(plan, initialDecision(512), testTuning(4, 0), 4)
-	simulate(t, ctrl, plan, 12, map[string]time.Duration{
+	pl := testPlan("filter", "tail")
+	ctrl := newController(physPlan(pl), initialDecision(512), testTuning(4, 0), 4)
+	simulate(t, ctrl, pl, 12, map[string]time.Duration{
 		"filter": 10 * time.Microsecond,
 		"tail":   10 * time.Microsecond,
 	}, map[string]float64{"filter": 0.1}, 200, time.Microsecond)
@@ -168,8 +178,8 @@ func TestControllerSeesSelectivity(t *testing.T) {
 
 // Observations for ops outside the plan must be dropped, not misfiled.
 func TestControllerIgnoresUnplannedOps(t *testing.T) {
-	plan := testPlan("planned")
-	ctrl := newController(plan, initialDecision(512), testTuning(4, 0), 4)
+	pl := testPlan("planned")
+	ctrl := newController(physPlan(pl), initialDecision(512), testTuning(4, 0), 4)
 	ctrl.ObserveOp(core.OpObservation{Op: &fakeOp{name: "stray"}, In: 100, Out: 100, Duration: time.Second})
 	if got := len(ctrl.metrics().Profiles); got != 0 {
 		t.Fatalf("stray op landed in the model: %d profiles", got)
@@ -177,9 +187,9 @@ func TestControllerIgnoresUnplannedOps(t *testing.T) {
 }
 
 func TestControllerMetricsRecordDecisions(t *testing.T) {
-	plan := testPlan("op")
-	ctrl := newController(plan, initialDecision(64), testTuning(4, 0), 2)
-	simulate(t, ctrl, plan, 10, map[string]time.Duration{"op": 5 * time.Microsecond}, nil, 100, 50*time.Microsecond)
+	pl := testPlan("op")
+	ctrl := newController(physPlan(pl), initialDecision(64), testTuning(4, 0), 2)
+	simulate(t, ctrl, pl, 10, map[string]time.Duration{"op": 5 * time.Microsecond}, nil, 100, 50*time.Microsecond)
 	m := ctrl.metrics()
 	if !m.Adaptive {
 		t.Fatal("metrics not flagged adaptive")
@@ -385,14 +395,14 @@ process:
 	if dec.MaxInFlight > 4 {
 		t.Fatalf("initial in-flight = %d, exceeds MaxWorkers×2", dec.MaxInFlight)
 	}
-	// Barrier ops must be registered as serial in the controller.
-	plan := eng.Plan()
+	// Planner-placed barrier ops must be registered as serial.
+	p := eng.Plan()
 	if len(eng.ctrl.serial) == 0 {
 		t.Fatal("no serial ops recorded despite a barrier in the plan")
 	}
-	for i, op := range plan {
-		if (Classify(op) == Barrier) != eng.ctrl.serial[i] {
-			t.Fatalf("op %d (%s) serial flag mismatch", i, op.Name())
+	for i := range p.Nodes {
+		if (p.Nodes[i].Capability == plan.Barrier) != eng.ctrl.serial[i] {
+			t.Fatalf("op %d (%s) serial flag mismatch", i, p.Nodes[i].Op.Name())
 		}
 	}
 }

@@ -5,14 +5,17 @@
 // be in op 3 while shard K+1 is still in op 1 and peak memory stays
 // O(shards in flight) instead of O(corpus).
 //
-// Operators execute through the same core.OpRunner the batch executor
-// uses, so both backends apply ops identically. Op capability decides
-// the flow (see Classify): mappers and filters are shard-local;
-// signature deduplicators (ops.StreamDeduper) run against a shared
-// signature index consulted in shard order, preserving the batch
-// engine's first-occurrence semantics without a barrier; similarity
-// deduplicators are declared barriers — the engine drains the stream,
-// merges the shards in order, applies the op, and re-shards.
+// The engine executes the physical plan built by the unified planner
+// (internal/plan): execution order, fusion groups, and capability
+// placement all come from that one layer, shared with the batch
+// executor. Operators execute through the same core.OpRunner, so both
+// backends apply ops identically. The planned capability decides the
+// flow: mappers and filters are shard-local; signature deduplicators
+// (ops.StreamDeduper) run against a shared signature index consulted in
+// shard order, preserving the batch engine's first-occurrence semantics
+// without a barrier; similarity deduplicators are declared barriers —
+// the engine drains the stream, merges the shards in order, applies the
+// op, and re-shards.
 //
 // With the recipe's cache enabled, every shard's leading run of
 // shard-local ops is cached per (shard content, op chain) key via
@@ -39,6 +42,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dist"
 	"repro/internal/ops"
+	"repro/internal/plan"
 	"repro/internal/sample"
 	"repro/internal/trace"
 )
@@ -75,7 +79,7 @@ type Options struct {
 // Engine is the streaming execution backend for one recipe.
 type Engine struct {
 	recipe      *config.Recipe
-	plan        []ops.OP
+	plan        *plan.Plan
 	phases      []phase
 	runner      *core.OpRunner
 	store       *cache.Store
@@ -95,10 +99,11 @@ const (
 )
 
 type stage struct {
-	kind    stageKind
-	ops     []ops.OP          // stageLocal: the run, in plan order
-	planIdx []int             // plan indexes aligned with ops (or the one dedup)
-	dedup   ops.StreamDeduper // stageIndex only
+	kind      stageKind
+	ops       []ops.OP          // stageLocal: the run, in plan order
+	planIdx   []int             // plan indexes aligned with ops (or the one dedup)
+	dedup     ops.StreamDeduper // stageIndex only
+	cacheable bool              // stageLocal: planner-annotated shard-cacheable run
 }
 
 // phase is a maximal barrier-free segment of the plan. The engine
@@ -110,32 +115,38 @@ type phase struct {
 	barrierIdx int
 }
 
-// splitPhases segments a plan at its Barrier ops and groups the
-// shard-local runs and shared-index stages in between.
-func splitPhases(plan []ops.OP) []phase {
+// splitPhases segments the physical plan at its Barrier ops and groups
+// the shard-local runs and shared-index stages in between, reading each
+// op's capability and cache annotation straight off the planner's nodes.
+func splitPhases(p *plan.Plan) []phase {
 	var phases []phase
 	var stages []stage
 	var run []ops.OP
 	var runIdx []int
+	runCacheable := false
 	flush := func() {
 		if len(run) > 0 {
-			stages = append(stages, stage{kind: stageLocal, ops: run, planIdx: runIdx})
+			stages = append(stages, stage{kind: stageLocal, ops: run, planIdx: runIdx, cacheable: runCacheable})
 			run, runIdx = nil, nil
 		}
 	}
-	for i, op := range plan {
-		switch Classify(op) {
-		case ShardLocal:
-			run = append(run, op)
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		switch n.Capability {
+		case plan.ShardLocal:
+			if len(run) == 0 {
+				runCacheable = n.StreamCacheable
+			}
+			run = append(run, n.Op)
 			runIdx = append(runIdx, i)
-		case SharedIndex:
+		case plan.SharedIndex:
 			flush()
 			stages = append(stages, stage{
-				kind: stageIndex, dedup: op.(ops.StreamDeduper), planIdx: []int{i},
+				kind: stageIndex, dedup: n.Op.(ops.StreamDeduper), planIdx: []int{i},
 			})
-		case Barrier:
+		case plan.Barrier:
 			flush()
-			phases = append(phases, phase{stages: stages, barrier: op, barrierIdx: i})
+			phases = append(phases, phase{stages: stages, barrier: n.Op, barrierIdx: i})
 			stages = nil
 		}
 	}
@@ -145,12 +156,10 @@ func splitPhases(plan []ops.OP) []phase {
 }
 
 // New validates the recipe and builds a streaming engine over the same
-// (optionally fused) plan the batch executor would run.
+// physical plan the batch executor would run, produced by the unified
+// planner (internal/plan).
 func New(r *config.Recipe, opts Options) (*Engine, error) {
-	if err := r.Validate(); err != nil {
-		return nil, err
-	}
-	built, err := r.BuildOps()
+	p, err := plan.Build(r)
 	if err != nil {
 		return nil, err
 	}
@@ -158,12 +167,11 @@ func New(r *config.Recipe, opts Options) (*Engine, error) {
 	if r.EnableTrace {
 		tracer = trace.New(0)
 	}
-	plan := core.BuildPlan(built, r.OpFusion)
 	e := &Engine{
 		recipe:      r,
-		plan:        plan,
-		phases:      splitPhases(plan),
-		runner:      core.NewOpRunner(built, r.Process, tracer),
+		plan:        p,
+		phases:      splitPhases(p),
+		runner:      core.NewOpRunner(p.Built(), r.Process, tracer),
 		shardSize:   opts.ShardSize,
 		maxInFlight: opts.MaxInFlight,
 		np:          dataset.Workers(r.NP),
@@ -207,7 +215,7 @@ func New(r *config.Recipe, opts Options) (*Engine, error) {
 		if initial.MaxInFlight < initial.Workers {
 			initial.MaxInFlight = initial.Workers
 		}
-		e.ctrl = newController(plan, initial, e.tuning, opts.Generation)
+		e.ctrl = newController(p, initial, e.tuning, opts.Generation)
 		e.runner = e.runner.WithObserver(e.ctrl)
 	}
 	if r.UseCache {
@@ -220,8 +228,8 @@ func New(r *config.Recipe, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// Plan returns the fused execution plan.
-func (e *Engine) Plan() []ops.OP { return e.plan }
+// Plan returns the physical plan the engine runs.
+func (e *Engine) Plan() *plan.Plan { return e.plan }
 
 // Tracer returns the lineage tracer (nil unless the recipe enables it).
 // In streaming mode mapper and filter events are recorded per shard, and
@@ -229,13 +237,7 @@ func (e *Engine) Plan() []ops.OP { return e.plan }
 func (e *Engine) Tracer() *trace.Tracer { return e.runner.Tracer() }
 
 // DescribePlan renders the plan with each op's streaming capability.
-func (e *Engine) DescribePlan() string {
-	s := ""
-	for i, op := range e.plan {
-		s += fmt.Sprintf("%2d. %-13s %s\n", i+1, "["+Classify(op).String()+"]", op.Name())
-	}
-	return s
-}
+func (e *Engine) DescribePlan() string { return e.plan.Describe() }
 
 // Run streams src through the plan into sink and returns the merged
 // report. The source is always closed before Run returns; the sink is
@@ -286,7 +288,9 @@ func (e *Engine) Run(src Source, sink Sink) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("stream: barrier op %s: %w", ph.barrier.Name(), err)
 		}
-		agg.addOp(ph.barrierIdx, merged.Len(), out.Len(), time.Since(bStart), false)
+		bDur := time.Since(bStart)
+		agg.addOp(ph.barrierIdx, merged.Len(), out.Len(), bDur, bDur, false,
+			dataset.Workers(e.recipe.NP))
 		reshardSize := e.shardSize
 		if e.ctrl != nil {
 			reshardSize = e.ctrl.ShardSize()
@@ -303,6 +307,21 @@ func (e *Engine) Run(src Source, sink Sink) (*Report, error) {
 	if e.ctrl != nil {
 		rep.Metrics = e.ctrl.metrics()
 	}
+	// Attribute fused ops to their members (cumulative across executed
+	// shards — counters never tick on cache hits) and fold the run's
+	// measurements into the profile sidecar so the next plan of this
+	// recipe is ordered by them. Persistence reads the executed-only
+	// aggregates: cache-resumed shard counts must not dilute measured
+	// costs.
+	exec := agg.execStats()
+	for i := range e.plan.Nodes {
+		if ff, ok := e.plan.Nodes[i].Op.(*plan.FusedFilter); ok && !rep.OpStats[i].CacheHit {
+			ms := ff.TakeMemberStats()
+			rep.OpStats[i].Members = ms
+			exec[i].Members = ms
+		}
+	}
+	_ = core.PersistProfiles(e.plan, exec)
 	return rep, nil
 }
 
@@ -519,11 +538,12 @@ func (p *phaseRun) processShard(sh *Shard) error {
 		var err error
 		switch st.kind {
 		case stageLocal:
-			// Only the leading run sees the shard cache: its result is a
-			// pure function of the shard's content, while runs behind a
-			// shared-index stage depend on other shards' signatures.
+			// Only planner-annotated runs see the shard cache: their
+			// results are pure functions of the shard's content, while
+			// runs behind a shared-index stage depend on other shards'
+			// signatures (see the plan's cache-boundary pass).
 			var hit bool
-			d, hit, err = p.runLocal(st, d, si == 0 && e.store != nil)
+			d, hit, err = p.runLocal(st, d, st.cacheable && e.store != nil)
 			resumed = resumed || hit
 		case stageIndex:
 			d, err = p.runIndex(si, st, sh.Index, d)
@@ -564,7 +584,7 @@ func (p *phaseRun) runLocal(st stage, d *dataset.Dataset, useCache bool) (*datas
 				d = cached
 				chainKey = key
 				hits++
-				p.agg.addOp(st.planIdx[i], inCount, d.Len(), time.Since(opStart), true)
+				p.agg.addOp(st.planIdx[i], inCount, d.Len(), time.Since(opStart), 0, true, 1)
 				e.runner.TraceCacheHit(op, inCount, d.Len(), time.Since(opStart))
 				continue
 			}
@@ -580,7 +600,8 @@ func (p *phaseRun) runLocal(st stage, d *dataset.Dataset, useCache bool) (*datas
 			}
 			chainKey = key
 		}
-		p.agg.addOp(st.planIdx[i], inCount, d.Len(), time.Since(opStart), false)
+		opDur := time.Since(opStart)
+		p.agg.addOp(st.planIdx[i], inCount, d.Len(), opDur, opDur, false, 1)
 	}
 	return d, hits == len(st.ops) && hits > 0, nil
 }
@@ -622,7 +643,11 @@ func (p *phaseRun) runIndex(si int, st stage, shardIdx int, d *dataset.Dataset) 
 	t.mu.Unlock()
 
 	out := dataset.New(kept)
-	p.agg.addOp(st.planIdx[0], d.Len(), out.Len(), time.Since(opStart), false)
+	// The report keeps the wall view (wait included); the executed view
+	// feeding profile persistence excludes the turnstile queueing wait,
+	// matching the controller's cost signal — queueing is not work.
+	p.agg.addOp(st.planIdx[0], d.Len(), out.Len(), time.Since(opStart),
+		time.Since(opStart)-turnWait, false, 1)
 	if p.eng.ctrl != nil {
 		// Queueing at the turnstile is backpressure, not work: exclude it
 		// from the cost signal.

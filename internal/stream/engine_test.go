@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/config"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/format"
 	"repro/internal/ops"
 	_ "repro/internal/ops/all"
+	"repro/internal/plan"
 	"repro/internal/sample"
 )
 
@@ -271,27 +273,46 @@ process:
 	}
 }
 
-func TestClassify(t *testing.T) {
-	r := mustRecipe(t, `
-process:
-  - whitespace_normalization_mapper:
-  - word_num_filter:
-  - document_deduplicator:
-  - document_minhash_deduplicator:
-`)
-	built, err := r.BuildOps()
+// TestStreamFusedMemberAttribution: the aggregated report must attribute
+// a fused op's work to its members, summed across every shard.
+func TestStreamFusedMemberAttribution(t *testing.T) {
+	input, _ := corpusWithDupes(t, 60)
+	r := mustRecipe(t, equivalenceRecipe) // word_num + stopwords fuse
+	r.WorkDir = t.TempDir()
+	eng, err := New(r, Options{ShardSize: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []Capability{ShardLocal, ShardLocal, SharedIndex, Barrier}
-	for i, op := range built {
-		if got := Classify(op); got != want[i] {
-			t.Errorf("%s: classified %v, want %v", op.Name(), got, want[i])
+	src, err := OpenSource(input, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Run(src, DiscardSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fused *core.OpStat
+	for i := range rep.OpStats {
+		if len(rep.OpStats[i].Members) > 0 {
+			fused = &rep.OpStats[i]
 		}
+	}
+	if fused == nil {
+		t.Fatalf("no fused member attribution in report: %+v", rep.OpStats)
+	}
+	if fused.Members[0].In != fused.InCount {
+		t.Errorf("first member saw %d of %d samples", fused.Members[0].In, fused.InCount)
+	}
+	if last := fused.Members[len(fused.Members)-1]; last.Out != fused.OutCount {
+		t.Errorf("last member out = %d, fused out = %d", last.Out, fused.OutCount)
+	}
+	if !strings.Contains(rep.Summary(), "· ") {
+		t.Error("summary does not render member attribution")
 	}
 }
 
-// TestSplitPhases checks plan segmentation around barriers and index ops.
+// TestSplitPhases checks plan segmentation around barriers and index ops
+// (capability classification itself is covered in internal/plan).
 func TestSplitPhases(t *testing.T) {
 	r := mustRecipe(t, `
 op_fusion: false
@@ -302,11 +323,11 @@ process:
   - document_minhash_deduplicator:
   - word_num_filter:
 `)
-	built, err := r.BuildOps()
+	p, err := plan.Build(r)
 	if err != nil {
 		t.Fatal(err)
 	}
-	phases := splitPhases(built)
+	phases := splitPhases(p)
 	if len(phases) != 2 {
 		t.Fatalf("got %d phases, want 2", len(phases))
 	}

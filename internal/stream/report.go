@@ -7,7 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/ops"
+	"repro/internal/plan"
 )
 
 // ShardStat records one shard's trip through one phase of the plan.
@@ -66,35 +66,65 @@ func (r *Report) Summary() string {
 		}
 		fmt.Fprintf(&b, "  %-44s %7d -> %-7d %10s%s\n", st.Name, st.InCount, st.OutCount,
 			st.Duration.Round(100*time.Microsecond), marker)
+		// Member counters only tick on executed shards; on a partially
+		// cache-resumed run they sum to less than the op row, so say so
+		// instead of looking silently inconsistent.
+		if len(st.Members) > 0 && st.Members[0].In != st.InCount {
+			fmt.Fprintf(&b, "    · members below cover the %d executed (non-cached) samples\n",
+				st.Members[0].In)
+		}
+		for _, m := range st.Members {
+			fmt.Fprintf(&b, "    · %-42s %7d -> %-7d %10s\n", m.Name, m.In, m.Out,
+				m.Duration.Round(100*time.Microsecond))
+		}
 	}
 	b.WriteString(r.Metrics.Summary())
 	return b.String()
 }
 
 // aggregator merges concurrent per-shard observations into the report.
+// Next to the report aggregates it keeps an executed-only view: shards
+// satisfied by the shard cache contribute their counts to the report
+// (the data did flow) but not to the executed view, whose durations are
+// real execution cost — the only thing profile persistence may fold
+// into the sidecar. Without the split, a partially cache-resumed run
+// would average near-zero cache-read durations into an op's measured
+// cost and the planner would order an expensive filter as if free.
 type aggregator struct {
 	mu     sync.Mutex
 	stats  []core.OpStat
+	exec   []core.OpStat
 	misses []int // per op: shards that executed it without a cache hit
 	hits   []int
 	report *Report
 }
 
-func newAggregator(plan []ops.OP) *aggregator {
+func newAggregator(p *plan.Plan) *aggregator {
 	a := &aggregator{
-		stats:  make([]core.OpStat, len(plan)),
-		misses: make([]int, len(plan)),
-		hits:   make([]int, len(plan)),
-		report: &Report{PlanSize: len(plan)},
+		stats:  make([]core.OpStat, len(p.Nodes)),
+		exec:   make([]core.OpStat, len(p.Nodes)),
+		misses: make([]int, len(p.Nodes)),
+		hits:   make([]int, len(p.Nodes)),
+		report: &Report{PlanSize: len(p.Nodes)},
 	}
-	for i, op := range plan {
-		a.stats[i].Name = op.Name()
+	for i := range p.Nodes {
+		a.stats[i].Name = p.Nodes[i].Op.Name()
+		a.stats[i].PlanIndex = i
+		a.exec[i].Name = p.Nodes[i].Op.Name()
+		a.exec[i].PlanIndex = i
+		a.exec[i].Workers = 1
 	}
 	return a
 }
 
 // addOp folds one shard's pass through plan op i into the aggregate.
-func (a *aggregator) addOp(i, in, out int, dur time.Duration, cacheHit bool) {
+// dur lands in the report; execDur — the portion that is real execution
+// work (runIndex excludes its turnstile queueing wait, every other
+// caller passes dur) — lands in the executed view. workers is the
+// parallelism the op ran under (1 for shard-local and shared-index
+// work, the full pool for a barrier op) — it normalizes the executed
+// view's durations to CPU time for profile persistence.
+func (a *aggregator) addOp(i, in, out int, dur, execDur time.Duration, cacheHit bool, workers int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.stats[i].InCount += in
@@ -104,7 +134,20 @@ func (a *aggregator) addOp(i, in, out int, dur time.Duration, cacheHit bool) {
 		a.hits[i]++
 	} else {
 		a.misses[i]++
+		a.exec[i].InCount += in
+		a.exec[i].OutCount += out
+		a.exec[i].Duration += execDur
+		if workers > a.exec[i].Workers {
+			a.exec[i].Workers = workers
+		}
 	}
+}
+
+// execStats returns the executed-only aggregates (for PersistProfiles).
+func (a *aggregator) execStats() []core.OpStat {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.exec
 }
 
 // addShard records one shard's phase trip.
