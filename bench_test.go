@@ -22,7 +22,6 @@ import (
 	"repro/internal/format"
 	"repro/internal/ops"
 	_ "repro/internal/ops/all"
-	"repro/internal/sample"
 	"repro/internal/stream"
 )
 
@@ -289,7 +288,7 @@ func benchContextAblation(b *testing.B, shared bool) {
 				}
 			}
 			s.ClearContext()
-			s.Stats = sample.Fields{}
+			s.Stats.Reset()
 		}
 	}
 }
@@ -361,7 +360,7 @@ func benchOneFilter(b *testing.B, name string) {
 			}
 			f.Keep(s)
 			s.ClearContext()
-			s.Stats = sample.Fields{}
+			s.Stats.Reset()
 		}
 	}
 }

@@ -33,6 +33,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/analysis"
@@ -65,8 +67,38 @@ func main() {
 		space       = flag.Bool("space", false, "print the Appendix A.2 peak-disk-space analysis (batch mode only)")
 		listOps     = flag.Bool("list-ops", false, "list the registered operators and exit (see internal/ops/README.md)")
 		listRecipes = flag.Bool("list-recipes", false, "list the built-in recipes with their input requirements and exit")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file (see docs/performance.md)")
+		memProfile  = flag.String("memprofile", "", "write a pprof allocation profile at exit to this file (see docs/performance.md)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(fmt.Errorf("cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(fmt.Errorf("cpuprofile: %w", err))
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "djprocess: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "djprocess: memprofile:", err)
+			}
+		}()
+	}
 
 	if *listOps {
 		for _, info := range ops.List() {

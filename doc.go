@@ -66,6 +66,22 @@
 // resizable in-flight gate applies backpressure at the source so a
 // -target-mem-mb budget holds. Fixed-shard mode remains the default.
 //
+// # Zero-allocation hot path
+//
+// The per-sample inner loop shared by both backends is built to avoid
+// allocating in steady state: execution is batch-granular
+// (dataset.MapBatches / FilterBatches, shards as batches, fused-filter
+// counters flushed once per batch), tokenization reuses per-worker
+// scratch buffers through the sample's typed context slots
+// (text.Segmenter, substring tokens, rolling n-gram hashes), per-sample
+// statistics live in a compact interned-key table (sample.Stats) rather
+// than a boxed map, and the JSONL wire format has a hand-rolled
+// encode/decode fast path that is byte-identical to encoding/json.
+// docs/performance.md describes the architecture, the profiling flags
+// (djprocess -cpuprofile/-memprofile), and the captured before/after
+// numbers (BENCH_hotpath.json); allocation budgets are pinned by
+// regression tests in hotpath_test.go.
+//
 // Choose batch for corpora that fit comfortably in RAM or when probe
 // analysis is wanted; choose streaming (djprocess -stream) for corpora
 // larger than RAM or when output should appear incrementally; add

@@ -1,0 +1,103 @@
+// BenchmarkHotPath measures the per-sample hot path end to end on both
+// execution backends: JSONL decode → standard filter chain (fused word
+// group + char filter + exact dedup) → report. It is the allocation
+// budget the zero-allocation hot-path work is judged against; captured
+// before/after numbers live in BENCH_hotpath.json, and the allocation
+// regression tests in hotpath_test.go pin the per-sample budgets so they
+// cannot silently regress.
+package repro_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/format"
+	_ "repro/internal/ops/all"
+	"repro/internal/stream"
+)
+
+// hotPathRecipe is the standard chain: a cheap mapper, the fusible
+// word-group filters, a char filter, and the exact deduplicator — every
+// layer of the per-sample hot path (tokenization, stats, dedup hashing).
+const hotPathRecipe = `
+project_name: hotpath-bench
+use_cache: false
+op_fusion: true
+process:
+  - whitespace_normalization_mapper:
+  - word_num_filter:
+      min_num: 5
+  - stopwords_filter:
+      min_ratio: 0.01
+  - flagged_words_filter:
+      max_ratio: 0.2
+  - special_characters_filter:
+      max_ratio: 0.9
+  - document_deduplicator:
+`
+
+const hotPathDocs = 2000
+
+func hotPathCorpusFile(b *testing.B) string {
+	b.Helper()
+	d := corpus.Web(corpus.Options{Docs: hotPathDocs, Seed: 1234})
+	dir, err := os.MkdirTemp("", "djhotpath")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	path := fmt.Sprintf("%s/corpus.jsonl", dir)
+	if err := d.SaveJSONL(path); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+func BenchmarkHotPath(b *testing.B) {
+	path := hotPathCorpusFile(b)
+	r, err := config.ParseRecipe(hotPathRecipe)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.WorkDir = b.TempDir()
+
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			data, err := format.Load(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exec, err := core.NewExecutor(r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := exec.Run(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(hotPathDocs)*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+	})
+
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng, err := stream.New(r, stream.Options{ShardSize: 256})
+			if err != nil {
+				b.Fatal(err)
+			}
+			src, err := stream.OpenSource(path, 256)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Run(src, stream.DiscardSink{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(hotPathDocs)*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+	})
+}

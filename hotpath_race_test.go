@@ -1,0 +1,9 @@
+//go:build race
+
+package repro_test
+
+// raceEnabled reports that this test binary was built with the race
+// detector. Allocation-regression tests are skipped under it: race
+// instrumentation adds its own allocations, so AllocsPerRun budgets
+// only hold on uninstrumented builds.
+func init() { raceEnabled = true }

@@ -1,0 +1,146 @@
+// Allocation-regression tests for the zero-allocation hot path: the
+// budgets below are deliberate upper bounds, so a future change that
+// quietly reintroduces per-sample allocations (a boxed stats map, a
+// fresh token slice per call, a reflective JSONL decode) fails here
+// instead of silently halving throughput. See docs/performance.md for
+// the architecture these tests pin down.
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ops"
+	_ "repro/internal/ops/all"
+	"repro/internal/plan"
+	"repro/internal/sample"
+	"repro/internal/text"
+)
+
+// raceEnabled is set by hotpath_race_test.go when the race detector is
+// active; AllocsPerRun numbers are meaningless under instrumentation.
+var raceEnabled bool
+
+func requireAllocBudget(t *testing.T, name string, budget float64, fn func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation budgets are not meaningful under the race detector")
+	}
+	// Warm the pools so steady state is measured, not first-use growth.
+	for i := 0; i < 10; i++ {
+		fn()
+	}
+	got := testing.AllocsPerRun(200, fn)
+	if got > budget {
+		t.Errorf("%s allocates %.1f/op, budget %.1f — the hot path regressed", name, got, budget)
+	}
+}
+
+// TestAllocsStandardFilterChain: one sample through the fused standard
+// word-group + char chain must not allocate in steady state — the token
+// buffers come from the attached scratch, the stats vector reuses its
+// capacity across Reset, and the n-gram sets use pooled hash buffers.
+func TestAllocsStandardFilterChain(t *testing.T) {
+	names := []string{
+		"word_num_filter", "word_repetition_filter", "stopwords_filter",
+		"flagged_words_filter", "special_characters_filter",
+	}
+	filters := make([]ops.Filter, len(names))
+	for i, n := range names {
+		op, err := ops.Build(n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		filters[i] = op.(ops.Filter)
+	}
+	fused := plan.NewFusedFilter(filters)
+	// All lower-case: the segmentation slow path (one lowered-copy alloc
+	// per mixed-case sample) is measured separately below.
+	s := sample.New(strings.Repeat("the quick brown fox jumps over a lazy dog again ", 20))
+	sc := sample.GetScratch()
+	defer sample.PutScratch(sc)
+	requireAllocBudget(t, "fused standard chain", 1, func() {
+		s.AttachScratch(sc)
+		if err := fused.ComputeStats(s); err != nil {
+			t.Fatal(err)
+		}
+		fused.Keep(s)
+		s.ClearContext()
+		s.Stats.Reset()
+	})
+}
+
+// TestAllocsSegmenter: pooled segmentation over already-lower-case text
+// is allocation-free; mixed-case text costs exactly the one lowered
+// copy of the input.
+func TestAllocsSegmenter(t *testing.T) {
+	seg := text.GetSegmenter()
+	defer text.PutSegmenter(seg)
+	lower := strings.Repeat("all lower case words here ", 40)
+	requireAllocBudget(t, "Segmenter.Words", 0, func() {
+		seg.Words(lower)
+	})
+	requireAllocBudget(t, "Segmenter.WordsLower (lower input)", 0, func() {
+		seg.WordsLower(lower)
+	})
+	mixed := strings.Repeat("Mixed Case Words Here ", 40)
+	requireAllocBudget(t, "Segmenter.WordsLower (mixed input)", 1, func() {
+		seg.WordsLower(mixed)
+	})
+	requireAllocBudget(t, "Segmenter.Lines", 0, func() {
+		seg.Lines("line one\nline two\nline three")
+	})
+	requireAllocBudget(t, "Segmenter.Sentences", 0, func() {
+		seg.Sentences("First sentence. Second one! A third? Done.")
+	})
+}
+
+// TestAllocsJSONLDecodeFastPath: decoding one wire line costs the text
+// string, the stats vector, and the interned-stat values — a small
+// constant, not a reflective tree of boxed maps.
+func TestAllocsJSONLDecodeFastPath(t *testing.T) {
+	line := []byte(`{"text":"a plain document body with some words in it","stats":{"num_words":9,"special_char_ratio":0.02}}`)
+	var s sample.Sample
+	requireAllocBudget(t, "JSONL wire decode", 4, func() {
+		if err := s.UnmarshalJSON(line); err != nil {
+			t.Fatal(err)
+		}
+	})
+	escaped := []byte(`{"text":"escapes \n and \"quotes\" and é"}`)
+	requireAllocBudget(t, "JSONL wire decode (escapes)", 4, func() {
+		if err := s.UnmarshalJSON(escaped); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestAllocsJSONLEncode: encoding a typical processed sample into a
+// reused buffer allocates nothing.
+func TestAllocsJSONLEncode(t *testing.T) {
+	s := sample.New("a plain document body with some words in it")
+	s.SetStat("num_words", 9)
+	s.SetStat("special_char_ratio", 0.02)
+	s.SetStatString("lang", "en")
+	buf := make([]byte, 0, 4096)
+	requireAllocBudget(t, "JSONL encode", 0, func() {
+		var err error
+		buf, err = s.AppendJSON(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestAllocsDedupSignature: the exact-dedup signature streams over the
+// text without materializing the normalized form.
+func TestAllocsDedupSignature(t *testing.T) {
+	op, err := ops.Build("document_deduplicator", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := op.(ops.StreamDeduper)
+	s := sample.New(strings.Repeat("Some Text, with Punctuation! And  spacing. ", 30))
+	requireAllocBudget(t, "document dedup signature", 0, func() {
+		sd.Signature(s)
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Codec compresses and decompresses cache payloads.
@@ -52,18 +53,26 @@ type gzipCodec struct{}
 
 func (gzipCodec) Name() string { return "gzip" }
 
+// gzipWriterPool recycles gzip writers: each carries large internal
+// deflate state that would otherwise be rebuilt per cache Put.
+var gzipWriterPool = sync.Pool{New: func() any {
+	w, _ := gzip.NewWriterLevel(io.Discard, gzip.BestSpeed)
+	return w
+}}
+
 func (gzipCodec) Encode(src []byte) ([]byte, error) {
 	var buf bytes.Buffer
-	w, err := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
-	if err != nil {
-		return nil, err
-	}
+	w := gzipWriterPool.Get().(*gzip.Writer)
+	w.Reset(&buf)
 	if _, err := w.Write(src); err != nil {
+		gzipWriterPool.Put(w)
 		return nil, err
 	}
 	if err := w.Close(); err != nil {
+		gzipWriterPool.Put(w)
 		return nil, err
 	}
+	gzipWriterPool.Put(w)
 	return buf.Bytes(), nil
 }
 
@@ -80,18 +89,25 @@ type flateCodec struct{}
 
 func (flateCodec) Name() string { return "flate" }
 
+// flateWriterPool recycles deflate writers across cache Puts.
+var flateWriterPool = sync.Pool{New: func() any {
+	w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+	return w
+}}
+
 func (flateCodec) Encode(src []byte) ([]byte, error) {
 	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, flate.BestSpeed)
-	if err != nil {
-		return nil, err
-	}
+	w := flateWriterPool.Get().(*flate.Writer)
+	w.Reset(&buf)
 	if _, err := w.Write(src); err != nil {
+		flateWriterPool.Put(w)
 		return nil, err
 	}
 	if err := w.Close(); err != nil {
+		flateWriterPool.Put(w)
 		return nil, err
 	}
+	flateWriterPool.Put(w)
 	return buf.Bytes(), nil
 }
 
@@ -124,6 +140,10 @@ func lzjHash(v uint64) uint32 { return uint32((v * lzjHashPrime) >> lzjHashShift
 
 func load64(b []byte, i int) uint64 { return binary.LittleEndian.Uint64(b[i:]) }
 
+// lzjTablePool recycles the 256KB match table: allocating (and
+// zeroing) it per Encode dominated small-payload compression cost.
+var lzjTablePool = sync.Pool{New: func() any { return new([1 << lzjHashBits]int32) }}
+
 // Encode compresses src. Format: 4-byte magic, 4-byte original length,
 // then tokens: uvarint literal length, literals, and — unless at end —
 // uvarint (matchLen - lzjMinMatch) and 2-byte little-endian offset.
@@ -135,7 +155,9 @@ func (lzjCodec) Encode(src []byte) ([]byte, error) {
 	binary.LittleEndian.PutUint32(out[0:], lzjMagic)
 	binary.LittleEndian.PutUint32(out[4:], uint32(len(src)))
 
-	var table [1 << lzjHashBits]int32
+	tableP := lzjTablePool.Get().(*[1 << lzjHashBits]int32)
+	defer lzjTablePool.Put(tableP)
+	table := tableP
 	for i := range table {
 		table[i] = -1
 	}

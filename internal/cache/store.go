@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/ops"
@@ -55,10 +56,16 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key+".cache."+s.codec.Name())
 }
 
+// putBufPool recycles the serialization buffers of Put (cache and
+// checkpoint writes happen after every op of a cached run).
+var putBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // Put stores the dataset under key.
 func (s *Store) Put(key string, d *dataset.Dataset) error {
-	var buf bytes.Buffer
-	if err := d.WriteJSONL(&buf); err != nil {
+	buf := putBufPool.Get().(*bytes.Buffer)
+	defer putBufPool.Put(buf)
+	buf.Reset()
+	if err := d.WriteJSONL(buf); err != nil {
 		return err
 	}
 	enc, err := s.codec.Encode(buf.Bytes())

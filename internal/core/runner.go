@@ -111,7 +111,9 @@ func (r *OpRunner) ApplyOp(op ops.OP, d *dataset.Dataset, np int) (*dataset.Data
 	return nil, fmt.Errorf("unsupported operator type %T", op)
 }
 
-// ApplyMapper transforms every sample in place with np workers.
+// ApplyMapper transforms every sample in place with np workers, handing
+// each worker contiguous batches so per-sample overhead (scratch
+// attachment, context clearing) amortizes across the chunk.
 func (r *OpRunner) ApplyMapper(m ops.Mapper, d *dataset.Dataset, np int) (*dataset.Dataset, error) {
 	var inBytes int64
 	if r.obs != nil {
@@ -132,9 +134,18 @@ func (r *OpRunner) ApplyMapper(m ops.Mapper, d *dataset.Dataset, np int) (*datas
 		}
 	}
 	start := time.Now()
-	err := d.Map(np, func(s *sample.Sample) error {
-		defer s.ClearContext()
-		return m.Process(s)
+	err := d.MapBatches(np, func(batch []*sample.Sample) error {
+		sc := sample.GetScratch()
+		defer sample.PutScratch(sc)
+		for _, s := range batch {
+			s.AttachScratch(sc)
+			err := m.Process(s)
+			s.ClearContext()
+			if err != nil {
+				return err
+			}
+		}
+		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -158,22 +169,48 @@ func (r *OpRunner) ApplyMapper(m ops.Mapper, d *dataset.Dataset, np int) (*datas
 	return d, nil
 }
 
-// ApplyFilter runs the two decoupled phases: parallel stat computation
-// (with per-sample context cleared afterwards, bounding fusion memory),
-// then the boolean split.
+// ApplyFilter runs the two decoupled phases: parallel batch-granular
+// stat computation (with per-sample context cleared afterwards, bounding
+// fusion memory), then the boolean split. Filters implementing the batch
+// interfaces (fused ops) own the batch loop themselves; dropped samples
+// are only collected when a tracer wants them.
 func (r *OpRunner) ApplyFilter(f ops.Filter, d *dataset.Dataset, np int) (*dataset.Dataset, error) {
 	var inBytes int64
 	if r.obs != nil {
 		inBytes = d.TotalBytes()
 	}
 	start := time.Now()
-	if err := d.Map(np, func(s *sample.Sample) error {
-		defer s.ClearContext()
-		return f.ComputeStats(s)
-	}); err != nil {
-		return nil, err
+	var statsErr error
+	if sb, ok := f.(ops.StatsBatcher); ok {
+		statsErr = d.MapBatches(np, sb.ComputeStatsBatch)
+	} else {
+		statsErr = d.MapBatches(np, func(batch []*sample.Sample) error {
+			sc := sample.GetScratch()
+			defer sample.PutScratch(sc)
+			for _, s := range batch {
+				s.AttachScratch(sc)
+				err := f.ComputeStats(s)
+				s.ClearContext()
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 	}
-	kept, dropped := d.Filter(np, f.Keep)
+	if statsErr != nil {
+		return nil, statsErr
+	}
+	collectDropped := r.tracer != nil
+	judge := func(batch []*sample.Sample, verdict []bool) {
+		for i, s := range batch {
+			verdict[i] = f.Keep(s)
+		}
+	}
+	if kb, ok := f.(ops.KeepBatcher); ok {
+		judge = kb.KeepBatch
+	}
+	kept, dropped := d.FilterBatches(np, collectDropped, judge)
 	if r.tracer != nil {
 		var discards []trace.Discard
 		for i, s := range dropped {

@@ -7,7 +7,6 @@ package dataset
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -224,7 +223,7 @@ func (d *Dataset) Fingerprint() string {
 		writeLen(len(s.Text))
 		io.WriteString(h, s.Text)
 		hashFields(h, s.Meta)
-		hashFields(h, s.Stats)
+		hashStats(h, &s.Stats)
 		if len(s.Parts) > 0 {
 			keys := make([]string, 0, len(s.Parts))
 			for k := range s.Parts {
@@ -238,6 +237,23 @@ func (d *Dataset) Fingerprint() string {
 		}
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// hashStats folds the typed stats table into the fingerprint in sorted
+// key order, formatting values exactly as hashFields does.
+func hashStats(h io.Writer, t *sample.Stats) {
+	t.Range(func(name string, v any) bool {
+		io.WriteString(h, name)
+		switch x := v.(type) {
+		case sample.Fields:
+			hashFields(h, x)
+		case map[string]any:
+			hashFields(h, sample.Fields(x))
+		default:
+			fmt.Fprintf(h, "%v", x)
+		}
+		return true
+	})
 }
 
 func hashFields(h io.Writer, f sample.Fields) {
@@ -255,13 +271,25 @@ func hashFields(h io.Writer, f sample.Fields) {
 	}
 }
 
-// WriteJSONL writes one JSON object per sample.
+// encodeBufPool recycles the per-call encode buffers of WriteJSONL.
+var encodeBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// WriteJSONL writes one JSON object per sample through the hand-rolled
+// encoder (byte-identical to encoding/json), reusing one scratch buffer
+// across samples.
 func (d *Dataset) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
-	enc := json.NewEncoder(bw)
+	bufP := encodeBufPool.Get().(*[]byte)
+	defer encodeBufPool.Put(bufP)
 	for _, s := range d.Samples {
-		if err := enc.Encode(s); err != nil {
+		line, err := s.AppendJSON((*bufP)[:0])
+		if err != nil {
 			return fmt.Errorf("dataset: encode sample: %w", err)
+		}
+		line = append(line, '\n')
+		*bufP = line
+		if _, err := bw.Write(line); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
@@ -280,8 +308,11 @@ func ReadJSONL(r io.Reader) (*Dataset, error) {
 		if len(line) == 0 {
 			continue
 		}
+		// Samples are allocated individually (never from shared blocks):
+		// a surviving sample must not pin dropped block-mates — and
+		// their texts — past a selective filter.
 		s := &sample.Sample{}
-		if err := json.Unmarshal(line, s); err != nil {
+		if err := s.UnmarshalJSON(line); err != nil {
 			return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
 		}
 		samples = append(samples, s)

@@ -185,6 +185,13 @@ func TestFig9Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
+	if raceEnabled {
+		// Pooled zero-allocation tokenization shrank the absolute cost
+		// fusion saves, so at the smallest scale the fused-vs-unfused
+		// wall-clock margin sits inside race-instrumentation noise.
+		// The uninstrumented build still asserts the ordering.
+		t.Skip("fused-vs-unfused wall-clock margins are not meaningful under the race detector")
+	}
 	s := Quick()
 	s.PerfDocs = [3]int{50, 120, 300}
 	res, err := Fig9(s, 2)

@@ -51,13 +51,31 @@ func supported(ext string) bool {
 // becomes the payload (with nested part support), "meta"/"stats" map to
 // their fields, and foreign top-level fields fold into meta. It is the
 // shared decode path of every JSON-carrying Source, so both backends see
-// identical samples for the same input line.
+// identical samples for the same input line. Clean flat objects decode
+// through the hand-rolled fast path; everything else (and every error)
+// goes through the reflective map fold below.
 func SampleFromJSON(raw []byte) (*sample.Sample, error) {
-	var obj map[string]any
-	if err := json.Unmarshal(raw, &obj); err != nil {
+	s := &sample.Sample{}
+	if err := sampleFromJSONInto(raw, s); err != nil {
 		return nil, err
 	}
-	s := &sample.Sample{}
+	return s, nil
+}
+
+// sampleFromJSONInto decodes into an existing (arena-allocated) sample.
+func sampleFromJSONInto(raw []byte, s *sample.Sample) error {
+	if sample.DecodeLooseJSON(raw, s) {
+		return nil
+	}
+	return sampleFromJSONSlow(raw, s)
+}
+
+func sampleFromJSONSlow(raw []byte, s *sample.Sample) error {
+	var obj map[string]any
+	if err := json.Unmarshal(raw, &obj); err != nil {
+		return err
+	}
+	*s = sample.Sample{}
 	for key, v := range obj {
 		switch key {
 		case "text", "content":
@@ -98,7 +116,7 @@ func SampleFromJSON(raw []byte) (*sample.Sample, error) {
 		case "stats":
 			if m, ok := v.(map[string]any); ok {
 				for k, sv := range m {
-					s.Stats = s.Stats.Set(k, sv)
+					s.Stats.Set(k, sv)
 				}
 			}
 		default:
@@ -106,7 +124,7 @@ func SampleFromJSON(raw []byte) (*sample.Sample, error) {
 			s.Meta = s.Meta.Set(key, v)
 		}
 	}
-	return s, nil
+	return nil
 }
 
 // Export writes the dataset to path according to its extension:

@@ -2,6 +2,7 @@ package format
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
 	"encoding/csv"
 	"encoding/json"
@@ -30,6 +31,43 @@ type Source interface {
 	Next() (*sample.Sample, error)
 	// Close releases underlying resources.
 	Close() error
+}
+
+// BatchReader is implemented by sources that can deliver many samples
+// per call, amortizing the per-sample interface dispatch and letting the
+// reader reuse its decode scratch across the whole batch. ReadBatch is
+// the generic entry point; sources without the method are driven one
+// Next at a time.
+type BatchReader interface {
+	// NextBatch appends up to max samples to dst and returns the extended
+	// slice. It returns io.EOF only when no samples were appended and the
+	// input is exhausted.
+	NextBatch(dst []*sample.Sample, max int) ([]*sample.Sample, error)
+}
+
+// ReadBatch pulls up to max samples from src into dst (appending), using
+// the source's batch path when it has one. It returns io.EOF only when
+// nothing was appended and the input is exhausted.
+func ReadBatch(src Source, dst []*sample.Sample, max int) ([]*sample.Sample, error) {
+	if br, ok := src.(BatchReader); ok {
+		return br.NextBatch(dst, max)
+	}
+	n := 0
+	for n < max {
+		s, err := src.Next()
+		if err == io.EOF {
+			if n == 0 {
+				return dst, io.EOF
+			}
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, s)
+		n++
+	}
+	return dst, nil
 }
 
 // OpenSource resolves a dataset spec into a streaming Source:
@@ -189,6 +227,40 @@ func (f *filesSource) Next() (*sample.Sample, error) {
 	}
 }
 
+// NextBatch implements BatchReader, delegating to the current file's
+// batch path and rolling over file boundaries until the batch fills or
+// the input is exhausted.
+func (f *filesSource) NextBatch(dst []*sample.Sample, max int) ([]*sample.Sample, error) {
+	start := len(dst)
+	for len(dst)-start < max {
+		if f.cur == nil {
+			if f.idx >= len(f.paths) {
+				if len(dst) == start {
+					return dst, io.EOF
+				}
+				return dst, nil
+			}
+			src, err := openFile(f.paths[f.idx])
+			if err != nil {
+				return dst, err
+			}
+			f.cur = src
+		}
+		var err error
+		dst, err = ReadBatch(f.cur, dst, max-(len(dst)-start))
+		if err == io.EOF {
+			f.cur.Close()
+			f.cur = nil
+			f.idx++
+			continue
+		}
+		if err != nil {
+			return dst, fmt.Errorf("format: %s: %w", f.paths[f.idx], err)
+		}
+	}
+	return dst, nil
+}
+
 func (f *filesSource) Close() error {
 	if f.cur != nil {
 		err := f.cur.Close()
@@ -255,6 +327,10 @@ func (c stackedCloser) Close() error {
 
 // jsonlReader decodes one JSON object per line through SampleFromJSON —
 // the exact unification the whole system shares — with a bounded buffer.
+// Lines are decoded straight from the scanner's byte buffer (no string
+// copy). Samples are allocated individually, never from shared blocks:
+// a kept sample must not pin filtered-out siblings (and their texts)
+// alive.
 type jsonlReader struct {
 	scan   *bufio.Scanner
 	closer io.Closer
@@ -270,12 +346,12 @@ func newJSONLReader(r io.Reader, closer io.Closer) *jsonlReader {
 func (j *jsonlReader) Next() (*sample.Sample, error) {
 	for j.scan.Scan() {
 		j.lineNo++
-		line := strings.TrimSpace(j.scan.Text())
-		if line == "" {
+		line := bytes.TrimSpace(j.scan.Bytes())
+		if len(line) == 0 {
 			continue
 		}
-		s, err := SampleFromJSON([]byte(line))
-		if err != nil {
+		s := &sample.Sample{}
+		if err := sampleFromJSONInto(line, s); err != nil {
 			return nil, fmt.Errorf("line %d: %w", j.lineNo, err)
 		}
 		return s, nil
@@ -512,21 +588,41 @@ func (ds *DatasetSource) Next() (*sample.Sample, error) {
 	return s, nil
 }
 
+// NextBatch implements BatchReader with one bulk copy.
+func (ds *DatasetSource) NextBatch(dst []*sample.Sample, max int) ([]*sample.Sample, error) {
+	if ds.pos >= len(ds.samples) {
+		return dst, io.EOF
+	}
+	hi := ds.pos + max
+	if hi > len(ds.samples) {
+		hi = len(ds.samples)
+	}
+	dst = append(dst, ds.samples[ds.pos:hi]...)
+	ds.pos = hi
+	return dst, nil
+}
+
 // Close is a no-op for in-memory sources.
 func (ds *DatasetSource) Close() error { return nil }
 
-// Drain reads src to exhaustion into a batch dataset. It does not close
-// the source.
+// Drain reads src to exhaustion into a batch dataset, batch-granular.
+// It does not close the source.
 func Drain(src Source) (*dataset.Dataset, error) {
 	var samples []*sample.Sample
 	for {
-		s, err := src.Next()
+		var err error
+		n := len(samples)
+		samples, err = ReadBatch(src, samples, 1024)
 		if err == io.EOF {
 			return dataset.New(samples), nil
 		}
 		if err != nil {
 			return nil, err
 		}
-		samples = append(samples, s)
+		if len(samples) == n {
+			// Defensive: a source returning neither progress nor EOF
+			// would otherwise spin.
+			return dataset.New(samples), nil
+		}
 	}
 }

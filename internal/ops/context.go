@@ -7,7 +7,9 @@ import (
 
 // Shared context keys. Operators that consume the same key are fusible:
 // the first computes the intermediate, the rest reuse it from the sample's
-// context cache.
+// context cache. The four standard keys live in typed context slots on
+// the sample (no boxed map), filled through per-worker scratch buffers so
+// steady-state tokenization is allocation-free.
 const (
 	CtxWords      = "words"
 	CtxWordsLower = "words_lower"
@@ -17,22 +19,40 @@ const (
 
 // WordsOf returns (and caches) the word segmentation of the sample's text.
 func WordsOf(s *sample.Sample) []string {
-	return s.Context(CtxWords, func() any { return text.Words(s.Text) }).([]string)
+	if t, ok := s.CachedTokens(sample.CtxWords); ok {
+		return t
+	}
+	t := text.WordsInto(s.Text, s.TokenBuf(sample.CtxWords))
+	s.StoreTokens(sample.CtxWords, t)
+	return t
 }
 
 // WordsLowerOf returns (and caches) the lower-cased word segmentation.
 func WordsLowerOf(s *sample.Sample) []string {
-	return s.Context(CtxWordsLower, func() any {
-		return text.WordsLower(s.Text)
-	}).([]string)
+	if t, ok := s.CachedTokens(sample.CtxWordsLower); ok {
+		return t
+	}
+	t := text.WordsLowerInto(s.Text, s.TokenBuf(sample.CtxWordsLower))
+	s.StoreTokens(sample.CtxWordsLower, t)
+	return t
 }
 
 // LinesOf returns (and caches) the line split of the sample's text.
 func LinesOf(s *sample.Sample) []string {
-	return s.Context(CtxLines, func() any { return text.Lines(s.Text) }).([]string)
+	if t, ok := s.CachedTokens(sample.CtxLines); ok {
+		return t
+	}
+	t := text.LinesInto(s.Text, s.TokenBuf(sample.CtxLines))
+	s.StoreTokens(sample.CtxLines, t)
+	return t
 }
 
 // SentencesOf returns (and caches) the sentence split of the sample's text.
 func SentencesOf(s *sample.Sample) []string {
-	return s.Context(CtxSentences, func() any { return text.Sentences(s.Text) }).([]string)
+	if t, ok := s.CachedTokens(sample.CtxSentences); ok {
+		return t
+	}
+	t := text.SentencesInto(s.Text, s.TokenBuf(sample.CtxSentences))
+	s.StoreTokens(sample.CtxSentences, t)
+	return t
 }

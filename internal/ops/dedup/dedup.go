@@ -6,10 +6,10 @@
 package dedup
 
 import (
-	"hash/fnv"
 	"math/bits"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 
 	"repro/internal/dataset"
 	"repro/internal/ops"
@@ -76,11 +76,8 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-func hash64(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	return h.Sum64()
-}
+// hash64 is FNV-64a over s (inline, allocation-free).
+func hash64(s string) uint64 { return text.HashString(s) }
 
 func normalizeForHash(t string, lowercase, ignorePunct bool) string {
 	if lowercase {
@@ -97,18 +94,115 @@ func normalizeForHash(t string, lowercase, ignorePunct bool) string {
 	return strings.Join(strings.Fields(t), " ")
 }
 
-// wordShingles returns the hashed word n-gram shingle set of t.
-func wordShingles(t string, n int) []uint64 {
-	words := text.WordsLower(t)
-	if len(words) < n {
-		if len(words) == 0 {
-			return nil
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// normalizedHash streams hash64(normalizeForHash(t, ...)) without
+// materializing the normalized string: runes are lower-cased and
+// punctuation-filtered on the fly, whitespace runs collapse to single
+// separators, and the FNV-64a state advances byte by byte. It returns
+// exactly the same value as hashing the materialized normalization — the
+// equivalence test pins this — while allocating nothing.
+func normalizedHash(t string, lowercase, ignorePunct bool) uint64 {
+	h := uint64(fnvOffset)
+	pendingSep := false // a space is owed before the next kept rune
+	started := false    // at least one kept rune emitted (no leading sep)
+	var enc [4]byte
+	for i := 0; i < len(t); {
+		r, size := utf8.DecodeRuneInString(t[i:])
+		invalid := r == utf8.RuneError && size == 1 // raw invalid byte, not a real U+FFFD
+		i += size
+		if invalid {
+			// strings.ToLower / strings.Map coerce invalid bytes to
+			// U+FFFD; without either transforming pass, the bytes flow
+			// through Fields/Join untouched. Mirror both behaviors.
+			if ignorePunct {
+				continue // U+FFFD is neither letter, digit nor space
+			}
+			if lowercase {
+				r = 0xFFFD
+			} else {
+				if pendingSep {
+					h = (h ^ ' ') * fnvPrime
+					pendingSep = false
+				}
+				started = true
+				h = (h ^ uint64(t[i-1])) * fnvPrime
+				continue
+			}
 		}
-		return []uint64{hash64(strings.Join(words, " "))}
+		if lowercase {
+			r = unicode.ToLower(r)
+		}
+		if unicode.IsSpace(r) {
+			pendingSep = started
+			continue
+		}
+		if ignorePunct && !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+			continue
+		}
+		if pendingSep {
+			h = (h ^ ' ') * fnvPrime
+			pendingSep = false
+		}
+		started = true
+		if r < 0x80 {
+			h = (h ^ uint64(r)) * fnvPrime
+			continue
+		}
+		n := utf8.EncodeRune(enc[:], r)
+		for i := 0; i < n; i++ {
+			h = (h ^ uint64(enc[i])) * fnvPrime
+		}
+	}
+	return h
+}
+
+// Shingle hashing: each token hashes independently (FNV over its bytes
+// plus a separator fold, so "ab c" and "a bc" differ exactly as the
+// joined text did), and every n-window combines token hashes through a
+// seeded splitmix-based rolling polynomial — no per-shingle string join.
+const shingleB = 0x9e3779b97f4a7c15
+
+// wordShingles returns the hashed word n-gram shingle set of t, writing
+// token scratch through the pooled segmenter.
+func wordShingles(t string, n int) []uint64 {
+	seg := text.GetSegmenter()
+	words := seg.WordsLower(t)
+	out := shinglesOf(words, n)
+	text.PutSegmenter(seg)
+	return out
+}
+
+// shinglesOf hashes the n-gram windows of words. Shingle values are
+// equal exactly when the windows' token sequences are equal (modulo
+// 64-bit hash collisions), the property MinHash and the duplicate
+// verifier rely on; the dup-pair equivalence test checks the end-to-end
+// output matches the joined-string implementation on seeded corpora.
+func shinglesOf(words []string, n int) []uint64 {
+	if len(words) == 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1 // defensive: factories validate, but a zero window must not panic
+	}
+	if len(words) < n {
+		n = len(words)
 	}
 	out := make([]uint64, 0, len(words)-n+1)
-	for i := 0; i+n <= len(words); i++ {
-		out = append(out, hash64(strings.Join(words[i:i+n], " ")))
+	bPow := uint64(1)
+	for i := 1; i < n; i++ {
+		bPow *= shingleB
+	}
+	var h uint64
+	for i, w := range words {
+		h = h*shingleB + splitmix64(text.HashString(w))
+		if i >= n-1 {
+			out = append(out, splitmix64(h))
+			h -= splitmix64(text.HashString(words[i-n+1])) * bPow
+		}
 	}
 	return out
 }

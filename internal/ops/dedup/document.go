@@ -30,9 +30,10 @@ func (d *documentDedup) Name() string { return "document_deduplicator" }
 // Signature implements ops.StreamDeduper: exact duplicates are exactly
 // the samples whose normalized-text hashes collide, so the streaming
 // engine can dedup against a shared signature index without a barrier.
+// The hash streams over the text — normalization never materializes.
 func (d *documentDedup) Signature(s *sample.Sample) uint64 {
 	t, _ := s.GetString(d.textKey)
-	return hash64(normalizeForHash(t, d.lowercase, d.ignorePunct))
+	return normalizedHash(t, d.lowercase, d.ignorePunct)
 }
 
 var _ ops.StreamDeduper = (*documentDedup)(nil)

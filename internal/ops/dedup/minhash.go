@@ -16,6 +16,9 @@ func init() {
 			if bands <= 0 || rows <= 0 {
 				return nil, fmt.Errorf("bands and rows_per_band must be positive")
 			}
+			if p.Int("shingle_size", 5) <= 0 {
+				return nil, fmt.Errorf("shingle_size must be positive")
+			}
 			return &minhashDedup{
 				textKey:   p.String("text_key", "text"),
 				shingle:   p.Int("shingle_size", 5),

@@ -1,9 +1,21 @@
 package filter
 
 import (
+	"unicode/utf8"
+
 	"repro/internal/ops"
 	"repro/internal/sample"
 	"repro/internal/text"
+)
+
+// Interned stat keys: the typed accessors skip the name lookup on the
+// per-sample hot path.
+var (
+	keyAlnumRatio   = sample.InternStatKey("alnum_ratio")
+	keySpecialChars = sample.InternStatKey("special_char_ratio")
+	keyDigitRatio   = sample.InternStatKey("digit_ratio")
+	keyTextLen      = sample.InternStatKey("text_len")
+	keyCharRepRatio = sample.InternStatKey("char_rep_ratio")
 )
 
 // Character-level filters: cheap statistics computed from the raw rune
@@ -56,15 +68,15 @@ type alnumFilter struct {
 func (f *alnumFilter) StatKeys() []string { return []string{"alnum_ratio"} }
 
 func (f *alnumFilter) ComputeStats(s *sample.Sample) error {
-	if _, ok := s.Stat("alnum_ratio"); ok {
+	if _, ok := s.Stats.Float(keyAlnumRatio); ok {
 		return nil
 	}
-	s.SetStat("alnum_ratio", text.AlnumRatio(f.text(s)))
+	s.Stats.SetFloat(keyAlnumRatio, text.AlnumRatio(f.text(s)))
 	return nil
 }
 
 func (f *alnumFilter) Keep(s *sample.Sample) bool {
-	v, _ := s.Stat("alnum_ratio")
+	v, _ := s.Stats.Float(keyAlnumRatio)
 	return f.within(v)
 }
 
@@ -76,15 +88,15 @@ type specialCharsFilter struct {
 func (f *specialCharsFilter) StatKeys() []string { return []string{"special_char_ratio"} }
 
 func (f *specialCharsFilter) ComputeStats(s *sample.Sample) error {
-	if _, ok := s.Stat("special_char_ratio"); ok {
+	if _, ok := s.Stats.Float(keySpecialChars); ok {
 		return nil
 	}
-	s.SetStat("special_char_ratio", text.SpecialCharRatio(f.text(s)))
+	s.Stats.SetFloat(keySpecialChars, text.SpecialCharRatio(f.text(s)))
 	return nil
 }
 
 func (f *specialCharsFilter) Keep(s *sample.Sample) bool {
-	v, _ := s.Stat("special_char_ratio")
+	v, _ := s.Stats.Float(keySpecialChars)
 	return f.within(v)
 }
 
@@ -96,15 +108,15 @@ type digitRatioFilter struct {
 func (f *digitRatioFilter) StatKeys() []string { return []string{"digit_ratio"} }
 
 func (f *digitRatioFilter) ComputeStats(s *sample.Sample) error {
-	if _, ok := s.Stat("digit_ratio"); ok {
+	if _, ok := s.Stats.Float(keyDigitRatio); ok {
 		return nil
 	}
-	s.SetStat("digit_ratio", text.DigitRatio(f.text(s)))
+	s.Stats.SetFloat(keyDigitRatio, text.DigitRatio(f.text(s)))
 	return nil
 }
 
 func (f *digitRatioFilter) Keep(s *sample.Sample) bool {
-	v, _ := s.Stat("digit_ratio")
+	v, _ := s.Stats.Float(keyDigitRatio)
 	return f.within(v)
 }
 
@@ -116,15 +128,15 @@ type textLengthFilter struct {
 func (f *textLengthFilter) StatKeys() []string { return []string{"text_len"} }
 
 func (f *textLengthFilter) ComputeStats(s *sample.Sample) error {
-	if _, ok := s.Stat("text_len"); ok {
+	if _, ok := s.Stats.Float(keyTextLen); ok {
 		return nil
 	}
-	s.SetStat("text_len", float64(len([]rune(f.text(s)))))
+	s.Stats.SetFloat(keyTextLen, float64(utf8.RuneCountInString(f.text(s))))
 	return nil
 }
 
 func (f *textLengthFilter) Keep(s *sample.Sample) bool {
-	v, _ := s.Stat("text_len")
+	v, _ := s.Stats.Float(keyTextLen)
 	return f.within(v)
 }
 
@@ -139,15 +151,14 @@ func (f *charRepetitionFilter) StatKeys() []string { return []string{"char_rep_r
 func (f *charRepetitionFilter) CostHint() float64 { return 2 }
 
 func (f *charRepetitionFilter) ComputeStats(s *sample.Sample) error {
-	if _, ok := s.Stat("char_rep_ratio"); ok {
+	if _, ok := s.Stats.Float(keyCharRepRatio); ok {
 		return nil
 	}
-	grams := text.CharNGrams(f.text(s), f.repLen)
-	s.SetStat("char_rep_ratio", text.RepetitionRatio(grams))
+	s.Stats.SetFloat(keyCharRepRatio, text.CharNGramRepetitionRatio(f.text(s), f.repLen))
 	return nil
 }
 
 func (f *charRepetitionFilter) Keep(s *sample.Sample) bool {
-	v, _ := s.Stat("char_rep_ratio")
+	v, _ := s.Stats.Float(keyCharRepRatio)
 	return f.within(v)
 }

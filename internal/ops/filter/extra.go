@@ -1,8 +1,18 @@
 package filter
 
 import (
+	"unicode/utf8"
+
 	"repro/internal/ops"
 	"repro/internal/sample"
+	"repro/internal/text"
+)
+
+// Interned stat keys.
+var (
+	keyNumSentences  = sample.InternStatKey("num_sentences")
+	keyAvgWordLength = sample.InternStatKey("avg_word_length")
+	keyUniqueWords   = sample.InternStatKey("unique_words_ratio")
 )
 
 // Additional filters rounding out the pool: sentence counts, average word
@@ -42,15 +52,15 @@ func (f *sentenceNumFilter) ContextKeys() []string { return []string{ops.CtxSent
 func (f *sentenceNumFilter) CostHint() float64     { return 2 }
 
 func (f *sentenceNumFilter) ComputeStats(s *sample.Sample) error {
-	if _, ok := s.Stat("num_sentences"); ok {
+	if _, ok := s.Stats.Float(keyNumSentences); ok {
 		return nil
 	}
-	s.SetStat("num_sentences", float64(len(ops.SentencesOf(s))))
+	s.Stats.SetFloat(keyNumSentences, float64(len(ops.SentencesOf(s))))
 	return nil
 }
 
 func (f *sentenceNumFilter) Keep(s *sample.Sample) bool {
-	v, _ := s.Stat("num_sentences")
+	v, _ := s.Stats.Float(keyNumSentences)
 	return f.within(v)
 }
 
@@ -67,24 +77,24 @@ func (f *avgWordLengthFilter) ContextKeys() []string { return []string{ops.CtxWo
 func (f *avgWordLengthFilter) CostHint() float64     { return 2 }
 
 func (f *avgWordLengthFilter) ComputeStats(s *sample.Sample) error {
-	if _, ok := s.Stat("avg_word_length"); ok {
+	if _, ok := s.Stats.Float(keyAvgWordLength); ok {
 		return nil
 	}
 	words := ops.WordsLowerOf(s)
 	if len(words) == 0 {
-		s.SetStat("avg_word_length", 0)
+		s.Stats.SetFloat(keyAvgWordLength, 0)
 		return nil
 	}
 	total := 0
 	for _, w := range words {
-		total += len([]rune(w))
+		total += utf8.RuneCountInString(w)
 	}
-	s.SetStat("avg_word_length", float64(total)/float64(len(words)))
+	s.Stats.SetFloat(keyAvgWordLength, float64(total)/float64(len(words)))
 	return nil
 }
 
 func (f *avgWordLengthFilter) Keep(s *sample.Sample) bool {
-	v, _ := s.Stat("avg_word_length")
+	v, _ := s.Stats.Float(keyAvgWordLength)
 	return f.within(v)
 }
 
@@ -100,23 +110,19 @@ func (f *uniqueWordsFilter) ContextKeys() []string { return []string{ops.CtxWord
 func (f *uniqueWordsFilter) CostHint() float64     { return 2 }
 
 func (f *uniqueWordsFilter) ComputeStats(s *sample.Sample) error {
-	if _, ok := s.Stat("unique_words_ratio"); ok {
+	if _, ok := s.Stats.Float(keyUniqueWords); ok {
 		return nil
 	}
 	words := ops.WordsLowerOf(s)
 	if len(words) == 0 {
-		s.SetStat("unique_words_ratio", 0)
+		s.Stats.SetFloat(keyUniqueWords, 0)
 		return nil
 	}
-	uniq := make(map[string]struct{}, len(words))
-	for _, w := range words {
-		uniq[w] = struct{}{}
-	}
-	s.SetStat("unique_words_ratio", float64(len(uniq))/float64(len(words)))
+	s.Stats.SetFloat(keyUniqueWords, text.DistinctRatio(words))
 	return nil
 }
 
 func (f *uniqueWordsFilter) Keep(s *sample.Sample) bool {
-	v, _ := s.Stat("unique_words_ratio")
+	v, _ := s.Stats.Float(keyUniqueWords)
 	return f.within(v)
 }

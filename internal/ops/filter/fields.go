@@ -10,6 +10,13 @@ import (
 // Meta-field filters: verdicts driven by sample metadata instead of text
 // content — "filter by meta-info" in Table 1.
 
+// Interned stat keys.
+var (
+	keySuffixOK   = sample.InternStatKey("suffix_ok")
+	keyFieldOK    = sample.InternStatKey("field_ok")
+	keyNumFieldOK = sample.InternStatKey("num_field_ok")
+)
+
 func init() {
 	ops.Register("suffix_filter", ops.CategoryFilter, "general,code",
 		func(p ops.Params) (ops.OP, error) {
@@ -54,12 +61,12 @@ func (f *suffixFilter) ComputeStats(s *sample.Sample) error {
 			break
 		}
 	}
-	s.SetStat("suffix_ok", boolStat(ok))
+	s.Stats.SetFloat(keySuffixOK, boolStat(ok))
 	return nil
 }
 
 func (f *suffixFilter) Keep(s *sample.Sample) bool {
-	v, _ := s.Stat("suffix_ok")
+	v, _ := s.Stats.Float(keySuffixOK)
 	return v > 0
 }
 
@@ -85,12 +92,12 @@ func (f *specifiedFieldFilter) ComputeStats(s *sample.Sample) error {
 			}
 		}
 	}
-	s.SetStat("field_ok", boolStat(ok))
+	s.Stats.SetFloat(keyFieldOK, boolStat(ok))
 	return nil
 }
 
 func (f *specifiedFieldFilter) Keep(s *sample.Sample) bool {
-	v, _ := s.Stat("field_ok")
+	v, _ := s.Stats.Float(keyFieldOK)
 	return v > 0
 }
 
@@ -105,12 +112,12 @@ func (f *specifiedNumericFieldFilter) StatKeys() []string { return []string{"num
 func (f *specifiedNumericFieldFilter) ComputeStats(s *sample.Sample) error {
 	v, present := s.GetFloat(f.field)
 	ok := present && f.within(v)
-	s.SetStat("num_field_ok", boolStat(ok))
+	s.Stats.SetFloat(keyNumFieldOK, boolStat(ok))
 	return nil
 }
 
 func (f *specifiedNumericFieldFilter) Keep(s *sample.Sample) bool {
-	v, _ := s.Stat("num_field_ok")
+	v, _ := s.Stats.Float(keyNumFieldOK)
 	return v > 0
 }
 

@@ -1,8 +1,16 @@
 package filter
 
 import (
+	"unicode/utf8"
+
 	"repro/internal/ops"
 	"repro/internal/sample"
+)
+
+// Interned stat keys.
+var (
+	keyAvgLineLength = sample.InternStatKey("avg_line_length")
+	keyMaxLineLength = sample.InternStatKey("max_line_length")
 )
 
 // Line-level filters share the CtxLines context: when fused, the line
@@ -34,24 +42,24 @@ func (f *avgLineLengthFilter) StatKeys() []string    { return []string{"avg_line
 func (f *avgLineLengthFilter) ContextKeys() []string { return []string{ops.CtxLines} }
 
 func (f *avgLineLengthFilter) ComputeStats(s *sample.Sample) error {
-	if _, ok := s.Stat("avg_line_length"); ok {
+	if _, ok := s.Stats.Float(keyAvgLineLength); ok {
 		return nil
 	}
 	lines := ops.LinesOf(s)
 	if len(lines) == 0 {
-		s.SetStat("avg_line_length", 0)
+		s.Stats.SetFloat(keyAvgLineLength, 0)
 		return nil
 	}
 	total := 0
 	for _, l := range lines {
-		total += len([]rune(l))
+		total += utf8.RuneCountInString(l)
 	}
-	s.SetStat("avg_line_length", float64(total)/float64(len(lines)))
+	s.Stats.SetFloat(keyAvgLineLength, float64(total)/float64(len(lines)))
 	return nil
 }
 
 func (f *avgLineLengthFilter) Keep(s *sample.Sample) bool {
-	v, _ := s.Stat("avg_line_length")
+	v, _ := s.Stats.Float(keyAvgLineLength)
 	return f.within(v)
 }
 
@@ -64,20 +72,20 @@ func (f *maxLineLengthFilter) StatKeys() []string    { return []string{"max_line
 func (f *maxLineLengthFilter) ContextKeys() []string { return []string{ops.CtxLines} }
 
 func (f *maxLineLengthFilter) ComputeStats(s *sample.Sample) error {
-	if _, ok := s.Stat("max_line_length"); ok {
+	if _, ok := s.Stats.Float(keyMaxLineLength); ok {
 		return nil
 	}
 	max := 0
 	for _, l := range ops.LinesOf(s) {
-		if n := len([]rune(l)); n > max {
+		if n := utf8.RuneCountInString(l); n > max {
 			max = n
 		}
 	}
-	s.SetStat("max_line_length", float64(max))
+	s.Stats.SetFloat(keyMaxLineLength, float64(max))
 	return nil
 }
 
 func (f *maxLineLengthFilter) Keep(s *sample.Sample) bool {
-	v, _ := s.Stat("max_line_length")
+	v, _ := s.Stats.Float(keyMaxLineLength)
 	return f.within(v)
 }

@@ -62,22 +62,31 @@ type languageIDFilter struct {
 	minScore float64
 }
 
+// Interned stat keys for the model-backed filters.
+var (
+	keyLang         = sample.InternStatKey("lang")
+	keyLangScore    = sample.InternStatKey("lang_score")
+	keyPerplexity   = sample.InternStatKey("perplexity")
+	keyNumTokens    = sample.InternStatKey("num_tokens")
+	keyQualityScore = sample.InternStatKey("quality_score")
+)
+
 func (f *languageIDFilter) StatKeys() []string { return []string{"lang", "lang_score"} }
 func (f *languageIDFilter) CostHint() float64  { return 6 }
 
 func (f *languageIDFilter) ComputeStats(s *sample.Sample) error {
-	if _, ok := s.Stat("lang_score"); ok {
+	if _, ok := s.Stats.Float(keyLangScore); ok {
 		return nil
 	}
 	lang, score := sharedLangID().Classify(f.text(s))
-	s.SetStatString("lang", lang)
-	s.SetStat("lang_score", score)
+	s.Stats.SetString(keyLang, lang)
+	s.Stats.SetFloat(keyLangScore, score)
 	return nil
 }
 
 func (f *languageIDFilter) Keep(s *sample.Sample) bool {
-	lang, _ := s.StatString("lang")
-	score, _ := s.Stat("lang_score")
+	lang, _ := s.Stats.String(keyLang)
+	score, _ := s.Stats.Float(keyLangScore)
 	return lang == f.lang && score >= f.minScore
 }
 
@@ -91,7 +100,7 @@ func (f *perplexityFilter) ContextKeys() []string { return []string{ops.CtxWords
 func (f *perplexityFilter) CostHint() float64     { return 8 }
 
 func (f *perplexityFilter) ComputeStats(s *sample.Sample) error {
-	if _, ok := s.Stat("perplexity"); ok {
+	if _, ok := s.Stats.Float(keyPerplexity); ok {
 		return nil
 	}
 	words := ops.WordsLowerOf(s)
@@ -101,12 +110,12 @@ func (f *perplexityFilter) ComputeStats(s *sample.Sample) error {
 	} else {
 		ppl = fallbackPerplexity(words)
 	}
-	s.SetStat("perplexity", ppl)
+	s.Stats.SetFloat(keyPerplexity, ppl)
 	return nil
 }
 
 func (f *perplexityFilter) Keep(s *sample.Sample) bool {
-	v, _ := s.Stat("perplexity")
+	v, _ := s.Stats.Float(keyPerplexity)
 	return v <= f.maxPPL
 }
 
@@ -150,7 +159,7 @@ func (f *tokenNumFilter) ContextKeys() []string { return []string{ops.CtxWordsLo
 func (f *tokenNumFilter) CostHint() float64     { return 4 }
 
 func (f *tokenNumFilter) ComputeStats(s *sample.Sample) error {
-	if _, ok := s.Stat("num_tokens"); ok {
+	if _, ok := s.Stats.Float(keyNumTokens); ok {
 		return nil
 	}
 	var n int
@@ -160,12 +169,12 @@ func (f *tokenNumFilter) ComputeStats(s *sample.Sample) error {
 		// Fallback heuristic: subword tokenizers emit ~4/3 tokens per word.
 		n = len(ops.WordsLowerOf(s)) * 4 / 3
 	}
-	s.SetStat("num_tokens", float64(n))
+	s.Stats.SetFloat(keyNumTokens, float64(n))
 	return nil
 }
 
 func (f *tokenNumFilter) Keep(s *sample.Sample) bool {
-	v, _ := s.Stat("num_tokens")
+	v, _ := s.Stats.Float(keyNumTokens)
 	return f.within(v)
 }
 
@@ -178,7 +187,7 @@ func (f *qualityScoreFilter) StatKeys() []string { return []string{"quality_scor
 func (f *qualityScoreFilter) CostHint() float64  { return 5 }
 
 func (f *qualityScoreFilter) ComputeStats(s *sample.Sample) error {
-	if _, ok := s.Stat("quality_score"); ok {
+	if _, ok := s.Stats.Float(keyQualityScore); ok {
 		return nil
 	}
 	t := f.text(s)
@@ -188,12 +197,12 @@ func (f *qualityScoreFilter) ComputeStats(s *sample.Sample) error {
 	} else {
 		score = heuristicQuality(t)
 	}
-	s.SetStat("quality_score", score)
+	s.Stats.SetFloat(keyQualityScore, score)
 	return nil
 }
 
 func (f *qualityScoreFilter) Keep(s *sample.Sample) bool {
-	v, _ := s.Stat("quality_score")
+	v, _ := s.Stats.Float(keyQualityScore)
 	return v >= f.minScore
 }
 

@@ -10,6 +10,12 @@ import (
 // lower-cased word stream): they form the fusible group exercised by the
 // Figure 9 experiment.
 
+// Interned stat keys for the word-group filters.
+var (
+	keyNumWords     = sample.InternStatKey("num_words")
+	keyWordRepRatio = sample.InternStatKey("word_rep_ratio")
+)
+
 func init() {
 	ops.Register("word_num_filter", ops.CategoryFilter, "general",
 		func(p ops.Params) (ops.OP, error) {
@@ -32,7 +38,7 @@ func init() {
 			words := text.Stopwords(lang)
 			return &wordSetRatioFilter{
 				base:     newBase("stopwords_filter", p),
-				statKey:  "stopwords_ratio",
+				statKey:  sample.InternStatKey("stopwords_ratio"),
 				set:      words,
 				min:      p.Float("min_ratio", 0.1),
 				max:      p.Float("max_ratio", 1.0),
@@ -44,7 +50,7 @@ func init() {
 			lang := p.String("lang", "en")
 			return &wordSetRatioFilter{
 				base:     newBase("flagged_words_filter", p),
-				statKey:  "flagged_words_ratio",
+				statKey:  sample.InternStatKey("flagged_words_ratio"),
 				set:      text.FlaggedWords(lang),
 				min:      p.Float("min_ratio", 0.0),
 				max:      p.Float("max_ratio", 0.01),
@@ -55,7 +61,7 @@ func init() {
 		func(p ops.Params) (ops.OP, error) {
 			return &lexiconCountFilter{
 				base:    newBase("text_action_filter", p),
-				statKey: "num_actions",
+				statKey: sample.InternStatKey("num_actions"),
 				member:  text.IsVerb,
 				minNum:  p.Float("min_action_num", 1),
 			}, nil
@@ -64,7 +70,7 @@ func init() {
 		func(p ops.Params) (ops.OP, error) {
 			return &lexiconCountFilter{
 				base:    newBase("text_entity_dependency_filter", p),
-				statKey: "num_entities",
+				statKey: sample.InternStatKey("num_entities"),
 				member:  text.IsNoun,
 				minNum:  p.Float("min_dependency_num", 1),
 			}, nil
@@ -81,15 +87,15 @@ func (f *wordNumFilter) ContextKeys() []string { return []string{ops.CtxWordsLow
 func (f *wordNumFilter) CostHint() float64     { return 2 }
 
 func (f *wordNumFilter) ComputeStats(s *sample.Sample) error {
-	if _, ok := s.Stat("num_words"); ok {
+	if _, ok := s.Stats.Float(keyNumWords); ok {
 		return nil
 	}
-	s.SetStat("num_words", float64(len(ops.WordsLowerOf(s))))
+	s.Stats.SetFloat(keyNumWords, float64(len(ops.WordsLowerOf(s))))
 	return nil
 }
 
 func (f *wordNumFilter) Keep(s *sample.Sample) bool {
-	v, _ := s.Stat("num_words")
+	v, _ := s.Stats.Float(keyNumWords)
 	return f.within(v)
 }
 
@@ -104,16 +110,15 @@ func (f *wordRepetitionFilter) ContextKeys() []string { return []string{ops.CtxW
 func (f *wordRepetitionFilter) CostHint() float64     { return 3 }
 
 func (f *wordRepetitionFilter) ComputeStats(s *sample.Sample) error {
-	if _, ok := s.Stat("word_rep_ratio"); ok {
+	if _, ok := s.Stats.Float(keyWordRepRatio); ok {
 		return nil
 	}
-	grams := text.WordNGrams(ops.WordsLowerOf(s), f.repLen)
-	s.SetStat("word_rep_ratio", text.RepetitionRatio(grams))
+	s.Stats.SetFloat(keyWordRepRatio, text.WordNGramRepetitionRatio(ops.WordsLowerOf(s), f.repLen))
 	return nil
 }
 
 func (f *wordRepetitionFilter) Keep(s *sample.Sample) bool {
-	v, _ := s.Stat("word_rep_ratio")
+	v, _ := s.Stats.Float(keyWordRepRatio)
 	return f.within(v)
 }
 
@@ -123,23 +128,23 @@ func (f *wordRepetitionFilter) Keep(s *sample.Sample) bool {
 // (keep when the ratio is low enough).
 type wordSetRatioFilter struct {
 	base
-	statKey  string
+	statKey  sample.StatKey
 	set      map[string]struct{}
 	min, max float64
 	costHint float64
 }
 
-func (f *wordSetRatioFilter) StatKeys() []string    { return []string{f.statKey} }
+func (f *wordSetRatioFilter) StatKeys() []string    { return []string{f.statKey.Name()} }
 func (f *wordSetRatioFilter) ContextKeys() []string { return []string{ops.CtxWordsLower} }
 func (f *wordSetRatioFilter) CostHint() float64     { return f.costHint }
 
 func (f *wordSetRatioFilter) ComputeStats(s *sample.Sample) error {
-	if _, ok := s.Stat(f.statKey); ok {
+	if _, ok := s.Stats.Float(f.statKey); ok {
 		return nil
 	}
 	words := ops.WordsLowerOf(s)
 	if len(words) == 0 {
-		s.SetStat(f.statKey, 0)
+		s.Stats.SetFloat(f.statKey, 0)
 		return nil
 	}
 	hits := 0
@@ -148,12 +153,12 @@ func (f *wordSetRatioFilter) ComputeStats(s *sample.Sample) error {
 			hits++
 		}
 	}
-	s.SetStat(f.statKey, float64(hits)/float64(len(words)))
+	s.Stats.SetFloat(f.statKey, float64(hits)/float64(len(words)))
 	return nil
 }
 
 func (f *wordSetRatioFilter) Keep(s *sample.Sample) bool {
-	v, _ := s.Stat(f.statKey)
+	v, _ := s.Stats.Float(f.statKey)
 	return v >= f.min && v <= f.max
 }
 
@@ -162,17 +167,17 @@ func (f *wordSetRatioFilter) Keep(s *sample.Sample) bool {
 // and text_entity_dependency_filter.
 type lexiconCountFilter struct {
 	base
-	statKey string
+	statKey sample.StatKey
 	member  func(string) bool
 	minNum  float64
 }
 
-func (f *lexiconCountFilter) StatKeys() []string    { return []string{f.statKey} }
+func (f *lexiconCountFilter) StatKeys() []string    { return []string{f.statKey.Name()} }
 func (f *lexiconCountFilter) ContextKeys() []string { return []string{ops.CtxWordsLower} }
 func (f *lexiconCountFilter) CostHint() float64     { return 2 }
 
 func (f *lexiconCountFilter) ComputeStats(s *sample.Sample) error {
-	if _, ok := s.Stat(f.statKey); ok {
+	if _, ok := s.Stats.Float(f.statKey); ok {
 		return nil
 	}
 	n := 0
@@ -181,11 +186,11 @@ func (f *lexiconCountFilter) ComputeStats(s *sample.Sample) error {
 			n++
 		}
 	}
-	s.SetStat(f.statKey, float64(n))
+	s.Stats.SetFloat(f.statKey, float64(n))
 	return nil
 }
 
 func (f *lexiconCountFilter) Keep(s *sample.Sample) bool {
-	v, _ := s.Stat(f.statKey)
+	v, _ := s.Stats.Float(f.statKey)
 	return v >= f.minNum
 }

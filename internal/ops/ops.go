@@ -52,6 +52,21 @@ type Filter interface {
 	Keep(s *sample.Sample) bool
 }
 
+// StatsBatcher is implemented by filters that process a whole batch of
+// samples per call, owning scratch attachment and context clearing for
+// the batch — the executor then skips its per-sample wrapper. Fused
+// filters implement it to amortize member-attribution atomics.
+type StatsBatcher interface {
+	// ComputeStatsBatch computes stats for every sample of the batch.
+	ComputeStatsBatch(batch []*sample.Sample) error
+}
+
+// KeepBatcher is implemented by filters that judge a whole batch per
+// call, filling verdict[i] for batch[i].
+type KeepBatcher interface {
+	KeepBatch(batch []*sample.Sample, verdict []bool)
+}
+
 // DupPair records one detected duplicate: the dropped sample index and the
 // retained representative index (for the tracer).
 type DupPair struct {

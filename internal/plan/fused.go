@@ -128,6 +128,45 @@ func (f *FusedFilter) ComputeStats(s *sample.Sample) error {
 	return nil
 }
 
+// ComputeStatsBatch implements ops.StatsBatcher: one batch of samples
+// per call, sample-major so each member reads the sample's shared
+// context while it is hot and the per-worker scratch buffers are reused
+// sample after sample. Member attribution accumulates in batch-local
+// counters and flushes to the shared atomics once per batch instead of
+// once per member per sample.
+func (f *FusedFilter) ComputeStatsBatch(batch []*sample.Sample) error {
+	counts := make([]int64, len(f.members))
+	nanos := make([]int64, len(f.members))
+	sc := sample.GetScratch()
+	var firstErr error
+	for _, s := range batch {
+		s.AttachScratch(sc)
+		prev := time.Now()
+		for i, m := range f.members {
+			if err := m.ComputeStats(s); err != nil {
+				firstErr = err
+				break
+			}
+			now := time.Now()
+			counts[i]++
+			nanos[i] += now.Sub(prev).Nanoseconds()
+			prev = now
+		}
+		s.ClearContext()
+		if firstErr != nil {
+			break
+		}
+	}
+	sample.PutScratch(sc)
+	for i := range f.members {
+		if counts[i] > 0 {
+			f.counters[i].statN.Add(counts[i])
+			f.counters[i].statNS.Add(nanos[i])
+		}
+	}
+	return firstErr
+}
+
 // Keep is the conjunction of member verdicts, short-circuiting on the
 // first rejection and counting each member's in-flow.
 func (f *FusedFilter) Keep(s *sample.Sample) bool {
@@ -139,6 +178,35 @@ func (f *FusedFilter) Keep(s *sample.Sample) bool {
 	}
 	f.passedAll.Add(1)
 	return true
+}
+
+// KeepBatch implements ops.KeepBatcher: member in-flow counters
+// accumulate batch-locally and flush once per batch.
+func (f *FusedFilter) KeepBatch(batch []*sample.Sample, verdict []bool) {
+	in := make([]int64, len(f.members))
+	var passed int64
+	for bi, s := range batch {
+		keep := true
+		for i, m := range f.members {
+			in[i]++
+			if !m.Keep(s) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			passed++
+		}
+		verdict[bi] = keep
+	}
+	for i := range f.members {
+		if in[i] > 0 {
+			f.counters[i].keepIn.Add(in[i])
+		}
+	}
+	if passed > 0 {
+		f.passedAll.Add(passed)
+	}
 }
 
 // TakeMemberStats returns the per-member attribution accumulated since
@@ -167,3 +235,5 @@ func (f *FusedFilter) TakeMemberStats() []MemberStat {
 var _ ops.Filter = (*FusedFilter)(nil)
 var _ ops.Coster = (*FusedFilter)(nil)
 var _ ops.ContextUser = (*FusedFilter)(nil)
+var _ ops.StatsBatcher = (*FusedFilter)(nil)
+var _ ops.KeepBatcher = (*FusedFilter)(nil)

@@ -1,0 +1,973 @@
+package sample
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// This file holds the hand-rolled JSON fast path for the flat
+// {text, parts, meta, stats} wire shape. The encoder is byte-identical
+// to encoding/json marshalling of the former map-based representation
+// (sorted object keys, HTML escaping, � coercion of invalid UTF-8,
+// encoding/json's float formatting); the decoder commits only when it
+// fully parses a line as strict JSON and otherwise defers to
+// encoding/json, so error behavior and edge-case semantics are
+// unchanged.
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends the JSON encoding of s, replicating
+// encoding/json's string escaping with HTML escaping on.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// appendJSONFloat appends the encoding/json representation of f.
+func appendJSONFloat(dst []byte, f float64) ([]byte, error) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return nil, &json.UnsupportedValueError{Str: strconv.FormatFloat(f, 'g', -1, 64)}
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, as encoding/json does.
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst, nil
+}
+
+// appendJSONValue appends the encoding/json representation of a decoded
+// JSON value (the types json.Unmarshal into any produces, plus the few
+// scalar Go types recipes and corpora feed into meta). Exotic types fall
+// back to json.Marshal, which emits the identical bytes.
+func appendJSONValue(dst []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, "null"...), nil
+	case string:
+		return appendJSONString(dst, x), nil
+	case float64:
+		return appendJSONFloat(dst, x)
+	case bool:
+		if x {
+			return append(dst, "true"...), nil
+		}
+		return append(dst, "false"...), nil
+	case int:
+		return strconv.AppendInt(dst, int64(x), 10), nil
+	case int64:
+		return strconv.AppendInt(dst, x, 10), nil
+	case float32:
+		return appendJSONFloat32(dst, x)
+	case json.Number:
+		if x == "" {
+			return nil, &json.UnsupportedValueError{Str: "empty json.Number"}
+		}
+		return append(dst, x...), nil
+	case Fields:
+		return appendJSONObject(dst, x)
+	case map[string]any:
+		return appendJSONObject(dst, x)
+	case []any:
+		dst = append(dst, '[')
+		for i, e := range x {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			var err error
+			if dst, err = appendJSONValue(dst, e); err != nil {
+				return nil, err
+			}
+		}
+		return append(dst, ']'), nil
+	case []string:
+		dst = append(dst, '[')
+		for i, e := range x {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendJSONString(dst, e)
+		}
+		return append(dst, ']'), nil
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, b...), nil
+}
+
+// appendJSONFloat32 matches encoding/json's 32-bit float formatting.
+func appendJSONFloat32(dst []byte, f float32) ([]byte, error) {
+	f64 := float64(f)
+	if math.IsInf(f64, 0) || math.IsNaN(f64) {
+		return nil, &json.UnsupportedValueError{Str: strconv.FormatFloat(f64, 'g', -1, 32)}
+	}
+	abs := math.Abs(f64)
+	format := byte('f')
+	if abs != 0 && (float32(abs) < 1e-6 || float32(abs) >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f64, format, -1, 32)
+	if format == 'e' {
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst, nil
+}
+
+// appendJSONObject appends a string-keyed map with sorted keys.
+func appendJSONObject(dst []byte, m map[string]any) ([]byte, error) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dst = append(dst, '{')
+	for i, k := range keys {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendJSONString(dst, k)
+		dst = append(dst, ':')
+		var err error
+		if dst, err = appendJSONValue(dst, m[k]); err != nil {
+			return nil, err
+		}
+	}
+	return append(dst, '}'), nil
+}
+
+// AppendJSON appends the sample's wire-format JSON object to dst —
+// byte-identical to encoding/json marshalling of the equivalent
+// {text, parts, meta, stats} struct, without the reflection.
+func (s *Sample) AppendJSON(dst []byte) ([]byte, error) {
+	dst = append(dst, `{"text":`...)
+	dst = appendJSONString(dst, s.Text)
+	if len(s.Parts) > 0 {
+		dst = append(dst, `,"parts":`...)
+		keys := make([]string, 0, len(s.Parts))
+		for k := range s.Parts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		dst = append(dst, '{')
+		for i, k := range keys {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendJSONString(dst, k)
+			dst = append(dst, ':')
+			dst = appendJSONString(dst, s.Parts[k])
+		}
+		dst = append(dst, '}')
+	}
+	if len(s.Meta) > 0 {
+		dst = append(dst, `,"meta":`...)
+		var err error
+		if dst, err = appendJSONObject(dst, s.Meta); err != nil {
+			return nil, err
+		}
+	}
+	if s.Stats.Len() > 0 {
+		dst = append(dst, `,"stats":`...)
+		var err error
+		if dst, err = s.Stats.appendJSON(dst); err != nil {
+			return nil, err
+		}
+	}
+	return append(dst, '}'), nil
+}
+
+// appendJSON appends the stats table as a flat sorted JSON object.
+func (t *Stats) appendJSON(dst []byte) ([]byte, error) {
+	if len(t.extra) == 0 {
+		// Hot path: typed entries only, already sorted by name.
+		dst = append(dst, '{')
+		for i := range t.entries {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			e := &t.entries[i]
+			dst = appendJSONString(dst, e.key.Name())
+			dst = append(dst, ':')
+			if e.kind == statStr {
+				dst = appendJSONString(dst, e.str)
+				continue
+			}
+			var err error
+			if dst, err = appendJSONFloat(dst, e.num); err != nil {
+				return nil, err
+			}
+		}
+		return append(dst, '}'), nil
+	}
+	dst = append(dst, '{')
+	for i, k := range t.Keys() {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		v, _ := t.Get(k)
+		dst = appendJSONString(dst, k)
+		dst = append(dst, ':')
+		var err error
+		if dst, err = appendJSONValue(dst, v); err != nil {
+			return nil, err
+		}
+	}
+	return append(dst, '}'), nil
+}
+
+// ---------------------------------------------------------------------
+// Decode fast path
+// ---------------------------------------------------------------------
+
+// jsonParser is a minimal strict JSON reader over one line. Any
+// deviation from the JSON grammar aborts the fast path (the caller
+// falls back to encoding/json, which re-parses and surfaces the
+// canonical error), so the fast path never accepts input the slow path
+// would reject.
+type jsonParser struct {
+	b   []byte
+	i   int
+	bad bool
+	// scratch backs string unescaping.
+	scratch []byte
+}
+
+func (p *jsonParser) fail() { p.bad = true }
+
+func (p *jsonParser) skipSpace() {
+	for p.i < len(p.b) {
+		switch p.b[p.i] {
+		case ' ', '\t', '\n', '\r':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+func (p *jsonParser) peek() byte {
+	if p.i < len(p.b) {
+		return p.b[p.i]
+	}
+	p.fail()
+	return 0
+}
+
+func (p *jsonParser) expect(c byte) {
+	if p.i < len(p.b) && p.b[p.i] == c {
+		p.i++
+		return
+	}
+	p.fail()
+}
+
+func (p *jsonParser) literal(lit string) {
+	if len(p.b)-p.i >= len(lit) && string(p.b[p.i:p.i+len(lit)]) == lit {
+		p.i += len(lit)
+		return
+	}
+	p.fail()
+}
+
+// str parses a JSON string, returning the decoded value. It replicates
+// encoding/json's unquoting: standard escapes, \uXXXX with surrogate
+// pairing (unpaired surrogates become U+FFFD), and coercion of invalid
+// UTF-8 bytes to U+FFFD.
+func (p *jsonParser) str() string {
+	raw, s, simple := p.strRaw()
+	if simple {
+		return string(raw)
+	}
+	return s
+}
+
+// strRaw parses a JSON string without allocating when it needs no
+// unescaping: simple=true means raw holds the value's bytes (valid only
+// until the parser advances past them — callers either compare them in
+// place or copy). Otherwise the decoded string is in s.
+func (p *jsonParser) strRaw() (raw []byte, s string, simple bool) {
+	if p.bad {
+		return nil, "", false
+	}
+	p.expect('"')
+	if p.bad {
+		return nil, "", false
+	}
+	start := p.i
+	// Fast scan: no escapes, no control bytes, valid UTF-8.
+	for p.i < len(p.b) {
+		b := p.b[p.i]
+		if b == '"' {
+			rb := p.b[start:p.i]
+			p.i++
+			if utf8.Valid(rb) {
+				return rb, "", true
+			}
+			// Invalid UTF-8 without escapes: coerce via the slow loop.
+			p.i = start
+			return nil, p.strSlow(start), false
+		}
+		if b == '\\' || b < 0x20 {
+			return nil, p.strSlow(start), false
+		}
+		p.i++
+	}
+	p.fail()
+	return nil, "", false
+}
+
+// strSlow finishes parsing a string that needs unescaping or UTF-8
+// coercion; p.i sits anywhere at or after start (inside the string).
+func (p *jsonParser) strSlow(start int) string {
+	out := p.scratch[:0]
+	out = append(out, p.b[start:p.i]...)
+	for p.i < len(p.b) {
+		b := p.b[p.i]
+		switch {
+		case b == '"':
+			p.i++
+			p.scratch = out
+			return string(out)
+		case b == '\\':
+			p.i++
+			if p.i >= len(p.b) {
+				p.fail()
+				return ""
+			}
+			switch e := p.b[p.i]; e {
+			case '"', '\\', '/':
+				out = append(out, e)
+				p.i++
+			case 'b':
+				out = append(out, '\b')
+				p.i++
+			case 'f':
+				out = append(out, '\f')
+				p.i++
+			case 'n':
+				out = append(out, '\n')
+				p.i++
+			case 'r':
+				out = append(out, '\r')
+				p.i++
+			case 't':
+				out = append(out, '\t')
+				p.i++
+			case 'u':
+				p.i++
+				r := p.hex4()
+				if p.bad {
+					return ""
+				}
+				if utf16.IsSurrogate(r) {
+					if p.i+1 < len(p.b) && p.b[p.i] == '\\' && p.b[p.i+1] == 'u' {
+						save := p.i
+						p.i += 2
+						r2 := p.hex4()
+						if p.bad {
+							return ""
+						}
+						if dec := utf16.DecodeRune(r, r2); dec != utf8.RuneError {
+							out = utf8.AppendRune(out, dec)
+							break
+						}
+						p.i = save // second escape not a pairing low surrogate
+					}
+					out = utf8.AppendRune(out, utf8.RuneError)
+					break
+				}
+				out = utf8.AppendRune(out, r)
+			default:
+				p.fail()
+				return ""
+			}
+		case b < 0x20:
+			p.fail()
+			return ""
+		case b < utf8.RuneSelf:
+			out = append(out, b)
+			p.i++
+		default:
+			r, size := utf8.DecodeRune(p.b[p.i:])
+			if r == utf8.RuneError && size == 1 {
+				out = utf8.AppendRune(out, utf8.RuneError)
+				p.i++
+				break
+			}
+			out = append(out, p.b[p.i:p.i+size]...)
+			p.i += size
+		}
+	}
+	p.fail()
+	return ""
+}
+
+func (p *jsonParser) hex4() rune {
+	if p.i+4 > len(p.b) {
+		p.fail()
+		return 0
+	}
+	var r rune
+	for k := 0; k < 4; k++ {
+		c := p.b[p.i+k]
+		switch {
+		case '0' <= c && c <= '9':
+			r = r<<4 | rune(c-'0')
+		case 'a' <= c && c <= 'f':
+			r = r<<4 | rune(c-'a'+10)
+		case 'A' <= c && c <= 'F':
+			r = r<<4 | rune(c-'A'+10)
+		default:
+			p.fail()
+			return 0
+		}
+	}
+	p.i += 4
+	return r
+}
+
+// number parses a JSON number with strict grammar validation and returns
+// it as float64, exactly as json.Unmarshal into any would.
+func (p *jsonParser) number() float64 {
+	start := p.i
+	if p.i < len(p.b) && p.b[p.i] == '-' {
+		p.i++
+	}
+	switch {
+	case p.i < len(p.b) && p.b[p.i] == '0':
+		p.i++
+	case p.i < len(p.b) && '1' <= p.b[p.i] && p.b[p.i] <= '9':
+		for p.i < len(p.b) && '0' <= p.b[p.i] && p.b[p.i] <= '9' {
+			p.i++
+		}
+	default:
+		p.fail()
+		return 0
+	}
+	if p.i < len(p.b) && p.b[p.i] == '.' {
+		p.i++
+		if p.i >= len(p.b) || p.b[p.i] < '0' || p.b[p.i] > '9' {
+			p.fail()
+			return 0
+		}
+		for p.i < len(p.b) && '0' <= p.b[p.i] && p.b[p.i] <= '9' {
+			p.i++
+		}
+	}
+	if p.i < len(p.b) && (p.b[p.i] == 'e' || p.b[p.i] == 'E') {
+		p.i++
+		if p.i < len(p.b) && (p.b[p.i] == '+' || p.b[p.i] == '-') {
+			p.i++
+		}
+		if p.i >= len(p.b) || p.b[p.i] < '0' || p.b[p.i] > '9' {
+			p.fail()
+			return 0
+		}
+		for p.i < len(p.b) && '0' <= p.b[p.i] && p.b[p.i] <= '9' {
+			p.i++
+		}
+	}
+	f, err := strconv.ParseFloat(string(p.b[start:p.i]), 64)
+	if err != nil {
+		// Out-of-range numbers error under encoding/json too; let the
+		// slow path produce the canonical error.
+		p.fail()
+		return 0
+	}
+	return f
+}
+
+const maxFastDepth = 32
+
+// value parses any JSON value into the types json.Unmarshal into any
+// produces (map[string]any, []any, string, float64, bool, nil).
+func (p *jsonParser) value(depth int) any {
+	if p.bad || depth > maxFastDepth {
+		p.fail()
+		return nil
+	}
+	p.skipSpace()
+	switch c := p.peek(); {
+	case c == '"':
+		return p.str()
+	case c == '{':
+		p.i++
+		m := map[string]any{}
+		p.skipSpace()
+		if p.peek() == '}' {
+			p.i++
+			return m
+		}
+		for {
+			p.skipSpace()
+			k := p.str()
+			p.skipSpace()
+			p.expect(':')
+			v := p.value(depth + 1)
+			if p.bad {
+				return nil
+			}
+			m[k] = v
+			p.skipSpace()
+			if p.peek() == ',' {
+				p.i++
+				continue
+			}
+			p.expect('}')
+			return m
+		}
+	case c == '[':
+		p.i++
+		p.skipSpace()
+		if p.peek() == ']' {
+			p.i++
+			return []any{}
+		}
+		var arr []any
+		for {
+			v := p.value(depth + 1)
+			if p.bad {
+				return nil
+			}
+			arr = append(arr, v)
+			p.skipSpace()
+			if p.peek() == ',' {
+				p.i++
+				continue
+			}
+			p.expect(']')
+			return arr
+		}
+	case c == 't':
+		p.literal("true")
+		return true
+	case c == 'f':
+		p.literal("false")
+		return false
+	case c == 'n':
+		p.literal("null")
+		return nil
+	case c == '-' || ('0' <= c && c <= '9'):
+		return p.number()
+	}
+	p.fail()
+	return nil
+}
+
+// unquoteScratchPool recycles the string-unescape buffers across lines.
+var unquoteScratchPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// decodeWireFast parses a wire-shaped JSONL object into s without
+// reflection. It returns false (leaving s in an undefined state the
+// caller must overwrite via the slow path) when the line is not a clean
+// flat object.
+func decodeWireFast(b []byte, s *Sample) bool {
+	scratchP := unquoteScratchPool.Get().(*[]byte)
+	p := jsonParser{b: b, scratch: *scratchP}
+	*s = Sample{}
+	ok := decodeObjectInto(&p, s, false)
+	*scratchP = p.scratch
+	unquoteScratchPool.Put(scratchP)
+	if !ok {
+		*s = Sample{}
+		return false
+	}
+	return true
+}
+
+// DecodeLooseJSON parses one JSON object into s with the loose
+// unification semantics of the format layer: "content" aliases text,
+// nested text parts are lifted, and foreign top-level fields fold into
+// meta. It returns false when the fast path cannot be used; the caller
+// then falls back to its map-based decode.
+func DecodeLooseJSON(b []byte, s *Sample) bool {
+	scratchP := unquoteScratchPool.Get().(*[]byte)
+	p := jsonParser{b: b, scratch: *scratchP}
+	*s = Sample{}
+	ok := decodeObjectInto(&p, s, true)
+	*scratchP = p.scratch
+	unquoteScratchPool.Put(scratchP)
+	if !ok {
+		*s = Sample{}
+		return false
+	}
+	return true
+}
+
+// decodeObjectInto parses {key: value, ...} into s. In loose mode,
+// foreign keys fold into meta and "content" aliases "text"; in wire
+// mode, foreign keys are skipped (encoding/json struct semantics).
+func decodeObjectInto(p *jsonParser, s *Sample, loose bool) bool {
+	p.skipSpace()
+	p.expect('{')
+	if p.bad {
+		return false
+	}
+	p.skipSpace()
+	if !p.bad && p.peek() == '}' {
+		p.i++
+	} else {
+		for {
+			p.skipSpace()
+			kraw, kstr, ksimple := p.strRaw()
+			k := kstr
+			if ksimple {
+				// Known keys dispatch on the raw bytes without a copy;
+				// the comparisons below compile to allocation-free
+				// []byte-vs-literal equality.
+				switch {
+				case string(kraw) == "text":
+					k = "text"
+				case string(kraw) == "parts":
+					k = "parts"
+				case string(kraw) == "meta":
+					k = "meta"
+				case string(kraw) == "stats":
+					k = "stats"
+				case loose && string(kraw) == "content":
+					k = "content"
+				default:
+					k = string(kraw)
+				}
+			}
+			p.skipSpace()
+			p.expect(':')
+			p.skipSpace()
+			if p.bad {
+				return false
+			}
+			switch {
+			case k == "text" || (loose && k == "content"):
+				switch p.peek() {
+				case '"':
+					s.Text = p.str()
+				case 'n':
+					p.literal("null")
+				case '{':
+					if !loose {
+						return false // wire "text" must be a string
+					}
+					// Nested text parts: {"text": {"body": ..., "abstract": ...}}
+					m, ok := p.value(0).(map[string]any)
+					if !ok {
+						return false
+					}
+					for part, pv := range m {
+						str, _ := pv.(string)
+						if part == "body" || part == "main" {
+							s.Text = str
+							continue
+						}
+						if s.Parts == nil {
+							s.Parts = map[string]string{}
+						}
+						s.Parts[part] = str
+					}
+				default:
+					if loose {
+						// Foreign-typed text is ignored by the loose
+						// unifier (non-string, non-object values).
+						p.value(0)
+					} else {
+						return false
+					}
+				}
+			case k == "parts":
+				switch p.peek() {
+				case 'n':
+					p.literal("null")
+				case '{':
+					m, ok := p.value(0).(map[string]any)
+					if !ok {
+						return false
+					}
+					for part, pv := range m {
+						str, ok := pv.(string)
+						if !ok {
+							if loose {
+								continue // loose mode drops non-string parts
+							}
+							return false // wire parts must be strings
+						}
+						if s.Parts == nil {
+							s.Parts = map[string]string{}
+						}
+						s.Parts[part] = str
+					}
+				default:
+					if loose {
+						p.value(0)
+					} else {
+						return false
+					}
+				}
+			case k == "meta":
+				switch p.peek() {
+				case 'n':
+					p.literal("null")
+				case '{':
+					if !decodeMetaInto(p, s, loose) {
+						return false
+					}
+				default:
+					if loose {
+						p.value(0)
+					} else {
+						return false
+					}
+				}
+			case k == "stats":
+				switch p.peek() {
+				case 'n':
+					p.literal("null")
+				case '{':
+					if !decodeStatsInto(p, s, loose) {
+						return false
+					}
+				default:
+					if loose {
+						p.value(0)
+					} else {
+						return false
+					}
+				}
+			default:
+				v := p.value(0)
+				if p.bad {
+					return false
+				}
+				if loose {
+					// Foreign fields become metadata.
+					s.Meta = s.Meta.Set(k, v)
+				}
+			}
+			if p.bad {
+				return false
+			}
+			p.skipSpace()
+			if p.bad {
+				return false
+			}
+			if p.peek() == ',' {
+				p.i++
+				continue
+			}
+			p.expect('}')
+			break
+		}
+	}
+	if p.bad {
+		return false
+	}
+	p.skipSpace()
+	return p.i == len(p.b)
+}
+
+// decodeMetaInto parses the meta object (p sits on '{'). Wire mode
+// stores keys literally (matching json.Unmarshal into the map); loose
+// mode routes through Fields.Set, which splits dotted keys into nested
+// documents — the format layer's historical unification semantics.
+func decodeMetaInto(p *jsonParser, s *Sample, loose bool) bool {
+	p.i++
+	p.skipSpace()
+	if p.bad {
+		return false
+	}
+	if p.peek() == '}' {
+		p.i++
+		return true
+	}
+	for {
+		p.skipSpace()
+		k := p.str()
+		p.skipSpace()
+		p.expect(':')
+		v := p.value(1)
+		if p.bad {
+			return false
+		}
+		if loose {
+			s.Meta = s.Meta.Set(k, v)
+		} else {
+			if s.Meta == nil {
+				s.Meta = make(Fields, 4)
+			}
+			s.Meta[k] = v
+		}
+		p.skipSpace()
+		if p.bad {
+			return false
+		}
+		if p.peek() == ',' {
+			p.i++
+			continue
+		}
+		p.expect('}')
+		return !p.bad
+	}
+}
+
+// decodeStatsInto parses the stats object (p sits on '{'): scalar values
+// land in the typed table, anything else goes through the overflow
+// document. Wire mode keeps keys literal (JSON-decode semantics); loose
+// mode routes through Stats.Set, which splits dotted keys like the
+// format layer's historical map fold did.
+func decodeStatsInto(p *jsonParser, s *Sample, loose bool) bool {
+	p.i++
+	p.skipSpace()
+	if p.bad {
+		return false
+	}
+	if p.peek() == '}' {
+		p.i++
+		return true
+	}
+	for {
+		p.skipSpace()
+		kraw, kstr, ksimple := p.strRaw()
+		// Interned stat names (every filter-written stat) resolve to
+		// their typed key straight off the raw bytes — no string copy.
+		var key StatKey
+		haveKey := false
+		if ksimple {
+			if id, ok := statKeyIDs()[string(kraw)]; ok && !hasDotBytes(kraw) {
+				key, haveKey = id, true
+			} else {
+				kstr = string(kraw)
+			}
+		}
+		k := kstr
+		p.skipSpace()
+		p.expect(':')
+		p.skipSpace()
+		if p.bad {
+			return false
+		}
+		switch c := p.peek(); {
+		case c == '"':
+			v := p.str()
+			if p.bad {
+				return false
+			}
+			if haveKey {
+				s.Stats.SetString(key, v)
+			} else {
+				s.statsDecodeSet(k, v, loose)
+			}
+		case c == '-' || ('0' <= c && c <= '9'):
+			v := p.number()
+			if p.bad {
+				return false
+			}
+			if haveKey {
+				s.Stats.SetFloat(key, v)
+			} else {
+				s.statsDecodeSet(k, v, loose)
+			}
+		default:
+			v := p.value(1)
+			if p.bad {
+				return false
+			}
+			if haveKey {
+				s.Stats.SetRaw(key.Name(), v)
+			} else {
+				s.statsDecodeSet(k, v, loose)
+			}
+		}
+		p.skipSpace()
+		if p.bad {
+			return false
+		}
+		if p.peek() == ',' {
+			p.i++
+			continue
+		}
+		p.expect('}')
+		return !p.bad
+	}
+}
+
+// statsDecodeSet routes one decoded stat to the right Set semantics.
+func (s *Sample) statsDecodeSet(k string, v any, loose bool) {
+	if loose {
+		s.Stats.Set(k, v)
+		return
+	}
+	s.Stats.SetRaw(k, v)
+}
+
+// hasDotBytes reports whether b contains a '.' — dotted stat keys take
+// the name-based path, whose wire semantics differ per decode mode.
+func hasDotBytes(b []byte) bool {
+	for _, c := range b {
+		if c == '.' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,377 @@
+package sample
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// refSampleJSON is the former reflection-based wire struct; the fast
+// encoder must be byte-identical to encoding/json marshalling of it.
+type refSampleJSON struct {
+	Text  string            `json:"text"`
+	Parts map[string]string `json:"parts,omitempty"`
+	Meta  map[string]any    `json:"meta,omitempty"`
+	Stats map[string]any    `json:"stats,omitempty"`
+}
+
+func refMarshal(t *testing.T, s *Sample) []byte {
+	t.Helper()
+	ref := refSampleJSON{Text: s.Text, Parts: s.Parts, Meta: s.Meta}
+	if s.Stats.Len() > 0 {
+		ref.Stats = map[string]any{}
+		s.Stats.Range(func(name string, v any) bool { ref.Stats[name] = v; return true })
+	}
+	b, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatalf("reference marshal: %v", err)
+	}
+	return b
+}
+
+func checkEncodeMatches(t *testing.T, s *Sample) {
+	t.Helper()
+	got, err := s.AppendJSON(nil)
+	if err != nil {
+		t.Fatalf("AppendJSON: %v", err)
+	}
+	want := refMarshal(t, s)
+	if string(got) != string(want) {
+		t.Fatalf("fast encode diverges from encoding/json:\n fast: %s\n json: %s", got, want)
+	}
+}
+
+func TestAppendJSONMatchesEncodingJSON(t *testing.T) {
+	cases := []*Sample{
+		New(""),
+		New("plain text"),
+		New("escapes \" \\ \n \r \t \x00 \x1f and html <b>&amp;</b>"),
+		New("unicode \u00e9 \u4e16\u754c \U0001F600 and seps \u2028\u2029"),
+		New("invalid utf8 \xff\xfe trailing"),
+		func() *Sample {
+			s := New("full")
+			s.SetString("text.abstract", "short <a>")
+			s.SetString("meta.source", "web & co")
+			s.SetString("meta.nested.deep", "v")
+			s.Meta = s.Meta.Set("num", 3.75)
+			s.Meta = s.Meta.Set("int", 42)
+			s.Meta = s.Meta.Set("flag", true)
+			s.Meta = s.Meta.Set("none", nil)
+			s.Meta = s.Meta.Set("list", []any{"a", 1.5, false, nil, map[string]any{"k": "v"}})
+			s.SetStat("word_count", 42)
+			s.SetStat("ratio", 0.3333333333333333)
+			s.SetStat("tiny", 5e-7)
+			s.SetStat("huge", 1.5e21)
+			s.SetStat("neg", -0.0)
+			s.SetStatString("lang", "en")
+			s.Stats.SetRaw("weird.key", 1.0)
+			s.Stats.SetRaw("obj", map[string]any{"b": []any{1.0, "x"}})
+			return s
+		}(),
+	}
+	for i, s := range cases {
+		t.Run(fmt.Sprint(i), func(t *testing.T) { checkEncodeMatches(t, s) })
+	}
+}
+
+func TestAppendJSONFloatsMatch(t *testing.T) {
+	vals := []float64{0, -0.0, 1, -1, 0.1, 1e-6, 9.999999e-7, 1e-7, 1e20,
+		1e21, 9.99e20, 1.7976931348623157e308, 5e-324, 123456789.123456789,
+		3, 1e9, 2.5e-8}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		vals = append(vals, math.Float64frombits(rng.Uint64()))
+	}
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		got, err := appendJSONFloat(nil, v)
+		if err != nil {
+			t.Fatalf("appendJSONFloat(%v): %v", v, err)
+		}
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("float %v: fast %q, encoding/json %q", v, got, want)
+		}
+	}
+}
+
+func TestAppendJSONRejectsNaN(t *testing.T) {
+	s := New("x")
+	s.SetStat("bad", math.NaN())
+	if _, err := s.AppendJSON(nil); err == nil {
+		t.Fatal("NaN stat must fail to encode, as under encoding/json")
+	}
+}
+
+// TestPropertyAppendJSONMatches cross-checks the fast encoder against
+// encoding/json on arbitrary text, parts, meta and stats content.
+func TestPropertyAppendJSONMatches(t *testing.T) {
+	f := func(text, pk, pv, mk, statStrV string, mv float64, statN float64) bool {
+		s := New(text)
+		if pk != "" {
+			s.Parts = map[string]string{pk: pv}
+		}
+		if mk != "" {
+			s.Meta = s.Meta.Set(mk, mv)
+		}
+		if math.IsNaN(mv) || math.IsInf(mv, 0) || math.IsNaN(statN) || math.IsInf(statN, 0) {
+			return true
+		}
+		s.SetStat("n", statN)
+		s.SetStatString("s", statStrV)
+		got, err := s.AppendJSON(nil)
+		if err != nil {
+			return false
+		}
+		return string(got) == string(refMarshal(t, s))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeFastMatchesSlow feeds wire lines through both the fast
+// parser and encoding/json and requires identical re-encoded bytes.
+func TestDecodeFastMatchesSlow(t *testing.T) {
+	lines := []string{
+		`{}`,
+		`{"text":"hello"}`,
+		`{"text":"esc \" \\ \n \u0041 \u00e9 \ud83d\ude00"}`,
+		`{"text":"a","parts":{"abstract":"b"},"meta":{"k":"v","n":1.5,"nested":{"x":1},"arr":[1,"a",null,true]},"stats":{"wc":3,"lang":"en","flag":true}}`,
+		`{"text":"a","meta":null,"stats":null,"parts":null}`,
+		`{"text":"a","unknown":{"deep":[1,2,{"x":"y"}]}}`,
+		`{"text":"dup","text":"wins"}`,
+		`{ "text" : "spaced" , "stats" : { "a" : 2 } }`,
+		`{"text":"num edge","stats":{"z":0,"a":-0.5,"e":1e3,"tiny":5e-7,"big":2e21}}`,
+		`{"text":"dotted","stats":{"a.b":1},"meta":{"c.d":2}}`,
+		`{"stats":{"s":"v","s":3}}`,
+	}
+	for i, line := range lines {
+		t.Run(fmt.Sprint(i), func(t *testing.T) {
+			var fast Sample
+			ok := decodeWireFast([]byte(line), &fast)
+			var slow Sample
+			if err := slow.unmarshalSlow([]byte(line)); err != nil {
+				t.Fatalf("slow decode: %v", err)
+			}
+			if !ok {
+				t.Fatalf("fast path rejected valid wire line %q", line)
+			}
+			fb, err := fast.AppendJSON(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb, err := slow.AppendJSON(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(fb) != string(sb) {
+				t.Fatalf("decode divergence on %q:\n fast: %s\n slow: %s", line, fb, sb)
+			}
+		})
+	}
+}
+
+// TestDecodeFastRejectsInvalid: every line encoding/json rejects must be
+// rejected (not silently accepted) by the fast parser too.
+func TestDecodeFastRejectsInvalid(t *testing.T) {
+	lines := []string{
+		``, `{`, `}`, `[]`, `"s"`, `42`, `null`,
+		`{"text":}`, `{"text":"a"`, `{"text":"a"}}`, `{"text":"a"} x`,
+		`{"text":01}`, `{"stats":{"a":1.}}`, `{"stats":{"a":+1}}`,
+		`{"stats":{"a":1e}}`, `{"stats":{"a":--1}}`,
+		`{"text":"a",}`, `{,"text":"a"}`, `{"text" "a"}`,
+		`{"text":"a" "b":1}`, `{"text":"bad esc \q"}`,
+		`{"text":"ctrl ` + "\x01" + `"}`, `{"stats":{"a":1e999}}`,
+		`{"text":tru}`, `{"text":"a","stats":[1]}`,
+	}
+	for i, line := range lines {
+		t.Run(fmt.Sprint(i), func(t *testing.T) {
+			var slow Sample
+			slowErr := slow.unmarshalSlow([]byte(line))
+			var fast Sample
+			ok := decodeWireFast([]byte(line), &fast)
+			if ok && slowErr != nil {
+				t.Fatalf("fast path accepted %q which encoding/json rejects (%v)", line, slowErr)
+			}
+		})
+	}
+}
+
+// TestPropertyDecodeRoundTrip: encode → fast decode → encode is stable
+// for random samples, and fast decode equals slow decode.
+func TestPropertyDecodeRoundTrip(t *testing.T) {
+	f := func(text, metaK, metaV, lang string, n float64) bool {
+		if math.IsNaN(n) || math.IsInf(n, 0) {
+			return true
+		}
+		s := New(text)
+		if metaK != "" && !strings.Contains(metaK, ".") {
+			s.Meta = s.Meta.Set(metaK, metaV)
+		}
+		s.SetStat("n", n)
+		s.SetStatString("lang", lang)
+		b, err := s.AppendJSON(nil)
+		if err != nil {
+			return false
+		}
+		var fast Sample
+		if !decodeWireFast(b, &fast) {
+			return false
+		}
+		var slow Sample
+		if err := slow.unmarshalSlow(b); err != nil {
+			return false
+		}
+		fb, err1 := fast.AppendJSON(nil)
+		sb, err2 := slow.AppendJSON(nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return string(fb) == string(b) && string(sb) == string(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsTypedTable(t *testing.T) {
+	var st Stats
+	st.SetFloat(InternStatKey("b"), 2)
+	st.SetFloat(InternStatKey("a"), 1)
+	st.SetString(InternStatKey("c"), "x")
+	if got := st.Keys(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("Keys = %v", got)
+	}
+	if v, ok := st.Float(InternStatKey("a")); !ok || v != 1 {
+		t.Fatalf("Float(a) = %v %v", v, ok)
+	}
+	if v, ok := st.String(InternStatKey("c")); !ok || v != "x" {
+		t.Fatalf("String(c) = %v %v", v, ok)
+	}
+	// Overwrite switches kind.
+	st.SetString(InternStatKey("a"), "now-string")
+	if _, ok := st.Float(InternStatKey("a")); ok {
+		t.Fatal("a should no longer read as a float")
+	}
+	st.Delete("b")
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d after delete", st.Len())
+	}
+	st.Reset()
+	if st.Len() != 0 {
+		t.Fatalf("Len = %d after reset", st.Len())
+	}
+}
+
+func TestStatsOverflowValues(t *testing.T) {
+	var st Stats
+	st.Set("flat", 1.0)
+	st.Set("nested.path", 2.0) // dotted Set nests, as Fields did
+	st.SetRaw("lit.key", 3.0)  // decode keeps keys literal
+	st.Set("obj", map[string]any{"x": 1.0})
+	b, err := (&Sample{Text: "t", Stats: st}).AppendJSON(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"text":"t","stats":{"flat":1,"lit.key":3,"nested":{"path":2},"obj":{"x":1}}}`
+	if string(b) != want {
+		t.Fatalf("stats wire =\n %s\nwant\n %s", b, want)
+	}
+	if v, ok := st.Get("nested.path"); !ok || v != 2.0 {
+		t.Fatalf("Get(nested.path) = %v %v", v, ok)
+	}
+	if v, ok := st.Get("lit.key"); !ok || v != 3.0 {
+		t.Fatalf("Get(lit.key) = %v %v", v, ok)
+	}
+}
+
+func TestInternStatKeyStable(t *testing.T) {
+	k1 := InternStatKey("json_test_key_alpha")
+	k2 := InternStatKey("json_test_key_alpha")
+	if k1 != k2 {
+		t.Fatal("interning must be stable")
+	}
+	if k1.Name() != "json_test_key_alpha" {
+		t.Fatalf("Name = %q", k1.Name())
+	}
+	if _, ok := LookupStatKey("json_test_never_interned"); ok {
+		t.Fatal("LookupStatKey must not register")
+	}
+}
+
+// TestStatFloatCoercesStringValues pins the historical accessor
+// semantics: a string-valued stat holding a parseable number reads as a
+// float, whether it lives in the typed vector or the overflow document.
+func TestStatFloatCoercesStringValues(t *testing.T) {
+	s := New("x")
+	s.SetStatString("score_interned", "3.5")
+	if v, ok := s.Stat("score_interned"); !ok || v != 3.5 {
+		t.Fatalf("typed string stat coercion = %v, %v", v, ok)
+	}
+	s.Stats.SetRaw("score_overflow_only", "2.25") // not interned anywhere
+	if v, ok := s.Stat("score_overflow_only"); !ok || v != 2.25 {
+		t.Fatalf("overflow string stat coercion = %v, %v", v, ok)
+	}
+	if v, ok := s.GetFloat("stats.score_interned"); !ok || v != 3.5 {
+		t.Fatalf("GetFloat coercion = %v, %v", v, ok)
+	}
+}
+
+// TestDataDependentStatKeysDoNotIntern: stat names arriving from data
+// (decode, SetRaw, reads) must not grow the global intern table — only
+// operator construction (InternStatKey / SetStat) registers names.
+func TestDataDependentStatKeysDoNotIntern(t *testing.T) {
+	var s Sample
+	line := []byte(`{"text":"a","stats":{"per_doc_key_xyz_123":1}}`)
+	if err := s.UnmarshalJSON(line); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := LookupStatKey("per_doc_key_xyz_123"); ok {
+		t.Fatal("decoding a foreign stat key must not intern it")
+	}
+	if v, ok := s.Stat("per_doc_key_xyz_123"); !ok || v != 1 {
+		t.Fatalf("foreign stat unreadable: %v, %v", v, ok)
+	}
+	if _, ok := LookupStatKey("per_doc_key_xyz_123"); ok {
+		t.Fatal("reading a stat must not intern its name")
+	}
+	// Round-trips through the wire unchanged.
+	b, err := s.AppendJSON(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(line) {
+		t.Fatalf("wire round-trip changed: %s", b)
+	}
+}
+
+// TestContextStandardKeyForeignValue: storing a non-[]string value
+// under a standard context key is legal and lands in the generic map.
+func TestContextStandardKeyForeignValue(t *testing.T) {
+	s := New("x")
+	v := s.Context("words", func() any { return 42 })
+	if v != 42 {
+		t.Fatalf("Context returned %v", v)
+	}
+	if got := s.Context("words", func() any { t.Fatal("recompute"); return nil }); got != 42 {
+		t.Fatalf("memoization lost: %v", got)
+	}
+	if !s.HasContext("words") || s.ContextLen() != 1 {
+		t.Fatalf("HasContext/ContextLen wrong: %v %d", s.HasContext("words"), s.ContextLen())
+	}
+	s.ClearContext()
+	if s.HasContext("words") {
+		t.Fatal("ClearContext missed the generic map")
+	}
+}

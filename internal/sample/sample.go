@@ -6,15 +6,50 @@
 // sub-parts such as "text.abstract"), "meta" holds metadata (source, date,
 // tags), and "stats" holds per-sample statistics produced by Filter OPs and
 // consumed by other OPs and the analyzer.
+//
+// The per-sample hot path is allocation-conscious: statistics live in the
+// compact typed Stats table (stats.go) instead of a boxed map, the shared
+// intermediates of fused operators live in typed context slots backed by
+// per-worker Scratch buffers (scratch.go), and the JSONL wire format has a
+// hand-rolled encode/decode fast path (json.go) that is byte-identical to
+// encoding/json.
 package sample
 
 import (
 	"encoding/json"
 	"fmt"
+	"math/bits"
 	"sort"
 	"strconv"
 	"strings"
 )
+
+// Context slots for the shared per-sample intermediates of Sec. 6. The
+// four standard intermediates (segmented words, lower-cased words, lines,
+// sentences) live in typed fields instead of a boxed map; arbitrary keys
+// fall back to a lazily allocated map.
+type CtxSlot uint8
+
+const (
+	CtxWords CtxSlot = iota
+	CtxWordsLower
+	CtxLines
+	CtxSentences
+	numCtxSlots
+)
+
+// ctxSlotNames are the historical string keys of the typed slots, kept so
+// the string-keyed Context/HasContext API observes them.
+var ctxSlotNames = [numCtxSlots]string{"words", "words_lower", "lines", "sentences"}
+
+func ctxSlotByName(key string) (CtxSlot, bool) {
+	for i, n := range ctxSlotNames {
+		if n == key {
+			return CtxSlot(i), true
+		}
+	}
+	return 0, false
+}
 
 // Sample is one document. The zero value is a valid empty sample.
 //
@@ -29,8 +64,16 @@ type Sample struct {
 	// Meta holds metadata fields, addressed as "meta.<path>".
 	Meta Fields
 	// Stats holds per-sample statistics, addressed as "stats.<name>".
-	Stats Fields
+	Stats Stats
 
+	// slots are the typed context-cache entries; slotBits marks which are
+	// filled (a filled slot may legitimately hold a nil slice).
+	slots    [numCtxSlots][]string
+	slotBits uint8
+	// scr is the executor-attached per-worker scratch providing reusable
+	// token buffers; nil outside an executor (slots then allocate).
+	scr *Scratch
+	// ctx holds arbitrary-keyed cached intermediates (tests, custom OPs).
 	ctx map[string]any
 }
 
@@ -70,11 +113,7 @@ func (s *Sample) GetString(path string) (string, bool) {
 		}
 		return toString(v)
 	case "stats":
-		v, ok := s.Stats.Get(rest)
-		if !ok {
-			return "", false
-		}
-		return toString(v)
+		return s.Stats.StringByName(rest)
 	}
 	return "", false
 }
@@ -103,7 +142,7 @@ func (s *Sample) SetString(path, value string) error {
 		if rest == "" {
 			return fmt.Errorf("sample: cannot set bare %q", path)
 		}
-		s.Stats = s.Stats.Set(rest, value)
+		s.Stats.Set(rest, value)
 		return nil
 	}
 	return fmt.Errorf("sample: unknown field root in path %q", path)
@@ -112,60 +151,65 @@ func (s *Sample) SetString(path, value string) error {
 // GetFloat resolves a dotted field path to a float64.
 func (s *Sample) GetFloat(path string) (float64, bool) {
 	root, rest := splitPath(path)
-	var v any
-	var ok bool
 	switch root {
 	case "meta":
-		v, ok = s.Meta.Get(rest)
+		v, ok := s.Meta.Get(rest)
+		if !ok {
+			return 0, false
+		}
+		return toFloat(v)
 	case "stats":
-		v, ok = s.Stats.Get(rest)
-	default:
-		return 0, false
+		return s.Stats.FloatByName(rest)
 	}
-	if !ok {
-		return 0, false
-	}
-	return toFloat(v)
+	return 0, false
 }
 
 // SetStat records a numeric statistic under stats.<name>.
 func (s *Sample) SetStat(name string, v float64) {
-	s.Stats = s.Stats.Set(name, v)
+	s.Stats.SetFloat(InternStatKey(name), v)
 }
 
 // Stat reads a numeric statistic; ok reports whether it was present and
-// numeric.
+// numeric. Reads never register names in the intern table.
 func (s *Sample) Stat(name string) (float64, bool) {
-	v, ok := s.Stats.Get(name)
-	if !ok {
-		return 0, false
-	}
-	return toFloat(v)
+	return s.Stats.FloatByName(name)
 }
 
 // SetStatString records a string-valued statistic (e.g. a language tag).
 func (s *Sample) SetStatString(name, v string) {
-	s.Stats = s.Stats.Set(name, v)
+	s.Stats.SetString(InternStatKey(name), v)
 }
 
-// StatString reads a string-valued statistic.
+// StatString reads a string-valued statistic. Reads never register
+// names in the intern table.
 func (s *Sample) StatString(name string) (string, bool) {
-	v, ok := s.Stats.Get(name)
-	if !ok {
-		return "", false
-	}
-	return toString(v)
+	return s.Stats.StringByName(name)
 }
 
 // Context returns the memoized shared intermediate for key, computing it
 // with compute on first use. It backs the context manager of Sec. 6: fused
 // operators share segmented words, split lines, and other derived values
-// through this cache instead of recomputing them.
+// through this cache instead of recomputing them. The four standard keys
+// resolve to the typed slots; other keys use a lazily allocated map.
 func (s *Sample) Context(key string, compute func() any) any {
+	slot, isSlot := ctxSlotByName(key)
+	if isSlot && s.slotBits&(1<<slot) != 0 {
+		return s.slots[slot]
+	}
 	if v, ok := s.ctx[key]; ok {
 		return v
 	}
 	v := compute()
+	if isSlot {
+		if toks, ok := v.([]string); ok {
+			s.slots[slot] = toks
+			s.slotBits |= 1 << slot
+			return toks
+		}
+		// A standard key holding a non-token value (custom OPs are free
+		// to do that) lands in the generic map instead of panicking on
+		// the slot's type.
+	}
 	if s.ctx == nil {
 		s.ctx = make(map[string]any, 4)
 	}
@@ -173,42 +217,122 @@ func (s *Sample) Context(key string, compute func() any) any {
 	return v
 }
 
-// HasContext reports whether key is currently cached.
+// CachedTokens returns the token slice cached in a typed context slot.
+func (s *Sample) CachedTokens(slot CtxSlot) ([]string, bool) {
+	if s.slotBits&(1<<slot) != 0 {
+		return s.slots[slot], true
+	}
+	return nil, false
+}
+
+// TokenBuf returns an empty token buffer for filling a typed context
+// slot: the per-worker scratch buffer when a Scratch is attached
+// (allocation-free reuse across samples), nil otherwise (append
+// allocates as it grows).
+func (s *Sample) TokenBuf(slot CtxSlot) []string {
+	if s.scr != nil {
+		return s.scr.bufs[slot][:0]
+	}
+	return nil
+}
+
+// StoreTokens caches toks in a typed context slot. When a Scratch is
+// attached the (possibly grown) backing array is written back so the
+// next sample reuses it at full capacity.
+func (s *Sample) StoreTokens(slot CtxSlot, toks []string) {
+	s.slots[slot] = toks
+	s.slotBits |= 1 << slot
+	if s.scr != nil {
+		s.scr.bufs[slot] = toks
+	}
+}
+
+// HasContext reports whether key is currently cached (in its typed slot
+// or the generic map).
 func (s *Sample) HasContext(key string) bool {
+	if slot, ok := ctxSlotByName(key); ok && s.slotBits&(1<<slot) != 0 {
+		return true
+	}
 	_, ok := s.ctx[key]
 	return ok
 }
 
-// ClearContext drops all cached intermediates. The executor calls this
-// after each (fused) operator so context management needs little extra
-// memory, as described in Sec. 6.
-func (s *Sample) ClearContext() { s.ctx = nil }
+// ClearContext drops all cached intermediates and detaches the scratch.
+// The executor calls this after each (fused) operator so context
+// management needs little extra memory, as described in Sec. 6.
+func (s *Sample) ClearContext() {
+	s.slots = [numCtxSlots][]string{}
+	s.slotBits = 0
+	s.scr = nil
+	s.ctx = nil
+}
 
 // ContextLen reports the number of cached intermediates (used by tests and
 // the ablation benchmarks).
-func (s *Sample) ContextLen() int { return len(s.ctx) }
+func (s *Sample) ContextLen() int {
+	return bits.OnesCount8(s.slotBits) + len(s.ctx)
+}
 
-// sampleJSON is the serialized wire form of a sample.
+// AttachScratch points the sample's context slots at a per-worker scratch
+// so tokenization reuses its buffers. The executor attaches a scratch
+// before running operators on the sample and ClearContext detaches it;
+// at most one sample may hold a given scratch at a time.
+func (s *Sample) AttachScratch(sc *Scratch) { s.scr = sc }
+
+// sampleJSON is the serialized wire form of a sample (the slow path;
+// json.go holds the equivalent hand-rolled fast path).
 type sampleJSON struct {
 	Text  string            `json:"text"`
 	Parts map[string]string `json:"parts,omitempty"`
 	Meta  Fields            `json:"meta,omitempty"`
-	Stats Fields            `json:"stats,omitempty"`
+	Stats statsJSON         `json:"stats,omitempty"`
 }
 
-// MarshalJSON implements json.Marshaler.
+// statsJSON bridges the typed stats table to encoding/json as a flat
+// sorted object, matching the former map representation byte-for-byte.
+type statsJSON struct{ t *Stats }
+
+func (sj statsJSON) MarshalJSON() ([]byte, error) {
+	m := make(map[string]any, sj.t.Len())
+	sj.t.Range(func(name string, v any) bool { m[name] = v; return true })
+	return json.Marshal(m)
+}
+
+func (sj statsJSON) UnmarshalJSON(b []byte) error {
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	for k, v := range m {
+		sj.t.SetRaw(k, v)
+	}
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler via the hand-rolled fast path;
+// the output is byte-identical to encoding/json marshalling of the wire
+// struct (sorted keys, HTML escaping, float formatting).
 func (s *Sample) MarshalJSON() ([]byte, error) {
-	return json.Marshal(sampleJSON{Text: s.Text, Parts: s.Parts, Meta: s.Meta, Stats: s.Stats})
+	return s.AppendJSON(nil)
 }
 
-// UnmarshalJSON implements json.Unmarshaler.
+// UnmarshalJSON implements json.Unmarshaler. Flat wire-shaped objects
+// take the hand-rolled fast path; anything else falls back to
+// encoding/json.
 func (s *Sample) UnmarshalJSON(b []byte) error {
-	var j sampleJSON
+	if decodeWireFast(b, s) {
+		return nil
+	}
+	return s.unmarshalSlow(b)
+}
+
+func (s *Sample) unmarshalSlow(b []byte) error {
+	*s = Sample{}
+	j := sampleJSON{Stats: statsJSON{&s.Stats}}
 	if err := json.Unmarshal(b, &j); err != nil {
 		return err
 	}
-	s.Text, s.Parts, s.Meta, s.Stats = j.Text, j.Parts, j.Meta, j.Stats
-	s.ctx = nil
+	s.Text, s.Parts, s.Meta = j.Text, j.Parts, j.Meta
 	return nil
 }
 

@@ -1,0 +1,34 @@
+package sample
+
+import "sync"
+
+// Scratch is a per-worker bundle of reusable token buffers backing the
+// typed context slots. The executor attaches one scratch to each sample
+// it is about to process (AttachScratch) and the context accessors fill
+// the slots through TokenBuf/StoreTokens, so steady-state tokenization
+// allocates nothing: the same backing arrays are recycled sample after
+// sample.
+//
+// A scratch may back at most one sample at a time; ClearContext detaches
+// it. Not safe for concurrent use.
+type Scratch struct {
+	bufs [numCtxSlots][]string
+}
+
+var scratchPool = sync.Pool{New: func() any { return &Scratch{} }}
+
+// GetScratch returns a pooled scratch.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns sc to the pool, clearing parked token substrings so
+// they don't pin their source texts alive.
+func PutScratch(sc *Scratch) {
+	for i := range sc.bufs {
+		b := sc.bufs[i][:cap(sc.bufs[i])]
+		for j := range b {
+			b[j] = ""
+		}
+		sc.bufs[i] = b[:0]
+	}
+	scratchPool.Put(sc)
+}

@@ -1,0 +1,392 @@
+package sample
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// StatKey is an interned per-sample statistic name. Filters intern their
+// StatKeys() once at build time; the hot path then carries small integer
+// keys instead of hashing strings into a map per sample.
+type StatKey int32
+
+// statKeyTable is the global intern table: a mutex serializes (rare)
+// registration, while both directions — name → id and id → name — are
+// copy-on-write snapshots read through atomics, so hot-path lookups
+// (decode, encode, fingerprinting) never lock.
+var statKeyTable = struct {
+	sync.Mutex
+	ids   atomic.Value // map[string]StatKey, copy-on-write
+	names atomic.Value // []string, copy-on-write
+}{}
+
+func init() {
+	statKeyTable.ids.Store(map[string]StatKey{})
+	statKeyTable.names.Store([]string(nil))
+}
+
+// statKeyIDs returns the current name → id snapshot (read-only).
+func statKeyIDs() map[string]StatKey {
+	return statKeyTable.ids.Load().(map[string]StatKey)
+}
+
+// InternStatKey returns the dense id for a stat name, registering it on
+// first use. Safe for concurrent use.
+func InternStatKey(name string) StatKey {
+	if id, ok := statKeyIDs()[name]; ok {
+		return id
+	}
+	statKeyTable.Lock()
+	defer statKeyTable.Unlock()
+	old := statKeyIDs()
+	if id, ok := old[name]; ok {
+		return id
+	}
+	oldNames := statKeyTable.names.Load().([]string)
+	id := StatKey(len(oldNames))
+	nextNames := make([]string, len(oldNames)+1)
+	copy(nextNames, oldNames)
+	nextNames[id] = name
+	next := make(map[string]StatKey, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = id
+	statKeyTable.names.Store(nextNames)
+	statKeyTable.ids.Store(next)
+	return id
+}
+
+// LookupStatKey returns the id for an already-interned name without
+// registering it; ok is false for unknown names.
+func LookupStatKey(name string) (StatKey, bool) {
+	id, ok := statKeyIDs()[name]
+	return id, ok
+}
+
+// Name returns the stat name this key was interned from.
+func (k StatKey) Name() string {
+	names := statKeyTable.names.Load().([]string)
+	if int(k) < 0 || int(k) >= len(names) {
+		return ""
+	}
+	return names[k]
+}
+
+// statKind tags one typed stat entry.
+type statKind uint8
+
+const (
+	statNum statKind = iota
+	statStr
+)
+
+// statEntry is one scalar statistic. Entries are kept sorted by key
+// *name* (the JSON wire order), so encoding needs no per-sample sort.
+type statEntry struct {
+	key  StatKey
+	kind statKind
+	num  float64
+	str  string
+}
+
+// Stats is the per-sample statistics table: a compact typed vector for
+// the scalar stats filters read and write (float64 and string values
+// under interned keys), plus a rare overflow document for nested or
+// non-scalar values arriving from foreign files. The zero value is an
+// empty, ready-to-use table. The JSON wire format is identical to the
+// former map representation: one flat (or nested, via the overflow)
+// object with sorted keys.
+//
+// Stats values are owned by their sample; methods do not lock.
+type Stats struct {
+	entries []statEntry
+	// extra holds values the typed vector cannot represent: nested
+	// objects, arrays, bools, nulls. Nil for every sample on the hot path.
+	extra Fields
+}
+
+// find returns the index of key in entries, or -1.
+func (t *Stats) find(name string) int {
+	for i := range t.entries {
+		if t.entries[i].key.Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// findKey returns the index of the interned key in entries, or -1.
+func (t *Stats) findKey(key StatKey) int {
+	for i := range t.entries {
+		if t.entries[i].key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// insert places e at its sorted (by name) position.
+func (t *Stats) insert(e statEntry) {
+	if t.entries == nil {
+		t.entries = make([]statEntry, 0, 8)
+	}
+	name := e.key.Name()
+	i := sort.Search(len(t.entries), func(i int) bool {
+		return t.entries[i].key.Name() >= name
+	})
+	t.entries = append(t.entries, statEntry{})
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = e
+}
+
+// SetFloat records a numeric statistic under an interned key.
+func (t *Stats) SetFloat(key StatKey, v float64) {
+	if i := t.findKey(key); i >= 0 {
+		t.entries[i].kind = statNum
+		t.entries[i].num = v
+		t.entries[i].str = ""
+		return
+	}
+	if t.extra != nil {
+		t.extra.Delete(key.Name())
+	}
+	t.insert(statEntry{key: key, kind: statNum, num: v})
+}
+
+// SetString records a string statistic under an interned key.
+func (t *Stats) SetString(key StatKey, v string) {
+	if i := t.findKey(key); i >= 0 {
+		t.entries[i].kind = statStr
+		t.entries[i].str = v
+		t.entries[i].num = 0
+		return
+	}
+	if t.extra != nil {
+		t.extra.Delete(key.Name())
+	}
+	t.insert(statEntry{key: key, kind: statStr, str: v})
+}
+
+// Float reads a numeric statistic by interned key. String-valued
+// entries holding a parseable number coerce, matching the historical
+// map-backed accessor semantics (toFloat).
+func (t *Stats) Float(key StatKey) (float64, bool) {
+	if i := t.findKey(key); i >= 0 {
+		e := &t.entries[i]
+		if e.kind == statNum {
+			return e.num, true
+		}
+		return toFloat(e.str)
+	}
+	if v, ok := t.extra.Get(key.Name()); ok {
+		return toFloat(v)
+	}
+	return 0, false
+}
+
+// FloatByName reads a numeric statistic by name without registering the
+// name in the intern table — the read path for arbitrary (possibly
+// data-dependent) stat names.
+func (t *Stats) FloatByName(name string) (float64, bool) {
+	if v, ok := t.Get(name); ok {
+		return toFloat(v)
+	}
+	return 0, false
+}
+
+// StringByName reads a string statistic by name without registering the
+// name in the intern table.
+func (t *Stats) StringByName(name string) (string, bool) {
+	if v, ok := t.Get(name); ok {
+		return toString(v)
+	}
+	return "", false
+}
+
+// String reads a string statistic by interned key.
+func (t *Stats) String(key StatKey) (string, bool) {
+	if i := t.findKey(key); i >= 0 {
+		e := &t.entries[i]
+		if e.kind == statStr {
+			return e.str, true
+		}
+		return toString(e.num)
+	}
+	if v, ok := t.extra.Get(key.Name()); ok {
+		return toString(v)
+	}
+	return "", false
+}
+
+// Get resolves a stat by name: typed entries and literal overflow keys
+// first (names are stored verbatim by JSON decode, dots included), then
+// dotted-path traversal into nested overflow documents, mirroring the
+// former Fields.Get semantics.
+func (t *Stats) Get(path string) (any, bool) {
+	if i := t.find(path); i >= 0 {
+		e := &t.entries[i]
+		if e.kind == statStr {
+			return e.str, true
+		}
+		return e.num, true
+	}
+	if v, ok := t.extra[path]; ok {
+		return v, true
+	}
+	return t.extra.Get(path)
+}
+
+// Set writes a stat by name. Scalar values (numbers and strings) under
+// already-interned names land in the typed vector; everything else goes
+// to the overflow document. Unknown names deliberately do NOT intern:
+// the global table must stay bounded by operator-declared keys, not
+// grow with data-dependent names arriving from input files. Dotted
+// paths address the overflow document, preserving the nested wire shape
+// the former map representation produced.
+func (t *Stats) Set(path string, value any) {
+	if !hasDot(path) {
+		if key, ok := LookupStatKey(path); ok {
+			switch v := value.(type) {
+			case float64:
+				t.SetFloat(key, v)
+				return
+			case string:
+				t.SetString(key, v)
+				return
+			case int:
+				t.SetFloat(key, float64(v))
+				return
+			case int64:
+				t.SetFloat(key, float64(v))
+				return
+			case float32:
+				t.SetFloat(key, float64(v))
+				return
+			}
+		}
+	}
+	// Non-scalar, nested, or not interned: overflow, displacing any
+	// typed entry.
+	if i := t.find(path); i >= 0 {
+		t.entries = append(t.entries[:i], t.entries[i+1:]...)
+	}
+	t.extra = t.extra.Set(path, value)
+}
+
+// SetRaw writes a stat under a literal name: a dotted name stays one
+// flat key, matching JSON-decode semantics where object keys are taken
+// verbatim. Scalars under already-interned names land in the typed
+// vector; unknown names go to the overflow document without
+// registering (see Set).
+func (t *Stats) SetRaw(name string, value any) {
+	if key, ok := LookupStatKey(name); ok {
+		switch v := value.(type) {
+		case float64:
+			t.SetFloat(key, v)
+			return
+		case string:
+			t.SetString(key, v)
+			return
+		case int:
+			t.SetFloat(key, float64(v))
+			return
+		case int64:
+			t.SetFloat(key, float64(v))
+			return
+		case float32:
+			t.SetFloat(key, float64(v))
+			return
+		}
+	}
+	if i := t.find(name); i >= 0 {
+		t.entries = append(t.entries[:i], t.entries[i+1:]...)
+	}
+	if t.extra == nil {
+		t.extra = make(Fields, 2)
+	}
+	t.extra[name] = value
+}
+
+// Delete removes the stat at path if present (literal keys first, then
+// dotted traversal, matching Get).
+func (t *Stats) Delete(path string) {
+	if i := t.find(path); i >= 0 {
+		t.entries = append(t.entries[:i], t.entries[i+1:]...)
+		return
+	}
+	if _, ok := t.extra[path]; ok {
+		delete(t.extra, path)
+		return
+	}
+	t.extra.Delete(path)
+}
+
+// Len reports the number of top-level statistics.
+func (t *Stats) Len() int { return len(t.entries) + len(t.extra) }
+
+// Reset empties the table, keeping the typed vector's capacity for
+// reuse.
+func (t *Stats) Reset() {
+	t.entries = t.entries[:0]
+	t.extra = nil
+}
+
+// Keys returns the sorted top-level stat names.
+func (t *Stats) Keys() []string {
+	keys := make([]string, 0, t.Len())
+	for i := range t.entries {
+		keys = append(keys, t.entries[i].key.Name())
+	}
+	keys = append(keys, t.extra.Keys()...)
+	if len(t.extra) > 0 {
+		sort.Strings(keys)
+	}
+	return keys
+}
+
+// Range calls fn for every typed scalar entry in sorted name order, then
+// every overflow entry in sorted key order. fn returning false stops.
+func (t *Stats) Range(fn func(name string, v any) bool) {
+	if len(t.extra) == 0 {
+		for i := range t.entries {
+			e := &t.entries[i]
+			var v any
+			if e.kind == statStr {
+				v = e.str
+			} else {
+				v = e.num
+			}
+			if !fn(e.key.Name(), v) {
+				return
+			}
+		}
+		return
+	}
+	for _, k := range t.Keys() {
+		v, _ := t.Get(k)
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// Clone deep-copies the table.
+func (t *Stats) Clone() Stats {
+	c := Stats{extra: t.extra.Clone()}
+	if len(t.entries) > 0 {
+		c.entries = make([]statEntry, len(t.entries))
+		copy(c.entries, t.entries)
+	}
+	return c
+}
+
+func hasDot(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return true
+		}
+	}
+	return false
+}

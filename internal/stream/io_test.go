@@ -19,7 +19,7 @@ func buildDataset(n int) *dataset.Dataset {
 	for i := 0; i < n; i++ {
 		s := sample.New(strings.Repeat("word ", i%13+1) + "tail")
 		s.Meta = s.Meta.Set("idx", i)
-		s.Stats = s.Stats.Set("score", float64(i)/2)
+		s.Stats.Set("score", float64(i)/2)
 		if i%5 == 0 {
 			s.Parts = map[string]string{"abstract": "part text"}
 		}

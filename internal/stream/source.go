@@ -75,14 +75,19 @@ func NewJSONLSource(shardSize int, paths ...string) (*SampleSource, error) {
 	return NewSampleSource(fs, shardSize)
 }
 
-// Next returns the next shard of up to shardSize samples.
+// Next returns the next shard of up to shardSize samples, filled
+// batch-granularly from the reader (one pre-sized slice per shard, no
+// append growth, and the reader's batch path amortizes per-sample
+// dispatch).
 func (ss *SampleSource) Next() (*Shard, error) {
 	if ss.done {
 		return nil, io.EOF
 	}
-	var samples []*sample.Sample
+	samples := make([]*sample.Sample, 0, ss.shardSize)
 	for len(samples) < ss.shardSize {
-		s, err := ss.src.Next()
+		var err error
+		n := len(samples)
+		samples, err = format.ReadBatch(ss.src, samples, ss.shardSize-len(samples))
 		if err == io.EOF {
 			ss.done = true
 			break
@@ -90,7 +95,10 @@ func (ss *SampleSource) Next() (*Shard, error) {
 		if err != nil {
 			return nil, fmt.Errorf("stream: %w", err)
 		}
-		samples = append(samples, s)
+		if len(samples) == n {
+			ss.done = true
+			break
+		}
 	}
 	if len(samples) == 0 {
 		return nil, io.EOF

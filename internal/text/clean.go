@@ -9,8 +9,12 @@ import (
 // NormalizeWhitespace collapses runs of spaces/tabs into one space,
 // collapses 3+ newlines into two, trims trailing whitespace per line, and
 // trims the whole text. Various unicode space characters are mapped to
-// plain spaces first.
+// plain spaces first. Already-normalized text returns unchanged without
+// allocating — the common case on clean corpora.
 func NormalizeWhitespace(s string) string {
+	if whitespaceNormalized(s) {
+		return s
+	}
 	var b strings.Builder
 	b.Grow(len(s))
 	prevSpace := false
@@ -39,6 +43,47 @@ func NormalizeWhitespace(s string) string {
 		newlines = 0
 	}
 	return strings.TrimSpace(b.String())
+}
+
+// whitespaceNormalized reports whether NormalizeWhitespace would return
+// s unchanged: only plain single spaces and at most double newlines, no
+// trailing space before a newline, and nothing strings.TrimSpace would
+// trim at either end (any unicode.IsSpace rune, a superset of
+// isHorizontalSpace — U+0085/U+2028/U+2029 and friends pass through the
+// rewrite untouched mid-text but are trimmed at the edges).
+func whitespaceNormalized(s string) bool {
+	if s == "" {
+		return true
+	}
+	prev := rune(-1)
+	newlines := 0
+	first := true
+	for _, r := range s {
+		if first {
+			if unicode.IsSpace(r) {
+				return false // leading whitespace would be trimmed
+			}
+			first = false
+		}
+		switch {
+		case r == '\n':
+			if prev == ' ' || newlines >= 2 {
+				return false
+			}
+			newlines++
+		case r == ' ':
+			if prev == ' ' {
+				return false
+			}
+			newlines = 0
+		case isHorizontalSpace(r):
+			return false // tabs and unicode spaces always rewrite
+		default:
+			newlines = 0
+		}
+		prev = r
+	}
+	return !unicode.IsSpace(prev)
 }
 
 func isHorizontalSpace(r rune) bool {

@@ -1,6 +1,11 @@
 package text
 
-import "strings"
+import (
+	"slices"
+	"strings"
+	"sync"
+	"unicode/utf8"
+)
 
 // CharNGrams returns all rune n-grams of s (overlapping). For n <= 0 or
 // texts shorter than n runes it returns nil.
@@ -49,6 +54,141 @@ func RepetitionRatio(ngrams []string) float64 {
 		seen[g] = struct{}{}
 	}
 	return float64(dup) / float64(len(ngrams))
+}
+
+// --- Hashed n-gram statistics -----------------------------------------
+//
+// The repetition filters only need *equality* of n-grams, never their
+// text, so the hot path hashes each gram with a rolling polynomial over
+// per-unit (rune or word) hashes instead of materializing joined gram
+// strings. Gram multisets are collected into pooled scratch buffers and
+// sorted to count distinct values: zero steady-state allocation per
+// sample.
+
+// ngramB is the polynomial base of the rolling gram hash.
+const ngramB = 0x9e3779b97f4a7c15
+
+// mix64 is the splitmix64 finalizer, used to avalanche unit hashes.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// HashString is an inline FNV-64a over s (no allocation, identical to
+// hash/fnv's sum for the same bytes).
+func HashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+var hashBufPool = sync.Pool{New: func() any { b := make([]uint64, 0, 256); return &b }}
+
+// repetitionFromHashes computes the RepetitionRatio of a gram multiset
+// given its hash values; grams is sorted in place.
+func repetitionFromHashes(grams []uint64) float64 {
+	if len(grams) == 0 {
+		return 0
+	}
+	slices.Sort(grams)
+	distinct := 1
+	for i := 1; i < len(grams); i++ {
+		if grams[i] != grams[i-1] {
+			distinct++
+		}
+	}
+	return float64(len(grams)-distinct) / float64(len(grams))
+}
+
+// rollGrams appends the rolling polynomial hash of every n-window of
+// units to grams: H_i = Σ_j mix64(unit_{i+j})·B^{n-1-j}.
+func rollGrams(units []uint64, n int, grams []uint64) []uint64 {
+	// B^{n-1} for removing the outgoing unit.
+	bPow := uint64(1)
+	for i := 1; i < n; i++ {
+		bPow *= ngramB
+	}
+	var h uint64
+	for i, u := range units {
+		h = h*ngramB + mix64(u)
+		if i >= n-1 {
+			grams = append(grams, h)
+			h -= mix64(units[i-n+1]) * bPow
+		}
+	}
+	return grams
+}
+
+// CharNGramRepetitionRatio is RepetitionRatio(CharNGrams(s, n)) computed
+// over gram hashes, without materializing the grams.
+func CharNGramRepetitionRatio(s string, n int) float64 {
+	if n <= 0 || utf8.RuneCountInString(s) < n {
+		return 0
+	}
+	unitsP := hashBufPool.Get().(*[]uint64)
+	units := (*unitsP)[:0]
+	for _, r := range s {
+		units = append(units, uint64(r))
+	}
+	gramsP := hashBufPool.Get().(*[]uint64)
+	grams := rollGrams(units, n, (*gramsP)[:0])
+	ratio := repetitionFromHashes(grams)
+	*unitsP = units
+	*gramsP = grams
+	hashBufPool.Put(unitsP)
+	hashBufPool.Put(gramsP)
+	return ratio
+}
+
+// WordNGramRepetitionRatio is RepetitionRatio(WordNGrams(words, n))
+// computed over gram hashes. Word hashes separate the units (FNV over
+// the token bytes), so "ab c" and "a bc" windows hash differently just
+// as the joined-gram text did.
+func WordNGramRepetitionRatio(words []string, n int) float64 {
+	if n <= 0 || len(words) < n {
+		return 0
+	}
+	unitsP := hashBufPool.Get().(*[]uint64)
+	units := (*unitsP)[:0]
+	for _, w := range words {
+		units = append(units, HashString(w))
+	}
+	gramsP := hashBufPool.Get().(*[]uint64)
+	grams := rollGrams(units, n, (*gramsP)[:0])
+	ratio := repetitionFromHashes(grams)
+	*unitsP = units
+	*gramsP = grams
+	hashBufPool.Put(unitsP)
+	hashBufPool.Put(gramsP)
+	return ratio
+}
+
+// DistinctRatio returns the fraction of distinct items, compared by
+// hash — the allocation-free form of the unique-words statistic.
+func DistinctRatio(items []string) float64 {
+	if len(items) == 0 {
+		return 0
+	}
+	bufP := hashBufPool.Get().(*[]uint64)
+	buf := (*bufP)[:0]
+	for _, it := range items {
+		buf = append(buf, HashString(it))
+	}
+	slices.Sort(buf)
+	distinct := 1
+	for i := 1; i < len(buf); i++ {
+		if buf[i] != buf[i-1] {
+			distinct++
+		}
+	}
+	*bufP = buf
+	hashBufPool.Put(bufP)
+	return float64(distinct) / float64(len(items))
 }
 
 // TopKFraction returns the fraction of occurrences covered by the k most

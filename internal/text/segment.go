@@ -1,0 +1,63 @@
+package text
+
+import "sync"
+
+// Segmenter owns reusable token buffers so the per-sample hot path can
+// segment words, lines and sentences without allocating: each call
+// reuses the buffer of the previous one. The returned slices alias the
+// segmenter's buffers and are valid only until the next call of the same
+// method (or Release); callers that need the tokens to outlive the
+// segmenter must copy them.
+//
+// A Segmenter is not safe for concurrent use; get one per goroutine from
+// the pool (GetSegmenter / PutSegmenter).
+type Segmenter struct {
+	words     []string
+	wordsLow  []string
+	lines     []string
+	sentences []string
+}
+
+// Words segments s into word tokens, reusing the segmenter's buffer.
+func (g *Segmenter) Words(s string) []string {
+	g.words = WordsInto(s, g.words[:0])
+	return g.words
+}
+
+// WordsLower segments s into lower-cased word tokens, reusing the
+// segmenter's buffer.
+func (g *Segmenter) WordsLower(s string) []string {
+	g.wordsLow = WordsLowerInto(s, g.wordsLow[:0])
+	return g.wordsLow
+}
+
+// Lines splits s into lines, reusing the segmenter's buffer.
+func (g *Segmenter) Lines(s string) []string {
+	g.lines = LinesInto(s, g.lines[:0])
+	return g.lines
+}
+
+// Sentences splits s into sentences, reusing the segmenter's buffer.
+func (g *Segmenter) Sentences(s string) []string {
+	g.sentences = SentencesInto(s, g.sentences[:0])
+	return g.sentences
+}
+
+var segmenterPool = sync.Pool{New: func() any { return &Segmenter{} }}
+
+// GetSegmenter returns a pooled segmenter.
+func GetSegmenter() *Segmenter { return segmenterPool.Get().(*Segmenter) }
+
+// PutSegmenter returns g to the pool, clearing parked token substrings
+// so they don't pin their source texts alive. The slices it handed out
+// must no longer be referenced.
+func PutSegmenter(g *Segmenter) {
+	for _, buf := range []*[]string{&g.words, &g.wordsLow, &g.lines, &g.sentences} {
+		b := (*buf)[:cap(*buf)]
+		for i := range b {
+			b[i] = ""
+		}
+		*buf = b[:0]
+	}
+	segmenterPool.Put(g)
+}

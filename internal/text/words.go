@@ -11,43 +11,119 @@ package text
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
-// Words segments text into word tokens. Latin-script words are maximal
-// runs of letters, digits, apostrophes and hyphens; each CJK ideograph is
-// its own token (Chinese has no spaces, and per-character tokens are the
-// standard approximation).
-func Words(s string) []string {
-	words := make([]string, 0, len(s)/6+1)
-	var b strings.Builder
-	flush := func() {
-		if b.Len() > 0 {
-			words = append(words, b.String())
-			b.Reset()
-		}
+// IsWordRune reports whether r may appear inside a non-CJK word token:
+// letters, digits, apostrophes, hyphens and underscores (identifiers in
+// code-heavy corpora segment as single tokens).
+func IsWordRune(r rune) bool {
+	if r < utf8.RuneSelf {
+		return r == '\'' || r == '-' || r == '_' ||
+			('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z') || ('0' <= r && r <= '9')
 	}
-	for _, r := range s {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Words segments text into word tokens. Latin-script words are maximal
+// runs of letters, digits, apostrophes, hyphens and underscores; each
+// CJK ideograph is its own token (Chinese has no spaces, and
+// per-character tokens are the standard approximation).
+func Words(s string) []string {
+	return WordsInto(s, make([]string, 0, len(s)/6+1))
+}
+
+// WordsInto appends the word tokens of s to dst and returns the extended
+// slice — the allocation-free form of Words: tokens are substrings of s
+// (no per-token copies), and a dst with capacity left allocates nothing.
+func WordsInto(s string, dst []string) []string {
+	start := -1 // byte offset of the current token, -1 when outside one
+	for i, r := range s {
+		if r < utf8.RuneSelf {
+			// ASCII fast path: one comparison chain, no table lookups.
+			if r == '\'' || r == '-' || r == '_' ||
+				('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z') || ('0' <= r && r <= '9') {
+				if start < 0 {
+					start = i
+				}
+			} else if start >= 0 {
+				dst = append(dst, s[start:i])
+				start = -1
+			}
+			continue
+		}
 		switch {
 		case IsCJK(r):
-			flush()
-			words = append(words, string(r))
-		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\'' || r == '-' || r == '_':
-			b.WriteRune(r)
+			if start >= 0 {
+				dst = append(dst, s[start:i])
+				start = -1
+			}
+			dst = append(dst, s[i:i+utf8.RuneLen(r)])
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			if start < 0 {
+				start = i
+			}
 		default:
-			flush()
+			if start >= 0 {
+				dst = append(dst, s[start:i])
+				start = -1
+			}
 		}
 	}
-	flush()
-	return words
+	if start >= 0 {
+		dst = append(dst, s[start:])
+	}
+	return dst
 }
 
 // WordsLower is Words with every token lower-cased.
 func WordsLower(s string) []string {
-	ws := Words(s)
-	for i, w := range ws {
-		ws[i] = strings.ToLower(w)
+	return WordsLowerInto(s, make([]string, 0, len(s)/6+1))
+}
+
+// WordsLowerInto appends the lower-cased word tokens of s to dst. The
+// whole text is lower-cased once (a no-op returning s itself when s has
+// no upper-case runes) and segmented with substring tokens, so already
+// lower-case text tokenizes allocation-free. Because strings.ToLower
+// maps rune-for-rune and case mapping never changes a rune's word/CJK
+// class, the tokens equal strings.ToLower of each Words(s) token.
+func WordsLowerInto(s string, dst []string) []string {
+	return WordsInto(strings.ToLower(s), dst)
+}
+
+// EachWord calls fn for every word token of s, in order, without
+// building a slice — the iterator form for single-pass consumers. fn
+// returning false stops the iteration.
+func EachWord(s string, fn func(word string) bool) {
+	start := -1
+	for i, r := range s {
+		switch {
+		case IsCJK(r):
+			if start >= 0 {
+				if !fn(s[start:i]) {
+					return
+				}
+				start = -1
+			}
+			if !fn(s[i : i+utf8.RuneLen(r)]) {
+				return
+			}
+		case IsWordRune(r):
+			if start < 0 {
+				start = i
+			}
+		default:
+			if start >= 0 {
+				if !fn(s[start:i]) {
+					return
+				}
+				start = -1
+			}
+		}
 	}
-	return ws
+	if start >= 0 {
+		fn(s[start:])
+	}
 }
 
 // Fields splits on whitespace only (raw tokens including punctuation),
@@ -59,11 +135,25 @@ func Lines(s string) []string {
 	if s == "" {
 		return nil
 	}
-	lines := strings.Split(s, "\n")
-	for i, l := range lines {
-		lines[i] = strings.TrimSuffix(l, "\r")
+	return LinesInto(s, make([]string, 0, strings.Count(s, "\n")+1))
+}
+
+// LinesInto appends the lines of s to dst without trailing newline
+// characters; lines are substrings of s, so a dst with capacity left
+// allocates nothing. Empty input appends nothing, matching Lines.
+func LinesInto(s string, dst []string) []string {
+	if s == "" {
+		return dst
 	}
-	return lines
+	for {
+		i := strings.IndexByte(s, '\n')
+		if i < 0 {
+			dst = append(dst, strings.TrimSuffix(s, "\r"))
+			return dst
+		}
+		dst = append(dst, strings.TrimSuffix(s[:i], "\r"))
+		s = s[i+1:]
+	}
 }
 
 // Paragraphs splits text on blank lines.
@@ -80,29 +170,35 @@ func Paragraphs(s string) []string {
 
 // Sentences splits text into sentences on ASCII and CJK terminal
 // punctuation. Terminators are kept attached to their sentence.
-func Sentences(s string) []string {
-	var out []string
-	var b strings.Builder
-	runes := []rune(s)
-	for i := 0; i < len(runes); i++ {
-		r := runes[i]
-		b.WriteRune(r)
-		if isSentenceEnd(r) {
-			// Absorb a run of closing quotes/terminators.
-			for i+1 < len(runes) && (isSentenceEnd(runes[i+1]) || runes[i+1] == '"' || runes[i+1] == '\'' || runes[i+1] == '”') {
-				i++
-				b.WriteRune(runes[i])
-			}
-			if t := strings.TrimSpace(b.String()); t != "" {
-				out = append(out, t)
-			}
-			b.Reset()
+func Sentences(s string) []string { return SentencesInto(s, nil) }
+
+// SentencesInto appends the sentences of s to dst; sentences are trimmed
+// substrings of s, so a dst with capacity left allocates nothing.
+func SentencesInto(s string, dst []string) []string {
+	start, i := 0, 0
+	for i < len(s) {
+		r, w := utf8.DecodeRuneInString(s[i:])
+		i += w
+		if !isSentenceEnd(r) {
+			continue
 		}
+		// Absorb a run of closing quotes/terminators.
+		for i < len(s) {
+			r2, w2 := utf8.DecodeRuneInString(s[i:])
+			if !isSentenceEnd(r2) && r2 != '"' && r2 != '\'' && r2 != '”' {
+				break
+			}
+			i += w2
+		}
+		if t := strings.TrimSpace(s[start:i]); t != "" {
+			dst = append(dst, t)
+		}
+		start = i
 	}
-	if t := strings.TrimSpace(b.String()); t != "" {
-		out = append(out, t)
+	if t := strings.TrimSpace(s[start:]); t != "" {
+		dst = append(dst, t)
 	}
-	return out
+	return dst
 }
 
 func isSentenceEnd(r rune) bool {
