@@ -3,10 +3,15 @@
 // diversity — the terminal rendering of the paper's interactive
 // visualizations (Sec. 4.2).
 //
+// It also renders run journals: -timeline reconstructs per-op and
+// per-shard wall-time attribution from the JSONL event stream djprocess
+// writes under <work_dir>/journal/ (see docs/observability.md).
+//
 // Usage:
 //
 //	djanalyze -input data.jsonl [-dims text_len,num_words] [-hist] [-box] [-top 15]
 //	djanalyze -input "hub:cft-en?docs=500" -diversity
+//	djanalyze -timeline .data-juicer/journal/<run_id>.jsonl
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/format"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -30,8 +36,13 @@ func main() {
 		top       = flag.Int("top", 15, "top-K rows in the diversity view")
 		np        = flag.Int("np", 0, "worker count (0 = all cores)")
 		jsonOut   = flag.String("json", "", "also write the probe summaries as JSON to this path")
+		timeline  = flag.String("timeline", "", "render per-op/per-shard wall-time attribution from a run journal (.jsonl) and exit")
 	)
 	flag.Parse()
+	if *timeline != "" {
+		renderTimeline(*timeline)
+		return
+	}
 	if *input == "" {
 		fmt.Fprintln(os.Stderr, "djanalyze: -input is required")
 		os.Exit(1)
@@ -87,4 +98,20 @@ func main() {
 		}
 		fmt.Printf("\nwrote probe JSON to %s\n", *jsonOut)
 	}
+}
+
+// renderTimeline validates a journal file and prints its wall-time
+// attribution view.
+func renderTimeline(path string) {
+	events, err := telemetry.ReadJournal(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "djanalyze:", err)
+		os.Exit(1)
+	}
+	tl, err := telemetry.BuildTimeline(events)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "djanalyze:", err)
+		os.Exit(1)
+	}
+	fmt.Print(tl.Render())
 }

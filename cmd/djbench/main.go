@@ -16,11 +16,29 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	full := flag.Bool("full", false, "run at report scale (slower)")
+	listen := flag.String("listen", "", "serve /debug/pprof/* and runtime /metrics on this address while experiments run (see docs/observability.md)")
 	flag.Parse()
+	if *listen != "" {
+		// Experiments drive pipelines internally; the endpoint exposes the
+		// process-level view (pprof, goroutines, heap) for long runs.
+		t, err := telemetry.NewRun(telemetry.RunOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "djbench:", err)
+			os.Exit(1)
+		}
+		srv, err := t.Serve(*listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "djbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("ops endpoint on http://%s (/metrics /debug/pprof/)\n", srv.Addr())
+	}
 	scale := experiments.Quick()
 	if *full {
 		scale = experiments.Full()

@@ -32,10 +32,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"repro/internal/analysis"
 	"repro/internal/cache"
@@ -45,6 +47,7 @@ import (
 	_ "repro/internal/ops/all"
 	"repro/internal/plan"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 
 	"repro/internal/ops"
 )
@@ -69,6 +72,9 @@ func main() {
 		listRecipes = flag.Bool("list-recipes", false, "list the built-in recipes with their input requirements and exit")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file (see docs/performance.md)")
 		memProfile  = flag.String("memprofile", "", "write a pprof allocation profile at exit to this file (see docs/performance.md)")
+		listen      = flag.String("listen", "", "serve the live ops endpoint on this address during the run: /metrics, /progress, /debug/pprof/* (see docs/observability.md)")
+		linger      = flag.Bool("listen-linger", false, "keep the -listen endpoint serving after the run completes, until interrupted")
+		noJournal   = flag.Bool("no-journal", false, "disable the structured run journal (<work_dir>/journal/<run_id>.jsonl)")
 	)
 	flag.Parse()
 
@@ -150,17 +156,84 @@ func main() {
 	if !recipe.Adaptive && (recipe.MaxWorkers != 0 || recipe.TargetMemMB != 0) {
 		fmt.Fprintln(os.Stderr, "djprocess: -max-workers/-target-mem-mb only take effect with -adaptive; ignored")
 	}
-
-	if *streamMode || recipe.Adaptive {
-		runStreaming(recipe, inputSpec, *shardSize, *showPlan, *probe || *space)
-		return
+	if *listen != "" {
+		recipe.Listen = *listen
+	}
+	if *noJournal {
+		recipe.Journal = false
+	}
+	recipeSrc := *recipePath
+	if recipeSrc == "" {
+		recipeSrc = *builtin
 	}
 
+	tele, srv := openTelemetry(recipe)
+	if *streamMode || recipe.Adaptive {
+		runStreaming(recipe, recipeSrc, inputSpec, *shardSize, *showPlan, *probe || *space, tele)
+	} else {
+		runBatch(recipe, recipeSrc, inputSpec, *showPlan, *probe, *space, tele)
+	}
+	finishTelemetry(tele, srv, *linger)
+}
+
+// openTelemetry builds the run's telemetry context from the recipe: the
+// JSONL journal under <work_dir>/journal unless disabled, the console
+// renderer over the same event stream, and the live ops endpoint when a
+// listen address is configured (-listen flag or listen: recipe key).
+func openTelemetry(recipe *config.Recipe) (*telemetry.Run, *telemetry.Server) {
+	opts := telemetry.RunOptions{}
+	if recipe.Journal && recipe.WorkDir != "" {
+		opts.JournalDir = filepath.Join(recipe.WorkDir, "journal")
+	}
+	t, err := telemetry.NewRun(opts)
+	if err != nil {
+		fatal(err)
+	}
+	t.OnEvent(telemetry.Console(os.Stdout))
+	var srv *telemetry.Server
+	if recipe.Listen != "" {
+		srv, err = t.Serve(recipe.Listen)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ops endpoint on http://%s (/metrics /progress /debug/pprof/)\n", srv.Addr())
+	}
+	return t, srv
+}
+
+// finishTelemetry closes the run's observability surfaces, optionally
+// lingering so the endpoint outlives the run (CI scrapes, post-mortem
+// pprof grabs).
+func finishTelemetry(t *telemetry.Run, srv *telemetry.Server, linger bool) {
+	if srv != nil && linger {
+		fmt.Printf("ops endpoint still serving on http://%s — interrupt to exit\n", srv.Addr())
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+	}
+	if srv != nil {
+		srv.Close()
+	}
+	if err := t.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "djprocess: journal:", err)
+	}
+}
+
+// failRun records the failure in the journal before exiting.
+func failRun(t *telemetry.Run, err error) {
+	t.End("error", 0, 0, err, nil)
+	t.Close()
+	fatal(err)
+}
+
+// runBatch executes the recipe on the whole-dataset batch executor.
+func runBatch(recipe *config.Recipe, recipeSrc, inputSpec string, showPlan, probe, space bool, tele *telemetry.Run) {
 	exec, err := core.NewExecutor(recipe)
 	if err != nil {
 		fatal(err)
 	}
-	if *showPlan {
+	exec.EnableTelemetry(tele)
+	if showPlan {
 		fmt.Println("execution plan:")
 		fmt.Print(exec.Plan().Describe())
 	}
@@ -169,68 +242,59 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("loaded %d samples (%d bytes of text) from %s\n",
-		data.Len(), data.TotalBytes(), inputSpec)
+	tele.Begin("batch", recipeSrc, inputSpec, data.Len())
 
-	if *space {
+	if space {
 		a, err := cache.AnalyzeSpace(recipe)
 		if err != nil {
-			fatal(err)
+			failRun(tele, err)
 		}
 		fmt.Print(a.Render(data.TotalBytes()))
 	}
 
 	var before *analysis.Probe
-	if *probe {
+	if probe {
 		before = analysis.Analyze(data, recipe.NP)
 	}
 
 	out, report, err := exec.Run(data)
 	if err != nil {
-		fatal(err)
+		failRun(tele, err)
 	}
-	if len(report.OpStats) == 0 {
-		// Zero executed ops: the plan was empty or the whole run was
-		// resumed past its last operator.
-		why := "empty plan"
+
+	if recipe.ExportPath != "" {
+		if err := format.Export(out, recipe.ExportPath); err != nil {
+			failRun(tele, err)
+		}
+		tele.Emit(telemetry.Event{Type: telemetry.EvExport, Input: recipe.ExportPath,
+			Out: int64(out.Len())})
+	}
+
+	tele.End("ok", report.InCount(), out.Len(), nil, func(e *telemetry.Event) {
+		e.PlanOps = report.PlanSize
 		if report.Resumed {
-			why = "fully resumed from checkpoint"
+			e.Note = "(resumed from checkpoint)"
 		}
-		fmt.Printf("processed: %d samples in %s (%s, %d planned ops)\n",
-			out.Len(), report.Total.Round(1e6), why, report.PlanSize)
-	} else {
-		fmt.Printf("processed: %d -> %d samples in %s (%d planned ops)\n",
-			report.InCount(), out.Len(), report.Total.Round(1e6), report.PlanSize)
-	}
-	for _, st := range report.OpStats {
-		marker := ""
-		if st.CacheHit {
-			marker = " [cache]"
+		if len(report.OpStats) == 0 {
+			// Zero executed ops: the plan was empty or the whole run was
+			// resumed past its last operator.
+			e.Note = "(empty plan)"
+			if report.Resumed {
+				e.Note = "(fully resumed from checkpoint)"
+			}
 		}
-		fmt.Printf("  %-44s %7d -> %-7d %10s%s\n", st.Name, st.InCount, st.OutCount,
-			st.Duration.Round(1e5), marker)
-		for _, m := range st.Members {
-			fmt.Printf("    · %-42s %7d -> %-7d %10s\n", m.Name, m.In, m.Out,
-				m.Duration.Round(1e5))
-		}
-	}
+	})
+	fmt.Print(telemetry.FormatOpTable(core.TelemetryRows(report.OpStats)))
 	if tr := exec.Tracer(); tr != nil {
 		fmt.Print(tr.Summary())
 	}
 
-	if *probe {
+	if probe {
 		after := analysis.Analyze(out, recipe.NP)
 		fmt.Println("\nbefore/after probe (Figure 4c view):")
 		fmt.Print(analysis.RenderCompare(analysis.Compare(before, after)))
 		fmt.Println("\ndiversity of the refined data:")
 		fmt.Print(after.RenderDiversity(10))
-	}
-
-	if recipe.ExportPath != "" {
-		if err := format.Export(out, recipe.ExportPath); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("exported to %s\n", recipe.ExportPath)
 	}
 }
 
@@ -255,7 +319,7 @@ func listBuiltinRecipes() {
 // runStreaming executes the recipe on the shard-pipelined engine: the
 // input is never fully resident, and export shards appear as the stream
 // progresses.
-func runStreaming(recipe *config.Recipe, inputSpec string, shardSize int, showPlan, probeOrSpace bool) {
+func runStreaming(recipe *config.Recipe, recipeSrc, inputSpec string, shardSize int, showPlan, probeOrSpace bool, tele *telemetry.Run) {
 	if probeOrSpace {
 		fmt.Fprintln(os.Stderr, "djprocess: -probe/-space need the full dataset; ignored in -stream mode")
 	}
@@ -264,6 +328,7 @@ func runStreaming(recipe *config.Recipe, inputSpec string, shardSize int, showPl
 		Adaptive:       recipe.Adaptive,
 		MaxWorkers:     recipe.MaxWorkers,
 		TargetMemBytes: int64(recipe.TargetMemMB) << 20,
+		Telemetry:      tele,
 	})
 	if err != nil {
 		fatal(err)
@@ -290,16 +355,27 @@ func runStreaming(recipe *config.Recipe, inputSpec string, shardSize int, showPl
 		}
 		sink = sharded
 	}
+	tele.Begin("stream", recipeSrc, inputSpec, 0)
 	report, err := eng.Run(src, sink)
 	if err != nil {
-		fatal(err)
-	}
-	fmt.Print(report.Summary())
-	if tr := eng.Tracer(); tr != nil {
-		fmt.Print(tr.Summary())
+		failRun(tele, err)
 	}
 	if sharded != nil {
-		fmt.Printf("exported %d shard files to %s-*.jsonl\n", len(sharded.Paths()), prefix)
+		tele.Emit(telemetry.Event{Type: telemetry.EvExport,
+			Input: prefix + "-*.jsonl", Out: int64(report.OutCount),
+			Note: fmt.Sprintf("%d shard files", len(sharded.Paths()))})
+	}
+	tele.End("ok", report.InCount, report.OutCount, nil, func(e *telemetry.Event) {
+		e.PlanOps = report.PlanSize
+		e.Shards = report.ShardCount
+		e.Resumed = report.ResumedShards
+	})
+	// The same per-op snapshot the batch path renders, plus the adaptive
+	// controller's self-report.
+	fmt.Print(telemetry.FormatOpTable(core.TelemetryRows(report.OpStats)))
+	fmt.Print(report.Metrics.Summary())
+	if tr := eng.Tracer(); tr != nil {
+		fmt.Print(tr.Summary())
 	}
 }
 
@@ -310,7 +386,14 @@ func loadRecipe(path, builtin string) (*config.Recipe, error) {
 	case path != "":
 		return config.Load(path)
 	case builtin != "":
-		return config.BuiltinRecipe(builtin)
+		r, err := config.BuiltinRecipe(builtin)
+		if err != nil {
+			return nil, err
+		}
+		// DJ_* environment overrides apply to built-in recipes exactly
+		// as they do to recipe files (config.Load does this itself).
+		r.ApplyEnv(os.Getenv)
+		return r, nil
 	}
 	return nil, fmt.Errorf("a recipe is required: -recipe FILE or -builtin NAME")
 }

@@ -9,11 +9,13 @@ package repro_test
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/ops"
 	_ "repro/internal/ops/all"
 	"repro/internal/plan"
 	"repro/internal/sample"
+	"repro/internal/telemetry"
 	"repro/internal/text"
 )
 
@@ -128,6 +130,40 @@ func TestAllocsJSONLEncode(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+	})
+}
+
+// TestAllocsTelemetryInstruments: registry instrumentation on the fused
+// hot path is allocation-free — handles are resolved once at RegisterOp,
+// so recording a sample batch is pure atomic arithmetic. A regression
+// here means enabling -listen or the journal taxes every operator
+// application.
+func TestAllocsTelemetryInstruments(t *testing.T) {
+	run, err := telemetry.NewRun(telemetry.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := run.RegisterOp(0, "fused_standard_chain", 1000, 0.5)
+	requireAllocBudget(t, "OpMetrics.Observe", 0, func() {
+		m.Observe(256, 200, 1<<14, 3*time.Millisecond)
+	})
+	requireAllocBudget(t, "OpMetrics.CacheHit", 0, func() {
+		m.CacheHit(256, 200)
+	})
+	c := run.Reg.Counter("bench_total", "", telemetry.Label{Key: "op", Value: "x"})
+	requireAllocBudget(t, "Counter.Add", 0, func() {
+		c.Add(3)
+	})
+	g := run.Reg.Gauge("bench_gauge", "")
+	requireAllocBudget(t, "Gauge.Set", 0, func() {
+		g.Set(42)
+	})
+	h := run.Reg.Histogram("bench_hist", "", telemetry.DurationBuckets)
+	requireAllocBudget(t, "Histogram.Observe", 0, func() {
+		h.Observe(0.003)
+	})
+	requireAllocBudget(t, "Run.ObserveShard", 0, func() {
+		run.ObserveShard(256)
 	})
 }
 

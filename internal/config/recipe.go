@@ -66,6 +66,14 @@ type Recipe struct {
 	TargetMemMB int
 	// EnableTrace records per-OP lineage for the tracer.
 	EnableTrace bool
+	// Listen, when non-empty, serves the live ops endpoint on this
+	// address during the run: /metrics (Prometheus text), /progress
+	// (JSON snapshot) and /debug/pprof/* (djprocess -listen).
+	Listen string
+	// Journal enables the structured run journal: an append-only JSONL
+	// event stream under <work_dir>/journal/<run_id>.jsonl. On by
+	// default; disable with journal: false or DJ_JOURNAL=false.
+	Journal bool
 	// WorkDir holds caches, checkpoints and trace output.
 	WorkDir string
 	// Process is the ordered operator list.
@@ -81,6 +89,7 @@ func Default() *Recipe {
 		OpFusion:    true,
 		UseProfiles: true,
 		EnableTrace: false,
+		Journal:     true,
 		WorkDir:     ".data-juicer",
 	}
 }
@@ -119,6 +128,10 @@ func FromMap(m map[string]any) (*Recipe, error) {
 			r.TargetMemMB = asInt(v)
 		case "trace":
 			r.EnableTrace = asBool(v)
+		case "listen":
+			r.Listen = asString(v)
+		case "journal":
+			r.Journal = asBool(v)
 		case "work_dir":
 			r.WorkDir = asString(v)
 		case "sources":
@@ -147,7 +160,7 @@ var recipeKeys = []string{
 	"project_name", "dataset_path", "sources", "export_path", "np",
 	"text_key", "use_cache", "use_checkpoint", "cache_compression",
 	"op_fusion", "use_profiles", "adaptive", "max_workers",
-	"target_mem_mb", "trace", "work_dir", "process",
+	"target_mem_mb", "trace", "listen", "journal", "work_dir", "process",
 }
 
 // KnownRecipeKeys returns every recognized recipe key.
@@ -339,6 +352,12 @@ func (r *Recipe) ApplyEnv(getenv func(string) string) {
 		// including a sources: list (a "mix:" value can express one).
 		r.DatasetPath = v
 		r.Sources = nil
+	}
+	if v := getenv("DJ_LISTEN"); v != "" {
+		r.Listen = v
+	}
+	if v := getenv("DJ_JOURNAL"); v != "" {
+		r.Journal = v == "true" || v == "1"
 	}
 	if v := getenv("DJ_WORK_DIR"); v != "" {
 		r.WorkDir = v

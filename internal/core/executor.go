@@ -16,6 +16,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/dataset"
 	"repro/internal/plan"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -70,6 +71,7 @@ type Executor struct {
 	runner *OpRunner
 	store  *cache.Store
 	ckpt   *cache.CheckpointManager
+	tele   *telemetry.Run
 }
 
 // NewExecutor validates the recipe and builds its physical plan through
@@ -116,6 +118,21 @@ func (e *Executor) Tracer() *trace.Tracer { return e.runner.Tracer() }
 // (the streaming engine) execute operators exactly as the batch path does.
 func (e *Executor) Runner() *OpRunner { return e.runner }
 
+// EnableTelemetry connects the executor to a telemetry run: every op
+// application feeds the metric registry, completions and cache hits
+// become journal events, and tracer lineage joins the journal. Call
+// before Run.
+func (e *Executor) EnableTelemetry(t *telemetry.Run) {
+	if t == nil {
+		return
+	}
+	e.tele = t
+	e.runner = e.runner.WithObserver(AttachTelemetry(t, e.plan))
+	if tr := e.runner.Tracer(); tr != nil {
+		tr.SetSink(TraceJournalSink(t))
+	}
+}
+
 // recipeFingerprint identifies this recipe + input dataset combination for
 // checkpoint compatibility checks.
 func (e *Executor) recipeFingerprint(d *dataset.Dataset) string {
@@ -139,6 +156,12 @@ func (e *Executor) Run(d *dataset.Dataset) (*dataset.Dataset, *Report, error) {
 	nodes := e.plan.Nodes
 	report := &Report{PlanSize: len(nodes)}
 	np := e.recipe.NP
+
+	if e.tele != nil {
+		e.tele.SetInputTotal(d.Len())
+		e.tele.AddInput(d.Len())
+		e.tele.Emit(PlanEvent(e.plan))
+	}
 
 	recipeFP := ""
 	startIdx := 0
@@ -185,6 +208,15 @@ func (e *Executor) Run(d *dataset.Dataset) (*dataset.Dataset, *Report, error) {
 					Duration: time.Since(opStart), CacheHit: true, PlanIndex: i}
 				report.OpStats = append(report.OpStats, stat)
 				e.runner.TraceCacheHit(op, inCount, d.Len(), stat.Duration)
+				if e.tele != nil {
+					e.tele.Op(i).CacheHit(inCount, d.Len())
+					e.tele.Emit(telemetry.Event{
+						Type: telemetry.EvCacheHit, Parent: e.tele.RunSpan(),
+						Name: op.Name(), Kind: OpKind(op), PlanIdx: i,
+						In: int64(inCount), Out: int64(d.Len()),
+						DurNS: int64(stat.Duration),
+					})
+				}
 				continue
 			}
 		}
@@ -220,6 +252,14 @@ func (e *Executor) Run(d *dataset.Dataset) (*dataset.Dataset, *Report, error) {
 			stat.Members = ff.TakeMemberStats()
 		}
 		report.OpStats = append(report.OpStats, stat)
+		if e.tele != nil {
+			e.tele.Emit(telemetry.Event{
+				Type: telemetry.EvOpComplete, Span: e.tele.NewSpan(), Parent: e.tele.RunSpan(),
+				Name: op.Name(), Kind: OpKind(op), PlanIdx: i,
+				In: int64(stat.InCount), Out: int64(stat.OutCount),
+				DurNS: int64(stat.Duration), Workers: stat.Workers,
+			})
+		}
 	}
 
 	if e.ckpt != nil {
@@ -230,5 +270,8 @@ func (e *Executor) Run(d *dataset.Dataset) (*dataset.Dataset, *Report, error) {
 	// Best-effort: a failed sidecar write must not fail a succeeded run.
 	_ = PersistProfiles(e.plan, report.OpStats)
 
+	if e.tele != nil {
+		e.tele.AddOutput(d.Len())
+	}
 	return d, report, nil
 }

@@ -32,21 +32,23 @@ type OpSample struct {
 	Serial bool
 }
 
-// OpProfile is the smoothed live profile of one planned operator.
+// OpProfile is the smoothed live profile of one planned operator. The
+// JSON form feeds the live ops endpoint's /progress snapshot.
 type OpProfile struct {
-	Seq          int
-	Name         string
-	Applications int
-	In, Out      int64
-	Bytes        int64
+	Seq          int    `json:"seq"`
+	Name         string `json:"name"`
+	Applications int    `json:"applications"`
+	In           int64  `json:"in"`
+	Out          int64  `json:"out"`
+	Bytes        int64  `json:"bytes,omitempty"`
 	// CostPerSample is the EWMA processing cost of one input sample.
-	CostPerSample time.Duration
+	CostPerSample time.Duration `json:"cost_per_sample_ns"`
 	// BytesPerSample is the EWMA text bytes of one input sample.
-	BytesPerSample float64
+	BytesPerSample float64 `json:"bytes_per_sample"`
 	// Selectivity is the EWMA survival ratio Out/In (1.0 for mappers).
-	Selectivity float64
+	Selectivity float64 `json:"selectivity"`
 	// Serial mirrors OpSample.Serial: a barrier op outside the pipeline.
-	Serial bool
+	Serial bool `json:"serial,omitempty"`
 }
 
 // opState accumulates one operator's observations.
@@ -207,25 +209,27 @@ func (t Tuning) withDefaults() Tuning {
 	return t
 }
 
-// Decision is one scheduling verdict of the cost model.
+// Decision is one scheduling verdict of the cost model. The JSON form
+// feeds the live ops endpoint's /progress snapshot and the run journal's
+// controller_replan events.
 type Decision struct {
 	// Workers is the recommended worker-pool size.
-	Workers int
+	Workers int `json:"workers"`
 	// ShardSize is the recommended samples per shard.
-	ShardSize int
+	ShardSize int `json:"shard_size"`
 	// MaxInFlight is the recommended bound on in-flight shards — the
 	// backpressure limit the source is throttled to.
-	MaxInFlight int
+	MaxInFlight int `json:"max_in_flight"`
 	// ChainCostPerSample is the modeled operator-chain cost of one input
 	// sample (selectivity-weighted, as in the Figure 10 probe).
-	ChainCostPerSample time.Duration
+	ChainCostPerSample time.Duration `json:"chain_cost_per_sample_ns,omitempty"`
 	// PeakBytesPerSample is the modeled peak resident text bytes one
 	// input sample induces anywhere along the chain.
-	PeakBytesPerSample float64
+	PeakBytesPerSample float64 `json:"peak_bytes_per_sample,omitempty"`
 	// Selectivity is the modeled end-to-end survival ratio.
-	Selectivity float64
+	Selectivity float64 `json:"selectivity,omitempty"`
 	// Why summarizes the inputs behind the verdict, for logs and reports.
-	Why string
+	Why string `json:"why,omitempty"`
 }
 
 // modelThroughput is the modeled pipeline rate (input samples/sec) with w

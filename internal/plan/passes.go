@@ -43,17 +43,32 @@ func (b *builder) record(name, detail string) {
 	b.records = append(b.records, PassRecord{Name: name, Detail: detail})
 }
 
+// timed stamps the records a pass appended with the pass's wall time.
+func (b *builder) timed(pass func()) {
+	t0 := time.Now()
+	n0 := len(b.records)
+	pass()
+	d := time.Since(t0)
+	for i := n0; i < len(b.records); i++ {
+		b.records[i].Dur = d
+	}
+}
+
 // build runs the full pass pipeline and assembles the physical plan.
 func build(r *config.Recipe, profiles *dist.ProfileSet, profileErr error) (*Plan, error) {
 	b := &builder{r: r, profiles: profiles, profileErr: profileErr}
+	t0 := time.Now()
 	if err := b.passValidate(); err != nil {
 		return nil, err
 	}
-	b.passPredict()
-	b.passReorder()
-	b.passFuse()
-	b.passPlacement()
-	b.passCacheBoundary()
+	for i := range b.records {
+		b.records[i].Dur = time.Since(t0)
+	}
+	b.timed(b.passPredict)
+	b.timed(b.passReorder)
+	b.timed(b.passFuse)
+	b.timed(b.passPlacement)
+	b.timed(b.passCacheBoundary)
 
 	p := &Plan{
 		Passes:    b.records,

@@ -83,6 +83,8 @@ func (n *PhysicalOp) CostString() string {
 type PassRecord struct {
 	Name   string
 	Detail string
+	// Dur is the pass's wall time, journaled for plan-time attribution.
+	Dur time.Duration
 }
 
 // Plan is the physical plan both backends execute.

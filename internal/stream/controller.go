@@ -23,35 +23,40 @@ import (
 // DefaultGeneration is the number of emitted shards between re-plans.
 const DefaultGeneration = 8
 
-// DecisionRecord is one applied controller decision.
+// DecisionRecord is one applied controller decision. The JSON form
+// appears in /progress snapshots.
 type DecisionRecord struct {
 	// AfterShards is how many shards had been emitted when the decision
 	// was taken.
-	AfterShards int
-	Workers     int
-	ShardSize   int
-	MaxInFlight int
+	AfterShards int `json:"after_shards"`
+	Workers     int `json:"workers"`
+	ShardSize   int `json:"shard_size"`
+	MaxInFlight int `json:"max_in_flight"`
 	// Why carries the cost-model inputs behind the verdict.
-	Why string
+	Why string `json:"why,omitempty"`
 }
 
 // Metrics is the controller's self-report, merged into stream.Report.
+// The JSON form is the adaptive section of /progress snapshots.
 type Metrics struct {
 	// Adaptive reports whether the controller was active.
-	Adaptive bool
+	Adaptive bool `json:"adaptive"`
 	// Workers / ShardSize / MaxInFlight are the final decision in force.
-	Workers, ShardSize, MaxInFlight int
+	Workers     int `json:"workers"`
+	ShardSize   int `json:"shard_size"`
+	MaxInFlight int `json:"max_in_flight"`
 	// Generations counts re-planning rounds; Resizes counts the rounds
 	// that changed at least one knob.
-	Generations, Resizes int
+	Generations int `json:"generations"`
+	Resizes     int `json:"resizes"`
 	// Decisions lists every applied change, in order.
-	Decisions []DecisionRecord
+	Decisions []DecisionRecord `json:"decisions,omitempty"`
 	// BackpressureWaits counts source reads that blocked on the in-flight
 	// gate; BackpressureWait is their summed wall time.
-	BackpressureWaits int
-	BackpressureWait  time.Duration
+	BackpressureWaits int           `json:"backpressure_waits,omitempty"`
+	BackpressureWait  time.Duration `json:"backpressure_wait_ns,omitempty"`
 	// Profiles is the final live cost profile, in plan order.
-	Profiles []dist.OpProfile
+	Profiles []dist.OpProfile `json:"profiles,omitempty"`
 }
 
 // Summary renders the metrics in the CLI report style.

@@ -44,6 +44,7 @@ import (
 	"repro/internal/ops"
 	"repro/internal/plan"
 	"repro/internal/sample"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -74,6 +75,10 @@ type Options struct {
 	// Generation is the number of emitted shards between controller
 	// re-plans (DefaultGeneration when zero). Ignored unless Adaptive.
 	Generation int
+	// Telemetry, when non-nil, connects the engine to a telemetry run:
+	// per-op metrics, journal events (phases, shard spans, op
+	// completions, cache hits, controller replans), and tracer lineage.
+	Telemetry *telemetry.Run
 }
 
 // Engine is the streaming execution backend for one recipe.
@@ -88,6 +93,7 @@ type Engine struct {
 	np          int
 	ctrl        *Controller
 	tuning      dist.Tuning
+	tele        *telemetry.Run
 }
 
 // stage kinds inside one phase.
@@ -216,7 +222,20 @@ func New(r *config.Recipe, opts Options) (*Engine, error) {
 			initial.MaxInFlight = initial.Workers
 		}
 		e.ctrl = newController(p, initial, e.tuning, opts.Generation)
-		e.runner = e.runner.WithObserver(e.ctrl)
+	}
+	var obs core.OpObserver
+	if e.ctrl != nil {
+		obs = e.ctrl
+	}
+	if opts.Telemetry != nil {
+		e.tele = opts.Telemetry
+		obs = core.CombineObservers(obs, core.AttachTelemetry(e.tele, p))
+		if tracer != nil {
+			tracer.SetSink(core.TraceJournalSink(e.tele))
+		}
+	}
+	if obs != nil {
+		e.runner = e.runner.WithObserver(obs)
 	}
 	if r.UseCache {
 		store, err := cache.NewStore(filepath.Join(r.WorkDir, "stream-cache"), r.CacheCompression)
@@ -232,8 +251,9 @@ func New(r *config.Recipe, opts Options) (*Engine, error) {
 func (e *Engine) Plan() *plan.Plan { return e.plan }
 
 // Tracer returns the lineage tracer (nil unless the recipe enables it).
-// In streaming mode mapper and filter events are recorded per shard, and
-// shared-index dedup events carry counts but no example pairs.
+// In streaming mode each shard's pass through an op folds into that op's
+// single merged event (examples capped at record time), and shared-index
+// dedup events carry counts but no example pairs.
 func (e *Engine) Tracer() *trace.Tracer { return e.runner.Tracer() }
 
 // DescribePlan renders the plan with each op's streaming capability.
@@ -249,10 +269,36 @@ func (e *Engine) Run(src Source, sink Sink) (*Report, error) {
 	agg := newAggregator(e.plan)
 	var totalIn, totalOut, sourceShards int
 
+	if e.tele != nil {
+		e.tele.Emit(core.PlanEvent(e.plan))
+		workers, shardSize, inflight := e.np, e.shardSize, e.maxInFlight
+		if e.ctrl != nil {
+			dec := e.ctrl.Decision()
+			workers, shardSize, inflight = dec.Workers, dec.ShardSize, dec.MaxInFlight
+			ctrl := e.ctrl
+			e.tele.SetProgressExtra(func() any { return ctrl.metrics() })
+		}
+		e.tele.SetControls(workers, shardSize, inflight, 0, e.tuning.TargetMemBytes)
+	}
+
 	cur := src
 	for pi := range e.phases {
 		ph := e.phases[pi]
 		last := pi == len(e.phases)-1
+		var phaseSpan int64
+		var phaseStart time.Time
+		if e.tele != nil {
+			phaseSpan = e.tele.NewSpan()
+			phaseStart = time.Now()
+			name := "final"
+			if ph.barrier != nil {
+				name = "to barrier " + ph.barrier.Name()
+			}
+			e.tele.Emit(telemetry.Event{
+				Type: telemetry.EvPhase, Span: phaseSpan, Parent: e.tele.RunSpan(),
+				Name: name, Phase: pi,
+			})
+		}
 		var collected []*dataset.Dataset
 		emit := func(d *dataset.Dataset) error {
 			if last {
@@ -264,12 +310,13 @@ func (e *Engine) Run(src Source, sink Sink) (*Report, error) {
 				if e.ctrl != nil {
 					e.ctrl.ObserveSink(d.Len(), time.Since(consumeStart))
 				}
+				e.tele.AddOutput(d.Len())
 				return nil
 			}
 			collected = append(collected, d)
 			return nil
 		}
-		in, shards, err := e.runPhase(pi, cur, ph.stages, agg, emit)
+		in, shards, err := e.runPhase(pi, phaseSpan, cur, ph.stages, agg, emit)
 		cur.Close()
 		if err != nil {
 			return nil, err
@@ -278,6 +325,12 @@ func (e *Engine) Run(src Source, sink Sink) (*Report, error) {
 			totalIn, sourceShards = in, shards
 		}
 		if last {
+			if e.tele != nil {
+				e.tele.Emit(telemetry.Event{
+					Type: telemetry.EvSpanEnd, Span: phaseSpan, Parent: e.tele.RunSpan(),
+					Kind: "phase", Phase: pi, DurNS: int64(time.Since(phaseStart)),
+				})
+			}
 			break
 		}
 		// Pipeline barrier: merge the drained shards in order, apply the
@@ -291,6 +344,18 @@ func (e *Engine) Run(src Source, sink Sink) (*Report, error) {
 		bDur := time.Since(bStart)
 		agg.addOp(ph.barrierIdx, merged.Len(), out.Len(), bDur, bDur, false,
 			dataset.Workers(e.recipe.NP))
+		if e.tele != nil {
+			e.tele.Emit(telemetry.Event{
+				Type: telemetry.EvOpComplete, Span: e.tele.NewSpan(), Parent: phaseSpan,
+				Name: ph.barrier.Name(), Kind: "barrier", PlanIdx: ph.barrierIdx,
+				Phase: pi, In: int64(merged.Len()), Out: int64(out.Len()),
+				DurNS: int64(bDur), Workers: dataset.Workers(e.recipe.NP),
+			})
+			e.tele.Emit(telemetry.Event{
+				Type: telemetry.EvSpanEnd, Span: phaseSpan, Parent: e.tele.RunSpan(),
+				Kind: "phase", Phase: pi, DurNS: int64(time.Since(phaseStart)),
+			})
+		}
 		reshardSize := e.shardSize
 		if e.ctrl != nil {
 			reshardSize = e.ctrl.ShardSize()
@@ -344,6 +409,7 @@ var errAborted = fmt.Errorf("stream: run aborted")
 type phaseRun struct {
 	eng    *Engine
 	phase  int
+	span   int64 // the phase's journal span (0 without telemetry)
 	stages []stage
 	turns  map[int]*turnstile
 	agg    *aggregator
@@ -384,7 +450,7 @@ func (p *phaseRun) aborted() bool {
 // runPhase pipelines every shard of src through the phase's stages and
 // hands the results to emit in shard order. It returns the total samples
 // and shards read from src.
-func (e *Engine) runPhase(phaseIdx int, src Source, stages []stage, agg *aggregator,
+func (e *Engine) runPhase(phaseIdx int, phaseSpan int64, src Source, stages []stage, agg *aggregator,
 	emit func(*dataset.Dataset) error) (inCount, shardCount int, err error) {
 
 	// Starting point: the fixed configuration, or the controller's
@@ -401,7 +467,7 @@ func (e *Engine) runPhase(phaseIdx int, src Source, stages []stage, agg *aggrega
 	}
 
 	p := &phaseRun{
-		eng: e, phase: phaseIdx, stages: stages, agg: agg,
+		eng: e, phase: phaseIdx, span: phaseSpan, stages: stages, agg: agg,
 		turns: map[int]*turnstile{},
 		abort: make(chan struct{}),
 		gate:  newGate(limit),
@@ -438,6 +504,15 @@ func (e *Engine) runPhase(phaseIdx int, src Source, stages []stage, agg *aggrega
 		if e.ctrl != nil {
 			onBlocked = e.ctrl.observeBackpressure
 		}
+		if e.tele != nil {
+			inner := onBlocked
+			onBlocked = func(d time.Duration) {
+				if inner != nil {
+					inner(d)
+				}
+				e.tele.ObserveBackpressure(d)
+			}
+		}
 		sizer, resizable := src.(ShardSizer)
 		for {
 			if !p.gate.acquire(onBlocked) {
@@ -458,6 +533,9 @@ func (e *Engine) runPhase(phaseIdx int, src Source, stages []stage, agg *aggrega
 			}
 			if e.ctrl != nil {
 				e.ctrl.ObserveSource(sh.Data.Len(), sh.Data.TotalBytes(), time.Since(readStart))
+			}
+			if e.tele != nil && phaseIdx == 0 {
+				e.tele.AddInput(sh.Data.Len())
 			}
 			sh.Index = n // dense per-phase indexes, whatever the source says
 			n++
@@ -514,6 +592,16 @@ func (e *Engine) runPhase(phaseIdx int, src Source, stages []stage, agg *aggrega
 				if dec, changed := e.ctrl.shardEmitted(); changed {
 					p.gate.setLimit(dec.MaxInFlight)
 					wp.resize(dec.Workers)
+					if e.tele != nil {
+						est := int64(float64(dec.MaxInFlight) * float64(dec.ShardSize) * dec.PeakBytesPerSample)
+						e.tele.SetControls(dec.Workers, dec.ShardSize, dec.MaxInFlight,
+							est, e.tuning.TargetMemBytes)
+						e.tele.Emit(telemetry.Event{
+							Type: telemetry.EvControllerReplan, Parent: phaseSpan, Phase: phaseIdx,
+							Workers: dec.Workers, ShardSize: dec.ShardSize,
+							MaxInFlight: dec.MaxInFlight, Why: dec.Why, Shard: next,
+						})
+					}
 				}
 			}
 		}
@@ -534,6 +622,10 @@ func (p *phaseRun) processShard(sh *Shard) error {
 	in := sh.Data.Len()
 	d := sh.Data
 	resumed := false
+	var shardSpan int64
+	if e.tele != nil {
+		shardSpan = e.tele.NewSpan()
+	}
 	for si, st := range p.stages {
 		var err error
 		switch st.kind {
@@ -543,10 +635,10 @@ func (p *phaseRun) processShard(sh *Shard) error {
 			// runs behind a shared-index stage depend on other shards'
 			// signatures (see the plan's cache-boundary pass).
 			var hit bool
-			d, hit, err = p.runLocal(st, d, st.cacheable && e.store != nil)
+			d, hit, err = p.runLocal(st, d, st.cacheable && e.store != nil, sh.Index, shardSpan)
 			resumed = resumed || hit
 		case stageIndex:
-			d, err = p.runIndex(si, st, sh.Index, d)
+			d, err = p.runIndex(si, st, sh.Index, d, shardSpan)
 		}
 		if err != nil {
 			return err
@@ -557,12 +649,21 @@ func (p *phaseRun) processShard(sh *Shard) error {
 		Phase: p.phase, Index: sh.Index, In: in, Out: d.Len(),
 		Duration: time.Since(start), CacheHit: resumed,
 	})
+	if e.tele != nil {
+		e.tele.ObserveShard(in)
+		e.tele.Emit(telemetry.Event{
+			Type: telemetry.EvSpanEnd, Span: shardSpan, Parent: p.span,
+			Kind: "shard", Phase: p.phase, Shard: sh.Index,
+			In: int64(in), Out: int64(d.Len()),
+			DurNS: int64(time.Since(start)), CacheHit: resumed,
+		})
+	}
 	return nil
 }
 
 // runLocal applies one run of shard-local ops, mirroring the batch
 // executor's chain-cache discipline per shard when useCache is set.
-func (p *phaseRun) runLocal(st stage, d *dataset.Dataset, useCache bool) (*dataset.Dataset, bool, error) {
+func (p *phaseRun) runLocal(st stage, d *dataset.Dataset, useCache bool, shardIdx int, shardSpan int64) (*dataset.Dataset, bool, error) {
 	e := p.eng
 	chainKey := ""
 	if useCache {
@@ -586,6 +687,16 @@ func (p *phaseRun) runLocal(st stage, d *dataset.Dataset, useCache bool) (*datas
 				hits++
 				p.agg.addOp(st.planIdx[i], inCount, d.Len(), time.Since(opStart), 0, true, 1)
 				e.runner.TraceCacheHit(op, inCount, d.Len(), time.Since(opStart))
+				if e.tele != nil {
+					e.tele.Op(st.planIdx[i]).CacheHit(inCount, d.Len())
+					e.tele.Emit(telemetry.Event{
+						Type: telemetry.EvCacheHit, Parent: shardSpan,
+						Name: op.Name(), Kind: core.OpKind(op), PlanIdx: st.planIdx[i],
+						Phase: p.phase, Shard: shardIdx,
+						In: int64(inCount), Out: int64(d.Len()),
+						DurNS: int64(time.Since(opStart)),
+					})
+				}
 				continue
 			}
 		}
@@ -602,15 +713,24 @@ func (p *phaseRun) runLocal(st stage, d *dataset.Dataset, useCache bool) (*datas
 		}
 		opDur := time.Since(opStart)
 		p.agg.addOp(st.planIdx[i], inCount, d.Len(), opDur, opDur, false, 1)
+		if e.tele != nil {
+			e.tele.Emit(telemetry.Event{
+				Type: telemetry.EvOpComplete, Span: e.tele.NewSpan(), Parent: shardSpan,
+				Name: op.Name(), Kind: core.OpKind(op), PlanIdx: st.planIdx[i],
+				Phase: p.phase, Shard: shardIdx,
+				In: int64(inCount), Out: int64(d.Len()),
+				DurNS: int64(opDur), Workers: 1,
+			})
+		}
 	}
 	return d, hits == len(st.ops) && hits > 0, nil
 }
 
 // runIndex passes one shard through a shared-signature dedup stage.
-func (p *phaseRun) runIndex(si int, st stage, shardIdx int, d *dataset.Dataset) (*dataset.Dataset, error) {
+func (p *phaseRun) runIndex(si int, st stage, shardIdx int, d *dataset.Dataset, shardSpan int64) (*dataset.Dataset, error) {
 	opStart := time.Now()
 	var inBytes int64
-	if p.eng.ctrl != nil {
+	if p.eng.ctrl != nil || p.eng.tele != nil {
 		inBytes = d.TotalBytes()
 	}
 	// Signatures are pure per-sample work: compute them before taking a
@@ -652,6 +772,19 @@ func (p *phaseRun) runIndex(si int, st stage, shardIdx int, d *dataset.Dataset) 
 		// Queueing at the turnstile is backpressure, not work: exclude it
 		// from the cost signal.
 		p.eng.ctrl.observeIndexOp(st.dedup, d.Len(), out.Len(), inBytes, time.Since(opStart)-turnWait)
+	}
+	if t := p.eng.tele; t != nil {
+		// The shared-index path bypasses the runner observer: feed the
+		// instruments explicitly, with the turnstile wait excluded from
+		// the cost signal just like the controller sees it.
+		t.Op(st.planIdx[0]).Observe(d.Len(), out.Len(), inBytes, time.Since(opStart)-turnWait)
+		t.Emit(telemetry.Event{
+			Type: telemetry.EvOpComplete, Span: t.NewSpan(), Parent: shardSpan,
+			Name: st.dedup.Name(), Kind: "deduplicator", PlanIdx: st.planIdx[0],
+			Phase: p.phase, Shard: shardIdx,
+			In: int64(d.Len()), Out: int64(out.Len()),
+			DurNS: int64(time.Since(opStart)), Workers: 1,
+		})
 	}
 	if tr := p.eng.runner.Tracer(); tr != nil {
 		tr.Record(trace.Event{

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/plan"
+	"repro/internal/telemetry"
 )
 
 // ShardStat records one shard's trip through one phase of the plan.
@@ -50,7 +51,9 @@ type Report struct {
 	Metrics *Metrics
 }
 
-// Summary renders the report in the style of the batch CLI output.
+// Summary renders the report in the style of the batch CLI output. The
+// per-op table comes from the shared telemetry renderer, so both
+// backends print the identical format from one piece of code.
 func (r *Report) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "streamed: %d -> %d samples in %s (%d planned ops, %d shards",
@@ -59,25 +62,7 @@ func (r *Report) Summary() string {
 		fmt.Fprintf(&b, ", %d resumed from cache", r.ResumedShards)
 	}
 	b.WriteString(")\n")
-	for _, st := range r.OpStats {
-		marker := ""
-		if st.CacheHit {
-			marker = " [cache]"
-		}
-		fmt.Fprintf(&b, "  %-44s %7d -> %-7d %10s%s\n", st.Name, st.InCount, st.OutCount,
-			st.Duration.Round(100*time.Microsecond), marker)
-		// Member counters only tick on executed shards; on a partially
-		// cache-resumed run they sum to less than the op row, so say so
-		// instead of looking silently inconsistent.
-		if len(st.Members) > 0 && st.Members[0].In != st.InCount {
-			fmt.Fprintf(&b, "    · members below cover the %d executed (non-cached) samples\n",
-				st.Members[0].In)
-		}
-		for _, m := range st.Members {
-			fmt.Fprintf(&b, "    · %-42s %7d -> %-7d %10s\n", m.Name, m.In, m.Out,
-				m.Duration.Round(100*time.Microsecond))
-		}
-	}
+	b.WriteString(telemetry.FormatOpTable(core.TelemetryRows(r.OpStats)))
 	b.WriteString(r.Metrics.Summary())
 	return b.String()
 }

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 4 {
+		t.Errorf("counter = %d, want 4", c.Value())
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Errorf("gauge = %d, want 5", g.Value())
+	}
+	// Same name+labels returns the same handle; different labels a new one.
+	if r.Counter("c_total", "a counter") != c {
+		t.Error("re-registration did not return the interned handle")
+	}
+	if r.Counter("c_total", "a counter", Label{"op", "x"}) == c {
+		t.Error("labeled series aliased the unlabeled one")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var m *OpMetrics
+	c.Add(1)
+	g.Set(1)
+	h.Observe(1)
+	m.Observe(1, 1, 1, 1)
+	m.CacheHit(1, 1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || m.In() != 0 {
+		t.Error("nil handles are not inert")
+	}
+	var r *Run
+	r.Emit(Event{})
+	r.Begin("b", "", "", 0)
+	r.End("ok", 0, 0, nil, nil)
+	r.AddInput(1)
+	r.ObserveShard(1)
+	if r.Op(0) != nil || r.Snapshot() != nil {
+		t.Error("nil Run is not inert")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "hist", []float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 3, 7, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 111.5 {
+		t.Errorf("sum = %v, want 111.5", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Cumulative buckets: ≤1 holds 0.5 and 1, ≤5 adds 3, ≤10 adds 7,
+	// +Inf adds 100.
+	for _, want := range []string{
+		`h_bucket{le="1"} 2`, `h_bucket{le="5"} 3`, `h_bucket{le="10"} 4`,
+		`h_bucket{le="+Inf"} 5`, `h_sum 111.5`, `h_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteProm missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dj_x_total", "help text", Label{"op", "b_filter"}).Add(2)
+	r.Counter("dj_x_total", "help text", Label{"op", "a_mapper"}).Add(1)
+	r.ScaledCounter("dj_wall_seconds_total", "wall", 1e-9).Add(1_500_000_000)
+	r.Gauge("dj_g", "").Set(9)
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP dj_x_total help text",
+		"# TYPE dj_x_total counter",
+		`dj_x_total{op="b_filter"} 2`,
+		`dj_x_total{op="a_mapper"} 1`,
+		"# TYPE dj_wall_seconds_total counter",
+		"dj_wall_seconds_total 1.5",
+		"# TYPE dj_g gauge",
+		"dj_g 9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteProm missing %q:\n%s", want, out)
+		}
+	}
+	// Series render in registration order within a family.
+	if strings.Index(out, `op="b_filter"`) > strings.Index(out, `op="a_mapper"`) {
+		t.Error("series not in registration order")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	got := renderLabels([]Label{{"op", `we"ird\na` + "\n" + `me`}, {"aa", "x"}})
+	want := `{aa="x",op="we\"ird\\na\nme"}`
+	if got != want {
+		t.Errorf("renderLabels = %s, want %s", got, want)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("dup", "")
+}
+
+// TestConcurrentInstruments exercises registration and updates from many
+// goroutines; run with -race this is the registry's race test.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared_total", "")
+			h := r.Histogram("shared_hist", "", SizeBuckets)
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 300))
+			}
+		}(w)
+	}
+	var scrape sync.WaitGroup
+	scrape.Add(1)
+	go func() {
+		defer scrape.Done()
+		for i := 0; i < 50; i++ {
+			_ = r.WriteProm(&strings.Builder{})
+		}
+	}()
+	wg.Wait()
+	scrape.Wait()
+	if got := r.Counter("shared_total", "").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("shared_hist", "", SizeBuckets).Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Server is the live ops endpoint: /metrics (Prometheus text format),
+// /progress (JSON snapshot), /debug/pprof/*.
+type Server struct {
+	ln   net.Listener
+	http *http.Server
+}
+
+// Serve starts the ops endpoint on addr (e.g. ":9090", "127.0.0.1:0").
+// It returns once the listener is bound; requests are handled in the
+// background until Close.
+func (r *Run) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		r.refreshRuntimeGauges()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.Reg.WriteProm(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, http: srv}, nil
+}
+
+// refreshRuntimeGauges updates the Go runtime gauges at scrape time so
+// the hot path never touches runtime.ReadMemStats.
+func (r *Run) refreshRuntimeGauges() {
+	r.goroutines.Set(int64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.heapBytes.Set(int64(ms.HeapAlloc))
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error {
+	if s == nil || s.http == nil {
+		return nil
+	}
+	return s.http.Close()
+}

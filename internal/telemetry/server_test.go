@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLiveOpsEndpoint(t *testing.T) {
+	r, err := NewRun(RunOptions{RunID: "srv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RegisterOp(0, "m", 0, 1).Observe(5, 4, 100, time.Millisecond)
+	r.Begin("batch", "rec", "in", 5)
+	srv, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("/metrics content type %q lacks exposition version", ctype)
+	}
+	for _, want := range []string{
+		`dj_op_samples_in_total{op="m"} 5`,
+		"# TYPE dj_op_duration_seconds histogram",
+		"dj_goroutines", // runtime gauges refresh at scrape time
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	progress, ctype := get("/progress")
+	if !strings.Contains(ctype, "application/json") {
+		t.Errorf("/progress content type = %q", ctype)
+	}
+	var p Progress
+	if err := json.Unmarshal([]byte(progress), &p); err != nil {
+		t.Fatalf("progress is not valid JSON: %v", err)
+	}
+	if p.RunID != "srv" || len(p.Ops) != 1 || p.Ops[0].In != 5 {
+		t.Errorf("progress snapshot wrong: %+v", p)
+	}
+
+	if body, _ := get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	r, err := NewRun(RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Serve("256.0.0.1:bogus"); err == nil {
+		t.Error("bad address accepted")
+	}
+}
+
+// TestScrapeDuringUpdates races /metrics rendering against hot-path
+// updates (run with -race).
+func TestScrapeDuringUpdates(t *testing.T) {
+	r, err := NewRun(RunOptions{RunID: "race"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.RegisterOp(0, "op", 0, 1)
+	srv, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			m.Observe(10, 9, 512, 10*time.Microsecond)
+			r.AddInput(10)
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		resp, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	<-done
+}

@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// MemberRow is one fused-op constituent's attribution line.
+type MemberRow struct {
+	Name string
+	In   int
+	Out  int
+	Dur  time.Duration
+}
+
+// OpRow is one operator's line in the end-of-run table.
+type OpRow struct {
+	Name     string
+	In       int
+	Out      int
+	Dur      time.Duration
+	CacheHit bool
+	Members  []MemberRow
+}
+
+// FormatOpTable renders the per-op summary table shared by the batch
+// CLI and the streaming report — one source of truth for the format.
+func FormatOpTable(rows []OpRow) string {
+	var b strings.Builder
+	for _, st := range rows {
+		marker := ""
+		if st.CacheHit {
+			marker = " [cache]"
+		}
+		fmt.Fprintf(&b, "  %-44s %7d -> %-7d %10s%s\n", st.Name, st.In, st.Out,
+			st.Dur.Round(100*time.Microsecond), marker)
+		// Member counters only tick on executed shards; on a partially
+		// cache-resumed run they sum to less than the op row, so say so
+		// instead of looking silently inconsistent.
+		if len(st.Members) > 0 && st.Members[0].In != st.In {
+			fmt.Fprintf(&b, "    · members below cover the %d executed (non-cached) samples\n",
+				st.Members[0].In)
+		}
+		for _, m := range st.Members {
+			fmt.Fprintf(&b, "    · %-42s %7d -> %-7d %10s\n", m.Name, m.In, m.Out,
+				m.Dur.Round(100*time.Microsecond))
+		}
+	}
+	return b.String()
+}

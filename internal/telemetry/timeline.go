@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// OpTimeline aggregates one operator's wall-time attribution across the
+// whole run (all shards / batches).
+type OpTimeline struct {
+	Name         string
+	PlanIdx      int
+	In, Out      int64
+	Wall         time.Duration
+	Applications int
+	CacheHits    int
+}
+
+// PhaseTimeline aggregates one pipeline phase: its own span duration
+// plus shard statistics observed inside it.
+type PhaseTimeline struct {
+	Phase        int
+	Name         string
+	Dur          time.Duration
+	Shards       int
+	ShardWall    time.Duration
+	MaxShardWall time.Duration
+	SlowestShard int
+}
+
+// Timeline is the reconstruction of one run from its journal.
+type Timeline struct {
+	RunID     string
+	Backend   string
+	Recipe    string
+	Input     string
+	Status    string
+	Error     string
+	In, Out   int64
+	Dur       time.Duration
+	Shards    int
+	Resumed   int
+	Replans   int
+	Truncated bool // journal had no run_end (crash or live tail)
+
+	Ops    []OpTimeline
+	Phases []PhaseTimeline
+	Passes []PlanPass
+}
+
+// BuildTimeline folds a validated event stream into per-op and
+// per-shard wall-time attribution. Journals without a run_end (crashed
+// or still-running jobs) produce a Timeline with Truncated set.
+func BuildTimeline(events []Event) (*Timeline, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("empty journal")
+	}
+	tl := &Timeline{Truncated: true}
+	ops := map[string]*OpTimeline{}
+	phases := map[int]*PhaseTimeline{}
+	phaseOf := map[int64]int{} // phase span ID -> phase number
+	var opOrder []string
+
+	for _, e := range events {
+		switch e.Type {
+		case EvRunStart:
+			tl.RunID, tl.Backend, tl.Recipe, tl.Input = e.RunID, e.Backend, e.Recipe, e.Input
+		case EvPlan:
+			tl.Passes = e.Passes
+		case EvPhase:
+			ph, ok := phases[e.Phase]
+			if !ok {
+				ph = &PhaseTimeline{Phase: e.Phase, Name: e.Name}
+				phases[e.Phase] = ph
+			}
+			phaseOf[e.Span] = e.Phase
+		case EvSpanEnd:
+			switch e.Kind {
+			case "shard":
+				ph, ok := phases[e.Phase]
+				if !ok {
+					ph = &PhaseTimeline{Phase: e.Phase}
+					phases[e.Phase] = ph
+				}
+				ph.Shards++
+				d := time.Duration(e.DurNS)
+				ph.ShardWall += d
+				if d > ph.MaxShardWall {
+					ph.MaxShardWall = d
+					ph.SlowestShard = e.Shard
+				}
+			case "phase":
+				if n, ok := phaseOf[e.Span]; ok {
+					phases[n].Dur = time.Duration(e.DurNS)
+				}
+			}
+		case EvOpComplete:
+			o, ok := ops[e.Name]
+			if !ok {
+				o = &OpTimeline{Name: e.Name, PlanIdx: e.PlanIdx}
+				ops[e.Name] = o
+				opOrder = append(opOrder, e.Name)
+			}
+			o.In += e.In
+			o.Out += e.Out
+			o.Wall += time.Duration(e.DurNS)
+			o.Applications++
+			if e.CacheHit {
+				o.CacheHits++
+			}
+		case EvControllerReplan:
+			tl.Replans++
+		case EvRunEnd:
+			tl.Truncated = false
+			tl.Status, tl.Error = e.Status, e.Error
+			tl.In, tl.Out = e.In, e.Out
+			tl.Dur = time.Duration(e.DurNS)
+			tl.Shards, tl.Resumed = e.Shards, e.Resumed
+		}
+	}
+
+	for _, name := range opOrder {
+		tl.Ops = append(tl.Ops, *ops[name])
+	}
+	sort.SliceStable(tl.Ops, func(i, j int) bool { return tl.Ops[i].PlanIdx < tl.Ops[j].PlanIdx })
+	for _, ph := range phases {
+		tl.Phases = append(tl.Phases, *ph)
+	}
+	sort.Slice(tl.Phases, func(i, j int) bool { return tl.Phases[i].Phase < tl.Phases[j].Phase })
+	if tl.Truncated && len(events) > 0 {
+		last := events[len(events)-1]
+		first := events[0]
+		tl.Dur = time.Duration(last.TS - first.TS)
+	}
+	return tl, nil
+}
+
+// Render formats the timeline for the terminal: headline, per-op wall
+// share bars, phase/shard attribution, and plan pass durations.
+func (tl *Timeline) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run %s [%s] %s <- %s\n", tl.RunID, tl.Backend, tl.Recipe, tl.Input)
+	switch {
+	case tl.Truncated:
+		fmt.Fprintf(&b, "  status: incomplete journal (no run_end); ~%s of events\n",
+			tl.Dur.Round(time.Millisecond))
+	case tl.Status == "ok":
+		fmt.Fprintf(&b, "  status: ok, %d -> %d samples in %s", tl.In, tl.Out,
+			tl.Dur.Round(time.Millisecond))
+		if tl.Shards > 0 {
+			fmt.Fprintf(&b, ", %d shards", tl.Shards)
+		}
+		if tl.Resumed > 0 {
+			fmt.Fprintf(&b, ", %d resumed", tl.Resumed)
+		}
+		b.WriteByte('\n')
+	default:
+		fmt.Fprintf(&b, "  status: %s after %s: %s\n", tl.Status,
+			tl.Dur.Round(time.Millisecond), tl.Error)
+	}
+	if tl.Replans > 0 {
+		fmt.Fprintf(&b, "  controller replans: %d\n", tl.Replans)
+	}
+
+	if len(tl.Passes) > 0 {
+		b.WriteString("\nplan passes:\n")
+		for _, p := range tl.Passes {
+			fmt.Fprintf(&b, "  %-28s %10s  %s\n", p.Name,
+				time.Duration(p.DurNS).Round(time.Microsecond), p.Detail)
+		}
+	}
+
+	if len(tl.Ops) > 0 {
+		var total time.Duration
+		for _, o := range tl.Ops {
+			total += o.Wall
+		}
+		b.WriteString("\nper-op wall time:\n")
+		for _, o := range tl.Ops {
+			share := 0.0
+			if total > 0 {
+				share = float64(o.Wall) / float64(total)
+			}
+			bar := strings.Repeat("#", int(share*30+0.5))
+			cache := ""
+			if o.CacheHits > 0 {
+				cache = fmt.Sprintf(" [%d cached]", o.CacheHits)
+			}
+			fmt.Fprintf(&b, "  %-44s %10s %5.1f%% |%-30s| %d -> %d (%d apps)%s\n",
+				o.Name, o.Wall.Round(time.Microsecond), share*100, bar,
+				o.In, o.Out, o.Applications, cache)
+		}
+	}
+
+	if len(tl.Phases) > 0 {
+		b.WriteString("\nphases:\n")
+		for _, ph := range tl.Phases {
+			fmt.Fprintf(&b, "  phase %d %-24s %10s", ph.Phase, ph.Name,
+				ph.Dur.Round(time.Millisecond))
+			if ph.Shards > 0 {
+				mean := ph.ShardWall / time.Duration(ph.Shards)
+				fmt.Fprintf(&b, "  shards=%d mean=%s max=%s (shard %d)",
+					ph.Shards, mean.Round(time.Microsecond),
+					ph.MaxShardWall.Round(time.Microsecond), ph.SlowestShard)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

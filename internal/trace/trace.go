@@ -32,14 +32,22 @@ type DupPair struct {
 	Dropped string `json:"dropped"`
 }
 
-// Event is the lineage record of one executed operator.
+// Event is the lineage record of one operator. Records for the same
+// (kind, op) merge at record time — counts and durations sum, example
+// payloads accumulate only up to the per-op cap — so memory stays
+// bounded no matter how many shards flow through the op.
 type Event struct {
 	OpName   string        `json:"op_name"`
 	Kind     string        `json:"kind"` // mapper | filter | deduplicator
 	InCount  int           `json:"in_count"`
 	OutCount int           `json:"out_count"`
 	Duration time.Duration `json:"duration_ns"`
-	CacheHit bool          `json:"cache_hit,omitempty"`
+	// CacheHit reports that every merged record came from cache;
+	// CacheHits counts how many did.
+	CacheHit  bool `json:"cache_hit,omitempty"`
+	CacheHits int  `json:"cache_hits,omitempty"`
+	// Records counts how many raw records merged into this event.
+	Records int `json:"records,omitempty"`
 
 	// Capped example payloads for interactive inspection.
 	Edits    []Edit    `json:"edits,omitempty"`
@@ -47,13 +55,15 @@ type Event struct {
 	DupPairs []DupPair `json:"dup_pairs,omitempty"`
 }
 
-// Tracer accumulates events. The zero value is unusable; construct with
-// New. All methods are safe for concurrent use.
+// Tracer accumulates per-op lineage. The zero value is unusable;
+// construct with New. All methods are safe for concurrent use.
 type Tracer struct {
 	mu         sync.Mutex
 	events     []Event
+	slot       map[string]int // kind\x00op -> index into events
 	maxPerOp   int
 	maxTextLen int
+	sink       func(Event)
 }
 
 // New returns a tracer keeping at most maxPerOp example records per
@@ -62,11 +72,23 @@ func New(maxPerOp int) *Tracer {
 	if maxPerOp <= 0 {
 		maxPerOp = 25
 	}
-	return &Tracer{maxPerOp: maxPerOp, maxTextLen: 200}
+	return &Tracer{maxPerOp: maxPerOp, maxTextLen: 200, slot: map[string]int{}}
 }
 
 // MaxPerOp reports the per-operator example cap.
 func (t *Tracer) MaxPerOp() int { return t.maxPerOp }
+
+// SetSink installs a callback invoked (outside the tracer lock) with
+// every incoming record after payload clipping — the hook that feeds
+// lineage into the run journal instead of a parallel file.
+func (t *Tracer) SetSink(fn func(Event)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = fn
+	t.mu.Unlock()
+}
 
 func (t *Tracer) clip(s string) string {
 	if len(s) <= t.maxTextLen {
@@ -75,13 +97,14 @@ func (t *Tracer) clip(s string) string {
 	return s[:t.maxTextLen] + "…"
 }
 
-// Record appends a completed event, clipping example payloads.
+// Record folds a completed record into the per-op aggregate, clipping
+// and capping example payloads at record time so retained memory is
+// O(ops × maxPerOp) regardless of shard count.
 func (t *Tracer) Record(e Event) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if len(e.Edits) > t.maxPerOp {
 		e.Edits = e.Edits[:t.maxPerOp]
 	}
@@ -102,10 +125,45 @@ func (t *Tracer) Record(e Event) {
 		e.DupPairs[i].Kept = t.clip(e.DupPairs[i].Kept)
 		e.DupPairs[i].Dropped = t.clip(e.DupPairs[i].Dropped)
 	}
-	t.events = append(t.events, e)
+
+	key := e.Kind + "\x00" + e.OpName
+	idx, ok := t.slot[key]
+	if !ok {
+		agg := e
+		agg.Records = 1
+		if e.CacheHit {
+			agg.CacheHits = 1
+		}
+		t.slot[key] = len(t.events)
+		t.events = append(t.events, agg)
+	} else {
+		agg := &t.events[idx]
+		agg.InCount += e.InCount
+		agg.OutCount += e.OutCount
+		agg.Duration += e.Duration
+		agg.Records++
+		if e.CacheHit {
+			agg.CacheHits++
+		}
+		agg.CacheHit = agg.CacheHit && e.CacheHit
+		if room := t.maxPerOp - len(agg.Edits); room > 0 && len(e.Edits) > 0 {
+			agg.Edits = append(agg.Edits, e.Edits[:min(room, len(e.Edits))]...)
+		}
+		if room := t.maxPerOp - len(agg.Discards); room > 0 && len(e.Discards) > 0 {
+			agg.Discards = append(agg.Discards, e.Discards[:min(room, len(e.Discards))]...)
+		}
+		if room := t.maxPerOp - len(agg.DupPairs); room > 0 && len(e.DupPairs) > 0 {
+			agg.DupPairs = append(agg.DupPairs, e.DupPairs[:min(room, len(e.DupPairs))]...)
+		}
+	}
+	sink := t.sink
+	t.mu.Unlock()
+	if sink != nil {
+		sink(e)
+	}
 }
 
-// Events returns a copy of the recorded events in execution order.
+// Events returns a copy of the per-op aggregates in first-seen order.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
@@ -129,8 +187,11 @@ func (t *Tracer) Summary() string {
 			pct = 100 * float64(removed) / float64(e.InCount)
 		}
 		cached := ""
-		if e.CacheHit {
+		switch {
+		case e.CacheHit:
 			cached = " [cache]"
+		case e.CacheHits > 0:
+			cached = " [cache partial]"
 		}
 		fmt.Fprintf(&b, "  %-44s %8d -> %-8d (-%5.1f%%) %8s%s\n",
 			e.OpName, e.InCount, e.OutCount, pct, e.Duration.Round(time.Microsecond), cached)

@@ -95,11 +95,68 @@ func TestConcurrentRecord(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			tr.Record(Event{OpName: "op", Kind: "mapper"})
+			tr.Record(Event{OpName: "op", Kind: "mapper", InCount: 2, OutCount: 1})
 		}()
 	}
 	wg.Wait()
-	if len(tr.Events()) != 50 {
-		t.Fatalf("events = %d", len(tr.Events()))
+	events := tr.Events()
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1 merged aggregate", len(events))
+	}
+	e := events[0]
+	if e.Records != 50 || e.InCount != 100 || e.OutCount != 50 {
+		t.Fatalf("aggregate = %+v", e)
+	}
+}
+
+func TestBoundedGrowth(t *testing.T) {
+	// One event per shard per op used to accumulate without bound; the
+	// merge-at-record-time fix caps retained state at maxPerOp examples
+	// per op no matter how many records flow in.
+	tr := New(3)
+	for i := 0; i < 1000; i++ {
+		tr.Record(Event{
+			OpName: "f", Kind: "filter", InCount: 10, OutCount: 9,
+			Discards: []Discard{{Text: "x"}},
+		})
+	}
+	events := tr.Events()
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	e := events[0]
+	if len(e.Discards) != 3 {
+		t.Fatalf("retained discards = %d, want cap 3", len(e.Discards))
+	}
+	if e.Records != 1000 || e.InCount != 10000 {
+		t.Fatalf("aggregate = %+v", e)
+	}
+}
+
+func TestPartialCacheMarker(t *testing.T) {
+	tr := New(5)
+	tr.Record(Event{OpName: "op", Kind: "filter", InCount: 10, OutCount: 8, CacheHit: true})
+	tr.Record(Event{OpName: "op", Kind: "filter", InCount: 10, OutCount: 8})
+	e := tr.Events()[0]
+	if e.CacheHit || e.CacheHits != 1 {
+		t.Fatalf("cache state = %+v", e)
+	}
+	if !strings.Contains(tr.Summary(), "[cache partial]") {
+		t.Fatalf("summary = %q", tr.Summary())
+	}
+}
+
+func TestSink(t *testing.T) {
+	tr := New(2)
+	var got []Event
+	tr.SetSink(func(e Event) { got = append(got, e) })
+	long := strings.Repeat("y", 500)
+	tr.Record(Event{OpName: "m", Kind: "mapper", Edits: []Edit{{Before: long, After: "z"}}})
+	tr.Record(Event{OpName: "m", Kind: "mapper"})
+	if len(got) != 2 {
+		t.Fatalf("sink calls = %d", len(got))
+	}
+	if len(got[0].Edits) != 1 || len(got[0].Edits[0].Before) > 220 {
+		t.Fatalf("sink payload not clipped: %+v", got[0])
 	}
 }
