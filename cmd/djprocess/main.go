@@ -63,7 +63,8 @@ func main() {
 		shardSize   = flag.Int("shard-size", stream.DefaultShardSize, "samples per shard in -stream mode (starting point with -adaptive)")
 		adaptive    = flag.Bool("adaptive", false, "let the runtime controller retune shard size, workers and backpressure from live measurements (implies -stream)")
 		maxWorkers  = flag.Int("max-workers", 0, "cap on the adaptive worker pool (0 = max of -np and all cores)")
-		targetMemMB = flag.Int("target-mem-mb", 0, "adaptive mode: bound the text MB resident across in-flight shards (0 = unbounded)")
+		targetMemMB = flag.Int("target-mem-mb", 0, "memory target in MB: bounds dedup index memory via disk spilling (both backends), and with -adaptive also the text bytes resident across in-flight shards (0 = unbounded)")
+		noSpill     = flag.Bool("no-dedup-spill", false, "keep dedup indexes fully in memory even when -target-mem-mb is set")
 		showPlan    = flag.Bool("plan", false, "print the fused execution plan before running")
 		explain     = flag.Bool("explain", false, "print the optimized plan — per-op predicted cost, selectivity, capability class, and per-pass provenance — and exit without running")
 		probe       = flag.Bool("probe", false, "print before/after data probes (analyzer; batch mode only)")
@@ -121,14 +122,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *explain {
-		p, err := plan.Build(recipe)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(p.Explain())
-		return
-	}
 	if *input != "" {
 		recipe.DatasetPath = *input
 		recipe.Sources = nil
@@ -139,11 +132,6 @@ func main() {
 	if *np != 0 {
 		recipe.NP = *np
 	}
-	inputSpec := recipe.DatasetSpec()
-	if inputSpec == "" {
-		fatal(fmt.Errorf("no dataset: set dataset_path or sources in the recipe, or pass -input"))
-	}
-
 	if *adaptive {
 		recipe.Adaptive = true
 	}
@@ -153,8 +141,25 @@ func main() {
 	if *targetMemMB != 0 {
 		recipe.TargetMemMB = *targetMemMB
 	}
-	if !recipe.Adaptive && (recipe.MaxWorkers != 0 || recipe.TargetMemMB != 0) {
-		fmt.Fprintln(os.Stderr, "djprocess: -max-workers/-target-mem-mb only take effect with -adaptive; ignored")
+	if *noSpill {
+		recipe.DedupSpill = false
+	}
+	if !recipe.Adaptive && recipe.MaxWorkers != 0 {
+		fmt.Fprintln(os.Stderr, "djprocess: -max-workers only takes effect with -adaptive; ignored")
+	}
+	// -explain plans the recipe exactly as a run would see it, so it
+	// must come after every recipe-overriding flag above.
+	if *explain {
+		p, err := plan.Build(recipe)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(p.Explain())
+		return
+	}
+	inputSpec := recipe.DatasetSpec()
+	if inputSpec == "" {
+		fatal(fmt.Errorf("no dataset: set dataset_path or sources in the recipe, or pass -input"))
 	}
 	if *listen != "" {
 		recipe.Listen = *listen

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -126,21 +127,32 @@ func (s *Store) Keys() ([]string, error) {
 	return keys, nil
 }
 
-// SizeOnDisk returns the total bytes used by cache entries.
+// SizeOnDisk returns the total bytes used by cache entries, walking
+// subdirectories too so intermediate spill runs living under the cache
+// directory (see SpillDir) count against cache disk usage.
 func (s *Store) SizeOnDisk() (int64, error) {
-	entries, err := os.ReadDir(s.dir)
-	if err != nil {
-		return 0, err
-	}
 	var total int64
-	for _, e := range entries {
-		info, err := e.Info()
-		if err != nil {
-			continue
+	err := filepath.WalkDir(s.dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil // spill files vanish concurrently; skip, don't fail
 		}
-		total += info.Size()
+		if info, err := d.Info(); err == nil {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total, err
+}
+
+// SpillDir returns where dedup ops write intermediate spill runs: under
+// the cache directory when the cache is enabled (so SizeOnDisk accounts
+// them), else a sibling spill directory under the work dir. Nothing is
+// created; spill structures mkdir on first use.
+func SpillDir(workDir string, useCache bool) string {
+	if useCache {
+		return filepath.Join(workDir, "cache", "spill")
 	}
-	return total, nil
+	return filepath.Join(workDir, "spill")
 }
 
 // Checkpoint captures a recoverable pipeline state: which recipe was

@@ -62,8 +62,16 @@ type Recipe struct {
 	// MaxWorkers caps the adaptive worker pool (0 = max(NP, GOMAXPROCS)).
 	MaxWorkers int
 	// TargetMemMB bounds the text megabytes resident across in-flight
-	// shards in adaptive streaming mode (0 = unbounded).
+	// shards in adaptive streaming mode (0 = unbounded). It also caps
+	// the deduplicators' signature/shingle indexes on both backends:
+	// the planner's spill pass hands each dedup op a slice of this
+	// target and the op spills its index to disk when the estimate
+	// exceeds it (see DedupSpill).
 	TargetMemMB int
+	// DedupSpill lets deduplicators spill their indexes to budget-
+	// bounded disk runs when TargetMemMB is set. On by default; with no
+	// TargetMemMB it has no effect.
+	DedupSpill bool
 	// EnableTrace records per-OP lineage for the tracer.
 	EnableTrace bool
 	// Listen, when non-empty, serves the live ops endpoint on this
@@ -88,6 +96,7 @@ func Default() *Recipe {
 		UseCache:    true,
 		OpFusion:    true,
 		UseProfiles: true,
+		DedupSpill:  true,
 		EnableTrace: false,
 		Journal:     true,
 		WorkDir:     ".data-juicer",
@@ -126,6 +135,8 @@ func FromMap(m map[string]any) (*Recipe, error) {
 			r.MaxWorkers = asInt(v)
 		case "target_mem_mb":
 			r.TargetMemMB = asInt(v)
+		case "dedup_spill":
+			r.DedupSpill = asBool(v)
 		case "trace":
 			r.EnableTrace = asBool(v)
 		case "listen":
@@ -160,7 +171,8 @@ var recipeKeys = []string{
 	"project_name", "dataset_path", "sources", "export_path", "np",
 	"text_key", "use_cache", "use_checkpoint", "cache_compression",
 	"op_fusion", "use_profiles", "adaptive", "max_workers",
-	"target_mem_mb", "trace", "listen", "journal", "work_dir", "process",
+	"target_mem_mb", "dedup_spill", "trace", "listen", "journal",
+	"work_dir", "process",
 }
 
 // KnownRecipeKeys returns every recognized recipe key.
@@ -343,6 +355,9 @@ func (r *Recipe) ApplyEnv(getenv func(string) string) {
 		if n, err := strconv.Atoi(v); err == nil {
 			r.TargetMemMB = n
 		}
+	}
+	if v := getenv("DJ_DEDUP_SPILL"); v != "" {
+		r.DedupSpill = v == "true" || v == "1"
 	}
 	if v := getenv("DJ_EXPORT_PATH"); v != "" {
 		r.ExportPath = v

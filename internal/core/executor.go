@@ -15,6 +15,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/dataset"
+	"repro/internal/ops"
 	"repro/internal/plan"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -105,7 +106,29 @@ func NewExecutor(r *config.Recipe) (*Executor, error) {
 		}
 		e.ckpt = ckpt
 	}
+	ConfigureSpill(p, r)
 	return e, nil
+}
+
+// ConfigureSpill installs the planner's spill budgets on the plan's
+// spill-capable ops. With the cache enabled, spill runs live under the
+// cache directory so cache disk accounting covers them; otherwise under
+// <work_dir>/spill. No directory is created here — the spill structures
+// mkdir lazily, only when an op actually spills.
+func ConfigureSpill(p *plan.Plan, r *config.Recipe) {
+	if r.WorkDir == "" {
+		return
+	}
+	dir := cache.SpillDir(r.WorkDir, r.UseCache)
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		if n.SpillBudget <= 0 {
+			continue
+		}
+		if sp, ok := n.Op.(ops.Spiller); ok {
+			sp.ConfigureSpill(ops.SpillSpec{Dir: dir, BudgetBytes: n.SpillBudget})
+		}
+	}
 }
 
 // Plan returns the physical plan the executor runs.
@@ -131,6 +154,27 @@ func (e *Executor) EnableTelemetry(t *telemetry.Run) {
 	if tr := e.runner.Tracer(); tr != nil {
 		tr.SetSink(TraceJournalSink(t))
 	}
+}
+
+// EmitSpill emits the spill journal event and metrics for an op whose
+// most recent execution pushed index state to disk; a no-op for ops that
+// are not spill-capable or stayed in memory. Shared with the streaming
+// engine's barrier path.
+func EmitSpill(t *telemetry.Run, op ops.OP, planIdx int) {
+	sp, ok := op.(ops.Spiller)
+	if !ok || t == nil {
+		return
+	}
+	st := sp.SpillStats()
+	if !st.Spilled {
+		return
+	}
+	t.ObserveSpill(op.Name(), st.Runs, st.SpilledBytes)
+	t.Emit(telemetry.Event{
+		Type: telemetry.EvSpill, Parent: t.RunSpan(),
+		Name: op.Name(), PlanIdx: planIdx,
+		Bytes: st.SpilledBytes, SpillRuns: st.Runs,
+	})
 }
 
 // recipeFingerprint identifies this recipe + input dataset combination for
@@ -259,6 +303,7 @@ func (e *Executor) Run(d *dataset.Dataset) (*dataset.Dataset, *Report, error) {
 				In: int64(stat.InCount), Out: int64(stat.OutCount),
 				DurNS: int64(stat.Duration), Workers: stat.Workers,
 			})
+			EmitSpill(e.tele, op, i)
 		}
 	}
 

@@ -1,0 +1,52 @@
+package dedup
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestAllDuplicatesBoundedAllocations is the regression gate for the
+// O(n²) pair-map blowup: the LSH deduplicators used to track every
+// verified (i,j) pair in a `checked` map, so an all-duplicates corpus —
+// one bucket of n members per band — allocated O(n²) map entries before
+// producing a single cluster. Verification now consults union-find roots
+// instead (members already in one cluster are skipped without state), so
+// total allocations on the adversarial corpus must stay near-linear in
+// n. The 64 MiB bound is ~40x the honest footprint of n=2000 signatures
+// and shingles, and far below the multi-hundred-MiB pair maps the old
+// code built for the same input.
+func TestAllDuplicatesBoundedAllocations(t *testing.T) {
+	const n = 2000
+	texts := make([]string, n)
+	for i := range texts {
+		texts[i] = "this exact document is repeated verbatim across the whole corpus to stress duplicate verification"
+	}
+	for _, name := range []string{
+		"document_minhash_deduplicator",
+		"document_simhash_deduplicator",
+		"vector_deduplicator",
+	} {
+		t.Run(name, func(t *testing.T) {
+			d := build(t, name, nil)
+			ds := dataset.FromTexts(texts)
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			kept, pairs, err := d.Dedup(ds, 1)
+			runtime.ReadMemStats(&after)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kept.Len() != 1 || len(pairs) != n-1 {
+				t.Fatalf("kept=%d pairs=%d, want 1 and %d", kept.Len(), len(pairs), n-1)
+			}
+			alloc := after.TotalAlloc - before.TotalAlloc
+			if alloc > 64<<20 {
+				t.Fatalf("all-duplicates corpus allocated %d MiB (> 64 MiB): pair-map blowup is back",
+					alloc>>20)
+			}
+		})
+	}
+}

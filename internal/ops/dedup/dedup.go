@@ -14,8 +14,143 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/ops"
 	"repro/internal/sample"
+	"repro/internal/spill"
 	"repro/internal/text"
 )
+
+// spillState is embedded by every deduplicator to satisfy ops.Spiller:
+// the planner hands each dedup node a slice of the -target-mem-mb budget
+// and the op switches to its disk-backed path when the estimated index
+// footprint exceeds it.
+type spillState struct {
+	spec  ops.SpillSpec
+	stats ops.SpillStats
+}
+
+func (s *spillState) ConfigureSpill(spec ops.SpillSpec) { s.spec = spec }
+
+func (s *spillState) SpillStats() ops.SpillStats { return s.stats }
+
+// spillEngaged decides whether the disk-backed path should run for an
+// estimated in-memory index of estBytes.
+func (s *spillState) spillEngaged(estBytes int64) bool {
+	return s.spec.Dir != "" && s.spec.BudgetBytes > 0 && estBytes > s.spec.BudgetBytes
+}
+
+// record captures the spill structures' accounting for telemetry.
+func (s *spillState) record(st spill.Stats) {
+	s.stats = ops.SpillStats{Spilled: st.Runs > 0, Runs: st.Runs, SpilledBytes: st.Bytes}
+}
+
+// verifyMembers checks every candidate pair in one bucket, consulting
+// the union-find roots before the similarity verify so already-merged
+// pairs are never re-checked. This replaces the old per-run checked-pair
+// map, which grew O(n^2) on duplicate-heavy corpora — the exact inputs
+// dedup exists for.
+func verifyMembers(uf *unionFind, members []int, verify func(i, j int) bool) {
+	for x := 0; x < len(members); x++ {
+		for y := x + 1; y < len(members); y++ {
+			i, j := members[x], members[y]
+			if uf.find(i) == uf.find(j) {
+				continue
+			}
+			if verify(i, j) {
+				uf.union(i, j)
+			}
+		}
+	}
+}
+
+// mergeFeatureless unions documents that yield no features (no words, so
+// no shingles, fingerprints or TF mass) when their raw text under
+// textKey is byte-identical. Near-duplicate similarity is undefined on
+// empty feature sets, but exact-duplicate featureless docs — empty
+// strings, punctuation-only noise — must still merge, exactly as
+// document_deduplicator merges them; distinct featureless texts stay
+// separate.
+func mergeFeatureless(ds *dataset.Dataset, textKey string, featureless func(int) bool, uf *unionFind) {
+	var first map[uint64]int
+	for i := 0; i < ds.Len(); i++ {
+		if !featureless(i) {
+			continue
+		}
+		t, _ := ds.Samples[i].GetString(textKey)
+		h := hash64(t)
+		if first == nil {
+			first = make(map[uint64]int)
+		}
+		if j, ok := first[h]; ok {
+			uf.union(j, i)
+		} else {
+			first[h] = i
+		}
+	}
+}
+
+// forEachGroup walks runs of equal keys in (key, value)-sorted spill
+// records, handing each multi-member run's document indexes (ascending)
+// to fn. The members scratch is reused across groups.
+func forEachGroup(pairs []spill.Pair, members *[]int, fn func(members []int)) {
+	for s := 0; s < len(pairs); {
+		e := s + 1
+		for e < len(pairs) && pairs[e].K == pairs[s].K {
+			e++
+		}
+		if e-s >= 2 {
+			m := (*members)[:0]
+			for _, p := range pairs[s:e] {
+				m = append(m, int(p.V))
+			}
+			*members = m
+			fn(m)
+		}
+		s = e
+	}
+}
+
+// featCache is a byte-bounded FIFO cache for per-document features
+// recomputed on the spilled verification path (shingle sets, TF
+// vectors). Loaders are pure, so hits versus misses never change
+// results — eviction order only affects speed.
+type featCache[T any] struct {
+	budget int64
+	used   int64
+	m      map[int]T
+	order  []int
+	head   int
+	load   func(int) T
+	size   func(T) int64
+}
+
+func newFeatCache[T any](budget int64, load func(int) T, size func(T) int64) *featCache[T] {
+	if budget < 1<<16 {
+		budget = 1 << 16
+	}
+	return &featCache[T]{budget: budget, m: make(map[int]T), load: load, size: size}
+}
+
+func (c *featCache[T]) get(i int) T {
+	if v, ok := c.m[i]; ok {
+		return v
+	}
+	v := c.load(i)
+	c.m[i] = v
+	c.used += c.size(v)
+	c.order = append(c.order, i)
+	for c.used > c.budget && c.head < len(c.order) {
+		old := c.order[c.head]
+		c.head++
+		if ov, ok := c.m[old]; ok {
+			c.used -= c.size(ov)
+			delete(c.m, old)
+		}
+	}
+	if c.head > len(c.order)/2 && c.head > 1024 {
+		c.order = append(c.order[:0], c.order[c.head:]...)
+		c.head = 0
+	}
+	return v
+}
 
 // unionFind is a standard disjoint-set with path compression, used to
 // cluster duplicate candidates.

@@ -172,20 +172,27 @@ func TestEmptyDatasets(t *testing.T) {
 }
 
 func TestEmptyTextSamples(t *testing.T) {
-	// Empty documents must not all collapse into one for near-dup methods,
-	// and must not crash any method.
-	ds := dataset.FromTexts([]string{"", "real content here about things", ""})
+	// Featureless documents (empty or punctuation-only) follow exact-match
+	// semantics on every dedup method: byte-identical featureless docs
+	// merge — consistent with document_deduplicator — while distinct
+	// featureless texts never collapse into one (near-dup similarity is
+	// undefined on empty feature sets, so only exact equality counts).
+	ds := dataset.FromTexts([]string{"", "real content here about things", "", "!!! ???"})
 	for _, name := range []string{"document_minhash_deduplicator", "document_simhash_deduplicator", "vector_deduplicator"} {
 		d := build(t, name, nil)
-		kept, _, err := d.Dedup(ds, 1)
+		kept, pairs, err := d.Dedup(ds, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if kept.Len() != 3 {
-			t.Fatalf("%s merged empty docs: kept=%d", name, kept.Len())
+			t.Fatalf("%s: kept=%d, want 3 (identical empties merge, distinct featureless stays)", name, kept.Len())
+		}
+		if len(pairs) != 1 || pairs[0] != (ops.DupPair{Dropped: 2, Kept: 0}) {
+			t.Fatalf("%s: pairs=%v, want [{2 0}]", name, pairs)
 		}
 	}
-	// Exact dedup does merge identical empties.
+	// Exact dedup merges identical empties the same way; its punctuation
+	// normalization additionally folds "!!! ???" into the empty cluster.
 	d := build(t, "document_deduplicator", nil)
 	kept, _, err := d.Dedup(ds, 1)
 	if err != nil {

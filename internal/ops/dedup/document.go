@@ -1,9 +1,12 @@
 package dedup
 
 import (
+	"sync"
+
 	"repro/internal/dataset"
 	"repro/internal/ops"
 	"repro/internal/sample"
+	"repro/internal/spill"
 )
 
 func init() {
@@ -20,6 +23,7 @@ func init() {
 // documentDedup removes exact duplicates by hashing the (normalized)
 // document text.
 type documentDedup struct {
+	spillState
 	textKey     string
 	lowercase   bool
 	ignorePunct bool
@@ -36,9 +40,19 @@ func (d *documentDedup) Signature(s *sample.Sample) uint64 {
 	return normalizedHash(t, d.lowercase, d.ignorePunct)
 }
 
-var _ ops.StreamDeduper = (*documentDedup)(nil)
+var (
+	_ ops.StreamDeduper = (*documentDedup)(nil)
+	_ ops.Spiller       = (*documentDedup)(nil)
+)
+
+// hashEntryBytes estimates the resident cost of one signature in the
+// in-memory first-occurrence map (bucket slot plus overhead).
+const hashEntryBytes = 48
 
 func (d *documentDedup) Dedup(ds *dataset.Dataset, np int) (*dataset.Dataset, []ops.DupPair, error) {
+	if d.spillEngaged(int64(ds.Len()) * hashEntryBytes) {
+		return d.dedupSpilled(ds, np)
+	}
 	hashes := make([]uint64, ds.Len())
 	err := ds.MapIndexed(np, func(i int, s *sample.Sample) error {
 		hashes[i] = d.Signature(s)
@@ -57,5 +71,42 @@ func (d *documentDedup) Dedup(ds *dataset.Dataset, np int) (*dataset.Dataset, []
 		first[h] = i
 	}
 	kept, pairs := collapse(ds, uf)
+	d.record(spill.Stats{})
+	return kept, pairs, nil
+}
+
+// dedupSpilled is the external-memory path: (hash, index) records flow
+// into budget-bounded sorted runs; the k-way merge then visits each hash
+// group in ascending index order, so the first record of a group is its
+// cluster's kept representative — identical output to the in-memory map.
+func (d *documentDedup) dedupSpilled(ds *dataset.Dataset, np int) (*dataset.Dataset, []ops.DupPair, error) {
+	runs := spill.NewSortedRuns(d.spec.Dir, d.spec.BudgetBytes)
+	defer runs.Close()
+	var mu sync.Mutex
+	err := ds.MapIndexed(np, func(i int, s *sample.Sample) error {
+		h := d.Signature(s)
+		mu.Lock()
+		defer mu.Unlock()
+		return runs.Add(h, uint64(i))
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	uf := newUnionFind(ds.Len())
+	root := -1
+	var cur uint64
+	err = runs.Merge(func(k, v uint64) error {
+		if root < 0 || k != cur {
+			cur, root = k, int(v)
+			return nil
+		}
+		uf.union(root, int(v))
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	kept, pairs := collapse(ds, uf)
+	d.record(runs.Stats())
 	return kept, pairs, nil
 }

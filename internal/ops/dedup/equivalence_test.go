@@ -239,3 +239,108 @@ func TestDocumentDedupPairsMatchReference(t *testing.T) {
 		}
 	}
 }
+
+// spillCases enumerates every dedup op with parameters and a corpus size
+// that makes a tiny byte budget engage the disk-backed path.
+var spillCases = []struct {
+	name   string
+	params ops.Params
+	docs   int
+}{
+	// The exact dedup's sorted-run buffer floors at 1024 pairs, so the
+	// corpus must exceed that for runs to reach disk.
+	{"document_deduplicator", nil, 3000},
+	{"document_minhash_deduplicator", ops.Params{"rows_per_band": 2, "bands": 32}, 400},
+	{"document_simhash_deduplicator", ops.Params{"max_distance": 8}, 400},
+	{"vector_deduplicator", nil, 400},
+}
+
+// TestSpilledMatchesInMemory pins the disk-backed dedup path against the
+// in-memory reference: over seeded duplicate-heavy corpora (featureless
+// docs included), an op forced to spill through a tiny budget must keep
+// the same samples and report the identical DupPair list. Verification
+// is pure and clusters are connected components under min-index roots,
+// so the kept set and pair list are independent of whether candidates
+// came from resident maps or merged disk runs.
+func TestSpilledMatchesInMemory(t *testing.T) {
+	for _, tc := range spillCases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := corpus.Web(corpus.Options{Docs: tc.docs, Seed: 21, DupExact: 0.12, DupNear: 0.12})
+			// Featureless docs ride along: identical empties must merge and
+			// distinct punctuation-only docs must survive, spilled or not.
+			ds := dataset.Concat(d, dataset.FromTexts([]string{"", "", "!!! ???", "..."}))
+
+			ref := build(t, tc.name, tc.params)
+			refKept, refPairs, err := ref.Dedup(ds, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sp := build(t, tc.name, tc.params)
+			spiller, ok := sp.(ops.Spiller)
+			if !ok {
+				t.Fatalf("%s does not implement ops.Spiller", tc.name)
+			}
+			spiller.ConfigureSpill(ops.SpillSpec{Dir: t.TempDir(), BudgetBytes: 1 << 10})
+			gotKept, gotPairs, err := sp.Dedup(ds, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			st := spiller.SpillStats()
+			if !st.Spilled || st.Runs == 0 || st.SpilledBytes == 0 {
+				t.Fatalf("budgeted op did not spill: %+v", st)
+			}
+			if len(refPairs) == 0 {
+				t.Fatal("corpus produced no duplicates — test is vacuous")
+			}
+			if gotKept.Len() != refKept.Len() {
+				t.Fatalf("kept %d spilled vs %d in-memory", gotKept.Len(), refKept.Len())
+			}
+			for i := range refKept.Samples {
+				if gotKept.Samples[i].Text != refKept.Samples[i].Text {
+					t.Fatalf("kept sample %d diverges", i)
+				}
+			}
+			if len(gotPairs) != len(refPairs) {
+				t.Fatalf("%d dup pairs spilled vs %d in-memory", len(gotPairs), len(refPairs))
+			}
+			for i := range refPairs {
+				if gotPairs[i] != refPairs[i] {
+					t.Fatalf("pair %d diverges: %+v vs %+v", i, gotPairs[i], refPairs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSpilledMatchesInMemoryRace is the same differential under the race
+// detector's eye with higher parallelism, covering the concurrent
+// signature/record-emission passes of the spilled path.
+func TestSpilledMatchesInMemoryRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	d := corpus.Web(corpus.Options{Docs: 600, Seed: 5, DupExact: 0.2, DupNear: 0.1})
+	for _, tc := range spillCases {
+		ref := build(t, tc.name, tc.params)
+		_, refPairs, err := ref.Dedup(d, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := build(t, tc.name, tc.params)
+		sp.(ops.Spiller).ConfigureSpill(ops.SpillSpec{Dir: t.TempDir(), BudgetBytes: 1 << 10})
+		_, gotPairs, err := sp.Dedup(d, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gotPairs) != len(refPairs) {
+			t.Fatalf("%s: %d pairs spilled vs %d in-memory", tc.name, len(gotPairs), len(refPairs))
+		}
+		for i := range refPairs {
+			if gotPairs[i] != refPairs[i] {
+				t.Fatalf("%s: pair %d diverges", tc.name, i)
+			}
+		}
+	}
+}

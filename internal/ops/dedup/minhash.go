@@ -6,6 +6,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/ops"
 	"repro/internal/sample"
+	"repro/internal/spill"
 )
 
 func init() {
@@ -34,12 +35,15 @@ func init() {
 // that collide in any band are verified against the true Jaccard
 // similarity of their shingle sets before being merged.
 type minhashDedup struct {
+	spillState
 	textKey   string
 	shingle   int
 	bands     int
 	rows      int
 	threshold float64
 }
+
+var _ ops.Spiller = (*minhashDedup)(nil)
 
 func (d *minhashDedup) Name() string { return "document_minhash_deduplicator" }
 
@@ -65,14 +69,36 @@ func (d *minhashDedup) signature(shingles []uint64) []uint64 {
 	return sig
 }
 
+// bandKey folds one band's signature rows into its LSH bucket key. The
+// band index seeds the fold, so bucket spaces of different bands are
+// disjoint (modulo 64-bit collisions) and the spilled path can group by
+// the key alone.
+func (d *minhashDedup) bandKey(sig []uint64, b int) uint64 {
+	h := uint64(b) * 0x9e3779b97f4a7c15
+	for r := 0; r < d.rows; r++ {
+		h = splitmix64(h ^ sig[b*d.rows+r])
+	}
+	return h
+}
+
+// shingleEstBytes is the assumed resident footprint of one document's
+// shingle set when estimating whether the in-memory index fits the
+// spill budget.
+const shingleEstBytes = 512
+
 func (d *minhashDedup) Dedup(ds *dataset.Dataset, np int) (*dataset.Dataset, []ops.DupPair, error) {
 	n := ds.Len()
+	if d.spillEngaged(int64(n) * int64(d.signatureSize()*8+shingleEstBytes)) {
+		return d.dedupSpilled(ds, np)
+	}
 	shingleSets := make([][]uint64, n)
 	signatures := make([][]uint64, n)
 	err := ds.MapIndexed(np, func(i int, s *sample.Sample) error {
 		t, _ := s.GetString(d.textKey)
 		shingleSets[i] = wordShingles(t, d.shingle)
-		signatures[i] = d.signature(shingleSets[i])
+		if len(shingleSets[i]) > 0 {
+			signatures[i] = d.signature(shingleSets[i])
+		}
 		return nil
 	})
 	if err != nil {
@@ -80,38 +106,81 @@ func (d *minhashDedup) Dedup(ds *dataset.Dataset, np int) (*dataset.Dataset, []o
 	}
 
 	uf := newUnionFind(n)
-	checked := make(map[[2]int]struct{})
+	verify := func(i, j int) bool {
+		return jaccard(shingleSets[i], shingleSets[j]) >= d.threshold
+	}
 	for b := 0; b < d.bands; b++ {
 		buckets := make(map[uint64][]int)
 		for i := 0; i < n; i++ {
 			if len(shingleSets[i]) == 0 {
 				continue
 			}
-			h := uint64(b) * 0x9e3779b97f4a7c15
-			for r := 0; r < d.rows; r++ {
-				h = splitmix64(h ^ signatures[i][b*d.rows+r])
-			}
+			h := d.bandKey(signatures[i], b)
 			buckets[h] = append(buckets[h], i)
 		}
 		for _, members := range buckets {
 			if len(members) < 2 {
 				continue
 			}
-			for x := 0; x < len(members); x++ {
-				for y := x + 1; y < len(members); y++ {
-					i, j := members[x], members[y]
-					key := [2]int{i, j}
-					if _, done := checked[key]; done {
-						continue
-					}
-					checked[key] = struct{}{}
-					if jaccard(shingleSets[i], shingleSets[j]) >= d.threshold {
-						uf.union(i, j)
-					}
-				}
-			}
+			verifyMembers(uf, members, verify)
 		}
 	}
+	mergeFeatureless(ds, d.textKey, func(i int) bool { return len(shingleSets[i]) == 0 }, uf)
 	kept, pairs := collapse(ds, uf)
+	d.record(spill.Stats{})
+	return kept, pairs, nil
+}
+
+// dedupSpilled is the external-memory path: band keys stream into a
+// partitioned on-disk LSH table instead of retaining every signature and
+// shingle set; verification recomputes shingle sets through a bounded
+// feature cache. Candidate groups are the same band-key collisions the
+// in-memory path sees, and union-find clustering is order-independent,
+// so the output is identical.
+func (d *minhashDedup) dedupSpilled(ds *dataset.Dataset, np int) (*dataset.Dataset, []ops.DupPair, error) {
+	n := ds.Len()
+	lsh := spill.NewLSH(d.spec.Dir, int64(n)*int64(d.bands), d.spec.BudgetBytes/2)
+	defer lsh.Close()
+	featureless := make([]bool, n)
+	err := ds.MapIndexed(np, func(i int, s *sample.Sample) error {
+		t, _ := s.GetString(d.textKey)
+		sh := wordShingles(t, d.shingle)
+		if len(sh) == 0 {
+			featureless[i] = true
+			return nil
+		}
+		sig := d.signature(sh)
+		for b := 0; b < d.bands; b++ {
+			if err := lsh.Add(d.bandKey(sig, b), uint64(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	uf := newUnionFind(n)
+	feats := newFeatCache(d.spec.BudgetBytes/4, func(i int) []uint64 {
+		t, _ := ds.Samples[i].GetString(d.textKey)
+		return wordShingles(t, d.shingle)
+	}, func(v []uint64) int64 { return int64(len(v)*8 + 64) })
+	verify := func(i, j int) bool {
+		return jaccard(feats.get(i), feats.get(j)) >= d.threshold
+	}
+	var members []int
+	err = lsh.ForEachPartition(func(pairs []spill.Pair) error {
+		forEachGroup(pairs, &members, func(m []int) {
+			verifyMembers(uf, m, verify)
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	mergeFeatureless(ds, d.textKey, func(i int) bool { return featureless[i] }, uf)
+	kept, pairs := collapse(ds, uf)
+	d.record(lsh.Stats())
 	return kept, pairs, nil
 }

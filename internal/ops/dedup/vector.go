@@ -6,6 +6,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/ops"
 	"repro/internal/sample"
+	"repro/internal/spill"
 	"repro/internal/text"
 )
 
@@ -26,11 +27,14 @@ func init() {
 // signatures generate candidates; candidates are verified by exact cosine
 // similarity.
 type vectorDedup struct {
+	spillState
 	textKey   string
 	dim       int
 	threshold float64
 	planes    int
 }
+
+var _ ops.Spiller = (*vectorDedup)(nil)
 
 func (d *vectorDedup) Name() string { return "vector_deduplicator" }
 
@@ -90,6 +94,9 @@ func cosineVec(a, b []float64) float64 {
 
 func (d *vectorDedup) Dedup(ds *dataset.Dataset, np int) (*dataset.Dataset, []ops.DupPair, error) {
 	n := ds.Len()
+	if d.spillEngaged(int64(n) * int64(d.dim*8+64)) {
+		return d.dedupSpilled(ds, np)
+	}
 	vecs := make([][]float64, n)
 	sigs := make([]uint32, n)
 	empty := make([]bool, n)
@@ -105,7 +112,6 @@ func (d *vectorDedup) Dedup(ds *dataset.Dataset, np int) (*dataset.Dataset, []op
 	}
 
 	uf := newUnionFind(n)
-	checked := make(map[[2]int]struct{})
 	// Candidates: identical signatures, plus signatures differing by one
 	// bit (near-misses across a single hyperplane).
 	buckets := make(map[uint32][]int, n)
@@ -115,15 +121,12 @@ func (d *vectorDedup) Dedup(ds *dataset.Dataset, np int) (*dataset.Dataset, []op
 		}
 		buckets[sigs[i]] = append(buckets[sigs[i]], i)
 	}
-	verify := func(i, j int) {
-		key := [2]int{i, j}
-		if i > j {
-			key = [2]int{j, i}
-		}
-		if _, done := checked[key]; done {
+	// Union-find roots gate the verify: already-merged pairs are never
+	// re-checked, so no checked-pair set is needed.
+	check := func(i, j int) {
+		if uf.find(i) == uf.find(j) {
 			return
 		}
-		checked[key] = struct{}{}
 		if cosineVec(vecs[i], vecs[j]) >= d.threshold {
 			uf.union(i, j)
 		}
@@ -131,7 +134,7 @@ func (d *vectorDedup) Dedup(ds *dataset.Dataset, np int) (*dataset.Dataset, []op
 	for sig, members := range buckets {
 		for x := 0; x < len(members); x++ {
 			for y := x + 1; y < len(members); y++ {
-				verify(members[x], members[y])
+				check(members[x], members[y])
 			}
 		}
 		for p := 0; p < d.planes; p++ {
@@ -139,13 +142,124 @@ func (d *vectorDedup) Dedup(ds *dataset.Dataset, np int) (*dataset.Dataset, []op
 				for _, i := range members {
 					for _, j := range others {
 						if i < j {
-							verify(i, j)
+							check(i, j)
 						}
 					}
 				}
 			}
 		}
 	}
+	mergeFeatureless(ds, d.textKey, func(i int) bool { return empty[i] }, uf)
 	kept, pairs := collapse(ds, uf)
+	d.record(spill.Stats{})
 	return kept, pairs, nil
+}
+
+// Spilled-path record encoding: the value carries the document index
+// shifted left one bit, with bit 0 marking a "home" record (the doc's
+// own signature bucket) versus a "virtual" one (a one-bit neighbor
+// probe). A candidate pair is enumerated exactly once: home-home pairs
+// from the smaller index, home-virtual pairs only when the home index is
+// smaller — the same single-enumeration rule the in-memory neighbor
+// probe applies, so both paths see identical candidate sets.
+const vectorHomeFlag = 1
+
+// dedupSpilled is the external-memory path: home and neighbor-probe
+// records stream into the partitioned on-disk LSH table instead of
+// retaining every TF vector; verification recomputes vectors through a
+// bounded feature cache.
+func (d *vectorDedup) dedupSpilled(ds *dataset.Dataset, np int) (*dataset.Dataset, []ops.DupPair, error) {
+	n := ds.Len()
+	lsh := spill.NewLSH(d.spec.Dir, int64(n)*int64(d.planes+1), d.spec.BudgetBytes/2)
+	defer lsh.Close()
+	featureless := make([]bool, n)
+	err := ds.MapIndexed(np, func(i int, s *sample.Sample) error {
+		t, _ := s.GetString(d.textKey)
+		if len(text.WordsLower(t)) == 0 {
+			featureless[i] = true
+			return nil
+		}
+		sig := d.planeSignature(d.vectorize(t))
+		if err := lsh.Add(uint64(sig), uint64(i)<<1|vectorHomeFlag); err != nil {
+			return err
+		}
+		for p := 0; p < d.planes; p++ {
+			if err := lsh.Add(uint64(sig^(1<<uint(p))), uint64(i)<<1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	uf := newUnionFind(n)
+	feats := newFeatCache(d.spec.BudgetBytes/4, func(i int) []float64 {
+		t, _ := ds.Samples[i].GetString(d.textKey)
+		return d.vectorize(t)
+	}, func(v []float64) int64 { return int64(len(v)*8 + 48) })
+	verify := func(i, j int) bool {
+		return cosineVec(feats.get(i), feats.get(j)) >= d.threshold
+	}
+	var vals []uint64
+	err = lsh.ForEachPartition(func(pairs []spill.Pair) error {
+		forEachFlaggedGroup(pairs, &vals, func(group []uint64) {
+			processFlaggedGroup(group, uf, verify)
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	mergeFeatureless(ds, d.textKey, func(i int) bool { return featureless[i] }, uf)
+	kept, pairs := collapse(ds, uf)
+	d.record(lsh.Stats())
+	return kept, pairs, nil
+}
+
+// forEachFlaggedGroup walks runs of equal keys, handing each run's raw
+// flagged values to fn. The vals scratch is reused across groups.
+func forEachFlaggedGroup(pairs []spill.Pair, vals *[]uint64, fn func(vals []uint64)) {
+	for s := 0; s < len(pairs); {
+		e := s + 1
+		for e < len(pairs) && pairs[e].K == pairs[s].K {
+			e++
+		}
+		if e-s >= 2 {
+			v := (*vals)[:0]
+			for _, p := range pairs[s:e] {
+				v = append(v, p.V)
+			}
+			*vals = v
+			fn(v)
+		}
+		s = e
+	}
+}
+
+// processFlaggedGroup enumerates candidate pairs within one signature
+// group: for every home record, every other record with a larger
+// document index is a candidate. That yields home-home pairs once each
+// and home-virtual pairs exactly when the home index is smaller,
+// matching the in-memory probe's enumeration.
+func processFlaggedGroup(vals []uint64, uf *unionFind, verify func(i, j int) bool) {
+	for x := 0; x < len(vals); x++ {
+		if vals[x]&vectorHomeFlag == 0 {
+			continue
+		}
+		i := int(vals[x] >> 1)
+		for y := 0; y < len(vals); y++ {
+			j := int(vals[y] >> 1)
+			if j <= i {
+				continue
+			}
+			if uf.find(i) == uf.find(j) {
+				continue
+			}
+			if verify(i, j) {
+				uf.union(i, j)
+			}
+		}
+	}
 }

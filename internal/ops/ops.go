@@ -93,6 +93,43 @@ type StreamDeduper interface {
 	Signature(s *sample.Sample) uint64
 }
 
+// SpillSpec tells a spill-capable OP where it may write intermediate
+// runs and how much memory its indexes may hold before spilling.
+type SpillSpec struct {
+	// Dir is the spill directory (shared; ops create uniquely-named
+	// files inside it and remove them when done).
+	Dir string
+	// BudgetBytes bounds the op's in-memory index footprint. Zero
+	// disables spilling: the op keeps everything resident.
+	BudgetBytes int64
+}
+
+// SpillStats reports what a spill-capable OP actually did on its last
+// application, for telemetry.
+type SpillStats struct {
+	// Spilled is true when the disk-backed path engaged (estimated
+	// index size exceeded the budget).
+	Spilled bool
+	// Runs counts spill files (sorted runs / partitions) written.
+	Runs int64
+	// SpilledBytes is the total bytes written to spill files.
+	SpilledBytes int64
+}
+
+// Spiller is implemented by Deduplicators (and other index-heavy OPs)
+// that can bound their in-memory state by spilling to disk. The planner
+// assigns each spill-capable node a budget slice from the run's
+// -target-mem-mb; executors call ConfigureSpill before the op runs and
+// read SpillStats after, to emit spill metrics and journal events.
+type Spiller interface {
+	// ConfigureSpill installs the spill directory and budget. Called at
+	// most once, before the op executes; a zero spec keeps the op fully
+	// in memory.
+	ConfigureSpill(SpillSpec)
+	// SpillStats reports spill activity from the most recent execution.
+	SpillStats() SpillStats
+}
+
 // ContextUser is implemented by OPs that consume shared per-sample
 // intermediates (segmented words, split lines, ...). The fusion pass
 // groups filters by overlapping context keys.

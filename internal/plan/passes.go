@@ -25,7 +25,8 @@ type node struct {
 	cap        Capability
 	phase      int
 	cacheable  bool
-	orig       int // original recipe index (min member index once fused)
+	spill      int64 // spill budget bytes (0 = op stays fully in memory)
+	orig       int   // original recipe index (min member index once fused)
 	notes      []string
 }
 
@@ -69,6 +70,7 @@ func build(r *config.Recipe, profiles *dist.ProfileSet, profileErr error) (*Plan
 	b.timed(b.passFuse)
 	b.timed(b.passPlacement)
 	b.timed(b.passCacheBoundary)
+	b.timed(b.passSpill)
 
 	p := &Plan{
 		Passes:    b.records,
@@ -83,7 +85,7 @@ func build(r *config.Recipe, profiles *dist.ProfileSet, profileErr error) (*Plan
 			Op: n.op, Key: n.key, MemberKeys: n.memberKeys,
 			Capability: n.cap, Phase: n.phase,
 			Cost: n.cost, Selectivity: n.sel, Measured: n.measured, Runs: n.runs,
-			StreamCacheable: n.cacheable, Provenance: n.notes,
+			StreamCacheable: n.cacheable, SpillBudget: n.spill, Provenance: n.notes,
 		})
 	}
 	return p, nil
@@ -478,4 +480,41 @@ func (b *builder) passCacheBoundary() {
 		b.record("cache-boundary", fmt.Sprintf("%d of %d ops shard-cacheable (leading runs of their phases)",
 			n, len(b.nodes)))
 	}
+}
+
+// passSpill slices the run's memory target across the spill-capable
+// deduplicators: each gets an equal share of half the target (the other
+// half stays with sample buffers and shard flow), and switches to its
+// disk-backed index when its estimated footprint exceeds the share.
+// Budgets are annotations only — no directory is created at plan time,
+// so -explain stays side-effect free; executors install the spill
+// directory just before running.
+func (b *builder) passSpill() {
+	if b.r.TargetMemMB <= 0 {
+		b.record("spill", "no memory target; dedup indexes stay fully in memory")
+		return
+	}
+	if !b.r.DedupSpill {
+		b.record("spill", "dedup_spill=false; dedup indexes stay fully in memory")
+		return
+	}
+	var dd []*node
+	for _, n := range b.nodes {
+		if _, ok := n.op.(ops.Spiller); ok {
+			dd = append(dd, n)
+		}
+	}
+	if len(dd) == 0 {
+		b.record("spill", "no spill-capable ops")
+		return
+	}
+	share := (int64(b.r.TargetMemMB) << 20) / 2 / int64(len(dd))
+	for _, n := range dd {
+		n.spill = share
+		n.notes = append(n.notes, fmt.Sprintf(
+			"spill: disk-backed index over %.1f MiB (share of target_mem_mb=%d)",
+			float64(share)/(1<<20), b.r.TargetMemMB))
+	}
+	b.record("spill", fmt.Sprintf("%d dedup op(s) budgeted %.1f MiB each (half of %d MiB target)",
+		len(dd), float64(share)/(1<<20), b.r.TargetMemMB))
 }

@@ -67,6 +67,11 @@ type PhysicalOp struct {
 	// only segment whose per-shard results are pure functions of shard
 	// content and therefore shard-cacheable.
 	StreamCacheable bool
+	// SpillBudget is the node's slice of the run's memory target in
+	// bytes (spill pass). Spill-capable ops switch to their disk-backed
+	// index when the estimated in-memory footprint exceeds it; 0 keeps
+	// the op fully in memory.
+	SpillBudget int64
 	// Provenance lists what each pass did to this node, in pass order.
 	Provenance []string
 }
@@ -211,6 +216,9 @@ func (p *Plan) Explain() string {
 		flags := ""
 		if n.StreamCacheable {
 			flags = " [shard-cacheable]"
+		}
+		if n.SpillBudget > 0 {
+			flags += fmt.Sprintf(" [spill %.1fMiB]", float64(n.SpillBudget)/(1<<20))
 		}
 		fmt.Fprintf(&b, "%2d. %-46s %-13s phase %d  cost %s  sel %.2f%s\n",
 			i+1, n.Op.Name(), "["+n.Capability.String()+"]", n.Phase, n.CostString(), n.Selectivity, flags)

@@ -473,3 +473,46 @@ func TestNewFusedFilterPanicsOnSingle(t *testing.T) {
 	}()
 	NewFusedFilter([]ops.Filter{mustBuildOp(t, "word_num_filter", nil).(ops.Filter)})
 }
+
+// TestPassSpillSplitsBudget: with a memory target set, the spill pass
+// gives every spill-capable dedup node an equal slice of half the
+// target; without a target (or with dedup_spill off) no node gets one.
+func TestPassSpillSplitsBudget(t *testing.T) {
+	specs := []config.OpSpec{
+		op("whitespace_normalization_mapper"),
+		op("document_deduplicator"),
+		op("document_minhash_deduplicator"),
+	}
+
+	r := testRecipe(specs...)
+	r.TargetMemMB = 64
+	p := mustPlan(t, r)
+	var budgets []int64
+	for _, n := range p.Nodes {
+		if _, ok := n.Op.(ops.Spiller); ok {
+			budgets = append(budgets, n.SpillBudget)
+		} else if n.SpillBudget != 0 {
+			t.Fatalf("non-spiller %s got budget %d", n.Op.Name(), n.SpillBudget)
+		}
+	}
+	want := (int64(64) << 20) / 2 / 2 // half the target, split across 2 dedups
+	if len(budgets) != 2 || budgets[0] != want || budgets[1] != want {
+		t.Fatalf("budgets = %v, want two of %d", budgets, want)
+	}
+	if !strings.Contains(p.Explain(), "[spill") {
+		t.Fatal("Explain does not render the spill flag")
+	}
+
+	for _, off := range []func(*config.Recipe){
+		func(r *config.Recipe) { r.TargetMemMB = 0 },
+		func(r *config.Recipe) { r.TargetMemMB = 64; r.DedupSpill = false },
+	} {
+		r := testRecipe(specs...)
+		off(r)
+		for _, n := range mustPlan(t, r).Nodes {
+			if n.SpillBudget != 0 {
+				t.Fatalf("spill budget %d assigned with spilling disabled", n.SpillBudget)
+			}
+		}
+	}
+}

@@ -105,11 +105,12 @@ const (
 )
 
 type stage struct {
-	kind      stageKind
-	ops       []ops.OP          // stageLocal: the run, in plan order
-	planIdx   []int             // plan indexes aligned with ops (or the one dedup)
-	dedup     ops.StreamDeduper // stageIndex only
-	cacheable bool              // stageLocal: planner-annotated shard-cacheable run
+	kind        stageKind
+	ops         []ops.OP          // stageLocal: the run, in plan order
+	planIdx     []int             // plan indexes aligned with ops (or the one dedup)
+	dedup       ops.StreamDeduper // stageIndex only
+	cacheable   bool              // stageLocal: planner-annotated shard-cacheable run
+	spillBudget int64             // stageIndex: planner's spill budget (0 = in-memory)
 }
 
 // phase is a maximal barrier-free segment of the plan. The engine
@@ -149,6 +150,7 @@ func splitPhases(p *plan.Plan) []phase {
 			flush()
 			stages = append(stages, stage{
 				kind: stageIndex, dedup: n.Op.(ops.StreamDeduper), planIdx: []int{i},
+				spillBudget: n.SpillBudget,
 			})
 		case plan.Barrier:
 			flush()
@@ -244,6 +246,10 @@ func New(r *config.Recipe, opts Options) (*Engine, error) {
 		}
 		e.store = store
 	}
+	// Barrier deduplicators (minhash/simhash/vector) spill through the
+	// same op-level machinery as the batch backend; shared-index stages
+	// spill through the turnstile's disk-backed signature set instead.
+	core.ConfigureSpill(p, r)
 	return e, nil
 }
 
@@ -351,6 +357,7 @@ func (e *Engine) Run(src Source, sink Sink) (*Report, error) {
 				Phase: pi, In: int64(merged.Len()), Out: int64(out.Len()),
 				DurNS: int64(bDur), Workers: dataset.Workers(e.recipe.NP),
 			})
+			core.EmitSpill(e.tele, ph.barrier, ph.barrierIdx)
 			e.tele.Emit(telemetry.Event{
 				Type: telemetry.EvSpanEnd, Span: phaseSpan, Parent: e.tele.RunSpan(),
 				Kind: "phase", Phase: pi, DurNS: int64(time.Since(phaseStart)),
@@ -393,12 +400,16 @@ func (e *Engine) Run(src Source, sink Sink) (*Report, error) {
 // turnstile is the shared signature index of one stageIndex stage.
 // Shards pass it strictly in index order, so "first occurrence kept"
 // means the same thing it does in the batch engine; the expensive part —
-// computing signatures — happens outside the critical section.
+// computing signatures — happens outside the critical section. The
+// index behind it is either an in-memory set or, when the planner
+// assigned the stage a spill budget, the disk-backed LSM set of
+// internal/spill (see newSigIndex).
 type turnstile struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	next int
-	seen map[uint64]struct{}
+	mu    sync.Mutex
+	cond  *sync.Cond
+	next  int
+	idx   sigIndex
+	novel []bool // AddBatch scratch, reused under the turnstile lock
 }
 
 // errAborted is returned by shard processing interrupted by another
@@ -474,11 +485,28 @@ func (e *Engine) runPhase(phaseIdx int, phaseSpan int64, src Source, stages []st
 	}
 	for i, st := range stages {
 		if st.kind == stageIndex {
-			t := &turnstile{seen: map[uint64]struct{}{}}
+			t := &turnstile{idx: e.newSigIndex(phaseIdx, i, st)}
 			t.cond = sync.NewCond(&t.mu)
 			p.turns[i] = t
 		}
 	}
+	// Whatever happens below, the signature indexes release their spill
+	// files when the phase ends; spill activity is journaled first.
+	defer func() {
+		for si, t := range p.turns {
+			st := stages[si]
+			sst := t.idx.Stats()
+			_ = t.idx.Close()
+			if e.tele != nil && sst.Runs > 0 {
+				e.tele.ObserveSpill(st.dedup.Name(), sst.Runs, sst.Bytes)
+				e.tele.Emit(telemetry.Event{
+					Type: telemetry.EvSpill, Parent: phaseSpan,
+					Name: st.dedup.Name(), PlanIdx: st.planIdx[0], Phase: phaseIdx,
+					Bytes: sst.Bytes, SpillRuns: sst.Runs,
+				})
+			}
+		}
+	}()
 
 	// The done buffer must hold the largest in-flight population any
 	// future decision can allow.
@@ -750,13 +778,22 @@ func (p *phaseRun) runIndex(si int, st stage, shardIdx int, d *dataset.Dataset, 
 		t.cond.Wait()
 	}
 	turnWait := time.Since(waitStart)
+	if cap(t.novel) < len(sigs) {
+		t.novel = make([]bool, len(sigs))
+	}
+	novel := t.novel[:len(sigs)]
+	if err := t.idx.AddBatch(sigs, novel); err != nil {
+		t.next++
+		t.cond.Broadcast()
+		t.mu.Unlock()
+		return nil, fmt.Errorf("stream: op %d (%s) signature index: %w",
+			st.planIdx[0], st.dedup.Name(), err)
+	}
 	var kept []*sample.Sample
 	for i, s := range d.Samples {
-		if _, dup := t.seen[sigs[i]]; dup {
-			continue
+		if novel[i] {
+			kept = append(kept, s)
 		}
-		t.seen[sigs[i]] = struct{}{}
-		kept = append(kept, s)
 	}
 	t.next++
 	t.cond.Broadcast()

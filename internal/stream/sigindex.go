@@ -1,0 +1,62 @@
+package stream
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/cache"
+	"repro/internal/spill"
+)
+
+// sigIndex is the signature membership set behind one shared-index dedup
+// stage. AddBatch sets novel[i] true where sigs[i] is the first
+// occurrence the index has seen (a signature repeated within the batch
+// keeps only its first slot). Implementations need no internal locking:
+// the stage's turnstile already serializes shards through the index.
+type sigIndex interface {
+	AddBatch(sigs []uint64, novel []bool) error
+	// Stats reports spill activity (zero for in-memory indexes).
+	Stats() spill.Stats
+	// Close releases the index, removing any spill files.
+	Close() error
+}
+
+// memSigIndex is the in-memory index: a plain signature set, the
+// behavior every run had before spilling existed.
+type memSigIndex struct {
+	seen map[uint64]struct{}
+}
+
+func newMemSigIndex() *memSigIndex {
+	return &memSigIndex{seen: map[uint64]struct{}{}}
+}
+
+func (m *memSigIndex) AddBatch(sigs []uint64, novel []bool) error {
+	for i, s := range sigs {
+		if _, dup := m.seen[s]; dup {
+			novel[i] = false
+			continue
+		}
+		m.seen[s] = struct{}{}
+		novel[i] = true
+	}
+	return nil
+}
+
+func (m *memSigIndex) Stats() spill.Stats { return spill.Stats{} }
+func (m *memSigIndex) Close() error       { return nil }
+
+// newSigIndex picks the membership structure behind one shared-index
+// stage: when the planner assigned the stage's op a spill budget (its
+// share of -target-mem-mb) and the recipe has a work dir, the index is
+// the disk-backed LSM set of internal/spill, bounded by that budget;
+// otherwise the plain map. phaseIdx/stageIdx keep concurrent stages'
+// spill directories disjoint.
+func (e *Engine) newSigIndex(phaseIdx, stageIdx int, st stage) sigIndex {
+	if st.spillBudget > 0 && e.recipe.WorkDir != "" {
+		dir := filepath.Join(cache.SpillDir(e.recipe.WorkDir, e.recipe.UseCache),
+			fmt.Sprintf("sigidx-p%d-s%d", phaseIdx, stageIdx))
+		return spill.NewDiskSet(dir, st.spillBudget)
+	}
+	return newMemSigIndex()
+}

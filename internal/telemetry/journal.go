@@ -26,6 +26,7 @@ const (
 	EvOpComplete       = "op_complete"
 	EvControllerReplan = "controller_replan"
 	EvCacheHit         = "cache_hit"
+	EvSpill            = "spill"
 	EvTrace            = "trace"
 	EvExport           = "export"
 	EvRunEnd           = "run_end"
@@ -75,6 +76,10 @@ type Event struct {
 	Shard    int  `json:"shard,omitempty"`
 	PlanIdx  int  `json:"plan_idx,omitempty"`
 	CacheHit bool `json:"cache_hit,omitempty"`
+
+	// SpillRuns counts the spill files (sorted runs / LSH partitions) a
+	// dedup index wrote; Bytes carries the spilled bytes (spill events).
+	SpillRuns int64 `json:"spill_runs,omitempty"`
 
 	Workers     int    `json:"workers,omitempty"`
 	ShardSize   int    `json:"shard_size,omitempty"`
@@ -278,6 +283,13 @@ func validateEvent(lineNo, idx int, e Event) error {
 	case EvCacheHit:
 		if e.Name == "" {
 			return fail("missing name")
+		}
+	case EvSpill:
+		if e.Name == "" {
+			return fail("missing name")
+		}
+		if e.SpillRuns <= 0 && e.Bytes <= 0 {
+			return fail("spill with no runs or bytes")
 		}
 	case EvTrace:
 		if e.Name == "" {

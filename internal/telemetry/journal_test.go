@@ -20,7 +20,7 @@ func TestGoldenJournalDecode(t *testing.T) {
 	}
 	wantTypes := []string{
 		EvRunStart, EvPlan, EvPhase, EvControllerReplan, EvCacheHit,
-		EvOpComplete, EvOpComplete, EvSpanEnd, EvTrace, EvExport,
+		EvOpComplete, EvOpComplete, EvSpill, EvSpanEnd, EvTrace, EvExport,
 		EvSpanEnd, EvRunEnd,
 	}
 	if len(events) != len(wantTypes) {
@@ -75,8 +75,12 @@ func TestGoldenTimeline(t *testing.T) {
 	if len(tl.Phases) != 1 || tl.Phases[0].Shards != 1 || tl.Phases[0].Dur != 600000 {
 		t.Errorf("phase aggregation wrong: %+v", tl.Phases)
 	}
+	if tl.Ops[1].SpillRuns != 3 || tl.Ops[1].SpillBytes != 2097152 {
+		t.Errorf("spill aggregation wrong: %+v", tl.Ops[1])
+	}
 	out := tl.Render()
-	for _, want := range []string{"run r1 [stream]", "fused_filter", "plan passes", "phases:"} {
+	for _, want := range []string{"run r1 [stream]", "fused_filter", "plan passes", "phases:",
+		"spill (disk-backed dedup indexes)", "spilled 3 runs, 2.0 MiB"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q:\n%s", want, out)
 		}
@@ -94,6 +98,8 @@ func TestDecodeRejects(t *testing.T) {
 		"unknown type":     `{"ts":1,"type":"run_start","run_id":"r","schema":1,"backend":"b"}` + "\n" + `{"ts":2,"type":"mystery","run_id":"r"}`,
 		"plan without ops": `{"ts":1,"type":"run_start","run_id":"r","schema":1,"backend":"b"}` + "\n" + `{"ts":2,"type":"plan","run_id":"r"}`,
 		"replan no fields": `{"ts":1,"type":"run_start","run_id":"r","schema":1,"backend":"b"}` + "\n" + `{"ts":2,"type":"controller_replan","run_id":"r"}`,
+		"spill no name":    `{"ts":1,"type":"run_start","run_id":"r","schema":1,"backend":"b"}` + "\n" + `{"ts":2,"type":"spill","run_id":"r","spill_runs":3}`,
+		"spill no volume":  `{"ts":1,"type":"run_start","run_id":"r","schema":1,"backend":"b"}` + "\n" + `{"ts":2,"type":"spill","run_id":"r","name":"dedup"}`,
 	}
 	for name, raw := range cases {
 		if _, err := DecodeJournal([]byte(raw)); err == nil {

@@ -430,6 +430,17 @@ func (r *Run) ObserveBackpressure(d time.Duration) {
 	r.bpWaitNs.Add(int64(d))
 }
 
+// ObserveSpill accounts one dedup index's spill activity: runs (spill
+// files) written and bytes spilled, labeled by op name.
+func (r *Run) ObserveSpill(op string, runs, bytes int64) {
+	if r == nil {
+		return
+	}
+	lbl := Label{Key: "op", Value: op}
+	r.Reg.Counter("dj_spill_runs_total", "dedup index spill files written", lbl).Add(runs)
+	r.Reg.Counter("dj_spill_bytes_total", "dedup index bytes spilled to disk", lbl).Add(bytes)
+}
+
 // ObserveShard records one shard's sample count.
 func (r *Run) ObserveShard(samples int) {
 	if r == nil {

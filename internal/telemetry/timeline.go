@@ -16,6 +16,8 @@ type OpTimeline struct {
 	Wall         time.Duration
 	Applications int
 	CacheHits    int
+	SpillRuns    int64
+	SpillBytes   int64
 }
 
 // PhaseTimeline aggregates one pipeline phase: its own span duration
@@ -110,6 +112,15 @@ func BuildTimeline(events []Event) (*Timeline, error) {
 			if e.CacheHit {
 				o.CacheHits++
 			}
+		case EvSpill:
+			o, ok := ops[e.Name]
+			if !ok {
+				o = &OpTimeline{Name: e.Name, PlanIdx: e.PlanIdx}
+				ops[e.Name] = o
+				opOrder = append(opOrder, e.Name)
+			}
+			o.SpillRuns += e.SpillRuns
+			o.SpillBytes += e.Bytes
 		case EvControllerReplan:
 			tl.Replans++
 		case EvRunEnd:
@@ -191,6 +202,20 @@ func (tl *Timeline) Render() string {
 			fmt.Fprintf(&b, "  %-44s %10s %5.1f%% |%-30s| %d -> %d (%d apps)%s\n",
 				o.Name, o.Wall.Round(time.Microsecond), share*100, bar,
 				o.In, o.Out, o.Applications, cache)
+		}
+	}
+
+	var spilled []OpTimeline
+	for _, o := range tl.Ops {
+		if o.SpillRuns > 0 || o.SpillBytes > 0 {
+			spilled = append(spilled, o)
+		}
+	}
+	if len(spilled) > 0 {
+		b.WriteString("\nspill (disk-backed dedup indexes):\n")
+		for _, o := range spilled {
+			fmt.Fprintf(&b, "  %-44s spilled %d runs, %.1f MiB\n",
+				o.Name, o.SpillRuns, float64(o.SpillBytes)/(1<<20))
 		}
 	}
 
