@@ -17,8 +17,15 @@
 //	djprocess -builtin minimal-clean -input "mix:a.jsonl@2,b.csv.gz@1" -output mixed.jsonl
 //	djprocess -stream -shard-size 1024 -recipe recipe.yaml -input "data/*.jsonl.gz" -output out.jsonl
 //	djprocess -stream -adaptive -max-workers 16 -target-mem-mb 512 -recipe recipe.yaml -input big.jsonl -output out.jsonl
+//	djprocess -workers 4 -recipe recipe.yaml -input big.jsonl -output out.jsonl
 //	djprocess -explain -recipe recipe.yaml
 //	djprocess -list-ops | -list-recipes
+//
+// -workers N (or -worker-addrs) switches on the multi-process
+// coordinator: shard-local stages are shipped to a fleet of djworker
+// subprocesses while dedup indexes, barriers and export stay in this
+// process, keeping the output byte-identical to a single-process run —
+// including when workers crash mid-run. See docs/distributed.md.
 //
 // Both backends execute the physical plan of the unified planner
 // (internal/plan): measured-cost reordering, context-sharing fusion, and
@@ -38,6 +45,7 @@ import (
 	"runtime/pprof"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/cache"
@@ -46,6 +54,7 @@ import (
 	"repro/internal/format"
 	_ "repro/internal/ops/all"
 	"repro/internal/plan"
+	"repro/internal/remote"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 
@@ -73,6 +82,10 @@ func main() {
 		listRecipes = flag.Bool("list-recipes", false, "list the built-in recipes with their input requirements and exit")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file (see docs/performance.md)")
 		memProfile  = flag.String("memprofile", "", "write a pprof allocation profile at exit to this file (see docs/performance.md)")
+		workers     = flag.Int("workers", 0, "spawn this many djworker subprocesses and distribute shard-local stages across them (implies -stream; see docs/distributed.md)")
+		workerAddrs = flag.String("worker-addrs", "", "comma-separated addresses of already-running djworkers to use instead of spawning (implies -stream)")
+		workerBin   = flag.String("worker-bin", "", "djworker binary to spawn (default: djworker next to this binary, then $PATH)")
+		distTimeout = flag.Duration("dist-timeout", 0, "per-stage timeout in distributed mode; a worker exceeding it is treated as failed (default 2m)")
 		listen      = flag.String("listen", "", "serve the live ops endpoint on this address during the run: /metrics, /progress, /debug/pprof/* (see docs/observability.md)")
 		linger      = flag.Bool("listen-linger", false, "keep the -listen endpoint serving after the run completes, until interrupted")
 		noJournal   = flag.Bool("no-journal", false, "disable the structured run journal (<work_dir>/journal/<run_id>.jsonl)")
@@ -172,9 +185,23 @@ func main() {
 		recipeSrc = *builtin
 	}
 
+	dopts := distOptions{
+		workers: *workers,
+		bin:     *workerBin,
+		timeout: *distTimeout,
+	}
+	if *workerAddrs != "" {
+		for _, a := range strings.Split(*workerAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				dopts.addrs = append(dopts.addrs, a)
+			}
+		}
+	}
+	distributed := dopts.workers > 0 || len(dopts.addrs) > 0
+
 	tele, srv := openTelemetry(recipe)
-	if *streamMode || recipe.Adaptive {
-		runStreaming(recipe, recipeSrc, inputSpec, *shardSize, *showPlan, *probe || *space, tele)
+	if *streamMode || recipe.Adaptive || distributed {
+		runStreaming(recipe, recipeSrc, inputSpec, *shardSize, *showPlan, *probe || *space, tele, dopts)
 	} else {
 		runBatch(recipe, recipeSrc, inputSpec, *showPlan, *probe, *space, tele)
 	}
@@ -321,22 +348,64 @@ func listBuiltinRecipes() {
 	}
 }
 
+// distOptions carries the -workers/-worker-addrs/-worker-bin/-dist-
+// timeout flags into the streaming runner.
+type distOptions struct {
+	workers int
+	addrs   []string
+	bin     string
+	timeout time.Duration
+}
+
+func (d distOptions) enabled() bool { return d.workers > 0 || len(d.addrs) > 0 }
+
 // runStreaming executes the recipe on the shard-pipelined engine: the
 // input is never fully resident, and export shards appear as the stream
-// progresses.
-func runStreaming(recipe *config.Recipe, recipeSrc, inputSpec string, shardSize int, showPlan, probeOrSpace bool, tele *telemetry.Run) {
+// progresses. With distributed options set it becomes the coordinator
+// of a djworker fleet — shard-local stages run in the workers, dedup
+// indexes, barriers and export stay here.
+func runStreaming(recipe *config.Recipe, recipeSrc, inputSpec string, shardSize int, showPlan, probeOrSpace bool, tele *telemetry.Run, dopts distOptions) {
 	if probeOrSpace {
 		fmt.Fprintln(os.Stderr, "djprocess: -probe/-space need the full dataset; ignored in -stream mode")
 	}
-	eng, err := stream.New(recipe, stream.Options{
+	backend := "stream"
+	var pool *remote.Pool
+	if dopts.enabled() {
+		backend = "dist"
+		var err error
+		pool, err = remote.NewPool(remote.PoolOptions{
+			Workers:      dopts.workers,
+			Addrs:        dopts.addrs,
+			WorkerBin:    dopts.bin,
+			WorkDir:      recipe.WorkDir,
+			StageTimeout: dopts.timeout,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer pool.Close()
+	}
+	opts := stream.Options{
 		ShardSize:      shardSize,
 		Adaptive:       recipe.Adaptive,
 		MaxWorkers:     recipe.MaxWorkers,
 		TargetMemBytes: int64(recipe.TargetMemMB) << 20,
 		Telemetry:      tele,
-	})
+	}
+	if pool != nil {
+		opts.Dispatch = pool
+	}
+	eng, err := stream.New(recipe, opts)
 	if err != nil {
 		fatal(err)
+	}
+	// run_start must be the journal's first event, so Begin precedes
+	// Configure (which journals one worker_start per fleet member).
+	tele.Begin(backend, recipeSrc, inputSpec, 0)
+	if pool != nil {
+		if err := pool.Configure(recipe, eng.Plan(), tele.ID(), tele); err != nil {
+			failRun(tele, err)
+		}
 	}
 	if showPlan {
 		fmt.Println("streaming execution plan:")
@@ -360,7 +429,6 @@ func runStreaming(recipe *config.Recipe, recipeSrc, inputSpec string, shardSize 
 		}
 		sink = sharded
 	}
-	tele.Begin("stream", recipeSrc, inputSpec, 0)
 	report, err := eng.Run(src, sink)
 	if err != nil {
 		failRun(tele, err)
@@ -379,6 +447,7 @@ func runStreaming(recipe *config.Recipe, recipeSrc, inputSpec string, shardSize 
 	// controller's self-report.
 	fmt.Print(telemetry.FormatOpTable(core.TelemetryRows(report.OpStats)))
 	fmt.Print(report.Metrics.Summary())
+	fmt.Print(report.DistSummary())
 	if tr := eng.Tracer(); tr != nil {
 		fmt.Print(tr.Summary())
 	}

@@ -19,9 +19,11 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/disttest"
 	"repro/internal/format"
 	"repro/internal/ops"
 	_ "repro/internal/ops/all"
+	"repro/internal/remote"
 	"repro/internal/stream"
 )
 
@@ -78,6 +80,50 @@ func randomRecipe(rng *rand.Rand) *config.Recipe {
 		r.Process = append(r.Process, conformancePool[idx](rng))
 	}
 	return r
+}
+
+// runDistStream runs the recipe on the streaming engine with a real
+// djworker fleet dispatching the shard-local stages — the distributed
+// conformance leg. The pool gets its own work dir so worker-side state
+// never touches the recipe's.
+func runDistStream(t *testing.T, r *config.Recipe, input string, adaptive bool, workers, shardSize int) ([]byte, *stream.Report) {
+	t.Helper()
+	pool, err := remote.NewPool(remote.PoolOptions{
+		Workers:   workers,
+		WorkerBin: disttest.WorkerBin(t),
+		WorkDir:   t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	eng, err := stream.New(r, stream.Options{
+		ShardSize:      shardSize,
+		Adaptive:       adaptive,
+		MaxWorkers:     4,
+		TargetMemBytes: 64 << 20,
+		Generation:     2,
+		Dispatch:       pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Configure(r, eng.Plan(), "conformance", nil); err != nil {
+		t.Fatal(err)
+	}
+	src, err := stream.OpenSource(input, shardSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := stream.NewShardedJSONLSink(filepath.Join(t.TempDir(), "dist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Run(src, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return readAll(t, sink.Paths()...), rep
 }
 
 func readAll(t *testing.T, paths ...string) []byte {
@@ -338,6 +384,42 @@ func TestCrossBackendConformance(t *testing.T) {
 			if adaptive && streamRep.Metrics == nil {
 				t.Error("adaptive run reported no controller metrics")
 			}
+
+			// Distributed leg: the same recipe over a real djworker fleet
+			// (2 or 4 workers by seed, spill forced on every third seed)
+			// must stay byte-identical to the batch reference with the
+			// same per-op sample flow in the merged report.
+			if testing.Short() {
+				return
+			}
+			distRecipe := *recipe
+			distRecipe.WorkDir = t.TempDir()
+			if seed%3 == 0 {
+				distRecipe.TargetMemMB = 1 // force dedup-index spill
+			}
+			workers := 2
+			if seed%2 == 0 {
+				workers = 4
+			}
+			distBytes, distRep := runDistStream(t, &distRecipe, input, adaptive, workers, shardSize)
+			if string(batchBytes) != string(distBytes) {
+				t.Fatalf("distributed export diverges: batch %d bytes, dist %d bytes (workers=%d adaptive=%v spill=%v)\nrecipe: %+v",
+					len(batchBytes), len(distBytes), workers, adaptive, seed%3 == 0, recipe.Process)
+			}
+			if distRep.Dist == nil {
+				t.Fatal("distributed run reported no fleet stats")
+			}
+			if distRep.Dist.Retries != 0 || distRep.Dist.Fallbacks != 0 {
+				t.Errorf("healthy fleet reported %d retries, %d fallbacks",
+					distRep.Dist.Retries, distRep.Dist.Fallbacks)
+			}
+			for i, b := range batchRep.OpStats {
+				s := distRep.OpStats[i]
+				if b.Name != s.Name || b.InCount != s.InCount || b.OutCount != s.OutCount {
+					t.Errorf("dist op %d: batch %s %d->%d, dist %s %d->%d",
+						i, b.Name, b.InCount, b.OutCount, s.Name, s.InCount, s.OutCount)
+				}
+			}
 		})
 	}
 }
@@ -457,6 +539,23 @@ func TestPlannerConformance(t *testing.T) {
 			if got := runStream(t, &onStreamCold, adaptive); string(got) != string(ref) {
 				t.Fatalf("stream (cold, adaptive=%v) changed the export: %d vs %d bytes",
 					adaptive, len(got), len(ref))
+			}
+
+			// Distributed over the warm sidecar: the coordinator ships the
+			// measured profiles over the wire, the workers replan from them,
+			// and the fingerprint handshake proves both processes derived
+			// the same measured-cost plan — still byte-identical to
+			// planner-off.
+			if !testing.Short() {
+				workers := 2
+				if seed%2 == 0 {
+					workers = 3
+				}
+				got, _ := runDistStream(t, &on, input, adaptive, workers, 41)
+				if string(got) != string(ref) {
+					t.Fatalf("distributed (warm profiles, adaptive=%v, workers=%d) changed the export: %d vs %d bytes",
+						adaptive, workers, len(got), len(ref))
+				}
 			}
 		})
 	}

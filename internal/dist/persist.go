@@ -87,6 +87,35 @@ func (s *ProfileSet) Observe(key, name string, costNS, selectivity float64) {
 	p.Selectivity = DefaultAlpha*selectivity + (1-DefaultAlpha)*p.Selectivity
 }
 
+// Export returns the stored profiles in deterministic key order, for
+// shipping over the coordinator/worker wire protocol.
+func (s *ProfileSet) Export() []StoredProfile {
+	keys := make([]string, 0, len(s.profiles))
+	for k := range s.profiles {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]StoredProfile, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *s.profiles[k])
+	}
+	return out
+}
+
+// FromProfiles rebuilds a set from exported profiles (the receive side of
+// Export). Entries without a key are dropped, mirroring LoadProfiles.
+func FromProfiles(profiles []StoredProfile) *ProfileSet {
+	set := NewProfileSet()
+	for i := range profiles {
+		p := profiles[i]
+		if p.Key == "" {
+			continue
+		}
+		set.profiles[p.Key] = &p
+	}
+	return set
+}
+
 // LoadProfiles reads a profile sidecar. A missing file is not an error —
 // it returns an empty set, the cold-start state every recipe begins in.
 // A malformed or version-skewed sidecar is reported as an error so the

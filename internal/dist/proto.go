@@ -1,0 +1,311 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// This file is the coordinator/worker wire protocol for multi-process
+// execution on one host. A djworker process serves four endpoints over
+// localhost HTTP:
+//
+//	GET  /v1/healthz    liveness probe ("ok")
+//	POST /v1/configure  JSON ConfigureRequest -> ConfigureResponse:
+//	                    ship the recipe + measured profiles, build the
+//	                    same physical plan, verify its fingerprint
+//	POST /v1/run        frame in -> frame out: apply a contiguous range
+//	                    of shard-local plan ops to one shard
+//	POST /v1/flush      JSON FlushRequest -> FlushResponse: quiesced
+//	                    end-of-run fused-member statistics
+//
+// A frame is one JSON header line followed by the shard's samples in
+// JSONL (the same byte-identical codec both backends export with), so
+// shard payloads never pass through a second serialization format.
+// Responses are validated structurally — sample count and per-op flow
+// indexes must match the header — and any mismatch is treated as a
+// corrupt response, which the scheduler retries elsewhere.
+
+// ProtoVersion guards the coordinator/worker wire format. The
+// coordinator sends it in ConfigureRequest; workers reject a mismatch
+// rather than misinterpreting frames.
+const ProtoVersion = 1
+
+// ConfigureRequest ships everything a worker needs to rebuild the
+// coordinator's physical plan: the resolved recipe (JSON round-trip of
+// config.Recipe) and the measured cost profiles the planner consumed,
+// so measured-cost reordering makes identical decisions in both
+// processes. Fingerprint is the coordinator's plan identity; the worker
+// rejects the configure if its own plan disagrees.
+type ConfigureRequest struct {
+	Proto       int             `json:"proto"`
+	RunID       string          `json:"run_id"`
+	Recipe      json.RawMessage `json:"recipe"`
+	Profiles    []StoredProfile `json:"profiles,omitempty"`
+	Fingerprint string          `json:"fingerprint"`
+}
+
+// ConfigureResponse acknowledges a configure. On fingerprint or proto
+// mismatch OK is false and Error says why.
+type ConfigureResponse struct {
+	OK          bool   `json:"ok"`
+	Fingerprint string `json:"fingerprint"`
+	PlanOps     int    `json:"plan_ops"`
+	Error       string `json:"error,omitempty"`
+}
+
+// RunHeader is the request header line of a /v1/run frame: apply plan
+// ops [FromOp, ToOp) to the attached shard.
+type RunHeader struct {
+	RunID   string `json:"run_id"`
+	Shard   int    `json:"shard"`
+	FromOp  int    `json:"from_op"`
+	ToOp    int    `json:"to_op"`
+	Samples int    `json:"samples"`
+}
+
+// OpFlow is one op's measured flow through one shard on a worker. The
+// coordinator folds these into its own journal and report, tagged with
+// the worker's lane.
+type OpFlow struct {
+	PlanIdx int    `json:"plan_idx"`
+	Name    string `json:"name"`
+	In      int64  `json:"in"`
+	Out     int64  `json:"out"`
+	Bytes   int64  `json:"bytes,omitempty"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// ResultHeader is the response header line of a /v1/run frame.
+type ResultHeader struct {
+	Shard   int      `json:"shard"`
+	Samples int      `json:"samples"`
+	Flows   []OpFlow `json:"flows,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// FlushRequest asks a worker for its quiesced end-of-run statistics.
+type FlushRequest struct {
+	RunID string `json:"run_id"`
+}
+
+// MemberFlow is one fused-filter member's accumulated attribution on a
+// worker, reported at flush time (member atomics are only safe to take
+// once the worker is quiesced).
+type MemberFlow struct {
+	PlanIdx int    `json:"plan_idx"`
+	Name    string `json:"name"`
+	In      int64  `json:"in"`
+	Out     int64  `json:"out"`
+	Samples int64  `json:"samples"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// FlushResponse carries a worker's end-of-run fused-member statistics.
+type FlushResponse struct {
+	Members []MemberFlow `json:"members,omitempty"`
+}
+
+// WriteFrame encodes one header-line + JSONL-samples frame.
+func WriteFrame(w io.Writer, header any, d *dataset.Dataset) error {
+	raw, err := json.Marshal(header)
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if _, err := w.Write(raw); err != nil {
+		return err
+	}
+	if d == nil {
+		return nil
+	}
+	return d.WriteJSONL(w)
+}
+
+// ReadFrame decodes a frame written by WriteFrame: the first line into
+// header, the remainder as the shard's samples.
+func ReadFrame(r io.Reader, header any) (*dataset.Dataset, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	line, err := br.ReadBytes('\n')
+	if err != nil && (err != io.EOF || len(line) == 0) {
+		return nil, fmt.Errorf("dist: frame header: %w", err)
+	}
+	if err := json.Unmarshal(line, header); err != nil {
+		return nil, fmt.Errorf("dist: frame header: %w", err)
+	}
+	d, err := dataset.ReadJSONL(br)
+	if err != nil {
+		return nil, fmt.Errorf("dist: frame payload: %w", err)
+	}
+	return d, nil
+}
+
+// WorkerClient is the coordinator's handle on one djworker process.
+type WorkerClient struct {
+	ID   int // 1-based worker ID (0 is the coordinator itself)
+	Addr string
+	http *http.Client
+}
+
+// NewWorkerClient builds a client for one worker. The timeout bounds
+// every request end-to-end — a hung worker surfaces as a timeout error,
+// which the scheduler treats like any other failed attempt.
+func NewWorkerClient(id int, addr string, timeout time.Duration) *WorkerClient {
+	return &WorkerClient{ID: id, Addr: addr, http: &http.Client{Timeout: timeout}}
+}
+
+func (c *WorkerClient) url(path string) string {
+	return "http://" + c.Addr + path
+}
+
+// Healthz probes worker liveness.
+func (c *WorkerClient) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/healthz"), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: worker %d healthz: HTTP %d", c.ID, resp.StatusCode)
+	}
+	return nil
+}
+
+// RejectError is a worker's explicit refusal to configure — a proto or
+// plan-fingerprint mismatch. It is a correctness failure the
+// coordinator must fail the run on, unlike a transport error, which
+// just means one fleet member died and the rest can carry its load.
+type RejectError struct {
+	Worker int
+	Reason string
+}
+
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("dist: worker %d rejected configure: %s", e.Worker, e.Reason)
+}
+
+// Configure ships the plan inputs to the worker and verifies the plan
+// fingerprint matches the coordinator's. An explicit refusal surfaces
+// as *RejectError; anything else is a transport failure.
+func (c *WorkerClient) Configure(req ConfigureRequest) (ConfigureResponse, error) {
+	var out ConfigureResponse
+	if err := c.postJSON("/v1/configure", req, &out); err != nil {
+		return out, err
+	}
+	if !out.OK {
+		return out, &RejectError{Worker: c.ID, Reason: out.Error}
+	}
+	return out, nil
+}
+
+// Flush fetches the worker's quiesced end-of-run statistics.
+func (c *WorkerClient) Flush(runID string) (FlushResponse, error) {
+	var out FlushResponse
+	err := c.postJSON("/v1/flush", FlushRequest{RunID: runID}, &out)
+	return out, err
+}
+
+func (c *WorkerClient) postJSON(path string, in, out any) error {
+	raw, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.url(path), "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: worker %d %s: HTTP %d: %s", c.ID, path, resp.StatusCode, truncate(body))
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("dist: worker %d %s: %w", c.ID, path, err)
+	}
+	return nil
+}
+
+// RunStage ships one shard to the worker, applies plan ops
+// [h.FromOp, h.ToOp), and returns the surviving samples plus per-op
+// flows. Structural mismatches (sample count, flow indexes) are
+// reported as errors — a corrupt response is indistinguishable from a
+// broken worker and must be retried elsewhere.
+func (c *WorkerClient) RunStage(h RunHeader, d *dataset.Dataset) (*dataset.Dataset, ResultHeader, error) {
+	h.Samples = d.Len()
+	var buf bytes.Buffer
+	buf.Grow(int(d.TotalBytes()) + 512)
+	if err := WriteFrame(&buf, h, d); err != nil {
+		return nil, ResultHeader{}, err
+	}
+	resp, err := c.http.Post(c.url("/v1/run"), "application/x-dj-frame", &buf)
+	if err != nil {
+		return nil, ResultHeader{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return nil, ResultHeader{}, fmt.Errorf("dist: worker %d run: HTTP %d: %s",
+			c.ID, resp.StatusCode, truncate(body))
+	}
+	var rh ResultHeader
+	out, err := ReadFrame(resp.Body, &rh)
+	if err != nil {
+		return nil, ResultHeader{}, fmt.Errorf("dist: worker %d shard %d: %w", c.ID, h.Shard, err)
+	}
+	if rh.Error != "" {
+		return nil, rh, fmt.Errorf("dist: worker %d shard %d: %s", c.ID, h.Shard, rh.Error)
+	}
+	if err := validateResult(h, rh, out.Len()); err != nil {
+		return nil, rh, fmt.Errorf("dist: worker %d: %w", c.ID, err)
+	}
+	return out, rh, nil
+}
+
+// validateResult rejects structurally corrupt run responses: wrong
+// shard echo, sample count disagreeing with the payload, or per-op
+// flows that do not cover exactly the requested plan range in order.
+func validateResult(h RunHeader, rh ResultHeader, gotSamples int) error {
+	if rh.Shard != h.Shard {
+		return fmt.Errorf("shard %d: response for shard %d", h.Shard, rh.Shard)
+	}
+	if rh.Samples != gotSamples {
+		return fmt.Errorf("shard %d: header says %d samples, payload has %d",
+			h.Shard, rh.Samples, gotSamples)
+	}
+	if len(rh.Flows) != h.ToOp-h.FromOp {
+		return fmt.Errorf("shard %d: %d flows for %d ops", h.Shard, len(rh.Flows), h.ToOp-h.FromOp)
+	}
+	for i, f := range rh.Flows {
+		if f.PlanIdx != h.FromOp+i {
+			return fmt.Errorf("shard %d: flow %d has plan_idx %d, want %d",
+				h.Shard, i, f.PlanIdx, h.FromOp+i)
+		}
+		if f.In < 0 || f.Out < 0 || f.DurNS < 0 {
+			return fmt.Errorf("shard %d: flow %d has negative counts", h.Shard, i)
+		}
+	}
+	return nil
+}
+
+func truncate(b []byte) string {
+	const max = 256
+	if len(b) > max {
+		b = b[:max]
+	}
+	return string(bytes.TrimSpace(b))
+}

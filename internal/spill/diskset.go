@@ -69,10 +69,14 @@ func NewDiskSet(dir string, budget int64) *DiskSet {
 
 // AddBatch tests-and-inserts each signature in order, setting novel[i]
 // true exactly when sigs[i] was not present before this call (first
-// occurrence wins, including duplicates within the batch).
+// occurrence wins, including duplicates within the batch). Every slot
+// of novel is written: callers reuse the slice across batches, so a
+// skipped slot would leak the previous batch's verdict and let a
+// duplicate through.
 func (s *DiskSet) AddBatch(sigs []uint64, novel []bool) error {
 	for i, sig := range sigs {
 		if _, ok := s.delta[sig]; ok {
+			novel[i] = false
 			continue
 		}
 		hit, err := s.probeRuns(sig)
@@ -80,6 +84,7 @@ func (s *DiskSet) AddBatch(sigs []uint64, novel []bool) error {
 			return err
 		}
 		if hit {
+			novel[i] = false
 			continue
 		}
 		novel[i] = true

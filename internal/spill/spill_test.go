@@ -127,12 +127,18 @@ func TestDiskSetMatchesMap(t *testing.T) {
 	const rounds = 100
 	const batch = 512
 	sigs := make([]uint64, batch)
+	// novel starts dirty and is deliberately never cleared between
+	// rounds: the streaming turnstile reuses its scratch slice the same
+	// way, so AddBatch must write every slot — a skipped duplicate slot
+	// would leak the previous batch's verdict.
 	novel := make([]bool, batch)
+	for i := range novel {
+		novel[i] = true
+	}
 	for round := 0; round < rounds; round++ {
 		for i := range sigs {
 			// Small key space so cross-batch duplicates are common.
 			sigs[i] = rng.Uint64() % 12000
-			novel[i] = false
 		}
 		if err := s.AddBatch(sigs, novel); err != nil {
 			t.Fatal(err)

@@ -79,6 +79,12 @@ type Options struct {
 	// per-op metrics, journal events (phases, shard spans, op
 	// completions, cache hits, controller replans), and tracer lineage.
 	Telemetry *telemetry.Run
+	// Dispatch, when non-nil, routes shard-local stages to remote
+	// workers (the multi-process coordinator mode). Shared-index and
+	// barrier stages always run in-process; a dispatcher that reports
+	// dist.ErrNoWorkers degrades the stage to in-process execution.
+	// See dispatch.go.
+	Dispatch StageDispatcher
 }
 
 // Engine is the streaming execution backend for one recipe.
@@ -94,6 +100,7 @@ type Engine struct {
 	ctrl        *Controller
 	tuning      dist.Tuning
 	tele        *telemetry.Run
+	dispatch    StageDispatcher
 }
 
 // stage kinds inside one phase.
@@ -183,6 +190,7 @@ func New(r *config.Recipe, opts Options) (*Engine, error) {
 		shardSize:   opts.ShardSize,
 		maxInFlight: opts.MaxInFlight,
 		np:          dataset.Workers(r.NP),
+		dispatch:    opts.Dispatch,
 	}
 	if e.shardSize <= 0 {
 		e.shardSize = DefaultShardSize
@@ -391,6 +399,17 @@ func (e *Engine) Run(src Source, sink Sink) (*Report, error) {
 			ms := ff.TakeMemberStats()
 			rep.OpStats[i].Members = ms
 			exec[i].Members = ms
+		}
+	}
+	// Distributed runs: fold the fleet's quiesced member attribution in
+	// (workers execute the fused ops, so the coordinator-side counters
+	// above only saw fallback work) and attach the fleet statistics.
+	if e.dispatch != nil {
+		if mf, ok := e.dispatch.(MemberFlusher); ok {
+			mergeMemberFlows(rep.OpStats, exec, mf.FinishMembers())
+		}
+		if ds, ok := e.dispatch.(dist.Statser); ok {
+			rep.Dist = ds.DistStats()
 		}
 	}
 	_ = core.PersistProfiles(e.plan, exec)
@@ -663,7 +682,12 @@ func (p *phaseRun) processShard(sh *Shard) error {
 			// runs behind a shared-index stage depend on other shards'
 			// signatures (see the plan's cache-boundary pass).
 			var hit bool
-			d, hit, err = p.runLocal(st, d, st.cacheable && e.store != nil, sh.Index, shardSpan)
+			useCache := st.cacheable && e.store != nil
+			if e.dispatch != nil {
+				d, hit, err = p.runLocalDispatch(st, d, useCache, sh.Index, shardSpan)
+			} else {
+				d, hit, err = p.runLocal(st, d, useCache, sh.Index, shardSpan)
+			}
 			resumed = resumed || hit
 		case stageIndex:
 			d, err = p.runIndex(si, st, sh.Index, d, shardSpan)
@@ -692,15 +716,28 @@ func (p *phaseRun) processShard(sh *Shard) error {
 // runLocal applies one run of shard-local ops, mirroring the batch
 // executor's chain-cache discipline per shard when useCache is set.
 func (p *phaseRun) runLocal(st stage, d *dataset.Dataset, useCache bool, shardIdx int, shardSpan int64) (*dataset.Dataset, bool, error) {
-	e := p.eng
 	chainKey := ""
 	if useCache {
 		chainKey = cache.Key(d.Fingerprint(), "stream-shard", nil)
 	}
+	out, hits, err := p.runLocalFrom(st, d, 0, chainKey, useCache, shardIdx, shardSpan)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, hits == len(st.ops) && hits > 0, nil
+}
+
+// runLocalFrom is runLocal starting at op index `from` with the chain
+// cache key already folded up to it — the in-process fallback entry
+// point for a dispatched stage whose cached prefix was consumed before
+// the fleet died. It returns the cache hits seen from `from` onward.
+func (p *phaseRun) runLocalFrom(st stage, d *dataset.Dataset, from int, chainKey string, useCache bool, shardIdx int, shardSpan int64) (*dataset.Dataset, int, error) {
+	e := p.eng
 	hits := 0
-	for i, op := range st.ops {
+	for i := from; i < len(st.ops); i++ {
+		op := st.ops[i]
 		if p.aborted() {
-			return nil, false, errAborted
+			return nil, 0, errAborted
 		}
 		opStart := time.Now()
 		inCount := d.Len()
@@ -708,7 +745,7 @@ func (p *phaseRun) runLocal(st stage, d *dataset.Dataset, useCache bool, shardId
 		if useCache {
 			key = e.runner.OpCacheKey(chainKey, op)
 			if cached, ok, err := e.store.Get(key); err != nil {
-				return nil, false, err
+				return nil, 0, err
 			} else if ok {
 				d = cached
 				chainKey = key
@@ -730,12 +767,12 @@ func (p *phaseRun) runLocal(st stage, d *dataset.Dataset, useCache bool, shardId
 		}
 		out, err := e.runner.ApplyOp(op, d, 1)
 		if err != nil {
-			return nil, false, fmt.Errorf("stream: op %d (%s): %w", st.planIdx[i], op.Name(), err)
+			return nil, 0, fmt.Errorf("stream: op %d (%s): %w", st.planIdx[i], op.Name(), err)
 		}
 		d = out
 		if useCache {
 			if err := e.store.Put(key, d); err != nil {
-				return nil, false, err
+				return nil, 0, err
 			}
 			chainKey = key
 		}
@@ -751,7 +788,7 @@ func (p *phaseRun) runLocal(st stage, d *dataset.Dataset, useCache bool, shardId
 			})
 		}
 	}
-	return d, hits == len(st.ops) && hits > 0, nil
+	return d, hits, nil
 }
 
 // runIndex passes one shard through a shared-signature dedup stage.

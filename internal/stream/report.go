@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/plan"
 	"repro/internal/telemetry"
 )
@@ -49,6 +50,87 @@ type Report struct {
 	// Metrics is the adaptive controller's self-report (nil when the
 	// engine ran with fixed parameters).
 	Metrics *Metrics
+	// Dist is the worker fleet's statistics (nil for in-process runs).
+	Dist *dist.RunStats
+}
+
+// Merge folds another report into this one. Merging is associative and
+// commutative in every aggregate — counts and durations sum, per-op
+// entries match by plan index and fused members by name, Total takes
+// the max (partial reports describe overlapping wall time), ShardCount
+// and ResumedShards sum, and Dist merges through dist.RunStats.Merge.
+// The receiver owns all merged state afterwards; o is not mutated.
+func (r *Report) Merge(o *Report) {
+	if o == nil {
+		return
+	}
+	if len(r.OpStats) < len(o.OpStats) {
+		grown := make([]core.OpStat, len(o.OpStats))
+		copy(grown, r.OpStats)
+		r.OpStats = grown
+		r.PlanSize = o.PlanSize
+	}
+	for i := range o.OpStats {
+		os := &o.OpStats[i]
+		rs := &r.OpStats[i]
+		if rs.Name == "" {
+			rs.Name = os.Name
+			rs.PlanIndex = os.PlanIndex
+			rs.CacheHit = os.CacheHit
+		} else {
+			rs.CacheHit = rs.CacheHit && os.CacheHit
+		}
+		rs.InCount += os.InCount
+		rs.OutCount += os.OutCount
+		rs.Duration += os.Duration
+		if os.Workers > rs.Workers {
+			rs.Workers = os.Workers
+		}
+		rs.Members = mergeMembers(rs.Members, os.Members)
+	}
+	r.Shards = append(r.Shards, o.Shards...)
+	r.ShardCount += o.ShardCount
+	r.InCount += o.InCount
+	r.OutCount += o.OutCount
+	r.ResumedShards += o.ResumedShards
+	if o.Total > r.Total {
+		r.Total = o.Total
+	}
+	if r.Metrics == nil {
+		r.Metrics = o.Metrics
+	}
+	if o.Dist != nil {
+		if r.Dist == nil {
+			r.Dist = &dist.RunStats{}
+		}
+		r.Dist.Merge(*o.Dist)
+	}
+}
+
+// mergeMembers sums fused-member attribution by name without mutating
+// either input slice's backing array beyond the receiver's copy.
+func mergeMembers(dst, src []plan.MemberStat) []plan.MemberStat {
+	if len(src) == 0 {
+		return dst
+	}
+	out := append([]plan.MemberStat(nil), dst...)
+	for _, m := range src {
+		found := false
+		for j := range out {
+			if out[j].Name == m.Name {
+				out[j].In += m.In
+				out[j].Out += m.Out
+				out[j].Samples += m.Samples
+				out[j].Duration += m.Duration
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 // Summary renders the report in the style of the batch CLI output. The
@@ -64,6 +146,28 @@ func (r *Report) Summary() string {
 	b.WriteString(")\n")
 	b.WriteString(telemetry.FormatOpTable(core.TelemetryRows(r.OpStats)))
 	b.WriteString(r.Metrics.Summary())
+	b.WriteString(r.DistSummary())
+	return b.String()
+}
+
+// DistSummary renders the worker-fleet section of the summary (empty
+// for in-process runs).
+func (r *Report) DistSummary() string {
+	d := r.Dist
+	if d == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "distributed: %d workers, %d retries, %d steals, %d in-process fallbacks\n",
+		len(d.Workers), d.Retries, d.Steals, d.Fallbacks)
+	for _, w := range d.Workers {
+		flag := ""
+		if w.Dead {
+			flag = " DEAD"
+		}
+		fmt.Fprintf(&b, "  w%-2d %-21s %d stages, %d steals, %d retries%s\n",
+			w.Worker, w.Addr, w.Stages, w.Steals, w.Retries, flag)
+	}
 	return b.String()
 }
 

@@ -13,7 +13,10 @@ import (
 
 // SchemaVersion identifies the journal event schema. It is stamped on
 // the run_start event; readers reject journals from a newer schema.
-const SchemaVersion = 1
+// Version 2 added the distributed-runtime events (worker_start,
+// worker_retry, shard_steal) and the worker/addr fields; version-1
+// journals remain valid.
+const SchemaVersion = 2
 
 // Journal event types. Every line in a journal file is one Event whose
 // Type is one of these constants.
@@ -30,6 +33,15 @@ const (
 	EvTrace            = "trace"
 	EvExport           = "export"
 	EvRunEnd           = "run_end"
+
+	// Distributed-runtime events (schema v2). worker_start records one
+	// djworker joining the run; worker_retry records one failed stage
+	// attempt against a worker (the shard was re-dispatched); shard_steal
+	// records a shard routed away from its home worker — to balance load
+	// or because the home worker is dead.
+	EvWorkerStart = "worker_start"
+	EvWorkerRetry = "worker_retry"
+	EvShardSteal  = "shard_steal"
 )
 
 // PlanOp is the journal's view of one physical plan node, embedded in
@@ -76,6 +88,13 @@ type Event struct {
 	Shard    int  `json:"shard,omitempty"`
 	PlanIdx  int  `json:"plan_idx,omitempty"`
 	CacheHit bool `json:"cache_hit,omitempty"`
+
+	// Worker is the 1-based djworker ID an event belongs to (0 = the
+	// coordinator itself): the lane key of the distributed timeline.
+	// op_complete events for remotely executed ops carry it too.
+	Worker int `json:"worker,omitempty"`
+	// Addr is the worker's listen address (worker_start).
+	Addr string `json:"addr,omitempty"`
 
 	// SpillRuns counts the spill files (sorted runs / LSH partitions) a
 	// dedup index wrote; Bytes carries the spilled bytes (spill events).
@@ -294,6 +313,24 @@ func validateEvent(lineNo, idx int, e Event) error {
 	case EvTrace:
 		if e.Name == "" {
 			return fail("missing name")
+		}
+	case EvWorkerStart:
+		if e.Worker <= 0 {
+			return fail("missing worker")
+		}
+		if e.Addr == "" {
+			return fail("missing addr")
+		}
+	case EvWorkerRetry:
+		if e.Worker <= 0 {
+			return fail("missing worker")
+		}
+		if e.Why == "" {
+			return fail("missing why")
+		}
+	case EvShardSteal:
+		if e.Worker <= 0 {
+			return fail("missing worker")
 		}
 	case EvExport:
 		if e.Input == "" && e.Note == "" {

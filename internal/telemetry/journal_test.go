@@ -19,9 +19,9 @@ func TestGoldenJournalDecode(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantTypes := []string{
-		EvRunStart, EvPlan, EvPhase, EvControllerReplan, EvCacheHit,
-		EvOpComplete, EvOpComplete, EvSpill, EvSpanEnd, EvTrace, EvExport,
-		EvSpanEnd, EvRunEnd,
+		EvRunStart, EvPlan, EvPhase, EvWorkerStart, EvControllerReplan,
+		EvCacheHit, EvOpComplete, EvOpComplete, EvSpill, EvWorkerRetry,
+		EvShardSteal, EvSpanEnd, EvTrace, EvExport, EvSpanEnd, EvRunEnd,
 	}
 	if len(events) != len(wantTypes) {
 		t.Fatalf("decoded %d events, want %d", len(events), len(wantTypes))
@@ -78,9 +78,21 @@ func TestGoldenTimeline(t *testing.T) {
 	if tl.Ops[1].SpillRuns != 3 || tl.Ops[1].SpillBytes != 2097152 {
 		t.Errorf("spill aggregation wrong: %+v", tl.Ops[1])
 	}
+	if len(tl.Workers) != 2 {
+		t.Fatalf("got %d worker lanes, want 2: %+v", len(tl.Workers), tl.Workers)
+	}
+	w1, w2 := tl.Workers[0], tl.Workers[1]
+	if w1.Worker != 1 || w1.Addr != "127.0.0.1:43117" || w1.Ops != 1 ||
+		w1.In != 50 || w1.Out != 40 || w1.Wall != 300000 || w1.Steals != 1 || w1.Disconnected {
+		t.Errorf("worker 1 lane wrong: %+v", w1)
+	}
+	if w2.Worker != 2 || w2.Retries != 1 || !w2.Disconnected {
+		t.Errorf("worker 2 lane wrong: %+v", w2)
+	}
 	out := tl.Render()
 	for _, want := range []string{"run r1 [stream]", "fused_filter", "plan passes", "phases:",
-		"spill (disk-backed dedup indexes)", "spilled 3 runs, 2.0 MiB"} {
+		"spill (disk-backed dedup indexes)", "spilled 3 runs, 2.0 MiB",
+		"workers:", "w1  127.0.0.1:43117", "1 retries", "DISCONNECTED"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q:\n%s", want, out)
 		}
@@ -100,6 +112,14 @@ func TestDecodeRejects(t *testing.T) {
 		"replan no fields": `{"ts":1,"type":"run_start","run_id":"r","schema":1,"backend":"b"}` + "\n" + `{"ts":2,"type":"controller_replan","run_id":"r"}`,
 		"spill no name":    `{"ts":1,"type":"run_start","run_id":"r","schema":1,"backend":"b"}` + "\n" + `{"ts":2,"type":"spill","run_id":"r","spill_runs":3}`,
 		"spill no volume":  `{"ts":1,"type":"run_start","run_id":"r","schema":1,"backend":"b"}` + "\n" + `{"ts":2,"type":"spill","run_id":"r","name":"dedup"}`,
+		"worker_start no worker": `{"ts":1,"type":"run_start","run_id":"r","schema":2,"backend":"b"}` + "\n" +
+			`{"ts":2,"type":"worker_start","run_id":"r","addr":"127.0.0.1:1"}`,
+		"worker_start no addr": `{"ts":1,"type":"run_start","run_id":"r","schema":2,"backend":"b"}` + "\n" +
+			`{"ts":2,"type":"worker_start","run_id":"r","worker":1}`,
+		"worker_retry no why": `{"ts":1,"type":"run_start","run_id":"r","schema":2,"backend":"b"}` + "\n" +
+			`{"ts":2,"type":"worker_retry","run_id":"r","worker":1}`,
+		"shard_steal no worker": `{"ts":1,"type":"run_start","run_id":"r","schema":2,"backend":"b"}` + "\n" +
+			`{"ts":2,"type":"shard_steal","run_id":"r","shard":3}`,
 	}
 	for name, raw := range cases {
 		if _, err := DecodeJournal([]byte(raw)); err == nil {

@@ -32,6 +32,22 @@ type PhaseTimeline struct {
 	SlowestShard int
 }
 
+// WorkerTimeline aggregates one djworker's lane of a distributed run:
+// the stage work routed to it, the failures charged against it, and its
+// activity span inside the run (for the lane bar).
+type WorkerTimeline struct {
+	Worker       int
+	Addr         string
+	Ops          int   // op_complete events executed on this worker
+	In, Out      int64 // sample flow through those ops
+	Wall         time.Duration
+	Retries      int // failed attempts charged against this worker
+	Steals       int // shards this worker stole from another's assignment
+	FirstTS      int64
+	LastTS       int64
+	Disconnected bool // at least one retry marked it suspect
+}
+
 // Timeline is the reconstruction of one run from its journal.
 type Timeline struct {
 	RunID     string
@@ -47,9 +63,13 @@ type Timeline struct {
 	Replans   int
 	Truncated bool // journal had no run_end (crash or live tail)
 
-	Ops    []OpTimeline
-	Phases []PhaseTimeline
-	Passes []PlanPass
+	Ops     []OpTimeline
+	Phases  []PhaseTimeline
+	Passes  []PlanPass
+	Workers []WorkerTimeline // distributed runs: one lane per djworker
+
+	startTS int64 // first event timestamp (lane bar origin)
+	endTS   int64 // last event timestamp
 }
 
 // BuildTimeline folds a validated event stream into per-op and
@@ -63,9 +83,30 @@ func BuildTimeline(events []Event) (*Timeline, error) {
 	ops := map[string]*OpTimeline{}
 	phases := map[int]*PhaseTimeline{}
 	phaseOf := map[int64]int{} // phase span ID -> phase number
+	workers := map[int]*WorkerTimeline{}
 	var opOrder []string
+	laneOf := func(id int) *WorkerTimeline {
+		w, ok := workers[id]
+		if !ok {
+			w = &WorkerTimeline{Worker: id, FirstTS: 1<<63 - 1}
+			workers[id] = w
+		}
+		return w
+	}
+	touch := func(w *WorkerTimeline, ts int64) {
+		if ts < w.FirstTS {
+			w.FirstTS = ts
+		}
+		if ts > w.LastTS {
+			w.LastTS = ts
+		}
+	}
 
+	tl.startTS = events[0].TS
 	for _, e := range events {
+		if e.TS > tl.endTS {
+			tl.endTS = e.TS
+		}
 		switch e.Type {
 		case EvRunStart:
 			tl.RunID, tl.Backend, tl.Recipe, tl.Input = e.RunID, e.Backend, e.Recipe, e.Input
@@ -112,6 +153,14 @@ func BuildTimeline(events []Event) (*Timeline, error) {
 			if e.CacheHit {
 				o.CacheHits++
 			}
+			if e.Worker > 0 {
+				w := laneOf(e.Worker)
+				w.Ops++
+				w.In += e.In
+				w.Out += e.Out
+				w.Wall += time.Duration(e.DurNS)
+				touch(w, e.TS)
+			}
 		case EvSpill:
 			o, ok := ops[e.Name]
 			if !ok {
@@ -123,6 +172,19 @@ func BuildTimeline(events []Event) (*Timeline, error) {
 			o.SpillBytes += e.Bytes
 		case EvControllerReplan:
 			tl.Replans++
+		case EvWorkerStart:
+			w := laneOf(e.Worker)
+			w.Addr = e.Addr
+			touch(w, e.TS)
+		case EvWorkerRetry:
+			w := laneOf(e.Worker)
+			w.Retries++
+			w.Disconnected = true
+			touch(w, e.TS)
+		case EvShardSteal:
+			w := laneOf(e.Worker)
+			w.Steals++
+			touch(w, e.TS)
 		case EvRunEnd:
 			tl.Truncated = false
 			tl.Status, tl.Error = e.Status, e.Error
@@ -140,6 +202,10 @@ func BuildTimeline(events []Event) (*Timeline, error) {
 		tl.Phases = append(tl.Phases, *ph)
 	}
 	sort.Slice(tl.Phases, func(i, j int) bool { return tl.Phases[i].Phase < tl.Phases[j].Phase })
+	for _, w := range workers {
+		tl.Workers = append(tl.Workers, *w)
+	}
+	sort.Slice(tl.Workers, func(i, j int) bool { return tl.Workers[i].Worker < tl.Workers[j].Worker })
 	if tl.Truncated && len(events) > 0 {
 		last := events[len(events)-1]
 		first := events[0]
@@ -216,6 +282,35 @@ func (tl *Timeline) Render() string {
 		for _, o := range spilled {
 			fmt.Fprintf(&b, "  %-44s spilled %d runs, %.1f MiB\n",
 				o.Name, o.SpillRuns, float64(o.SpillBytes)/(1<<20))
+		}
+	}
+
+	if len(tl.Workers) > 0 {
+		b.WriteString("\nworkers:\n")
+		const width = 30
+		span := tl.endTS - tl.startTS
+		for _, w := range tl.Workers {
+			bar := []byte(strings.Repeat(".", width))
+			if span > 0 && w.LastTS >= w.FirstTS {
+				lo := int(float64(w.FirstTS-tl.startTS) / float64(span) * width)
+				hi := int(float64(w.LastTS-tl.startTS) / float64(span) * width)
+				if lo < 0 {
+					lo = 0
+				}
+				if hi >= width {
+					hi = width - 1
+				}
+				for i := lo; i <= hi; i++ {
+					bar[i] = '#'
+				}
+			}
+			flags := ""
+			if w.Disconnected {
+				flags = " DISCONNECTED"
+			}
+			fmt.Fprintf(&b, "  w%-2d %-21s |%s| %d ops %d -> %d, %s busy, %d retries, %d steals%s\n",
+				w.Worker, w.Addr, bar, w.Ops, w.In, w.Out,
+				w.Wall.Round(time.Microsecond), w.Retries, w.Steals, flags)
 		}
 	}
 
