@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	djworker [-id N] [-listen 127.0.0.1:0] [-work-dir DIR]
+//	djworker [-id N] [-listen 127.0.0.1:0] [-work-dir DIR] [-max-proto N]
 //
 // The worker prints "ready <addr>" on stdout once it is serving — with
 // -listen 127.0.0.1:0 that line is how the coordinator learns the
@@ -40,9 +40,10 @@ import (
 
 func main() {
 	var (
-		id      = flag.Int("id", 1, "1-based worker ID (journal lane)")
-		listen  = flag.String("listen", "127.0.0.1:0", "address to serve on (port 0 = OS-assigned, reported on the ready line)")
-		workDir = flag.String("work-dir", "", "private work directory (default: a temp dir)")
+		id       = flag.Int("id", 1, "1-based worker ID (journal lane)")
+		listen   = flag.String("listen", "127.0.0.1:0", "address to serve on (port 0 = OS-assigned, reported on the ready line)")
+		workDir  = flag.String("work-dir", "", "private work directory (default: a temp dir)")
+		maxProto = flag.Int("max-proto", 0, "cap the negotiated wire version (0 = newest supported; 1 emulates a v1-only worker)")
 	)
 	flag.Parse()
 
@@ -57,7 +58,7 @@ func main() {
 		fatal(err)
 	}
 
-	srv := &remote.WorkerServer{ID: *id, WorkDir: wd}
+	srv := &remote.WorkerServer{ID: *id, WorkDir: wd, MaxProto: *maxProto}
 	if spec := os.Getenv("DJ_FAULT"); spec != "" {
 		f, err := remote.ParseFault(spec)
 		if err != nil {

@@ -233,6 +233,12 @@ func (lzjCodec) Decode(src []byte) ([]byte, error) {
 		offset := int(src[i]) | int(src[i+1])<<8
 		i += 2
 		matchLen := int(mlRaw) + lzjMinMatch
+		// A match may never carry the output past the declared length:
+		// without this check a corrupt varint could drive an unbounded
+		// copy loop before the final length comparison ran.
+		if mlRaw > uint64(want) || len(out)+matchLen > want {
+			return nil, fmt.Errorf("lzj: match overruns declared length %d", want)
+		}
 		start := len(out) - offset
 		if start < 0 || offset == 0 {
 			return nil, fmt.Errorf("lzj: invalid offset %d at output size %d", offset, len(out))

@@ -72,6 +72,11 @@ type Recipe struct {
 	// bounded disk runs when TargetMemMB is set. On by default; with no
 	// TargetMemMB it has no effect.
 	DedupSpill bool
+	// DistCompress enables lzj compression of the frames exchanged with
+	// djworker fleets over the v2 dispatch wire (djprocess -dist-compress,
+	// recipe key dist_compress). v1 workers ignore it. Off by default:
+	// loopback fleets are rarely bandwidth-bound.
+	DistCompress bool
 	// EnableTrace records per-OP lineage for the tracer.
 	EnableTrace bool
 	// Listen, when non-empty, serves the live ops endpoint on this
@@ -137,6 +142,8 @@ func FromMap(m map[string]any) (*Recipe, error) {
 			r.TargetMemMB = asInt(v)
 		case "dedup_spill":
 			r.DedupSpill = asBool(v)
+		case "dist_compress":
+			r.DistCompress = asBool(v)
 		case "trace":
 			r.EnableTrace = asBool(v)
 		case "listen":
@@ -171,8 +178,8 @@ var recipeKeys = []string{
 	"project_name", "dataset_path", "sources", "export_path", "np",
 	"text_key", "use_cache", "use_checkpoint", "cache_compression",
 	"op_fusion", "use_profiles", "adaptive", "max_workers",
-	"target_mem_mb", "dedup_spill", "trace", "listen", "journal",
-	"work_dir", "process",
+	"target_mem_mb", "dedup_spill", "dist_compress", "trace", "listen",
+	"journal", "work_dir", "process",
 }
 
 // KnownRecipeKeys returns every recognized recipe key.
@@ -358,6 +365,9 @@ func (r *Recipe) ApplyEnv(getenv func(string) string) {
 	}
 	if v := getenv("DJ_DEDUP_SPILL"); v != "" {
 		r.DedupSpill = v == "true" || v == "1"
+	}
+	if v := getenv("DJ_DIST_COMPRESS"); v != "" {
+		r.DistCompress = v == "true" || v == "1"
 	}
 	if v := getenv("DJ_EXPORT_PATH"); v != "" {
 		r.ExportPath = v

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/dataset"
@@ -26,17 +27,34 @@ import (
 //	POST /v1/flush      JSON FlushRequest -> FlushResponse: quiesced
 //	                    end-of-run fused-member statistics
 //
-// A frame is one JSON header line followed by the shard's samples in
+// A v1 frame is one JSON header line followed by the shard's samples in
 // JSONL (the same byte-identical codec both backends export with), so
 // shard payloads never pass through a second serialization format.
 // Responses are validated structurally — sample count and per-op flow
 // indexes must match the header — and any mismatch is treated as a
 // corrupt response, which the scheduler retries elsewhere.
+//
+// Workers that negotiate protocol v2 at configure time additionally
+// serve POST /v2/run, which exchanges the streaming binary columnar
+// frames of frame2.go (optionally lzj-compressed, optionally answering
+// a filter-only stage with a keep-mask delta instead of the shard).
+// The same structural validation applies, so a corrupt v2 frame is
+// retried exactly like a corrupt v1 frame.
 
 // ProtoVersion guards the coordinator/worker wire format. The
 // coordinator sends it in ConfigureRequest; workers reject a mismatch
-// rather than misinterpreting frames.
+// rather than misinterpreting frames. v2 is strictly additive, so the
+// base version stays 1 and the extension is negotiated via MaxProto:
+// old workers ignore the unknown field and answer without a proto,
+// which the coordinator reads as v1.
 const ProtoVersion = 1
+
+// ProtoV2 adds the /v2/run endpoint: streaming columnar frames,
+// optional lzj block compression, and keep-mask delta responses.
+const (
+	ProtoV2         = 2
+	MaxProtoVersion = ProtoV2
+)
 
 // ConfigureRequest ships everything a worker needs to rebuild the
 // coordinator's physical plan: the resolved recipe (JSON round-trip of
@@ -46,6 +64,7 @@ const ProtoVersion = 1
 // rejects the configure if its own plan disagrees.
 type ConfigureRequest struct {
 	Proto       int             `json:"proto"`
+	MaxProto    int             `json:"max_proto,omitempty"`
 	RunID       string          `json:"run_id"`
 	Recipe      json.RawMessage `json:"recipe"`
 	Profiles    []StoredProfile `json:"profiles,omitempty"`
@@ -53,22 +72,31 @@ type ConfigureRequest struct {
 }
 
 // ConfigureResponse acknowledges a configure. On fingerprint or proto
-// mismatch OK is false and Error says why.
+// mismatch OK is false and Error says why. Proto is the wire version
+// the worker commits to (absent from v1 workers, which the coordinator
+// reads as 1).
 type ConfigureResponse struct {
 	OK          bool   `json:"ok"`
+	Proto       int    `json:"proto,omitempty"`
 	Fingerprint string `json:"fingerprint"`
 	PlanOps     int    `json:"plan_ops"`
 	Error       string `json:"error,omitempty"`
 }
 
-// RunHeader is the request header line of a /v1/run frame: apply plan
-// ops [FromOp, ToOp) to the attached shard.
+// RunHeader is the request header line of a run frame: apply plan ops
+// [FromOp, ToOp) to the attached shard. Delta and Compress only travel
+// on /v2/run: Delta asks for a keep-mask response when the range is
+// filter-only (the worker re-derives eligibility from its own plan and
+// falls back to a full frame if it disagrees), Compress asks for lzj
+// block compression on the response body.
 type RunHeader struct {
-	RunID   string `json:"run_id"`
-	Shard   int    `json:"shard"`
-	FromOp  int    `json:"from_op"`
-	ToOp    int    `json:"to_op"`
-	Samples int    `json:"samples"`
+	RunID    string `json:"run_id"`
+	Shard    int    `json:"shard"`
+	FromOp   int    `json:"from_op"`
+	ToOp     int    `json:"to_op"`
+	Samples  int    `json:"samples"`
+	Delta    bool   `json:"delta,omitempty"`
+	Compress bool   `json:"compress,omitempty"`
 }
 
 // OpFlow is one op's measured flow through one shard on a worker. The
@@ -83,10 +111,13 @@ type OpFlow struct {
 	DurNS   int64  `json:"dur_ns"`
 }
 
-// ResultHeader is the response header line of a /v1/run frame.
+// ResultHeader is the response header line of a run frame. Delta (v2
+// only) says the attached frame is a keep-mask delta rather than the
+// full surviving shard.
 type ResultHeader struct {
 	Shard   int      `json:"shard"`
 	Samples int      `json:"samples"`
+	Delta   bool     `json:"delta,omitempty"`
 	Flows   []OpFlow `json:"flows,omitempty"`
 	Error   string   `json:"error,omitempty"`
 }
@@ -149,16 +180,49 @@ func ReadFrame(r io.Reader, header any) (*dataset.Dataset, error) {
 
 // WorkerClient is the coordinator's handle on one djworker process.
 type WorkerClient struct {
-	ID   int // 1-based worker ID (0 is the coordinator itself)
-	Addr string
-	http *http.Client
+	ID    int // 1-based worker ID (0 is the coordinator itself)
+	Addr  string
+	http  *http.Client
+	proto int // negotiated wire version; 0 means v1
+}
+
+// sharedTransport carries every worker client: dispatch issues many
+// small sequential requests per worker, and keeping connections alive
+// across stages removes per-request TCP setup from the hot path.
+var sharedTransport = &http.Transport{
+	MaxIdleConns:        64,
+	MaxIdleConnsPerHost: 8,
+	IdleConnTimeout:     60 * time.Second,
 }
 
 // NewWorkerClient builds a client for one worker. The timeout bounds
 // every request end-to-end — a hung worker surfaces as a timeout error,
 // which the scheduler treats like any other failed attempt.
 func NewWorkerClient(id int, addr string, timeout time.Duration) *WorkerClient {
-	return &WorkerClient{ID: id, Addr: addr, http: &http.Client{Timeout: timeout}}
+	return &WorkerClient{ID: id, Addr: addr, http: &http.Client{
+		Timeout:   timeout,
+		Transport: sharedTransport,
+	}}
+}
+
+// Proto reports the negotiated wire version (1 until SetProto raises it).
+func (c *WorkerClient) Proto() int {
+	if c.proto == 0 {
+		return ProtoVersion
+	}
+	return c.proto
+}
+
+// SetProto records the wire version a worker committed to at configure
+// time, clamped to the range this coordinator speaks.
+func (c *WorkerClient) SetProto(v int) {
+	if v < ProtoVersion {
+		v = ProtoVersion
+	}
+	if v > MaxProtoVersion {
+		v = MaxProtoVersion
+	}
+	c.proto = v
 }
 
 func (c *WorkerClient) url(path string) string {
@@ -240,40 +304,142 @@ func (c *WorkerClient) postJSON(path string, in, out any) error {
 	return nil
 }
 
+// runBufPool recycles v1 request buffers across stages; buffers grown
+// past runBufKeepCap are dropped instead of pinning shard-sized memory.
+var runBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const (
+	runBufGrowCap = 4 << 20
+	runBufKeepCap = 8 << 20
+)
+
 // RunStage ships one shard to the worker, applies plan ops
 // [h.FromOp, h.ToOp), and returns the surviving samples plus per-op
-// flows. Structural mismatches (sample count, flow indexes) are
-// reported as errors — a corrupt response is indistinguishable from a
-// broken worker and must be retried elsewhere.
-func (c *WorkerClient) RunStage(h RunHeader, d *dataset.Dataset) (*dataset.Dataset, ResultHeader, error) {
-	h.Samples = d.Len()
-	var buf bytes.Buffer
-	buf.Grow(int(d.TotalBytes()) + 512)
-	if err := WriteFrame(&buf, h, d); err != nil {
-		return nil, ResultHeader{}, err
+// flows and wire accounting. Structural mismatches (sample count, flow
+// indexes) are reported as errors — a corrupt response is
+// indistinguishable from a broken worker and must be retried elsewhere.
+// Workers negotiated at ProtoV2 take the streaming columnar path.
+func (c *WorkerClient) RunStage(h RunHeader, d *dataset.Dataset) (*dataset.Dataset, ResultHeader, WireStat, error) {
+	if c.Proto() >= ProtoV2 {
+		return c.runStageV2(h, d)
 	}
-	resp, err := c.http.Post(c.url("/v1/run"), "application/x-dj-frame", &buf)
+	h.Samples = d.Len()
+	h.Delta, h.Compress = false, false
+	ws := WireStat{Proto: ProtoVersion}
+	buf := runBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= runBufKeepCap {
+			runBufPool.Put(buf)
+		}
+	}()
+	buf.Grow(min(int(d.TotalBytes())+512, runBufGrowCap))
+	if err := WriteFrame(buf, h, d); err != nil {
+		return nil, ResultHeader{}, ws, err
+	}
+	ws.Sent = int64(buf.Len())
+	ws.RawSent = ws.Sent
+	resp, err := c.http.Post(c.url("/v1/run"), "application/x-dj-frame", buf)
 	if err != nil {
-		return nil, ResultHeader{}, err
+		return nil, ResultHeader{}, ws, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-		return nil, ResultHeader{}, fmt.Errorf("dist: worker %d run: HTTP %d: %s",
+		return nil, ResultHeader{}, ws, fmt.Errorf("dist: worker %d run: HTTP %d: %s",
 			c.ID, resp.StatusCode, truncate(body))
 	}
+	cr := &countReader{r: resp.Body}
 	var rh ResultHeader
-	out, err := ReadFrame(resp.Body, &rh)
+	out, err := ReadFrame(cr, &rh)
+	ws.Recv, ws.RawRecv = cr.n, cr.n
 	if err != nil {
-		return nil, ResultHeader{}, fmt.Errorf("dist: worker %d shard %d: %w", c.ID, h.Shard, err)
+		return nil, ResultHeader{}, ws, fmt.Errorf("dist: worker %d shard %d: %w", c.ID, h.Shard, err)
 	}
 	if rh.Error != "" {
-		return nil, rh, fmt.Errorf("dist: worker %d shard %d: %s", c.ID, h.Shard, rh.Error)
+		return nil, rh, ws, fmt.Errorf("dist: worker %d shard %d: %s", c.ID, h.Shard, rh.Error)
 	}
 	if err := validateResult(h, rh, out.Len()); err != nil {
-		return nil, rh, fmt.Errorf("dist: worker %d: %w", c.ID, err)
+		return nil, rh, ws, fmt.Errorf("dist: worker %d: %w", c.ID, err)
 	}
-	return out, rh, nil
+	return out, rh, ws, nil
+}
+
+// runStageV2 is the ProtoV2 exchange: the shard streams out through an
+// io.Pipe as a columnar frame (no request-sized buffer), and the
+// response is either a full frame or — when h.Delta was honoured — a
+// keep-mask delta applied to the coordinator's retained samples. All
+// validation happens before any retained sample is touched, so a
+// corrupt delta leaves d intact for the retry.
+func (c *WorkerClient) runStageV2(h RunHeader, d *dataset.Dataset) (*dataset.Dataset, ResultHeader, WireStat, error) {
+	h.Samples = d.Len()
+	ws := WireStat{Proto: ProtoV2}
+	pr, pw := io.Pipe()
+	var sentWire, sentRaw int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wire, raw, err := WriteFrame2(pw, h, d, h.Compress)
+		sentWire, sentRaw = wire, raw
+		pw.CloseWithError(err)
+	}()
+	resp, err := c.http.Post(c.url("/v2/run"), "application/x-dj-frame2", pr)
+	// The transport finished with the body either way (success drains
+	// it, failure closes it), so the encoder goroutine has exited.
+	<-done
+	ws.Sent, ws.RawSent = sentWire, sentRaw
+	if err != nil {
+		return nil, ResultHeader{}, ws, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return nil, ResultHeader{}, ws, fmt.Errorf("dist: worker %d run: HTTP %d: %s",
+			c.ID, resp.StatusCode, truncate(body))
+	}
+	fr := NewFrame2Reader(resp.Body)
+	var rh ResultHeader
+	if err := fr.Header(&rh); err != nil {
+		return nil, ResultHeader{}, ws, fmt.Errorf("dist: worker %d shard %d: %w", c.ID, h.Shard, err)
+	}
+	if rh.Error != "" {
+		return nil, rh, ws, fmt.Errorf("dist: worker %d shard %d: %s", c.ID, h.Shard, rh.Error)
+	}
+	f, err := fr.Body()
+	if err != nil {
+		return nil, rh, ws, fmt.Errorf("dist: worker %d shard %d: %w", c.ID, h.Shard, err)
+	}
+	ws.Recv, ws.RawRecv = f.Wire, f.Raw
+	ws.Delta = f.Delta
+	if rh.Delta != f.Delta {
+		return nil, rh, ws, fmt.Errorf("dist: worker %d shard %d: header delta=%v, frame delta=%v",
+			c.ID, h.Shard, rh.Delta, f.Delta)
+	}
+	if !f.Delta {
+		if err := validateResult(h, rh, f.Data.Len()); err != nil {
+			return nil, rh, ws, fmt.Errorf("dist: worker %d: %w", c.ID, err)
+		}
+		return f.Data, rh, ws, nil
+	}
+	if !h.Delta {
+		return nil, rh, ws, fmt.Errorf("dist: worker %d shard %d: unrequested delta response", c.ID, h.Shard)
+	}
+	if f.InCount != d.Len() {
+		return nil, rh, ws, fmt.Errorf("dist: worker %d shard %d: delta covers %d inputs, sent %d",
+			c.ID, h.Shard, f.InCount, d.Len())
+	}
+	if err := validateResult(h, rh, f.Data.Len()); err != nil {
+		return nil, rh, ws, fmt.Errorf("dist: worker %d: %w", c.ID, err)
+	}
+	kept := ApplyKeepMask(d.Samples, f.Mask)
+	if len(kept) != f.Data.Len() {
+		return nil, rh, ws, fmt.Errorf("dist: worker %d shard %d: mask keeps %d, frame carries %d",
+			c.ID, h.Shard, len(kept), f.Data.Len())
+	}
+	for i, s := range kept {
+		s.Stats = f.Data.Samples[i].Stats
+	}
+	return dataset.New(kept), rh, ws, nil
 }
 
 // validateResult rejects structurally corrupt run responses: wrong

@@ -83,13 +83,17 @@ type Worker struct {
 // StartWorker launches one djworker outside any pool — the hook for
 // tests that SIGKILL a fleet member from the outside (a failure no
 // in-process fault can model) and for dialed -worker-addrs fleets.
-// fault, when non-empty, is the worker's DJ_FAULT spec. The worker is
-// torn down at test cleanup; Kill ends it sooner.
-func StartWorker(t testing.TB, id int, fault string) *Worker {
+// fault, when non-empty, is the worker's DJ_FAULT spec; extraArgs are
+// appended to the djworker command line (e.g. "-max-proto", "1" to
+// emulate an old v1-only worker). The worker is torn down at test
+// cleanup; Kill ends it sooner.
+func StartWorker(t testing.TB, id int, fault string, extraArgs ...string) *Worker {
 	t.Helper()
 	bin := WorkerBin(t)
-	cmd := exec.Command(bin, "-id", fmt.Sprint(id), "-listen", "127.0.0.1:0",
-		"-work-dir", filepath.Join(t.TempDir(), fmt.Sprintf("w%d", id)))
+	args := []string{"-id", fmt.Sprint(id), "-listen", "127.0.0.1:0",
+		"-work-dir", filepath.Join(t.TempDir(), fmt.Sprintf("w%d", id))}
+	args = append(args, extraArgs...)
+	cmd := exec.Command(bin, args...)
 	env := os.Environ()
 	if fault != "" {
 		env = append(env, "DJ_FAULT="+fault)

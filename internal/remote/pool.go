@@ -10,10 +10,12 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/dist"
 	"repro/internal/plan"
@@ -47,17 +49,43 @@ type PoolOptions struct {
 	// Env appends extra environment entries to spawned workers, after
 	// the DJ_FAULT scrubbing described in fault.go (test hook).
 	Env []string
+	// MaxProto caps the wire version the coordinator offers at
+	// configure time (0 means everything it speaks). Benchmarks and
+	// tests pin 1 here to measure/emulate a v1 exchange.
+	MaxProto int
 }
 
 // Pool is the coordinator's handle on the worker fleet: it owns the
 // subprocesses, the routing scheduler, and the journal events that
 // record fleet activity.
 type Pool struct {
-	sched   *dist.Scheduler
-	procs   []*exec.Cmd
-	timeout time.Duration
-	runID   string
-	tele    *telemetry.Run
+	sched    *dist.Scheduler
+	procs    []*exec.Cmd
+	timeout  time.Duration
+	runID    string
+	tele     *telemetry.Run
+	maxProto int
+
+	// Stage routing hints derived at configure time: per plan node,
+	// whether it is a pure filter (keep-mask delta eligible), and
+	// whether frames should be lzj-compressed.
+	filterOnly []bool
+	compress   bool
+
+	// Wire accounting, accumulated per completed stage exchange.
+	wmu         sync.Mutex
+	wire        map[int]*wireAgg
+	wireFlushed bool
+}
+
+// wireAgg sums one worker's completed stage exchanges.
+type wireAgg struct {
+	proto       int
+	deltaStages int
+	sent        int64
+	recv        int64
+	rawSent     int64
+	rawRecv     int64
 }
 
 // NewPool spawns (or dials) the fleet and waits for every worker to
@@ -67,7 +95,11 @@ func NewPool(opts PoolOptions) (*Pool, error) {
 	if timeout <= 0 {
 		timeout = DefaultStageTimeout
 	}
-	p := &Pool{timeout: timeout}
+	maxProto := opts.MaxProto
+	if maxProto <= 0 || maxProto > dist.MaxProtoVersion {
+		maxProto = dist.MaxProtoVersion
+	}
+	p := &Pool{timeout: timeout, maxProto: maxProto, wire: map[int]*wireAgg{}}
 
 	var clients []*dist.WorkerClient
 	if len(opts.Addrs) > 0 {
@@ -206,6 +238,11 @@ func waitHealthy(ctx context.Context, c *dist.WorkerClient) error {
 // its load; only a fully unreachable fleet fails.
 func (p *Pool) Configure(r *config.Recipe, pl *plan.Plan, runID string, tele *telemetry.Run) error {
 	p.runID, p.tele = runID, tele
+	p.compress = r.DistCompress
+	p.filterOnly = make([]bool, len(pl.Nodes))
+	for i := range pl.Nodes {
+		p.filterOnly[i] = core.OpKind(pl.Nodes[i].Op) == "filter"
+	}
 	rawRecipe, err := json.Marshal(r)
 	if err != nil {
 		return err
@@ -217,12 +254,13 @@ func (p *Pool) Configure(r *config.Recipe, pl *plan.Plan, runID string, tele *te
 		}
 	}
 	req := dist.ConfigureRequest{
-		Proto: dist.ProtoVersion, RunID: runID, Recipe: rawRecipe,
+		Proto: dist.ProtoVersion, MaxProto: p.maxProto, RunID: runID, Recipe: rawRecipe,
 		Profiles: profiles, Fingerprint: PlanFingerprint(pl),
 	}
 	configured := 0
 	for _, c := range p.sched.Clients() {
-		if _, err := c.Configure(req); err != nil {
+		resp, err := c.Configure(req)
+		if err != nil {
 			var rej *dist.RejectError
 			if errors.As(err, &rej) {
 				return err
@@ -235,11 +273,14 @@ func (p *Pool) Configure(r *config.Recipe, pl *plan.Plan, runID string, tele *te
 			}
 			continue
 		}
+		// Old workers answer without a proto (0); SetProto clamps that
+		// to v1 and caps anything newer at what this coordinator speaks.
+		c.SetProto(resp.Proto)
 		configured++
 		if tele != nil {
 			tele.Emit(telemetry.Event{
 				Type: telemetry.EvWorkerStart, Parent: tele.RunSpan(),
-				Worker: c.ID, Addr: c.Addr,
+				Worker: c.ID, Addr: c.Addr, Proto: c.Proto(),
 			})
 		}
 	}
@@ -256,7 +297,10 @@ func (p *Pool) Configure(r *config.Recipe, pl *plan.Plan, runID string, tele *te
 // caller executes the stage in-process — same ops, same order, same
 // bytes.
 func (p *Pool) RunStage(shard, fromOp, toOp int, d *dataset.Dataset) (*dataset.Dataset, []dist.OpFlow, int, error) {
-	h := dist.RunHeader{RunID: p.runID, Shard: shard, FromOp: fromOp, ToOp: toOp}
+	h := dist.RunHeader{
+		RunID: p.runID, Shard: shard, FromOp: fromOp, ToOp: toOp,
+		Delta: p.deltaEligible(fromOp, toOp), Compress: p.compress,
+	}
 	for {
 		route := p.sched.Pick(shard)
 		if route.Worker == nil {
@@ -268,7 +312,7 @@ func (p *Pool) RunStage(shard, fromOp, toOp int, d *dataset.Dataset) (*dataset.D
 				Shard: shard, Why: route.Why,
 			})
 		}
-		out, rh, err := route.Worker.RunStage(h, d)
+		out, rh, ws, err := route.Worker.RunStage(h, d)
 		if err != nil {
 			p.sched.Fail(route.Worker)
 			if p.tele != nil {
@@ -280,13 +324,82 @@ func (p *Pool) RunStage(shard, fromOp, toOp int, d *dataset.Dataset) (*dataset.D
 			continue
 		}
 		p.sched.Done(route.Worker)
+		p.observeWire(route.Worker.ID, ws)
 		return out, rh.Flows, route.Worker.ID, nil
 	}
 }
 
-// DistStats snapshots the fleet's run statistics for the report.
+// deltaEligible reports whether every plan node in [fromOp, toOp) is a
+// pure filter, making the stage a keep-mask delta candidate.
+func (p *Pool) deltaEligible(fromOp, toOp int) bool {
+	if fromOp < 0 || toOp > len(p.filterOnly) || fromOp >= toOp {
+		return false
+	}
+	for i := fromOp; i < toOp; i++ {
+		if !p.filterOnly[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// observeWire folds one completed stage exchange into the per-worker
+// accounting and the live metrics counters.
+func (p *Pool) observeWire(worker int, ws dist.WireStat) {
+	p.wmu.Lock()
+	agg := p.wire[worker]
+	if agg == nil {
+		agg = &wireAgg{}
+		p.wire[worker] = agg
+	}
+	agg.proto = max(agg.proto, ws.Proto)
+	agg.sent += ws.Sent
+	agg.recv += ws.Recv
+	agg.rawSent += ws.RawSent
+	agg.rawRecv += ws.RawRecv
+	if ws.Delta {
+		agg.deltaStages++
+	}
+	p.wmu.Unlock()
+	if p.tele != nil {
+		p.tele.ObserveWire(worker, ws.Sent, ws.Recv, ws.RawSent, ws.RawRecv)
+	}
+}
+
+// DistStats snapshots the fleet's run statistics for the report,
+// including the wire accounting, and journals one worker_wire event per
+// worker the first time it runs (the stream engine calls it once, after
+// the last stage).
 func (p *Pool) DistStats() *dist.RunStats {
 	st := p.sched.Stats()
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	for i := range st.Workers {
+		agg := p.wire[st.Workers[i].Worker]
+		if agg == nil {
+			continue
+		}
+		st.Workers[i].Proto = agg.proto
+		st.Workers[i].DeltaStages = agg.deltaStages
+		st.Workers[i].BytesSent = agg.sent
+		st.Workers[i].BytesRecv = agg.recv
+		st.Workers[i].RawBytesSent = agg.rawSent
+		st.Workers[i].RawBytesRecv = agg.rawRecv
+		st.DeltaStages += agg.deltaStages
+		st.BytesSent += agg.sent
+		st.BytesRecv += agg.recv
+		st.RawBytesSent += agg.rawSent
+		st.RawBytesRecv += agg.rawRecv
+		if p.tele != nil && !p.wireFlushed {
+			p.tele.Emit(telemetry.Event{
+				Type: telemetry.EvWorkerWire, Worker: st.Workers[i].Worker,
+				Proto: agg.proto, DeltaStages: agg.deltaStages,
+				BytesSent: agg.sent, BytesRecv: agg.recv,
+				RawBytesSent: agg.rawSent, RawBytesRecv: agg.rawRecv,
+			})
+		}
+	}
+	p.wireFlushed = true
 	return &st
 }
 

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/dist"
 	"repro/internal/plan"
 	"repro/internal/telemetry"
@@ -61,10 +62,21 @@ type WorkerServer struct {
 	WorkDir string
 	// Fault is the armed fault injection (zero = healthy).
 	Fault Fault
+	// MaxProto caps the wire version this worker negotiates (0 means
+	// everything it speaks). Capping at 1 emulates an old fleet member:
+	// /v2/run is not even registered.
+	MaxProto int
 
 	mu   sync.Mutex
-	runs int // /v1/run requests served, for the fault trigger
+	runs int // run requests served (both versions), for the fault trigger
 	sess *session
+}
+
+func (w *WorkerServer) maxProto() int {
+	if w.MaxProto <= 0 || w.MaxProto > dist.MaxProtoVersion {
+		return dist.MaxProtoVersion
+	}
+	return w.MaxProto
 }
 
 // Handler returns the worker's HTTP mux.
@@ -74,6 +86,9 @@ func (w *WorkerServer) Handler() http.Handler {
 	mux.HandleFunc("/v1/configure", w.handleConfigure)
 	mux.HandleFunc("/v1/run", w.handleRun)
 	mux.HandleFunc("/v1/flush", w.handleFlush)
+	if w.maxProto() >= dist.ProtoV2 {
+		mux.HandleFunc("/v2/run", w.handleRunV2)
+	}
 	return mux
 }
 
@@ -146,14 +161,25 @@ func (w *WorkerServer) configure(creq dist.ConfigureRequest) dist.ConfigureRespo
 		old.tele.End("ok", 0, 0, nil, nil)
 		old.tele.Close()
 	}
-	return dist.ConfigureResponse{OK: true, Fingerprint: fp, PlanOps: len(p.Nodes)}
+	// Negotiate the wire version: the highest both sides speak. Old
+	// coordinators omit MaxProto (0), which pins the run to v1.
+	neg := min(creq.MaxProto, w.maxProto())
+	if neg < dist.ProtoVersion {
+		neg = dist.ProtoVersion
+	}
+	return dist.ConfigureResponse{OK: true, Proto: neg, Fingerprint: fp, PlanOps: len(p.Nodes)}
 }
 
-func (w *WorkerServer) handleRun(rw http.ResponseWriter, req *http.Request) {
+// faultGate arms the shared run counter and fires the injected fault
+// when this request is the trigger. It reports true when the fault
+// consumed the request (corrupt mode already wrote garbage). Both run
+// endpoints share one counter, so DJ_FAULT specs count stages
+// regardless of the wire version in play.
+func (w *WorkerServer) faultGate(rw http.ResponseWriter) (sess *session, handled bool) {
 	w.mu.Lock()
 	idx := w.runs
 	w.runs++
-	sess := w.sess
+	sess = w.sess
 	w.mu.Unlock()
 
 	if w.Fault.Active() && idx == w.Fault.After {
@@ -167,46 +193,38 @@ func (w *WorkerServer) handleRun(rw http.ResponseWriter, req *http.Request) {
 			select {}
 		case "corrupt":
 			rw.Write([]byte("{\"shard\":0,\"samples\":999}\nthis is not a frame\n"))
-			return
+			return sess, true
 		}
 	}
+	return sess, false
+}
 
-	var h dist.RunHeader
-	d, err := dist.ReadFrame(req.Body, &h)
-	fail := func(format string, args ...any) {
-		dist.WriteFrame(rw, dist.ResultHeader{Shard: h.Shard, Error: fmt.Sprintf(format, args...)}, nil)
-	}
-	if err != nil {
-		fail("decode: %v", err)
-		return
-	}
+// runOps validates the requested op range and applies it to d. It
+// returns the surviving dataset and per-op flows, or an error message
+// for the response header.
+func (w *WorkerServer) runOps(sess *session, h dist.RunHeader, d *dataset.Dataset) (*dataset.Dataset, []dist.OpFlow, string) {
 	if sess == nil || sess.runID != h.RunID {
-		fail("not configured for run %s", h.RunID)
-		return
+		return nil, nil, fmt.Sprintf("not configured for run %s", h.RunID)
 	}
 	if h.FromOp < 0 || h.ToOp > len(sess.plan.Nodes) || h.FromOp >= h.ToOp {
-		fail("op range [%d,%d) outside plan of %d nodes", h.FromOp, h.ToOp, len(sess.plan.Nodes))
-		return
+		return nil, nil, fmt.Sprintf("op range [%d,%d) outside plan of %d nodes", h.FromOp, h.ToOp, len(sess.plan.Nodes))
 	}
 	if d.Len() != h.Samples {
-		fail("request says %d samples, payload has %d", h.Samples, d.Len())
-		return
+		return nil, nil, fmt.Sprintf("request says %d samples, payload has %d", h.Samples, d.Len())
 	}
 
 	flows := make([]dist.OpFlow, 0, h.ToOp-h.FromOp)
 	for i := h.FromOp; i < h.ToOp; i++ {
 		node := &sess.plan.Nodes[i]
 		if node.Capability != plan.ShardLocal {
-			fail("op %d (%s) is not shard-local", i, node.Op.Name())
-			return
+			return nil, nil, fmt.Sprintf("op %d (%s) is not shard-local", i, node.Op.Name())
 		}
 		in := d.Len()
 		inBytes := d.TotalBytes()
 		start := time.Now()
 		out, err := sess.runner.ApplyOp(node.Op, d, 1)
 		if err != nil {
-			fail("op %d (%s): %v", i, node.Op.Name(), err)
-			return
+			return nil, nil, fmt.Sprintf("op %d (%s): %v", i, node.Op.Name(), err)
 		}
 		dur := time.Since(start)
 		d = out
@@ -223,10 +241,100 @@ func (w *WorkerServer) handleRun(rw http.ResponseWriter, req *http.Request) {
 			})
 		}
 	}
-	if err := dist.WriteFrame(rw, dist.ResultHeader{Shard: h.Shard, Samples: d.Len(), Flows: flows}, d); err != nil {
-		// The response is already partially written; nothing to salvage.
+	return d, flows, ""
+}
+
+func (w *WorkerServer) handleRun(rw http.ResponseWriter, req *http.Request) {
+	sess, handled := w.faultGate(rw)
+	if handled {
 		return
 	}
+	var h dist.RunHeader
+	d, err := dist.ReadFrame(req.Body, &h)
+	if err != nil {
+		dist.WriteFrame(rw, dist.ResultHeader{Shard: h.Shard, Error: fmt.Sprintf("decode: %v", err)}, nil)
+		return
+	}
+	out, flows, errmsg := w.runOps(sess, h, d)
+	if errmsg != "" {
+		dist.WriteFrame(rw, dist.ResultHeader{Shard: h.Shard, Error: errmsg}, nil)
+		return
+	}
+	// A write error means the response is already partially on the
+	// wire; nothing to salvage.
+	dist.WriteFrame(rw, dist.ResultHeader{Shard: h.Shard, Samples: out.Len(), Flows: flows}, out)
+}
+
+// handleRunV2 is the protocol-v2 stage endpoint: the request arrives as
+// a streaming columnar frame, and when the coordinator asked for a
+// delta and every op in range is a pure filter, the response is just
+// the keep bitmap plus the kept samples' stats columns. Error responses
+// stay header-line-only, exactly like v1.
+func (w *WorkerServer) handleRunV2(rw http.ResponseWriter, req *http.Request) {
+	sess, handled := w.faultGate(rw)
+	if handled {
+		return
+	}
+	var h dist.RunHeader
+	fr := dist.NewFrame2Reader(req.Body)
+	fail := func(format string, args ...any) {
+		dist.WriteFrame(rw, dist.ResultHeader{Shard: h.Shard, Error: fmt.Sprintf(format, args...)}, nil)
+	}
+	if err := fr.Header(&h); err != nil {
+		fail("decode: %v", err)
+		return
+	}
+	f, err := fr.Body()
+	if err != nil {
+		fail("decode: %v", err)
+		return
+	}
+	if f.Delta {
+		fail("delta frames are response-only")
+		return
+	}
+	d := f.Data
+	in := d.Samples
+
+	// The worker re-derives delta eligibility instead of trusting the
+	// header: the fingerprint handshake guarantees both plans agree, so
+	// a disagreement here simply degrades to a full response.
+	delta := false
+	if nodes := deltaNodes(sess); h.Delta && h.FromOp >= 0 && h.ToOp <= len(nodes) {
+		delta = true
+		for i := h.FromOp; i < h.ToOp; i++ {
+			if core.OpKind(nodes[i].Op) != "filter" {
+				delta = false
+				break
+			}
+		}
+	}
+
+	out, flows, errmsg := w.runOps(sess, h, d)
+	if errmsg != "" {
+		fail("%s", errmsg)
+		return
+	}
+	rh := dist.ResultHeader{Shard: h.Shard, Samples: out.Len(), Flows: flows}
+	if delta {
+		if mask, ok := dist.BuildKeepMask(in, out.Samples); ok {
+			rh.Delta = true
+			dist.WriteDeltaFrame2(rw, rh, mask, len(in), out.Samples, h.Compress)
+			return
+		}
+		// The surviving samples are not an ordered subset of the input
+		// (an op rewrote them); ship the full shard instead.
+	}
+	dist.WriteFrame2(rw, rh, out, h.Compress)
+}
+
+// deltaNodes returns the session's plan nodes (nil-safe for the
+// eligibility scan; runOps re-validates the range and session).
+func deltaNodes(sess *session) []plan.PhysicalOp {
+	if sess == nil || sess.plan == nil {
+		return nil
+	}
+	return sess.plan.Nodes
 }
 
 // handleFlush reports the worker's quiesced fused-member attribution.

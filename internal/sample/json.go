@@ -240,6 +240,98 @@ func (s *Sample) AppendJSON(dst []byte) ([]byte, error) {
 	return append(dst, '}'), nil
 }
 
+// AppendJSONAux appends the sample's non-text wire fields (parts, meta,
+// stats) as one JSON object, or nothing at all when every field is
+// absent. It is the aux column of the v2 dispatch frame: the text
+// travels as a raw byte column, and the remainder decodes back through
+// UnmarshalJSON (a missing "text" key leaves Text empty for the frame
+// decoder to fill in from the text column).
+func (s *Sample) AppendJSONAux(dst []byte) ([]byte, error) {
+	if len(s.Parts) == 0 && len(s.Meta) == 0 && s.Stats.Len() == 0 {
+		return dst, nil
+	}
+	dst = append(dst, '{')
+	mark := len(dst)
+	if len(s.Parts) > 0 {
+		dst = append(dst, `"parts":{`...)
+		keys := make([]string, 0, len(s.Parts))
+		for k := range s.Parts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendJSONString(dst, k)
+			dst = append(dst, ':')
+			dst = appendJSONString(dst, s.Parts[k])
+		}
+		dst = append(dst, '}')
+	}
+	if len(s.Meta) > 0 {
+		if len(dst) > mark {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, `"meta":`...)
+		var err error
+		if dst, err = appendJSONObject(dst, s.Meta); err != nil {
+			return nil, err
+		}
+	}
+	if s.Stats.Len() > 0 {
+		if len(dst) > mark {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, `"stats":`...)
+		var err error
+		if dst, err = s.Stats.appendJSON(dst); err != nil {
+			return nil, err
+		}
+	}
+	return append(dst, '}'), nil
+}
+
+// AppendStatsJSON appends the sample's stats table as a flat sorted
+// JSON object — the per-sample stats column of a delta response frame.
+func (s *Sample) AppendStatsJSON(dst []byte) ([]byte, error) {
+	return s.Stats.appendJSON(dst)
+}
+
+// DecodeStatsJSON replaces s.Stats with the stats object encoded in b.
+// An empty b resets the table to zero (the delta frame elides the
+// column for stat-less samples).
+func (s *Sample) DecodeStatsJSON(b []byte) error {
+	s.Stats = Stats{}
+	if len(b) == 0 {
+		return nil
+	}
+	scratchP := unquoteScratchPool.Get().(*[]byte)
+	p := jsonParser{b: b, scratch: *scratchP}
+	p.skipSpace()
+	ok := !p.bad && p.peek() == '{' && decodeStatsInto(&p, s, false)
+	if ok {
+		p.skipSpace()
+		ok = !p.bad && p.i == len(p.b)
+	}
+	*scratchP = p.scratch
+	unquoteScratchPool.Put(scratchP)
+	if ok {
+		return nil
+	}
+	// Fall back to encoding/json for anything the strict parser rejects,
+	// mirroring the Sample.UnmarshalJSON slow path.
+	s.Stats = Stats{}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	for k, v := range m {
+		s.Stats.SetRaw(k, v)
+	}
+	return nil
+}
+
 // appendJSON appends the stats table as a flat sorted JSON object.
 func (t *Stats) appendJSON(dst []byte) ([]byte, error) {
 	if len(t.extra) == 0 {

@@ -31,7 +31,11 @@ var frameMagic = [4]byte{'D', 'J', 'S', '1'}
 // framePool recycles encode/decode scratch buffers.
 var framePool = sync.Pool{New: func() any { return new([]byte) }}
 
-func getFrameBuf(n int) *[]byte {
+// GetFrameBuf returns a pooled byte buffer resliced to n bytes. It backs
+// the spill codec's own frames and is shared with the dist wire codec,
+// which reuses the same pool for its column scratch. Pair every call
+// with PutFrameBuf.
+func GetFrameBuf(n int) *[]byte {
 	bp := framePool.Get().(*[]byte)
 	if cap(*bp) < n {
 		*bp = make([]byte, n)
@@ -40,7 +44,11 @@ func getFrameBuf(n int) *[]byte {
 	return bp
 }
 
-func putFrameBuf(bp *[]byte) { framePool.Put(bp) }
+// PutFrameBuf returns a buffer obtained from GetFrameBuf to the pool.
+func PutFrameBuf(bp *[]byte) { framePool.Put(bp) }
+
+func getFrameBuf(n int) *[]byte { return GetFrameBuf(n) }
+func putFrameBuf(bp *[]byte)    { PutFrameBuf(bp) }
 
 // frameSize returns the encoded size of a frame holding count records.
 func frameSize(count int, withVals bool) int {

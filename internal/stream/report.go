@@ -168,6 +168,18 @@ func (r *Report) DistSummary() string {
 		fmt.Fprintf(&b, "  w%-2d %-21s %d stages, %d steals, %d retries%s\n",
 			w.Worker, w.Addr, w.Stages, w.Steals, w.Retries, flag)
 	}
+	if d.BytesSent > 0 || d.BytesRecv > 0 {
+		ratio := 1.0
+		if d.BytesSent+d.BytesRecv > 0 {
+			ratio = float64(d.RawBytesSent+d.RawBytesRecv) / float64(d.BytesSent+d.BytesRecv)
+		}
+		fmt.Fprintf(&b, "  wire: %.1f MiB sent, %.1f MiB recv (%.2fx vs raw)",
+			float64(d.BytesSent)/(1<<20), float64(d.BytesRecv)/(1<<20), ratio)
+		if d.DeltaStages > 0 {
+			fmt.Fprintf(&b, ", %d delta stages", d.DeltaStages)
+		}
+		b.WriteByte('\n')
+	}
 	return b.String()
 }
 

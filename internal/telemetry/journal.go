@@ -14,9 +14,11 @@ import (
 // SchemaVersion identifies the journal event schema. It is stamped on
 // the run_start event; readers reject journals from a newer schema.
 // Version 2 added the distributed-runtime events (worker_start,
-// worker_retry, shard_steal) and the worker/addr fields; version-1
-// journals remain valid.
-const SchemaVersion = 2
+// worker_retry, shard_steal) and the worker/addr fields; version 3
+// added the wire-transport accounting (worker_wire events, the proto
+// field on worker_start, and the bytes_sent/bytes_recv family).
+// Older journals remain valid.
+const SchemaVersion = 3
 
 // Journal event types. Every line in a journal file is one Event whose
 // Type is one of these constants.
@@ -42,6 +44,12 @@ const (
 	EvWorkerStart = "worker_start"
 	EvWorkerRetry = "worker_retry"
 	EvShardSteal  = "shard_steal"
+
+	// worker_wire (schema v3) is one worker's end-of-run transport
+	// tally: negotiated proto, bytes on the wire in each direction,
+	// their uncompressed equivalents, and how many stages were answered
+	// with a keep-mask delta.
+	EvWorkerWire = "worker_wire"
 )
 
 // PlanOp is the journal's view of one physical plan node, embedded in
@@ -95,6 +103,17 @@ type Event struct {
 	Worker int `json:"worker,omitempty"`
 	// Addr is the worker's listen address (worker_start).
 	Addr string `json:"addr,omitempty"`
+	// Proto is the negotiated wire version (worker_start, worker_wire).
+	Proto int `json:"proto,omitempty"`
+
+	// Wire-transport accounting (worker_wire, schema v3): bytes put on
+	// the wire to/from the worker, their uncompressed equivalents, and
+	// the stages answered with a keep-mask delta.
+	BytesSent    int64 `json:"bytes_sent,omitempty"`
+	BytesRecv    int64 `json:"bytes_recv,omitempty"`
+	RawBytesSent int64 `json:"raw_bytes_sent,omitempty"`
+	RawBytesRecv int64 `json:"raw_bytes_recv,omitempty"`
+	DeltaStages  int   `json:"delta_stages,omitempty"`
 
 	// SpillRuns counts the spill files (sorted runs / LSH partitions) a
 	// dedup index wrote; Bytes carries the spilled bytes (spill events).
@@ -331,6 +350,13 @@ func validateEvent(lineNo, idx int, e Event) error {
 	case EvShardSteal:
 		if e.Worker <= 0 {
 			return fail("missing worker")
+		}
+	case EvWorkerWire:
+		if e.Worker <= 0 {
+			return fail("missing worker")
+		}
+		if e.BytesSent < 0 || e.BytesRecv < 0 || e.RawBytesSent < 0 || e.RawBytesRecv < 0 {
+			return fail("negative byte counts")
 		}
 	case EvExport:
 		if e.Input == "" && e.Note == "" {

@@ -21,7 +21,7 @@ func TestGoldenJournalDecode(t *testing.T) {
 	wantTypes := []string{
 		EvRunStart, EvPlan, EvPhase, EvWorkerStart, EvControllerReplan,
 		EvCacheHit, EvOpComplete, EvOpComplete, EvSpill, EvWorkerRetry,
-		EvShardSteal, EvSpanEnd, EvTrace, EvExport, EvSpanEnd, EvRunEnd,
+		EvShardSteal, EvSpanEnd, EvTrace, EvWorkerWire, EvExport, EvSpanEnd, EvRunEnd,
 	}
 	if len(events) != len(wantTypes) {
 		t.Fatalf("decoded %d events, want %d", len(events), len(wantTypes))
@@ -86,13 +86,18 @@ func TestGoldenTimeline(t *testing.T) {
 		w1.In != 50 || w1.Out != 40 || w1.Wall != 300000 || w1.Steals != 1 || w1.Disconnected {
 		t.Errorf("worker 1 lane wrong: %+v", w1)
 	}
+	if w1.Proto != 2 || w1.DeltaStages != 2 || w1.BytesSent != 4194304 ||
+		w1.BytesRecv != 1048576 || w1.RawBytesSent != 8388608 || w1.RawBytesRecv != 2097152 {
+		t.Errorf("worker 1 wire accounting wrong: %+v", w1)
+	}
 	if w2.Worker != 2 || w2.Retries != 1 || !w2.Disconnected {
 		t.Errorf("worker 2 lane wrong: %+v", w2)
 	}
 	out := tl.Render()
 	for _, want := range []string{"run r1 [stream]", "fused_filter", "plan passes", "phases:",
 		"spill (disk-backed dedup indexes)", "spilled 3 runs, 2.0 MiB",
-		"workers:", "w1  127.0.0.1:43117", "1 retries", "DISCONNECTED"} {
+		"workers:", "w1  127.0.0.1:43117", "1 retries", "DISCONNECTED",
+		"wire (dispatch transport):", "w1  proto=2 sent 4.0 MiB recv 1.0 MiB (2.00x vs raw), 2 delta stages"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q:\n%s", want, out)
 		}
@@ -120,6 +125,10 @@ func TestDecodeRejects(t *testing.T) {
 			`{"ts":2,"type":"worker_retry","run_id":"r","worker":1}`,
 		"shard_steal no worker": `{"ts":1,"type":"run_start","run_id":"r","schema":2,"backend":"b"}` + "\n" +
 			`{"ts":2,"type":"shard_steal","run_id":"r","shard":3}`,
+		"worker_wire no worker": `{"ts":1,"type":"run_start","run_id":"r","schema":3,"backend":"b"}` + "\n" +
+			`{"ts":2,"type":"worker_wire","run_id":"r","bytes_sent":100}`,
+		"worker_wire negative bytes": `{"ts":1,"type":"run_start","run_id":"r","schema":3,"backend":"b"}` + "\n" +
+			`{"ts":2,"type":"worker_wire","run_id":"r","worker":1,"bytes_recv":-5}`,
 	}
 	for name, raw := range cases {
 		if _, err := DecodeJournal([]byte(raw)); err == nil {
