@@ -1,0 +1,110 @@
+// BenchmarkDedupParallel measures the headline claim of the partitioned
+// signature index: a dedup-heavy streaming run whose shared-index stage
+// was previously serialized behind the ordered turnstile speeds up when
+// shards probe the partitions concurrently, with byte-identical output
+// and peak heap still bounded by the spill budget. The spilled variant
+// is the interesting one — each probe pays microseconds of on-disk LSM
+// point lookups, so serializing them (partitions=1) starves the worker
+// pool. Captured numbers live in BENCH_dedup_parallel.json.
+package repro_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/config"
+	"repro/internal/corpus"
+	_ "repro/internal/ops/all"
+	"repro/internal/stream"
+)
+
+const (
+	dedupParallelDocs  = 24000
+	dedupParallelShard = 128
+)
+
+// dedupParallelCorpus writes the benchmark corpus into the benchmark's
+// own temp dir: heavy exact-duplicate salting so the shared-index stage
+// does real first-occurrence work on most shards.
+func dedupParallelCorpus(b *testing.B) string {
+	b.Helper()
+	d := corpus.Web(corpus.Options{Docs: dedupParallelDocs, Seed: 7, DupExact: 0.25, DupNear: 0.05})
+	path := filepath.Join(b.TempDir(), "input.jsonl")
+	if err := d.SaveJSONL(path); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+func benchStreamDedup(b *testing.B, partitions, targetMB int) {
+	b.Helper()
+	input := dedupParallelCorpus(b)
+	var peak uint64
+	var kept int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := config.Default()
+		r.ProjectName = "dedup-parallel-bench"
+		r.UseCache = false
+		r.NP = 8
+		r.IndexPartitions = partitions
+		r.TargetMemMB = targetMB
+		r.WorkDir = b.TempDir()
+		r.Process = []config.OpSpec{
+			{Name: "whitespace_normalization_mapper"},
+			{Name: "document_deduplicator"},
+		}
+		eng, err := stream.New(r, stream.Options{ShardSize: dedupParallelShard})
+		if err != nil {
+			b.Fatal(err)
+		}
+		src, err := stream.OpenSource(input, dedupParallelShard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sink stream.CollectSink
+		b.StartTimer()
+		sample := baseline.TrackMemory(2*time.Millisecond, func() {
+			if _, err := eng.Run(src, &sink); err != nil {
+				b.Fatal(err)
+			}
+		})
+		b.StopTimer()
+		if sample.PeakHeap > peak {
+			peak = sample.PeakHeap
+		}
+		out := sink.Dataset().Len()
+		if kept == 0 {
+			kept = out
+		} else if out != kept {
+			b.Fatalf("output drifted between runs: %d vs %d kept", out, kept)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(peak)/(1<<20), "peak-heap-MB")
+	b.ReportMetric(float64(kept), "kept")
+}
+
+func BenchmarkDedupParallel(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		targetMB int
+	}{
+		{"in-memory", 0},
+		{"spilled", 1},
+	} {
+		for _, partitions := range []int{1, 0} { // 1 = serial turnstile equivalent, 0 = auto
+			label := fmt.Sprintf("%s/partitions=%d", mode.name, partitions)
+			if partitions == 0 {
+				label = mode.name + "/partitions=auto"
+			}
+			b.Run(label, func(b *testing.B) {
+				benchStreamDedup(b, partitions, mode.targetMB)
+			})
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -85,8 +86,9 @@ func randomRecipe(rng *rand.Rand) *config.Recipe {
 // runDistStream runs the recipe on the streaming engine with a real
 // djworker fleet dispatching the shard-local stages — the distributed
 // conformance leg. The pool gets its own work dir so worker-side state
-// never touches the recipe's.
-func runDistStream(t *testing.T, r *config.Recipe, input string, adaptive bool, workers, shardSize int) ([]byte, *stream.Report) {
+// never touches the recipe's. A non-nil delay is installed as the
+// engine's ShardDelay hook (jittered shard-completion order).
+func runDistStream(t *testing.T, r *config.Recipe, input string, adaptive bool, workers, shardSize int, delay func(phase, shard int) time.Duration) ([]byte, *stream.Report) {
 	t.Helper()
 	pool, err := remote.NewPool(remote.PoolOptions{
 		Workers:   workers,
@@ -104,6 +106,7 @@ func runDistStream(t *testing.T, r *config.Recipe, input string, adaptive bool, 
 		TargetMemBytes: 64 << 20,
 		Generation:     2,
 		Dispatch:       pool,
+		ShardDelay:     delay,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -401,7 +404,7 @@ func TestCrossBackendConformance(t *testing.T) {
 			if seed%2 == 0 {
 				workers = 4
 			}
-			distBytes, distRep := runDistStream(t, &distRecipe, input, adaptive, workers, shardSize)
+			distBytes, distRep := runDistStream(t, &distRecipe, input, adaptive, workers, shardSize, nil)
 			if string(batchBytes) != string(distBytes) {
 				t.Fatalf("distributed export diverges: batch %d bytes, dist %d bytes (workers=%d adaptive=%v spill=%v)\nrecipe: %+v",
 					len(batchBytes), len(distBytes), workers, adaptive, seed%3 == 0, recipe.Process)
@@ -551,7 +554,7 @@ func TestPlannerConformance(t *testing.T) {
 				if seed%2 == 0 {
 					workers = 3
 				}
-				got, _ := runDistStream(t, &on, input, adaptive, workers, 41)
+				got, _ := runDistStream(t, &on, input, adaptive, workers, 41, nil)
 				if string(got) != string(ref) {
 					t.Fatalf("distributed (warm profiles, adaptive=%v, workers=%d) changed the export: %d vs %d bytes",
 						adaptive, workers, len(got), len(ref))
@@ -561,5 +564,127 @@ func TestPlannerConformance(t *testing.T) {
 	}
 	if measuredSeeds == 0 {
 		t.Fatal("no seed exercised a measured warm plan")
+	}
+}
+
+// jitterDelay builds a deterministic pseudo-random per-(phase, shard)
+// delay from a seed: up to ~2ms per shard, enough to scramble the order
+// in which shards reach the shared-index stages without slowing the
+// suite down.
+func jitterDelay(seed int64) func(phase, shard int) time.Duration {
+	return func(phase, shard int) time.Duration {
+		h := uint64(seed)*0x9e3779b97f4a7c15 + uint64(phase)<<32 + uint64(shard)
+		h ^= h >> 33
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+		return time.Duration(h % uint64(2*time.Millisecond))
+	}
+}
+
+// TestJitteredShardConformance scrambles shard completion order with
+// seeded random delays and holds the streaming export byte-identical to
+// the batch reference. This is the adversarial leg for the partitioned
+// signature index: shards now claim partitions out of order and the
+// in-order resolution is reconstructed per partition, so any ordering
+// assumption hiding in the claim/deposit protocol shows up here as a
+// flipped keep set. Covers spill on/off, serial and partitioned
+// configurations, and a distributed fleet.
+func TestJitteredShardConformance(t *testing.T) {
+	d := corpus.Web(corpus.Options{Docs: 500, Seed: 20260808})
+	input := filepath.Join(t.TempDir(), "input.jsonl")
+	if err := d.SaveJSONL(input); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dedup-heavy recipe crossing every capability class, so the
+	// shared-index stage sees real duplicate collisions across shards.
+	recipe := config.Default()
+	recipe.ProjectName = "jitter-conformance"
+	recipe.UseCache = false
+	recipe.Process = []config.OpSpec{
+		{Name: "whitespace_normalization_mapper"},
+		{Name: "word_num_filter", Params: ops.Params{"min_num": 3}},
+		{Name: "document_deduplicator"},
+		{Name: "document_minhash_deduplicator"},
+	}
+	recipe.WorkDir = t.TempDir()
+
+	exec, err := core.NewExecutor(recipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := format.Load(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchOut, _, err := exec.Run(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchPath := filepath.Join(t.TempDir(), "batch.jsonl")
+	if err := format.Export(batchOut, batchPath); err != nil {
+		t.Fatal(err)
+	}
+	ref := readAll(t, batchPath)
+
+	for _, mode := range []struct {
+		name       string
+		targetMB   int
+		partitions int
+		seed       int64
+	}{
+		{"inmem-serial", 0, 1, 1},
+		{"inmem-partitioned", 0, 8, 2},
+		{"inmem-auto", 0, 0, 3},
+		{"spill-serial", 1, 1, 4},
+		{"spill-partitioned", 1, 8, 5},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			r := *recipe
+			r.WorkDir = t.TempDir()
+			r.TargetMemMB = mode.targetMB
+			r.IndexPartitions = mode.partitions
+			eng, err := stream.New(&r, stream.Options{
+				ShardSize:      23,
+				MaxWorkers:     4,
+				TargetMemBytes: 64 << 20,
+				Generation:     2,
+				ShardDelay:     jitterDelay(mode.seed),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := stream.OpenSource(input, 23)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink, err := stream.NewShardedJSONLSink(filepath.Join(t.TempDir(), "stream"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Run(src, sink); err != nil {
+				t.Fatal(err)
+			}
+			if got := readAll(t, sink.Paths()...); string(got) != string(ref) {
+				t.Fatalf("jittered export diverges from batch: %d vs %d bytes (target=%dMB partitions=%d seed=%d)",
+					len(got), len(ref), mode.targetMB, mode.partitions, mode.seed)
+			}
+		})
+	}
+
+	// Distributed fleet under the same jitter: shard-local stages run on
+	// real djworker subprocesses, the partitioned index absorbs their
+	// out-of-order returns coordinator-side.
+	if !testing.Short() {
+		t.Run("dist-jitter", func(t *testing.T) {
+			r := *recipe
+			r.WorkDir = t.TempDir()
+			r.IndexPartitions = 4
+			got, _ := runDistStream(t, &r, input, false, 3, 23, jitterDelay(6))
+			if string(got) != string(ref) {
+				t.Fatalf("jittered distributed export diverges from batch: %d vs %d bytes",
+					len(got), len(ref))
+			}
+		})
 	}
 }

@@ -72,6 +72,13 @@ type Recipe struct {
 	// bounded disk runs when TargetMemMB is set. On by default; with no
 	// TargetMemMB it has no effect.
 	DedupSpill bool
+	// IndexPartitions sets the partition count of the streaming engine's
+	// shared signature indexes (recipe key index_partitions, env
+	// DJ_INDEX_PARTITIONS, flag -index-partitions). 0 = auto: the engine
+	// derives it from its worker count (GOMAXPROCS-bound) at run time.
+	// Values round up to a power of two. Partitioning changes wall-clock
+	// parallelism only, never the kept set.
+	IndexPartitions int
 	// DistCompress enables lzj compression of the frames exchanged with
 	// djworker fleets over the v2 dispatch wire (djprocess -dist-compress,
 	// recipe key dist_compress). v1 workers ignore it. Off by default:
@@ -142,6 +149,8 @@ func FromMap(m map[string]any) (*Recipe, error) {
 			r.TargetMemMB = asInt(v)
 		case "dedup_spill":
 			r.DedupSpill = asBool(v)
+		case "index_partitions":
+			r.IndexPartitions = asInt(v)
 		case "dist_compress":
 			r.DistCompress = asBool(v)
 		case "trace":
@@ -178,8 +187,8 @@ var recipeKeys = []string{
 	"project_name", "dataset_path", "sources", "export_path", "np",
 	"text_key", "use_cache", "use_checkpoint", "cache_compression",
 	"op_fusion", "use_profiles", "adaptive", "max_workers",
-	"target_mem_mb", "dedup_spill", "dist_compress", "trace", "listen",
-	"journal", "work_dir", "process",
+	"target_mem_mb", "dedup_spill", "index_partitions", "dist_compress",
+	"trace", "listen", "journal", "work_dir", "process",
 }
 
 // KnownRecipeKeys returns every recognized recipe key.
@@ -365,6 +374,11 @@ func (r *Recipe) ApplyEnv(getenv func(string) string) {
 	}
 	if v := getenv("DJ_DEDUP_SPILL"); v != "" {
 		r.DedupSpill = v == "true" || v == "1"
+	}
+	if v := getenv("DJ_INDEX_PARTITIONS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			r.IndexPartitions = n
+		}
 	}
 	if v := getenv("DJ_DIST_COMPRESS"); v != "" {
 		r.DistCompress = v == "true" || v == "1"

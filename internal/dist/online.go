@@ -30,6 +30,10 @@ type OpSample struct {
 	// downstream chain, but its cost is not per-shard work and must not
 	// steer shard sizing.
 	Serial bool
+	// MaxParallel caps how many workers can make progress on this op at
+	// once (0 = unbounded). A partitioned shared-index stage reports its
+	// partition count: probes spread across partitions, but no wider.
+	MaxParallel int
 }
 
 // OpProfile is the smoothed live profile of one planned operator. The
@@ -49,6 +53,8 @@ type OpProfile struct {
 	Selectivity float64 `json:"selectivity"`
 	// Serial mirrors OpSample.Serial: a barrier op outside the pipeline.
 	Serial bool `json:"serial,omitempty"`
+	// MaxParallel mirrors OpSample.MaxParallel (0 = unbounded).
+	MaxParallel int `json:"max_parallel,omitempty"`
 }
 
 // opState accumulates one operator's observations.
@@ -61,6 +67,7 @@ type opState struct {
 	bps         float64 // bytes per input sample, EWMA
 	sel         float64 // out/in, EWMA
 	serial      bool
+	maxParallel int // parallelism ceiling (0 = unbounded)
 	initialized bool
 }
 
@@ -118,6 +125,7 @@ func (m *OnlineModel) RecordOp(s OpSample) {
 		st = &opState{name: s.Name, serial: s.Serial}
 		m.ops[s.Seq] = st
 	}
+	st.maxParallel = s.MaxParallel
 	st.fold(m.alpha, s.In, s.Out, s.Bytes, s.Duration)
 }
 
@@ -165,6 +173,7 @@ func (m *OnlineModel) profilesLocked() []OpProfile {
 			BytesPerSample: st.bps,
 			Selectivity:    st.sel,
 			Serial:         st.serial,
+			MaxParallel:    st.maxParallel,
 		})
 	}
 	return out
@@ -291,6 +300,7 @@ func (m *OnlineModel) Plan(t Tuning, cur Decision) (Decision, bool) {
 	segCPS := 0.0   // cost per segment-input sample of the current phase
 	maxSegCPS := 0.0
 	peakBPS := 0.0
+	capCPS := 0.0 // widest per-input cost an op's parallelism cap admits
 	closeSeg := func() {
 		if segCPS > maxSegCPS {
 			maxSegCPS = segCPS
@@ -311,6 +321,15 @@ func (m *OnlineModel) Plan(t Tuning, cur Decision) (Decision, bool) {
 		if b := segSurv * p.BytesPerSample; b > peakBPS {
 			peakBPS = b
 		}
+		// An op with a parallelism ceiling (a partitioned shared index
+		// probes at most MaxParallel partitions at once) bounds pipeline
+		// throughput at P/(surv·cps) input samples/sec regardless of the
+		// worker count — the same shape as a serial stage, scaled by 1/P.
+		if p.MaxParallel > 0 {
+			if s := surv * p.CostPerSample.Seconds() / float64(p.MaxParallel); s > capCPS {
+				capCPS = s
+			}
+		}
 		surv *= p.Selectivity
 		segSurv *= p.Selectivity
 	}
@@ -319,11 +338,15 @@ func (m *OnlineModel) Plan(t Tuning, cur Decision) (Decision, bool) {
 		return cur, false
 	}
 
-	// Serial floor: the single-threaded reader, or the ordered sink
-	// mapped back to input samples through the chain's selectivity.
+	// Serial floor: the single-threaded reader, the ordered sink mapped
+	// back to input samples through the chain's selectivity, or the
+	// tightest per-op parallelism cap.
 	serialCPS := srcCPS
 	if s := sinkCPS * surv; s > serialCPS {
 		serialCPS = s
+	}
+	if capCPS > serialCPS {
+		serialCPS = capCPS
 	}
 
 	// Workers: fewest achieving ~the modeled maximum throughput.

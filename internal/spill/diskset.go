@@ -27,8 +27,10 @@ const (
 // disjoint by construction — a key is only admitted to the delta after
 // missing every run — so compaction is a simple k-way merge.
 //
-// DiskSet is not safe for concurrent use; the streaming turnstile already
-// serializes index access in shard order.
+// DiskSet is not safe for concurrent use. The streaming engine gives each
+// index partition its own DiskSet and serializes batches within a
+// partition in stream order, so first-occurrence semantics hold without
+// any locking here.
 type DiskSet struct {
 	dir      string
 	budget   int64

@@ -128,7 +128,7 @@ func TestDiskSetMatchesMap(t *testing.T) {
 	const batch = 512
 	sigs := make([]uint64, batch)
 	// novel starts dirty and is deliberately never cleared between
-	// rounds: the streaming turnstile reuses its scratch slice the same
+	// rounds: the streaming index partitions reuse scratch slices the same
 	// way, so AddBatch must write every slot — a skipped duplicate slot
 	// would leak the previous batch's verdict.
 	novel := make([]bool, batch)

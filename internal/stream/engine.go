@@ -11,9 +11,11 @@
 // executor. Operators execute through the same core.OpRunner, so both
 // backends apply ops identically. The planned capability decides the
 // flow: mappers and filters are shard-local; signature deduplicators
-// (ops.StreamDeduper) run against a shared signature index consulted in
-// shard order, preserving the batch engine's first-occurrence semantics
-// without a barrier; similarity deduplicators are declared barriers —
+// (ops.StreamDeduper) run against a shared signature index that is
+// hash-partitioned so shards probe concurrently — per-partition batches
+// still apply in stream order, preserving the batch engine's
+// first-occurrence semantics without a barrier (see sigpart.go);
+// similarity deduplicators are declared barriers —
 // the engine drains the stream, merges the shards in order, applies the
 // op, and re-shards.
 //
@@ -85,6 +87,12 @@ type Options struct {
 	// dist.ErrNoWorkers degrades the stage to in-process execution.
 	// See dispatch.go.
 	Dispatch StageDispatcher
+	// ShardDelay, when non-nil, sleeps the returned duration before a
+	// shard enters the phase's stage chain. It exists for conformance
+	// testing: randomized (seeded) per-shard delays force shards to reach
+	// the partitioned signature index out of order, proving out-of-order
+	// claiming keeps exports byte-identical.
+	ShardDelay func(phase, shard int) time.Duration
 }
 
 // Engine is the streaming execution backend for one recipe.
@@ -101,6 +109,7 @@ type Engine struct {
 	tuning      dist.Tuning
 	tele        *telemetry.Run
 	dispatch    StageDispatcher
+	shardDelay  func(phase, shard int) time.Duration
 }
 
 // stage kinds inside one phase.
@@ -118,6 +127,7 @@ type stage struct {
 	dedup       ops.StreamDeduper // stageIndex only
 	cacheable   bool              // stageLocal: planner-annotated shard-cacheable run
 	spillBudget int64             // stageIndex: planner's spill budget (0 = in-memory)
+	partitions  int               // stageIndex: configured index partitions (0 = auto)
 }
 
 // phase is a maximal barrier-free segment of the plan. The engine
@@ -157,7 +167,7 @@ func splitPhases(p *plan.Plan) []phase {
 			flush()
 			stages = append(stages, stage{
 				kind: stageIndex, dedup: n.Op.(ops.StreamDeduper), planIdx: []int{i},
-				spillBudget: n.SpillBudget,
+				spillBudget: n.SpillBudget, partitions: n.IndexPartitions,
 			})
 		case plan.Barrier:
 			flush()
@@ -191,6 +201,7 @@ func New(r *config.Recipe, opts Options) (*Engine, error) {
 		maxInFlight: opts.MaxInFlight,
 		np:          dataset.Workers(r.NP),
 		dispatch:    opts.Dispatch,
+		shardDelay:  opts.ShardDelay,
 	}
 	if e.shardSize <= 0 {
 		e.shardSize = DefaultShardSize
@@ -256,7 +267,7 @@ func New(r *config.Recipe, opts Options) (*Engine, error) {
 	}
 	// Barrier deduplicators (minhash/simhash/vector) spill through the
 	// same op-level machinery as the batch backend; shared-index stages
-	// spill through the turnstile's disk-backed signature set instead.
+	// spill through the partitioned index's disk-backed signature sets.
 	core.ConfigureSpill(p, r)
 	return e, nil
 }
@@ -357,7 +368,7 @@ func (e *Engine) Run(src Source, sink Sink) (*Report, error) {
 		}
 		bDur := time.Since(bStart)
 		agg.addOp(ph.barrierIdx, merged.Len(), out.Len(), bDur, bDur, false,
-			dataset.Workers(e.recipe.NP))
+			dataset.Workers(e.recipe.NP), dataset.Workers(e.recipe.NP))
 		if e.tele != nil {
 			e.tele.Emit(telemetry.Event{
 				Type: telemetry.EvOpComplete, Span: e.tele.NewSpan(), Parent: phaseSpan,
@@ -416,34 +427,19 @@ func (e *Engine) Run(src Source, sink Sink) (*Report, error) {
 	return rep, nil
 }
 
-// turnstile is the shared signature index of one stageIndex stage.
-// Shards pass it strictly in index order, so "first occurrence kept"
-// means the same thing it does in the batch engine; the expensive part —
-// computing signatures — happens outside the critical section. The
-// index behind it is either an in-memory set or, when the planner
-// assigned the stage a spill budget, the disk-backed LSM set of
-// internal/spill (see newSigIndex).
-type turnstile struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	next  int
-	idx   sigIndex
-	novel []bool // AddBatch scratch, reused under the turnstile lock
-}
-
 // errAborted is returned by shard processing interrupted by another
 // shard's failure; the original error is already recorded.
 var errAborted = fmt.Errorf("stream: run aborted")
 
 // phaseRun holds the shared state of one pipelined phase execution.
 type phaseRun struct {
-	eng    *Engine
-	phase  int
-	span   int64 // the phase's journal span (0 without telemetry)
-	stages []stage
-	turns  map[int]*turnstile
-	agg    *aggregator
-	gate   *gate
+	eng     *Engine
+	phase   int
+	span    int64 // the phase's journal span (0 without telemetry)
+	stages  []stage
+	indexes map[int]*partIndex // stage index -> partitioned signature index
+	agg     *aggregator
+	gate    *gate
 
 	abort     chan struct{}
 	abortOnce sync.Once
@@ -457,14 +453,9 @@ func (p *phaseRun) fail(err error) {
 	p.abortOnce.Do(func() {
 		p.runErr = err
 		close(p.abort)
-		// Unblock the source's backpressure wait.
+		// Unblock the source's backpressure wait. Index resolution waits
+		// select on p.abort directly; no further wakeup is needed.
 		p.gate.close()
-		// Wake turnstile waiters under their locks so no Wait is missed.
-		for _, t := range p.turns {
-			t.mu.Lock()
-			t.cond.Broadcast()
-			t.mu.Unlock()
-		}
 	})
 }
 
@@ -498,25 +489,34 @@ func (e *Engine) runPhase(phaseIdx int, phaseSpan int64, src Source, stages []st
 
 	p := &phaseRun{
 		eng: e, phase: phaseIdx, span: phaseSpan, stages: stages, agg: agg,
-		turns: map[int]*turnstile{},
-		abort: make(chan struct{}),
-		gate:  newGate(limit),
+		indexes: map[int]*partIndex{},
+		abort:   make(chan struct{}),
+		gate:    newGate(limit),
 	}
 	for i, st := range stages {
 		if st.kind == stageIndex {
-			t := &turnstile{idx: e.newSigIndex(phaseIdx, i, st)}
-			t.cond = sync.NewCond(&t.mu)
-			p.turns[i] = t
+			nparts := resolvePartitions(st.partitions, workers)
+			stageIdx, stg := i, st
+			p.indexes[i] = newPartIndex(nparts, workers, func(k int) sigIndex {
+				return e.newSigIndex(phaseIdx, stageIdx, k, nparts, stg)
+			})
+			if e.tele != nil {
+				e.tele.ObserveIndexPartitions(st.dedup.Name(), nparts)
+			}
 		}
 	}
 	// Whatever happens below, the signature indexes release their spill
-	// files when the phase ends; spill activity is journaled first.
+	// files when the phase ends; spill and contention activity is
+	// journaled first.
 	defer func() {
-		for si, t := range p.turns {
+		for si, x := range p.indexes {
 			st := stages[si]
-			sst := t.idx.Stats()
-			_ = t.idx.Close()
-			if e.tele != nil && sst.Runs > 0 {
+			sst := x.Stats()
+			_ = x.Close()
+			if e.tele == nil {
+				continue
+			}
+			if sst.Runs > 0 {
 				e.tele.ObserveSpill(st.dedup.Name(), sst.Runs, sst.Bytes)
 				e.tele.Emit(telemetry.Event{
 					Type: telemetry.EvSpill, Parent: phaseSpan,
@@ -524,6 +524,12 @@ func (e *Engine) runPhase(phaseIdx int, phaseSpan int64, src Source, stages []st
 					Bytes: sst.Bytes, SpillRuns: sst.Runs,
 				})
 			}
+			waits, wait := x.WaitStats()
+			e.tele.Emit(telemetry.Event{
+				Type: telemetry.EvIndex, Parent: phaseSpan,
+				Name: st.dedup.Name(), PlanIdx: st.planIdx[0], Phase: phaseIdx,
+				Partitions: len(x.parts), Waits: waits, DurNS: int64(wait),
+			})
 		}
 	}()
 
@@ -541,7 +547,7 @@ func (e *Engine) runPhase(phaseIdx int, phaseSpan int64, src Source, stages []st
 
 	// Reader: pulls shards from the source, bounded by the in-flight gate
 	// (released by the emitter once a shard leaves the phase). This is
-	// where backpressure lands: when the sink or a turnstile falls behind,
+	// where backpressure lands: when the sink or an index stage falls behind,
 	// slots stop freeing and the reader blocks in acquire.
 	go func() {
 		defer close(work)
@@ -598,10 +604,11 @@ func (e *Engine) runPhase(phaseIdx int, phaseSpan int64, src Source, stages []st
 	// Workers: each shard runs the whole stage chain on one worker, so
 	// different shards occupy different ops concurrently. The work
 	// channel delivers shards in index order, which guarantees the
-	// lowest in-flight shard is always held by some worker — the
-	// property that keeps turnstile waits deadlock-free. The pool only
-	// retires workers after they finish their current shard, preserving
-	// that invariant across resizes.
+	// lowest in-flight shard is always held by some worker — that shard's
+	// index deposits apply immediately at every partition, so resolution
+	// waits are deadlock-free. The pool only retires workers after they
+	// finish their current shard, preserving that invariant across
+	// resizes.
 	wp := newPool(work, func(sh *Shard) {
 		if p.aborted() {
 			return
@@ -665,6 +672,11 @@ func (e *Engine) runPhase(phaseIdx int, phaseSpan int64, src Source, stages []st
 // parallelism lives across shards.
 func (p *phaseRun) processShard(sh *Shard) error {
 	e := p.eng
+	if e.shardDelay != nil {
+		if d := e.shardDelay(p.phase, sh.Index); d > 0 {
+			time.Sleep(d)
+		}
+	}
 	start := time.Now()
 	in := sh.Data.Len()
 	d := sh.Data
@@ -750,7 +762,7 @@ func (p *phaseRun) runLocalFrom(st stage, d *dataset.Dataset, from int, chainKey
 				d = cached
 				chainKey = key
 				hits++
-				p.agg.addOp(st.planIdx[i], inCount, d.Len(), time.Since(opStart), 0, true, 1)
+				p.agg.addOp(st.planIdx[i], inCount, d.Len(), time.Since(opStart), 0, true, 1, 1)
 				e.runner.TraceCacheHit(op, inCount, d.Len(), time.Since(opStart))
 				if e.tele != nil {
 					e.tele.Op(st.planIdx[i]).CacheHit(inCount, d.Len())
@@ -777,7 +789,7 @@ func (p *phaseRun) runLocalFrom(st stage, d *dataset.Dataset, from int, chainKey
 			chainKey = key
 		}
 		opDur := time.Since(opStart)
-		p.agg.addOp(st.planIdx[i], inCount, d.Len(), opDur, opDur, false, 1)
+		p.agg.addOp(st.planIdx[i], inCount, d.Len(), opDur, opDur, false, 1, 1)
 		if e.tele != nil {
 			e.tele.Emit(telemetry.Event{
 				Type: telemetry.EvOpComplete, Span: e.tele.NewSpan(), Parent: shardSpan,
@@ -791,38 +803,29 @@ func (p *phaseRun) runLocalFrom(st stage, d *dataset.Dataset, from int, chainKey
 	return d, hits, nil
 }
 
-// runIndex passes one shard through a shared-signature dedup stage.
+// runIndex passes one shard through a shared-signature dedup stage:
+// signatures are computed outside any lock, routed to the stage's
+// partitioned index, and the shard blocks only until every partition has
+// resolved its in-order prefix through this shard (see sigpart.go).
 func (p *phaseRun) runIndex(si int, st stage, shardIdx int, d *dataset.Dataset, shardSpan int64) (*dataset.Dataset, error) {
 	opStart := time.Now()
 	var inBytes int64
 	if p.eng.ctrl != nil || p.eng.tele != nil {
 		inBytes = d.TotalBytes()
 	}
-	// Signatures are pure per-sample work: compute them before taking a
-	// turn so the serialized section is just map lookups.
+	// Signatures are pure per-sample work: compute them before touching
+	// the shared index so partitions serialize only membership probes.
 	sigs := make([]uint64, d.Len())
 	for i, s := range d.Samples {
 		sigs[i] = st.dedup.Signature(s)
 	}
-	t := p.turns[si]
-	waitStart := time.Now()
-	t.mu.Lock()
-	for t.next != shardIdx {
-		if p.aborted() {
-			t.mu.Unlock()
-			return nil, errAborted
-		}
-		t.cond.Wait()
+	novel := make([]bool, len(sigs))
+	x := p.indexes[si]
+	wait, err := x.Claim(shardIdx, sigs, novel, p.abort)
+	if err == errAborted {
+		return nil, errAborted
 	}
-	turnWait := time.Since(waitStart)
-	if cap(t.novel) < len(sigs) {
-		t.novel = make([]bool, len(sigs))
-	}
-	novel := t.novel[:len(sigs)]
-	if err := t.idx.AddBatch(sigs, novel); err != nil {
-		t.next++
-		t.cond.Broadcast()
-		t.mu.Unlock()
+	if err != nil {
 		return nil, fmt.Errorf("stream: op %d (%s) signature index: %w",
 			st.planIdx[0], st.dedup.Name(), err)
 	}
@@ -832,32 +835,34 @@ func (p *phaseRun) runIndex(si int, st stage, shardIdx int, d *dataset.Dataset, 
 			kept = append(kept, s)
 		}
 	}
-	t.next++
-	t.cond.Broadcast()
-	t.mu.Unlock()
 
 	out := dataset.New(kept)
-	// The report keeps the wall view (wait included); the executed view
-	// feeding profile persistence excludes the turnstile queueing wait,
-	// matching the controller's cost signal — queueing is not work.
+	// The report keeps the wall view (wait included) and the actual probe
+	// parallelism; the executed view feeding profile persistence excludes
+	// the resolution wait and stays at parallelism 1 — each shard's
+	// duration here is single-goroutine CPU time.
 	p.agg.addOp(st.planIdx[0], d.Len(), out.Len(), time.Since(opStart),
-		time.Since(opStart)-turnWait, false, 1)
+		time.Since(opStart)-wait, false, x.probeWorkers, 1)
 	if p.eng.ctrl != nil {
-		// Queueing at the turnstile is backpressure, not work: exclude it
-		// from the cost signal.
-		p.eng.ctrl.observeIndexOp(st.dedup, d.Len(), out.Len(), inBytes, time.Since(opStart)-turnWait)
+		// Resolution wait is backpressure, not work: exclude it from the
+		// cost signal, and tell the model how wide index work can spread.
+		p.eng.ctrl.observeIndexOp(st.dedup, d.Len(), out.Len(), inBytes,
+			time.Since(opStart)-wait, len(x.parts))
 	}
 	if t := p.eng.tele; t != nil {
 		// The shared-index path bypasses the runner observer: feed the
-		// instruments explicitly, with the turnstile wait excluded from
+		// instruments explicitly, with the resolution wait excluded from
 		// the cost signal just like the controller sees it.
-		t.Op(st.planIdx[0]).Observe(d.Len(), out.Len(), inBytes, time.Since(opStart)-turnWait)
+		t.Op(st.planIdx[0]).Observe(d.Len(), out.Len(), inBytes, time.Since(opStart)-wait)
+		if wait > 0 {
+			t.ObserveIndexWait(st.dedup.Name(), wait)
+		}
 		t.Emit(telemetry.Event{
 			Type: telemetry.EvOpComplete, Span: t.NewSpan(), Parent: shardSpan,
 			Name: st.dedup.Name(), Kind: "deduplicator", PlanIdx: st.planIdx[0],
 			Phase: p.phase, Shard: shardIdx,
 			In: int64(d.Len()), Out: int64(out.Len()),
-			DurNS: int64(time.Since(opStart)), Workers: 1,
+			DurNS: int64(time.Since(opStart)), Workers: x.probeWorkers,
 		})
 	}
 	if tr := p.eng.runner.Tracer(); tr != nil {

@@ -1,0 +1,7 @@
+//go:build race
+
+package stream
+
+// raceDetectorEnabled reports that this test binary was built with the
+// race detector, which inflates allocation counts.
+func init() { raceDetectorEnabled = true }

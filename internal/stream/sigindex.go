@@ -8,11 +8,12 @@ import (
 	"repro/internal/spill"
 )
 
-// sigIndex is the signature membership set behind one shared-index dedup
-// stage. AddBatch sets novel[i] true where sigs[i] is the first
-// occurrence the index has seen (a signature repeated within the batch
-// keeps only its first slot). Implementations need no internal locking:
-// the stage's turnstile already serializes shards through the index.
+// sigIndex is the signature membership set behind one partition of a
+// shared-index dedup stage. AddBatch sets novel[i] true where sigs[i] is
+// the first occurrence the index has seen (a signature repeated within
+// the batch keeps only its first slot). Implementations need no internal
+// locking: the partition's mutex already serializes batches through the
+// index in stream order (see sigpart.go).
 type sigIndex interface {
 	AddBatch(sigs []uint64, novel []bool) error
 	// Stats reports spill activity (zero for in-memory indexes).
@@ -46,17 +47,22 @@ func (m *memSigIndex) AddBatch(sigs []uint64, novel []bool) error {
 func (m *memSigIndex) Stats() spill.Stats { return spill.Stats{} }
 func (m *memSigIndex) Close() error       { return nil }
 
-// newSigIndex picks the membership structure behind one shared-index
-// stage: when the planner assigned the stage's op a spill budget (its
-// share of -target-mem-mb) and the recipe has a work dir, the index is
-// the disk-backed LSM set of internal/spill, bounded by that budget;
-// otherwise the plain map. phaseIdx/stageIdx keep concurrent stages'
-// spill directories disjoint.
-func (e *Engine) newSigIndex(phaseIdx, stageIdx int, st stage) sigIndex {
+// newSigIndex picks the membership structure behind one partition of a
+// shared-index stage: when the planner assigned the stage's op a spill
+// budget (its share of -target-mem-mb) and the recipe has a work dir,
+// the partition gets a disk-backed LSM set of internal/spill bounded by
+// an equal split of that budget; otherwise the plain map.
+// phaseIdx/stageIdx/part keep concurrent partitions' spill directories
+// disjoint.
+func (e *Engine) newSigIndex(phaseIdx, stageIdx, part, partitions int, st stage) sigIndex {
 	if st.spillBudget > 0 && e.recipe.WorkDir != "" {
 		dir := filepath.Join(cache.SpillDir(e.recipe.WorkDir, e.recipe.UseCache),
-			fmt.Sprintf("sigidx-p%d-s%d", phaseIdx, stageIdx))
-		return spill.NewDiskSet(dir, st.spillBudget)
+			fmt.Sprintf("sigidx-p%d-s%d-k%d", phaseIdx, stageIdx, part))
+		budget := st.spillBudget / int64(partitions)
+		if budget < 1 {
+			budget = 1
+		}
+		return spill.NewDiskSet(dir, budget)
 	}
 	return newMemSigIndex()
 }

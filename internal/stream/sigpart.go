@@ -1,0 +1,315 @@
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/spill"
+)
+
+// This file is the hash-partitioned signature index behind stageIndex
+// stages: the replacement for the ordered turnstile. The turnstile
+// serialized every shard through one index in shard order, so a
+// dedup-heavy recipe degenerated to a single-threaded membership probe no
+// matter how many workers the pool had. The partitioned index keeps the
+// exact same semantics — "first occurrence in stream order kept", i.e.
+// the minimal global sample index claims each signature — while letting
+// shards probe concurrently:
+//
+//   - Signatures are routed to P independently locked partitions by
+//     spill.Mix(sig), a pure function of the signature. Within one
+//     partition, batches still apply in shard order; across partitions
+//     there is no ordering at all. Because the per-partition application
+//     order is the global stream order restricted to that partition,
+//     every signature still resolves to its minimal claiming sample —
+//     byte-identical keep sets, out-of-order probing.
+//   - A shard DEPOSITS its per-partition claims without blocking (every
+//     partition gets a deposit, empty ones included, so the partition's
+//     in-order cursor can advance past shards with no keys there). The
+//     depositor that completes a partition's in-order prefix applies the
+//     queued claims; verdicts scatter back into each claiming shard's own
+//     novel slice at recorded positions — positions are disjoint across
+//     partitions, so no lock guards the scatter.
+//   - The shard then waits only for its own outstanding partitions — an
+//     atomic countdown closing a channel, the WaitGroup happens-before
+//     chain — or for phase abort. Deposits always precede waits, so the
+//     lowest in-flight shard never blocks and the pool's ordered work
+//     channel keeps the whole scheme deadlock-free, exactly the invariant
+//     the turnstile relied on.
+//
+// Each partition is backed by the same sigIndex implementations as
+// before: the in-memory map, or a per-partition spill.DiskSet holding an
+// equal share of the stage's planner-assigned spill budget.
+
+// maxIndexPartitions caps auto-resolved and configured partition counts;
+// beyond this the per-partition deposit overhead outweighs any contention
+// relief.
+const maxIndexPartitions = 512
+
+// resolvePartitions turns the configured partition count (0 = auto) into
+// the power of two actually used: auto follows the worker hint, explicit
+// values round up, everything lands in [1, maxIndexPartitions].
+func resolvePartitions(configured, workersHint int) int {
+	n := configured
+	if n <= 0 {
+		n = workersHint
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > maxIndexPartitions {
+		n = maxIndexPartitions
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shardClaim tracks one shard's claim across all partitions: a countdown
+// of partitions that have not yet applied the shard's deposit. The final
+// apply closes done; the claiming shard waits on it. The atomic countdown
+// plus channel close forms the same happens-before chain as a WaitGroup,
+// publishing every applier's scattered novel writes to the waiter.
+type shardClaim struct {
+	outstanding atomic.Int32
+	done        chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+func (sc *shardClaim) fail(err error) {
+	sc.mu.Lock()
+	if sc.err == nil {
+		sc.err = err
+	}
+	sc.mu.Unlock()
+}
+
+func (sc *shardClaim) failure() error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.err
+}
+
+// finish retires one partition's application of the claim.
+func (sc *shardClaim) finish() {
+	if sc.outstanding.Add(-1) == 0 {
+		close(sc.done)
+	}
+}
+
+// partClaim is one shard's slice of signatures routed to one partition.
+// sigs keeps the shard's own order; pos maps each signature back to its
+// position in the shard's novel slice.
+type partClaim struct {
+	shard int
+	sigs  []uint64
+	pos   []int32
+	novel []bool
+	sc    *shardClaim
+}
+
+// sigPartition is one independently locked slice of the index. next is
+// the in-order cursor: the lowest shard index whose deposit has not been
+// applied yet. Deposits from later shards queue in pending until the
+// cursor reaches them.
+type sigPartition struct {
+	mu      sync.Mutex
+	next    int
+	pending map[int]*partClaim
+	idx     sigIndex
+	scratch []bool
+	err     error // sticky: the first AddBatch failure poisons the partition
+}
+
+// deposit hands one claim to the partition. If the claim completes the
+// in-order prefix, the depositor applies it and drains any queued
+// successors; otherwise it queues. Never blocks beyond the partition
+// mutex.
+func (p *sigPartition) deposit(c *partClaim) {
+	p.mu.Lock()
+	if c.shard != p.next {
+		p.pending[c.shard] = c
+		p.mu.Unlock()
+		return
+	}
+	for c != nil {
+		p.applyLocked(c)
+		p.next++
+		if qc, ok := p.pending[p.next]; ok {
+			delete(p.pending, p.next)
+			c = qc
+		} else {
+			c = nil
+		}
+	}
+	p.mu.Unlock()
+}
+
+// applyLocked probes the partition's index with one claim and scatters
+// the verdicts into the claiming shard's novel slice. Positions are
+// disjoint across partitions, so the scatter needs no further locking;
+// the claim's countdown publishes the writes. A nil pos means sigs are
+// already in shard positions (the single-partition fast path) and the
+// probe fills the caller's slice directly.
+func (p *sigPartition) applyLocked(c *partClaim) {
+	if len(c.sigs) > 0 {
+		if p.err == nil {
+			if c.pos == nil {
+				if err := p.idx.AddBatch(c.sigs, c.novel[:len(c.sigs)]); err != nil {
+					p.err = err
+				}
+			} else {
+				if cap(p.scratch) < len(c.sigs) {
+					p.scratch = make([]bool, len(c.sigs))
+				}
+				nv := p.scratch[:len(c.sigs)]
+				if err := p.idx.AddBatch(c.sigs, nv); err != nil {
+					p.err = err
+				} else {
+					for i, pos := range c.pos {
+						c.novel[pos] = nv[i]
+					}
+				}
+			}
+		}
+		if p.err != nil {
+			c.sc.fail(p.err)
+		}
+	}
+	c.sc.finish()
+}
+
+// partIndex is the partitioned signature index of one stageIndex stage.
+type partIndex struct {
+	parts []sigPartition
+	shift uint // partition = spill.Mix(sig) >> shift
+
+	// probeWorkers is the effective probe parallelism for attribution:
+	// the partition count capped by the worker pool that feeds it.
+	probeWorkers int
+
+	waits  atomic.Int64 // claims that had to block on resolution
+	waitNS atomic.Int64 // summed resolution wait
+}
+
+// newPartIndex builds a P-partition index (P must be a power of two, from
+// resolvePartitions), with each partition backed by newIdx(k).
+func newPartIndex(partitions, workers int, newIdx func(k int) sigIndex) *partIndex {
+	shift := uint(64)
+	for p := partitions; p > 1; p >>= 1 {
+		shift--
+	}
+	x := &partIndex{parts: make([]sigPartition, partitions), shift: shift}
+	x.probeWorkers = partitions
+	if workers >= 1 && workers < x.probeWorkers {
+		x.probeWorkers = workers
+	}
+	for k := range x.parts {
+		x.parts[k].pending = map[int]*partClaim{}
+		x.parts[k].idx = newIdx(k)
+	}
+	return x
+}
+
+// Claim routes one shard's signatures through the index and fills novel
+// (aligned with sigs) with the first-occurrence verdicts. It blocks only
+// for the resolution wait — partitions whose in-order prefix has not
+// reached this shard yet — and returns that wait separately so callers
+// can exclude queueing from cost signals. abort wakes the wait early.
+//
+// Every shard of the phase must claim every stage exactly once, in shard
+// order per partition; empty shards still deposit everywhere so the
+// cursors advance.
+func (x *partIndex) Claim(shardIdx int, sigs []uint64, novel []bool, abort <-chan struct{}) (time.Duration, error) {
+	nparts := len(x.parts)
+	sc := &shardClaim{done: make(chan struct{})}
+	sc.outstanding.Store(int32(nparts))
+
+	claims := make([]partClaim, nparts)
+	var routed []uint64
+	var pos []int32
+	if nparts == 1 {
+		// Single partition: the shard's batch is the claim, no routing.
+		claims[0] = partClaim{shard: shardIdx, sigs: sigs, pos: nil, novel: novel, sc: sc}
+	} else {
+		// Counting-sort the signatures into one backing array per shard:
+		// one pass to size the partitions, one to scatter.
+		counts := make([]int32, nparts+1)
+		for _, s := range sigs {
+			counts[(spill.Mix(s)>>x.shift)+1]++
+		}
+		for k := 1; k <= nparts; k++ {
+			counts[k] += counts[k-1]
+		}
+		routed = make([]uint64, len(sigs))
+		pos = make([]int32, len(sigs))
+		offs := counts // counts[k] is now the start offset of partition k
+		for i, s := range sigs {
+			k := spill.Mix(s) >> x.shift
+			j := offs[k]
+			offs[k]++
+			routed[j] = s
+			pos[j] = int32(i)
+		}
+		// offs[k] has advanced to the end of partition k; partition k's
+		// slice is routed[end(k-1):end(k)].
+		start := int32(0)
+		for k := 0; k < nparts; k++ {
+			end := offs[k]
+			claims[k] = partClaim{
+				shard: shardIdx, sigs: routed[start:end], pos: pos[start:end],
+				novel: novel, sc: sc,
+			}
+			start = end
+		}
+	}
+	for k := range claims {
+		x.parts[k].deposit(&claims[k])
+	}
+
+	var wait time.Duration
+	if sc.outstanding.Load() != 0 {
+		start := time.Now()
+		select {
+		case <-sc.done:
+		case <-abort:
+			return time.Since(start), errAborted
+		}
+		wait = time.Since(start)
+		x.waits.Add(1)
+		x.waitNS.Add(int64(wait))
+	}
+	return wait, sc.failure()
+}
+
+// Stats sums spill activity across partitions.
+func (x *partIndex) Stats() spill.Stats {
+	var st spill.Stats
+	for k := range x.parts {
+		s := x.parts[k].idx.Stats()
+		st.Runs += s.Runs
+		st.Bytes += s.Bytes
+	}
+	return st
+}
+
+// Close releases every partition's index, returning the first error.
+func (x *partIndex) Close() error {
+	var first error
+	for k := range x.parts {
+		if err := x.parts[k].idx.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WaitStats reports the blocked claims and their summed resolution wait.
+func (x *partIndex) WaitStats() (claims int64, wait time.Duration) {
+	return x.waits.Load(), time.Duration(x.waitNS.Load())
+}

@@ -1,0 +1,218 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// raceDetectorEnabled is set by race_on_test.go when the race detector
+// is active (alloc-count pins are skipped there).
+var raceDetectorEnabled bool
+
+func TestResolvePartitions(t *testing.T) {
+	cases := []struct {
+		configured, workers, want int
+	}{
+		{0, 1, 1},
+		{0, 4, 4},
+		{0, 6, 8}, // auto rounds up to a power of two
+		{0, 0, 1}, // no hint at all
+		{1, 8, 1}, // explicit serial wins over the hint
+		{3, 8, 4}, // explicit values round up too
+		{8, 2, 8}, // explicit values ignore the hint
+		{100000, 8, maxIndexPartitions},
+		{-5, 3, 4},
+	}
+	for _, c := range cases {
+		if got := resolvePartitions(c.configured, c.workers); got != c.want {
+			t.Errorf("resolvePartitions(%d, %d) = %d, want %d",
+				c.configured, c.workers, got, c.want)
+		}
+	}
+}
+
+// TestPartIndexStress hammers the partitioned index with concurrent
+// shards over a duplicate-heavy signature stream and checks every
+// verdict against a serial first-occurrence reference. Run under -race
+// this doubles as the data-race proof for the deposit/apply/scatter
+// protocol.
+func TestPartIndexStress(t *testing.T) {
+	const (
+		shards     = 64
+		batch      = 257 // odd, so batches straddle partition boundaries unevenly
+		sigSpace   = 700 // far fewer distinct sigs than shards*batch: heavy dups
+		goroutines = 8
+	)
+	rng := rand.New(rand.NewSource(42))
+	sigs := make([][]uint64, shards)
+	for s := range sigs {
+		sigs[s] = make([]uint64, batch)
+		for i := range sigs[s] {
+			sigs[s][i] = uint64(rng.Intn(sigSpace)) * 0x9e3779b9 // clustered keys
+		}
+	}
+
+	// Serial reference: first occurrence in (shard, position) order.
+	want := make([][]bool, shards)
+	seen := map[uint64]struct{}{}
+	for s := range sigs {
+		want[s] = make([]bool, batch)
+		for i, sig := range sigs[s] {
+			if _, dup := seen[sig]; !dup {
+				seen[sig] = struct{}{}
+				want[s][i] = true
+			}
+		}
+	}
+
+	for _, partitions := range []int{1, 2, 8, 16} {
+		t.Run(fmt.Sprintf("partitions=%d", partitions), func(t *testing.T) {
+			x := newPartIndex(partitions, goroutines, func(int) sigIndex { return newMemSigIndex() })
+			got := make([][]bool, shards)
+			abort := make(chan struct{})
+			work := make(chan int)
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			var firstErr error
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for s := range work {
+						novel := make([]bool, batch)
+						if _, err := x.Claim(s, sigs[s], novel, abort); err != nil {
+							mu.Lock()
+							if firstErr == nil {
+								firstErr = err
+							}
+							mu.Unlock()
+							return
+						}
+						got[s] = novel
+					}
+				}()
+			}
+			for s := 0; s < shards; s++ {
+				work <- s
+			}
+			close(work)
+			wg.Wait()
+			if firstErr != nil {
+				t.Fatal(firstErr)
+			}
+			for s := range want {
+				for i := range want[s] {
+					if got[s][i] != want[s][i] {
+						t.Fatalf("partitions=%d shard %d pos %d: novel=%v, want %v",
+							partitions, s, i, got[s][i], want[s][i])
+					}
+				}
+			}
+			if claims, wait := x.WaitStats(); claims < 0 || wait < 0 {
+				t.Fatalf("negative wait stats: %d claims, %v", claims, wait)
+			}
+			if err := x.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPartIndexAbort: a shard blocked on an earlier shard that never
+// deposits must be woken by the abort channel, not hang the pool.
+func TestPartIndexAbort(t *testing.T) {
+	x := newPartIndex(2, 2, func(int) sigIndex { return newMemSigIndex() })
+	abort := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		novel := make([]bool, 2)
+		_, err := x.Claim(1, []uint64{1, 2}, novel, abort) // shard 0 never claims
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("claim resolved without its predecessor: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(abort)
+	select {
+	case err := <-errc:
+		if err != errAborted {
+			t.Fatalf("aborted claim returned %v, want errAborted", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("aborted claim never returned")
+	}
+}
+
+// TestPartIndexClaimAllocs pins the claim path's allocation budget: one
+// shard batch costs a constant handful of allocations (claim bookkeeping
+// and the routing arrays), nothing per sample. Warm rounds reuse the
+// same signatures so the in-memory set stops growing.
+func TestPartIndexClaimAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc pinning is not meaningful in -short mode")
+	}
+	if raceDetectorEnabled {
+		t.Skip("alloc counts shift under the race detector")
+	}
+	const batch = 4096
+	sigs := make([]uint64, batch)
+	for i := range sigs {
+		sigs[i] = uint64(i % 512)
+	}
+	novel := make([]bool, batch)
+	abort := make(chan struct{})
+	x := newPartIndex(8, 8, func(int) sigIndex { return newMemSigIndex() })
+	shard := 0
+	x.Claim(shard, sigs, novel, abort) // warm: populate the set
+	shard++
+	got := testing.AllocsPerRun(100, func() {
+		x.Claim(shard, sigs, novel, abort)
+		shard++
+	})
+	// shardClaim + done channel + claims + counts + routed + pos ≈ 7;
+	// headroom for runtime variance, but far below one alloc per sample.
+	if got > 16 {
+		t.Fatalf("claim path allocates %.1f per %d-sig batch, budget 16", got, batch)
+	}
+}
+
+// TestEnginePartitionCountEquivalence runs the same dedup-heavy recipe
+// at several explicit partition counts (including the serial turnstile
+// equivalent, 1) and requires identical outputs — partitioning is a
+// speed knob, never a semantics knob. The spilled variant covers the
+// per-partition DiskSet split.
+func TestEnginePartitionCountEquivalence(t *testing.T) {
+	input, _ := corpusWithDupes(t, 300)
+	want := sampleLines(t, runBatch(t, equivalenceRecipe, input))
+
+	for _, spec := range []struct {
+		name  string
+		extra string
+	}{
+		{"inmem", ""},
+		{"spill", "target_mem_mb: 1\n"},
+	} {
+		for _, partitions := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("%s/partitions=%d", spec.name, partitions), func(t *testing.T) {
+				recipe := equivalenceRecipe +
+					fmt.Sprintf("np: 4\nindex_partitions: %d\n", partitions) + spec.extra
+				out, _ := runStream(t, recipe, input, Options{ShardSize: 17})
+				got := sampleLines(t, out)
+				if len(got) != len(want) {
+					t.Fatalf("kept %d samples, want %d", len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("sample %d diverges at partitions=%d:\n got %s\nwant %s",
+							i, partitions, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}

@@ -16,9 +16,11 @@ import (
 // Version 2 added the distributed-runtime events (worker_start,
 // worker_retry, shard_steal) and the worker/addr fields; version 3
 // added the wire-transport accounting (worker_wire events, the proto
-// field on worker_start, and the bytes_sent/bytes_recv family).
-// Older journals remain valid.
-const SchemaVersion = 3
+// field on worker_start, and the bytes_sent/bytes_recv family);
+// version 4 added the partitioned signature index contention events
+// (index, with the partitions/waits fields). Older journals remain
+// valid.
+const SchemaVersion = 4
 
 // Journal event types. Every line in a journal file is one Event whose
 // Type is one of these constants.
@@ -50,6 +52,12 @@ const (
 	// their uncompressed equivalents, and how many stages were answered
 	// with a keep-mask delta.
 	EvWorkerWire = "worker_wire"
+
+	// index (schema v4) is one shared-index stage's end-of-phase
+	// contention tally: the partition count of its signature index, the
+	// claims that blocked on in-order resolution (waits), and their
+	// summed wait time (dur_ns).
+	EvIndex = "index"
 )
 
 // PlanOp is the journal's view of one physical plan node, embedded in
@@ -118,6 +126,12 @@ type Event struct {
 	// SpillRuns counts the spill files (sorted runs / LSH partitions) a
 	// dedup index wrote; Bytes carries the spilled bytes (spill events).
 	SpillRuns int64 `json:"spill_runs,omitempty"`
+
+	// Partitioned-index contention (index events, schema v4): the
+	// signature index's partition count and how many shard claims
+	// blocked on in-order resolution (their summed wait is DurNS).
+	Partitions int   `json:"partitions,omitempty"`
+	Waits      int64 `json:"waits,omitempty"`
 
 	Workers     int    `json:"workers,omitempty"`
 	ShardSize   int    `json:"shard_size,omitempty"`
@@ -332,6 +346,16 @@ func validateEvent(lineNo, idx int, e Event) error {
 	case EvTrace:
 		if e.Name == "" {
 			return fail("missing name")
+		}
+	case EvIndex:
+		if e.Name == "" {
+			return fail("missing name")
+		}
+		if e.Partitions <= 0 {
+			return fail("index with no partitions")
+		}
+		if e.Waits < 0 || e.DurNS < 0 {
+			return fail("negative contention counts")
 		}
 	case EvWorkerStart:
 		if e.Worker <= 0 {

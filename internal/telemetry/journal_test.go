@@ -20,7 +20,7 @@ func TestGoldenJournalDecode(t *testing.T) {
 	}
 	wantTypes := []string{
 		EvRunStart, EvPlan, EvPhase, EvWorkerStart, EvControllerReplan,
-		EvCacheHit, EvOpComplete, EvOpComplete, EvSpill, EvWorkerRetry,
+		EvCacheHit, EvOpComplete, EvOpComplete, EvSpill, EvIndex, EvWorkerRetry,
 		EvShardSteal, EvSpanEnd, EvTrace, EvWorkerWire, EvExport, EvSpanEnd, EvRunEnd,
 	}
 	if len(events) != len(wantTypes) {
@@ -78,6 +78,9 @@ func TestGoldenTimeline(t *testing.T) {
 	if tl.Ops[1].SpillRuns != 3 || tl.Ops[1].SpillBytes != 2097152 {
 		t.Errorf("spill aggregation wrong: %+v", tl.Ops[1])
 	}
+	if tl.Ops[1].Partitions != 8 || tl.Ops[1].IndexWaits != 5 || tl.Ops[1].IndexWait != 120000 {
+		t.Errorf("index aggregation wrong: %+v", tl.Ops[1])
+	}
 	if len(tl.Workers) != 2 {
 		t.Fatalf("got %d worker lanes, want 2: %+v", len(tl.Workers), tl.Workers)
 	}
@@ -96,6 +99,7 @@ func TestGoldenTimeline(t *testing.T) {
 	out := tl.Render()
 	for _, want := range []string{"run r1 [stream]", "fused_filter", "plan passes", "phases:",
 		"spill (disk-backed dedup indexes)", "spilled 3 runs, 2.0 MiB",
+		"index contention (partitioned signature indexes)", "8 partitions, 5 blocked claims",
 		"workers:", "w1  127.0.0.1:43117", "1 retries", "DISCONNECTED",
 		"wire (dispatch transport):", "w1  proto=2 sent 4.0 MiB recv 1.0 MiB (2.00x vs raw), 2 delta stages"} {
 		if !strings.Contains(out, want) {
@@ -129,6 +133,12 @@ func TestDecodeRejects(t *testing.T) {
 			`{"ts":2,"type":"worker_wire","run_id":"r","bytes_sent":100}`,
 		"worker_wire negative bytes": `{"ts":1,"type":"run_start","run_id":"r","schema":3,"backend":"b"}` + "\n" +
 			`{"ts":2,"type":"worker_wire","run_id":"r","worker":1,"bytes_recv":-5}`,
+		"index no name": `{"ts":1,"type":"run_start","run_id":"r","schema":4,"backend":"b"}` + "\n" +
+			`{"ts":2,"type":"index","run_id":"r","partitions":8}`,
+		"index no partitions": `{"ts":1,"type":"run_start","run_id":"r","schema":4,"backend":"b"}` + "\n" +
+			`{"ts":2,"type":"index","run_id":"r","name":"dedup"}`,
+		"index negative waits": `{"ts":1,"type":"run_start","run_id":"r","schema":4,"backend":"b"}` + "\n" +
+			`{"ts":2,"type":"index","run_id":"r","name":"dedup","partitions":8,"waits":-1}`,
 	}
 	for name, raw := range cases {
 		if _, err := DecodeJournal([]byte(raw)); err == nil {

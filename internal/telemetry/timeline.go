@@ -18,6 +18,11 @@ type OpTimeline struct {
 	CacheHits    int
 	SpillRuns    int64
 	SpillBytes   int64
+
+	// Partitioned signature index contention (index events, schema v4).
+	Partitions int           // partition count (0 = not a shared-index op)
+	IndexWaits int64         // shard claims that blocked on resolution
+	IndexWait  time.Duration // their summed wait
 }
 
 // PhaseTimeline aggregates one pipeline phase: its own span duration
@@ -178,6 +183,18 @@ func BuildTimeline(events []Event) (*Timeline, error) {
 			}
 			o.SpillRuns += e.SpillRuns
 			o.SpillBytes += e.Bytes
+		case EvIndex:
+			o, ok := ops[e.Name]
+			if !ok {
+				o = &OpTimeline{Name: e.Name, PlanIdx: e.PlanIdx}
+				ops[e.Name] = o
+				opOrder = append(opOrder, e.Name)
+			}
+			if e.Partitions > o.Partitions {
+				o.Partitions = e.Partitions
+			}
+			o.IndexWaits += e.Waits
+			o.IndexWait += time.Duration(e.DurNS)
 		case EvControllerReplan:
 			tl.Replans++
 		case EvWorkerStart:
@@ -304,6 +321,20 @@ func (tl *Timeline) Render() string {
 		for _, o := range spilled {
 			fmt.Fprintf(&b, "  %-44s spilled %d runs, %.1f MiB\n",
 				o.Name, o.SpillRuns, float64(o.SpillBytes)/(1<<20))
+		}
+	}
+
+	var indexed []OpTimeline
+	for _, o := range tl.Ops {
+		if o.Partitions > 0 {
+			indexed = append(indexed, o)
+		}
+	}
+	if len(indexed) > 0 {
+		b.WriteString("\nindex contention (partitioned signature indexes):\n")
+		for _, o := range indexed {
+			fmt.Fprintf(&b, "  %-44s %d partitions, %d blocked claims, %s waiting\n",
+				o.Name, o.Partitions, o.IndexWaits, o.IndexWait.Round(time.Microsecond))
 		}
 	}
 

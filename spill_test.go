@@ -1,6 +1,7 @@
 // Cross-backend conformance for disk-backed dedup: a -target-mem-mb
 // budget must change where dedup index state lives (RAM vs sorted runs /
-// LSH partitions / the streaming turnstile's LSM set on disk) without
+// LSH partitions / the streaming index partitions' LSM sets on disk)
+// without
 // changing a single exported byte, on either backend.
 package repro_test
 
@@ -17,7 +18,7 @@ import (
 	"repro/internal/stream"
 )
 
-// spillConformanceRecipe pairs the shared-index exact dedup (turnstile
+// spillConformanceRecipe pairs the shared-index exact dedup (per-partition
 // DiskSet path on the stream backend, sorted runs on batch) with the
 // minhash barrier (partitioned on-disk LSH on both backends).
 func spillConformanceRecipe(workDir string, targetMemMB int, spill bool) *config.Recipe {
@@ -89,8 +90,8 @@ func TestSpillCrossBackendConformance(t *testing.T) {
 		t.Fatal("no budgeted op reported spilling — the corpus no longer exceeds the budget")
 	}
 
-	// Streaming under the same budget: the exact dedup runs behind the
-	// turnstile's disk-backed signature set, minhash as a spilled barrier.
+	// Streaming under the same budget: the exact dedup runs against its
+	// disk-backed signature partitions, minhash as a spilled barrier.
 	streamRecipe := spillConformanceRecipe(t.TempDir(), 1, true)
 	eng, err := stream.New(streamRecipe, stream.Options{ShardSize: 256})
 	if err != nil {
